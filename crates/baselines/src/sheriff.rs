@@ -1,0 +1,286 @@
+//! Sheriff-Detect and Sheriff-Protect models (Liu & Berger, OOPSLA'11).
+//!
+//! Sheriff runs each thread as a separate process with a private address
+//! space; private pages are twinned, diffed and merged at synchronization
+//! points. The LASER paper leans on three consequences (Sections 5 and 7.3):
+//!
+//! 1. **Compatibility** — much of the suite either crashes under Sheriff or
+//!    uses constructs it does not support (spin locks, OpenMP); only about
+//!    half the workloads run at all.
+//! 2. **Performance** — every synchronization operation pays for page
+//!    protection, twinning and diffing, so synchronization-heavy programs slow
+//!    down dramatically, while programs that rarely synchronize are cheap.
+//!    Address-space isolation also *removes* false-sharing misses whether or
+//!    not anything is detected, which is why Sheriff "fixes" `histogram'` and
+//!    `linear_regression` without reporting them.
+//! 3. **Reporting** — Sheriff-Detect observes write interleavings only when
+//!    twins are compared at synchronization points, and reports the
+//!    *allocation site* (the object), not the contending source lines.
+//!
+//! The model reproduces those three behaviours on top of a native simulated
+//! run: the compatibility matrix comes from the workload spec, the runtime is
+//! the native runtime minus the coherence cycles isolation removes plus the
+//! per-synchronization tax, and detection scans the ground-truth write-HITM
+//! events for heap lines written by multiple threads — but only if the
+//! program synchronizes at all during its parallel phase.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use laser_core::LaserError;
+use laser_isa::MemAccessSets;
+use laser_machine::{line_of, Addr, Machine, MachineConfig, MemAccessKind};
+use laser_workloads::{BuildOptions, SheriffCompat, WorkloadSpec};
+
+/// Which Sheriff scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SheriffMode {
+    /// Sheriff-Detect: periodic write-protection and twin comparison to report
+    /// falsely-shared objects.
+    Detect,
+    /// Sheriff-Protect: isolation only, no detection.
+    Protect,
+}
+
+/// Why a workload could not be run under Sheriff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SheriffFailure {
+    /// The benchmark encounters a runtime error ("x" in the paper's Table 1).
+    Crash,
+    /// The benchmark uses unsupported constructs such as spin locks or OpenMP
+    /// ("i" in Table 1).
+    Incompatible,
+}
+
+/// Cost model of the Sheriff execution environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SheriffConfig {
+    /// Cycles charged per synchronization operation under Sheriff-Protect
+    /// (commit/merge of private pages).
+    pub per_sync_cycles_protect: u64,
+    /// Cycles charged per synchronization operation under Sheriff-Detect
+    /// (adds page write-protection and twin diffing).
+    pub per_sync_cycles_detect: u64,
+    /// Fixed start-up cost (process creation, segregated heap setup).
+    pub startup_cycles: u64,
+    /// Minimum number of multi-thread writes to a heap line before
+    /// Sheriff-Detect reports the object.
+    pub detect_write_threshold: u64,
+}
+
+impl Default for SheriffConfig {
+    fn default() -> Self {
+        SheriffConfig {
+            per_sync_cycles_protect: 2_800,
+            per_sync_cycles_detect: 7_000,
+            startup_cycles: 2_000,
+            detect_write_threshold: 50,
+        }
+    }
+}
+
+/// A completed Sheriff run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SheriffRun {
+    /// Estimated cycles under the Sheriff execution model.
+    pub cycles: u64,
+    /// Cycles of the corresponding native run.
+    pub native_cycles: u64,
+    /// Cache lines (allocation-site granularity) Sheriff-Detect reported as
+    /// falsely shared; always empty for Sheriff-Protect.
+    pub reported_lines: Vec<Addr>,
+    /// Synchronization operations observed (what the slowdown scales with).
+    pub sync_ops: u64,
+    /// Coherence cycles that address-space isolation removed (why Sheriff can
+    /// accidentally "fix" false sharing it never detected).
+    pub removed_coherence_cycles: u64,
+}
+
+impl SheriffRun {
+    /// Runtime normalized to native execution.
+    pub fn normalized_runtime(&self) -> f64 {
+        self.cycles as f64 / self.native_cycles.max(1) as f64
+    }
+}
+
+/// Outcome of attempting to run a workload under Sheriff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SheriffOutcome {
+    /// Which scheme was run.
+    pub mode: SheriffMode,
+    /// The run, or the reason it could not happen.
+    pub result: Result<SheriffRun, SheriffFailure>,
+}
+
+impl SheriffOutcome {
+    /// True if the workload ran to completion under Sheriff.
+    pub fn ran(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// The Sheriff baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Sheriff {
+    config: SheriffConfig,
+}
+
+impl Sheriff {
+    /// Create the baseline with an explicit cost model.
+    pub fn new(config: SheriffConfig) -> Self {
+        Sheriff { config }
+    }
+
+    /// The cost model in effect.
+    pub fn config(&self) -> &SheriffConfig {
+        &self.config
+    }
+
+    /// Run `spec` under the given Sheriff scheme.
+    ///
+    /// # Errors
+    /// Returns an error if the underlying simulation exceeds its step budget;
+    /// Sheriff-specific failures (crash / incompatibility) are reported inside
+    /// the [`SheriffOutcome`] instead.
+    pub fn run(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        mode: SheriffMode,
+    ) -> Result<SheriffOutcome, LaserError> {
+        match spec.sheriff {
+            SheriffCompat::Crash => {
+                return Ok(SheriffOutcome { mode, result: Err(SheriffFailure::Crash) });
+            }
+            SheriffCompat::Incompatible => {
+                return Ok(SheriffOutcome { mode, result: Err(SheriffFailure::Incompatible) });
+            }
+            SheriffCompat::Works => {}
+        }
+
+        let image = spec.build(opts);
+        let mut machine = Machine::new(MachineConfig::default(), &image);
+        let native = machine.run_to_completion().map_err(LaserError::Machine)?;
+        let events = machine.take_hitm_events();
+        let memsets = MemAccessSets::analyze(image.program());
+        let lat = MachineConfig::default().latency;
+
+        // Address-space isolation removes cross-thread coherence misses: each
+        // process keeps touching its own copy of the line.
+        let removed_coherence_cycles = native.stats.hitm_events * (lat.hitm - lat.l1_hit);
+        // ... but every synchronization operation pays for protection,
+        // twinning and diffing.
+        let sync_ops = native.stats.atomics + native.stats.fences;
+        let per_sync = match mode {
+            SheriffMode::Protect => self.config.per_sync_cycles_protect,
+            SheriffMode::Detect => self.config.per_sync_cycles_detect,
+        };
+        let overhead = sync_ops * per_sync / (machine.num_cores() as u64).max(1)
+            + self.config.startup_cycles;
+        let cycles = native.cycles.saturating_sub(removed_coherence_cycles) + overhead;
+
+        // Sheriff-Detect's twin comparison happens at synchronization points,
+        // so a parallel phase that never synchronizes is never sampled.
+        let mut reported_lines = Vec::new();
+        if mode == SheriffMode::Detect && sync_ops > 0 {
+            let heap = image.memory_map();
+            let mut writers: HashMap<Addr, (HashSet<usize>, u64, HashSet<u64>)> = HashMap::new();
+            for e in &events {
+                if e.kind != MemAccessKind::Store && !memsets.is_store(e.pc) {
+                    continue;
+                }
+                if !heap.is_data(e.addr) {
+                    continue;
+                }
+                let entry = writers.entry(line_of(e.addr)).or_default();
+                entry.0.insert(e.core.0);
+                entry.1 += 1;
+                entry.2.insert(e.addr & !7);
+            }
+            reported_lines = writers
+                .into_iter()
+                .filter(|(_, (cores, count, words))| {
+                    cores.len() >= 2 && *count >= self.config.detect_write_threshold && words.len() >= 2
+                })
+                .map(|(line, _)| line)
+                .collect();
+            reported_lines.sort_unstable();
+        }
+
+        Ok(SheriffOutcome {
+            mode,
+            result: Ok(SheriffRun {
+                cycles,
+                native_cycles: native.cycles,
+                reported_lines,
+                sync_ops,
+                removed_coherence_cycles,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_workloads::find;
+
+    fn small() -> BuildOptions {
+        BuildOptions::scaled(0.15)
+    }
+
+    #[test]
+    fn incompatible_and_crashing_workloads_do_not_run() {
+        let sheriff = Sheriff::default();
+        let dedup = find("dedup").unwrap();
+        let out = sheriff.run(&dedup, &small(), SheriffMode::Detect).unwrap();
+        assert_eq!(out.result, Err(SheriffFailure::Incompatible));
+        let barnes = find("barnes").unwrap();
+        let out = sheriff.run(&barnes, &small(), SheriffMode::Protect).unwrap();
+        assert_eq!(out.result, Err(SheriffFailure::Crash));
+        assert!(!out.ran());
+    }
+
+    #[test]
+    fn isolation_fixes_false_sharing_it_never_detects() {
+        // linear_regression never synchronizes inside its parallel phase, so
+        // Sheriff-Detect reports nothing — yet its isolation removes the
+        // false-sharing misses and the program speeds up (paper Section 7.3).
+        let sheriff = Sheriff::default();
+        let lreg = find("linear_regression").unwrap();
+        let out = sheriff.run(&lreg, &small(), SheriffMode::Detect).unwrap();
+        let run = out.result.unwrap();
+        assert!(run.reported_lines.is_empty(), "Sheriff-Detect should miss linear_regression");
+        assert!(run.removed_coherence_cycles > 0);
+        assert!(run.normalized_runtime() < 1.0, "isolation should speed it up");
+    }
+
+    #[test]
+    fn detects_false_sharing_in_synchronizing_workloads() {
+        let sheriff = Sheriff::default();
+        let ri = find("reverse_index").unwrap();
+        let out = sheriff.run(&ri, &small(), SheriffMode::Detect).unwrap();
+        let run = out.result.unwrap();
+        assert!(
+            !run.reported_lines.is_empty(),
+            "reverse_index synchronizes, so its use_len line should be reported"
+        );
+    }
+
+    #[test]
+    fn sync_heavy_workloads_slow_down_dramatically() {
+        let sheriff = Sheriff::default();
+        let opts = BuildOptions::scaled(0.5);
+        let water = find("water_nsquared").unwrap();
+        let protect = sheriff.run(&water, &opts, SheriffMode::Protect).unwrap().result.unwrap();
+        let detect = sheriff.run(&water, &opts, SheriffMode::Detect).unwrap().result.unwrap();
+        assert!(protect.normalized_runtime() > 1.3, "{}", protect.normalized_runtime());
+        assert!(detect.normalized_runtime() > protect.normalized_runtime());
+
+        // A workload with almost no synchronization stays cheap.
+        let swaptions = find("swaptions").unwrap();
+        let cheap = sheriff.run(&swaptions, &opts, SheriffMode::Protect).unwrap().result.unwrap();
+        assert!(cheap.normalized_runtime() < 1.2, "{}", cheap.normalized_runtime());
+    }
+}

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Figure 14 at reduced scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use laser_bench::ExperimentScale;
+use laser_bench::performance::fig14_sheriff;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_sheriff");
+    group.sample_size(10);
+    group.bench_function("fig14_sheriff", |b| {
+        b.iter(|| {
+            fig14_sheriff(&ExperimentScale::bench()).unwrap()
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

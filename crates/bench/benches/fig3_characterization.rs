@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 3 at reduced scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use laser_bench::characterization::fig3_characterization;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_characterization");
+    group.sample_size(10);
+    group.bench_function("fig3_characterization", |b| {
+        b.iter(|| {
+            fig3_characterization(2)
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

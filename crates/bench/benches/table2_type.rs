@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Table 2 at reduced scale.
+use criterion::{criterion_group, criterion_main, Criterion};
+use laser_bench::ExperimentScale;
+use laser_bench::accuracy::table2_types;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_type");
+    group.sample_size(10);
+    group.bench_function("table2_type", |b| {
+        b.iter(|| {
+            table2_types(&ExperimentScale::bench()).unwrap()
+        })
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

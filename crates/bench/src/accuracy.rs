@@ -1,0 +1,364 @@
+//! Detection-accuracy experiments: Table 1, Table 2 and Figure 9.
+
+use laser_baselines::{Sheriff, SheriffFailure, SheriffMode};
+use laser_core::{ContentionKind, LaserConfig, LaserError};
+use laser_workloads::{BugKind, WorkloadSpec};
+
+use crate::runner::{run_laser, score_locations, score_report, ExperimentScale};
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Number of known performance bugs.
+    pub bugs: usize,
+    /// LASER false negatives / false positives.
+    pub laser: (usize, usize),
+    /// VTune false negatives / false positives.
+    pub vtune: (usize, usize),
+    /// Sheriff-Detect result: FN/FP, or the failure that prevented the run.
+    pub sheriff: Result<(usize, usize), SheriffFailure>,
+}
+
+/// Table 1: detection accuracy of LASER, VTune and Sheriff-Detect.
+#[derive(Debug, Clone, Default)]
+pub struct Table1Report {
+    /// Per-workload rows.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Report {
+    /// Sum of (bugs, LASER FN, LASER FP, VTune FN, VTune FP, Sheriff FN,
+    /// Sheriff FP) across all rows.
+    pub fn totals(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0, 0, 0, 0);
+        for r in &self.rows {
+            t.0 += r.bugs;
+            t.1 += r.laser.0;
+            t.2 += r.laser.1;
+            t.3 += r.vtune.0;
+            t.4 += r.vtune.1;
+            if let Ok((f, p)) = r.sheriff {
+                t.5 += f;
+                t.6 += p;
+            } else {
+                // A tool that cannot run the workload misses all of its bugs.
+                t.5 += r.bugs;
+            }
+        }
+        t
+    }
+
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table 1: {:<20} {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>16}",
+            "benchmark", "bugs", "laserFN", "laserFP", "vtuneFN", "vtuneFP", "sheriffDet FN/FP"
+        );
+        for r in &self.rows {
+            let sheriff = match r.sheriff {
+                Ok((f, p)) => format!("{f}/{p}"),
+                Err(SheriffFailure::Crash) => "x".to_string(),
+                Err(SheriffFailure::Incompatible) => "i".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "         {:<20} {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>16}",
+                r.name, r.bugs, r.laser.0, r.laser.1, r.vtune.0, r.vtune.1, sheriff
+            );
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "         {:<20} {:>4} | {:>8} {:>8} | {:>8} {:>8} | {:>13}/{}",
+            "TOTAL", t.0, t.1, t.2, t.3, t.4, t.5, t.6
+        );
+        out
+    }
+}
+
+fn sheriff_score(spec: &WorkloadSpec, reported_lines: usize) -> (usize, usize) {
+    // Sheriff reports falsely-shared objects (allocation sites). A false-
+    // sharing bug counts as found when Sheriff reported at least one object;
+    // true-sharing bugs are outside its scope. Reports beyond the number of
+    // false-sharing bugs count as false positives.
+    let fs_bugs = spec.known_bugs.iter().filter(|b| b.kind == BugKind::FalseSharing).count();
+    let ts_bugs = spec.known_bugs.len() - fs_bugs;
+    let found = fs_bugs.min(if reported_lines > 0 { fs_bugs } else { 0 });
+    let false_negatives = (fs_bugs - found) + ts_bugs;
+    let false_positives = reported_lines.saturating_sub(found);
+    (false_negatives, false_positives)
+}
+
+/// Run the Table 1 experiment.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn table1_accuracy(scale: &ExperimentScale) -> Result<Table1Report, LaserError> {
+    let vtune = laser_baselines::Vtune::default();
+    let sheriff = Sheriff::default();
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads() {
+        let laser_outcome = run_laser(&spec, &opts, LaserConfig::detection_only())?;
+        let laser = score_report(&spec, &laser_outcome.report);
+
+        let vtune_outcome = vtune.run(&crate::runner::build_under_tool(&spec, &opts))?;
+        let vtune_locs: Vec<(String, u32)> = vtune_outcome
+            .reported_lines
+            .iter()
+            .map(|l| (l.location.file.clone(), l.location.line))
+            .collect();
+        let vtune_score = score_locations(&spec, &vtune_locs);
+
+        let sheriff_outcome = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
+        let sheriff_score = match sheriff_outcome.result {
+            Ok(run) => Ok(sheriff_score(&spec, run.reported_lines.len())),
+            Err(f) => Err(f),
+        };
+
+        rows.push(Table1Row {
+            name: spec.name,
+            bugs: spec.known_bugs.len(),
+            laser,
+            vtune: vtune_score,
+            sheriff: sheriff_score,
+        });
+    }
+    Ok(Table1Report { rows })
+}
+
+/// One row of Table 2: the contention type of a known bug versus what the
+/// tools reported.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// The bug's actual contention type.
+    pub actual: BugKind,
+    /// What LASERDETECT reported for the bug's location (None if unreported).
+    pub laser: Option<ContentionKind>,
+    /// Whether Sheriff-Detect reported the bug (it can only ever say "false
+    /// sharing"), or why it could not run.
+    pub sheriff: Result<bool, SheriffFailure>,
+}
+
+/// Table 2: contention-type identification for the buggy workloads.
+#[derive(Debug, Clone, Default)]
+pub struct Table2Report {
+    /// Per-workload rows.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Report {
+    /// Number of rows where LASER reported the correct type.
+    pub fn laser_correct(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    (r.actual, r.laser),
+                    (BugKind::FalseSharing, Some(ContentionKind::FalseSharing))
+                        | (BugKind::TrueSharing, Some(ContentionKind::TrueSharing))
+                )
+            })
+            .count()
+    }
+
+    /// Render as the paper's table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Table 2: {:<20} {:>10} {:>16} {:>16}",
+            "benchmark", "contention", "LaserDetect", "Sheriff-Detect"
+        );
+        for r in &self.rows {
+            let actual = match r.actual {
+                BugKind::FalseSharing => "FS",
+                BugKind::TrueSharing => "TS",
+            };
+            let laser = match r.laser {
+                Some(ContentionKind::FalseSharing) => "FS",
+                Some(ContentionKind::TrueSharing) => "TS",
+                Some(ContentionKind::Unknown) => "unknown",
+                None => "-",
+            };
+            let sheriff = match r.sheriff {
+                Ok(true) => "FS",
+                Ok(false) => "-",
+                Err(SheriffFailure::Crash) => "x",
+                Err(SheriffFailure::Incompatible) => "i",
+            };
+            let _ = writeln!(out, "         {:<20} {:>10} {:>16} {:>16}", r.name, actual, laser, sheriff);
+        }
+        let _ = writeln!(out, "         LASER correct for {} of {} bugs", self.laser_correct(), self.rows.len());
+        out
+    }
+}
+
+/// Run the Table 2 experiment over the workloads with known bugs.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn table2_types(scale: &ExperimentScale) -> Result<Table2Report, LaserError> {
+    let sheriff = Sheriff::default();
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads().into_iter().filter(|s| s.has_bugs()) {
+        let outcome = run_laser(&spec, &opts, LaserConfig::detection_only())?;
+        let bug = &spec.known_bugs[0];
+        // The report line for the bug with the most records determines the
+        // reported type.
+        let laser = outcome
+            .report
+            .lines
+            .iter()
+            .filter(|l| spec.is_known_bug_location(&l.location.file, l.location.line))
+            .max_by_key(|l| l.hitm_records)
+            .map(|l| l.kind);
+        let sheriff_outcome = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
+        let sheriff_found = match sheriff_outcome.result {
+            Ok(run) => Ok(!run.reported_lines.is_empty()),
+            Err(f) => Err(f),
+        };
+        rows.push(Table2Row { name: spec.name, actual: bug.kind, laser, sheriff: sheriff_found });
+    }
+    Ok(Table2Report { rows })
+}
+
+/// One point of Figure 9: total false negatives and false positives across
+/// the suite at one rate threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Point {
+    /// Rate threshold in HITM records per second.
+    pub threshold: f64,
+    /// Total false negatives across all workloads.
+    pub false_negatives: usize,
+    /// Total false positives across all workloads.
+    pub false_positives: usize,
+}
+
+/// Figure 9: sensitivity of LASER's accuracy to the rate threshold.
+#[derive(Debug, Clone, Default)]
+pub struct Fig9Report {
+    /// One point per threshold.
+    pub points: Vec<Fig9Point>,
+}
+
+impl Fig9Report {
+    /// Render the sweep.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 9: {:>12} {:>8} {:>8}", "HITM/s", "FN", "FP");
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "          {:>12.0} {:>8} {:>8}",
+                p.threshold, p.false_negatives, p.false_positives
+            );
+        }
+        out
+    }
+}
+
+/// Run the Figure 9 threshold sweep. Detection runs once per workload with the
+/// threshold at zero; each candidate threshold is then applied offline, just
+/// as the paper's detector allows.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig9_threshold_sweep(
+    scale: &ExperimentScale,
+    thresholds: &[f64],
+) -> Result<Fig9Report, LaserError> {
+    let opts = scale.options();
+    // Gather unfiltered reports once.
+    let mut reports = Vec::new();
+    for spec in scale.workloads() {
+        let config = LaserConfig::detection_only().with_rate_threshold(0.0);
+        let outcome = run_laser(&spec, &opts, config)?;
+        reports.push((spec, outcome.report));
+    }
+    let mut points = Vec::new();
+    for &threshold in thresholds {
+        let mut false_negatives = 0;
+        let mut false_positives = 0;
+        for (spec, report) in &reports {
+            let kept: Vec<(String, u32)> = report
+                .lines
+                .iter()
+                .filter(|l| l.rate_per_sec >= threshold)
+                .map(|l| (l.location.file.clone(), l.location.line))
+                .collect();
+            let (fneg, fpos) = score_locations(spec, &kept);
+            false_negatives += fneg;
+            false_positives += fpos;
+        }
+        points.push(Fig9Point { threshold, false_negatives, false_positives });
+    }
+    Ok(Fig9Report { points })
+}
+
+/// The thresholds of the paper's Figure 9 (32 HITM/s to 64K HITM/s, log scale).
+pub fn fig9_thresholds() -> Vec<f64> {
+    (5..=16).map(|p| (1u64 << p) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            workload_scale: 0.06,
+            only: Some(&["histogram'", "kmeans", "swaptions", "linear_regression"]),
+        }
+    }
+
+    #[test]
+    fn table1_finds_bugs_with_no_false_negatives_on_subset() {
+        let report = table1_accuracy(&tiny()).unwrap();
+        assert_eq!(report.rows.len(), 4);
+        let totals = report.totals();
+        assert_eq!(totals.1, 0, "LASER should miss no bugs: {}", report.render());
+        // VTune reports at least as many false positives as LASER.
+        assert!(totals.4 >= totals.2, "{}", report.render());
+    }
+
+    #[test]
+    fn table2_reports_types_for_buggy_workloads() {
+        let report = table2_types(&tiny()).unwrap();
+        assert_eq!(report.rows.len(), 3); // histogram', kmeans, linear_regression
+        let hist = report.rows.iter().find(|r| r.name == "histogram'").unwrap();
+        assert_eq!(hist.laser, Some(ContentionKind::FalseSharing), "{}", report.render());
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn fig9_higher_thresholds_trade_fp_for_fn() {
+        let report =
+            fig9_threshold_sweep(&tiny(), &[1.0, 1_000.0, 10_000_000.0]).unwrap();
+        assert_eq!(report.points.len(), 3);
+        let loosest = report.points[0];
+        let strictest = report.points[2];
+        assert!(loosest.false_positives >= strictest.false_positives);
+        assert!(strictest.false_negatives >= loosest.false_negatives);
+        // An absurdly high threshold filters everything => every bug missed.
+        assert!(strictest.false_negatives >= 3);
+        assert_eq!(strictest.false_positives, 0);
+    }
+
+    #[test]
+    fn fig9_threshold_grid_matches_paper_range() {
+        let t = fig9_thresholds();
+        assert_eq!(t.first().copied(), Some(32.0));
+        assert_eq!(t.last().copied(), Some(65536.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! The experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [all|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14] [--scale S]
+//! ```
+//!
+//! `--scale` multiplies every workload's input size (default 0.4); the paper's
+//! qualitative results hold across scales, larger values just take longer.
+
+use std::env;
+use std::process::ExitCode;
+
+use laser_bench::accuracy::{fig9_threshold_sweep, fig9_thresholds, table1_accuracy, table2_types};
+use laser_bench::characterization::{fig2_layout, fig3_characterization};
+use laser_bench::performance::{
+    fig10_overhead, fig11_speedups, fig12_breakdown, fig13_sav_sweep, fig13_savs, fig14_sheriff,
+};
+use laser_bench::ExperimentScale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments [all|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14] \
+         [--scale S]"
+    );
+    ExitCode::from(2)
+}
+
+fn run_one(which: &str, scale: &ExperimentScale) -> Result<(), laser_core::LaserError> {
+    match which {
+        "fig2" => print!("{}", fig2_layout()),
+        "fig3" => {
+            let per_category = if scale.workload_scale < 0.2 { 5 } else { 40 };
+            print!("{}", fig3_characterization(per_category).render());
+        }
+        "table1" => print!("{}", table1_accuracy(scale)?.render()),
+        "table2" => print!("{}", table2_types(scale)?.render()),
+        "fig9" => print!("{}", fig9_threshold_sweep(scale, &fig9_thresholds())?.render()),
+        "fig10" => print!("{}", fig10_overhead(scale)?.render()),
+        "fig11" => print!("{}", fig11_speedups(scale)?.render()),
+        "fig12" => print!("{}", fig12_breakdown(scale, 0.10)?.render()),
+        "fig13" => print!("{}", fig13_sav_sweep(scale, &fig13_savs())?.render()),
+        "fig14" => print!("{}", fig14_sheriff(scale)?.render()),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = ExperimentScale::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                scale.workload_scale = v;
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            name => {
+                which = name.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    let all = [
+        "fig2", "fig3", "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    ];
+    let selected: Vec<&str> =
+        if which == "all" { all.to_vec() } else { vec![which.as_str()] };
+    if selected.iter().any(|s| !all.contains(s)) {
+        return usage();
+    }
+    for name in selected {
+        println!("==================== {name} ====================");
+        if let Err(e) = run_one(name, &scale) {
+            eprintln!("experiment {name} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,29 @@
+//! # laser-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! LASER paper's evaluation (Section 7) from the simulated system:
+//!
+//! | Paper artifact | Function | Binary sub-command | Criterion bench |
+//! |---|---|---|---|
+//! | Figure 2 | [`characterization::fig2_layout`] | `experiments fig2` | — |
+//! | Figure 3 | [`characterization::fig3_characterization`] | `experiments fig3` | `fig3_characterization` |
+//! | Table 1 | [`accuracy::table1_accuracy`] | `experiments table1` | `table1_accuracy` |
+//! | Table 2 | [`accuracy::table2_types`] | `experiments table2` | `table2_type` |
+//! | Figure 9 | [`accuracy::fig9_threshold_sweep`] | `experiments fig9` | `fig9_threshold` |
+//! | Figure 10 | [`performance::fig10_overhead`] | `experiments fig10` | `fig10_overhead` |
+//! | Figure 11 | [`performance::fig11_speedups`] | `experiments fig11` | `fig11_speedup` |
+//! | Figure 12 | [`performance::fig12_breakdown`] | `experiments fig12` | `fig12_breakdown` |
+//! | Figure 13 | [`performance::fig13_sav_sweep`] | `experiments fig13` | `fig13_sav` |
+//! | Figure 14 | [`performance::fig14_sheriff`] | `experiments fig14` | `fig14_sheriff` |
+//!
+//! Absolute numbers are simulated cycles, not the paper's wall-clock seconds;
+//! what is expected to match is the *shape* of each result: who wins, by
+//! roughly what factor, and where the crossovers fall. `EXPERIMENTS.md` at the
+//! repository root records paper-reported versus measured values side by side.
+
+pub mod accuracy;
+pub mod characterization;
+pub mod performance;
+pub mod runner;
+
+pub use runner::{geomean, ExperimentScale};

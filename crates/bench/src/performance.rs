@@ -1,0 +1,423 @@
+//! Performance experiments: Figures 10, 11, 12, 13 and 14.
+
+use laser_baselines::{Sheriff, SheriffFailure, SheriffMode, Vtune};
+use laser_core::{LaserConfig, LaserError};
+use laser_workloads::BuildOptions;
+
+use crate::runner::{build_under_tool, geomean, run_laser, run_native, ExperimentScale};
+
+/// One bar pair of Figure 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// LASER runtime normalized to native.
+    pub laser: f64,
+    /// VTune runtime normalized to native.
+    pub vtune: f64,
+}
+
+/// Figure 10: runtime overhead of LASER and VTune.
+#[derive(Debug, Clone, Default)]
+pub struct Fig10Report {
+    /// Per-workload normalized runtimes.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10Report {
+    /// Geometric-mean normalized runtimes of (LASER, VTune).
+    pub fn geomeans(&self) -> (f64, f64) {
+        (
+            geomean(&self.rows.iter().map(|r| r.laser).collect::<Vec<_>>()),
+            geomean(&self.rows.iter().map(|r| r.vtune).collect::<Vec<_>>()),
+        )
+    }
+
+    /// Render the figure as a table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 10: {:<20} {:>10} {:>10}", "benchmark", "LASER", "VTune");
+        for r in &self.rows {
+            let _ = writeln!(out, "           {:<20} {:>10.3} {:>10.3}", r.name, r.laser, r.vtune);
+        }
+        let (l, v) = self.geomeans();
+        let _ = writeln!(out, "           {:<20} {:>10.3} {:>10.3}", "geomean", l, v);
+        out
+    }
+}
+
+/// Run the Figure 10 overhead comparison.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig10_overhead(scale: &ExperimentScale) -> Result<Fig10Report, LaserError> {
+    let vtune = Vtune::default();
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads() {
+        let native = run_native(&spec, &opts)?;
+        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
+        let vtune_outcome = vtune.run(&build_under_tool(&spec, &opts))?;
+        rows.push(Fig10Row {
+            name: spec.name,
+            laser: laser.run.cycles as f64 / native.cycles.max(1) as f64,
+            vtune: vtune_outcome.run.cycles as f64 / native.cycles.max(1) as f64,
+        });
+    }
+    Ok(Fig10Report { rows })
+}
+
+/// One bar of Figure 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// Speedup from LASERREPAIR's online repair (native / LASER runtime), if
+    /// repair triggered.
+    pub automatic: Option<f64>,
+    /// Speedup from the manual fix guided by LASERDETECT's report, if a fixed
+    /// variant exists.
+    pub manual: Option<f64>,
+}
+
+/// Figure 11: speedups from automatic repair and manual fixes.
+#[derive(Debug, Clone, Default)]
+pub struct Fig11Report {
+    /// Per-workload speedups.
+    pub rows: Vec<Fig11Row>,
+}
+
+impl Fig11Report {
+    /// Render the figure as a table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 11: {:<20} {:>12} {:>10}", "benchmark", "automatic", "manual");
+        for r in &self.rows {
+            let fmt = |v: Option<f64>| v.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "           {:<20} {:>12} {:>10}",
+                r.name,
+                fmt(r.automatic),
+                fmt(r.manual)
+            );
+        }
+        out
+    }
+}
+
+/// The workloads the paper's Figure 11 shows.
+pub const FIG11_WORKLOADS: &[&str] =
+    &["histogram'", "linear_regression", "dedup", "kmeans", "lu_ncb", "reverse_index"];
+
+/// Run the Figure 11 speedup experiment.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig11_speedups(scale: &ExperimentScale) -> Result<Fig11Report, LaserError> {
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads() {
+        if !FIG11_WORKLOADS.contains(&spec.name) {
+            continue;
+        }
+        let native = run_native(&spec, &opts)?;
+        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
+        let automatic = laser
+            .repair
+            .as_ref()
+            .map(|_| native.cycles as f64 / laser.run.cycles.max(1) as f64);
+        let manual = if spec.has_fix {
+            let fixed = Laser_native_fixed(&spec, &opts)?;
+            Some(native.cycles as f64 / fixed.max(1) as f64)
+        } else {
+            None
+        };
+        rows.push(Fig11Row { name: spec.name, automatic, manual });
+    }
+    Ok(Fig11Report { rows })
+}
+
+#[allow(non_snake_case)]
+fn Laser_native_fixed(
+    spec: &laser_workloads::WorkloadSpec,
+    opts: &BuildOptions,
+) -> Result<u64, LaserError> {
+    let fixed_opts = BuildOptions { fixed: true, ..opts.clone() };
+    Ok(run_native(spec, &fixed_opts)?.cycles)
+}
+
+/// One bar of Figure 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// LASER runtime normalized to native.
+    pub slowdown: f64,
+    /// Fraction of application time spent in the driver.
+    pub driver_fraction: f64,
+    /// Fraction of application time spent in the detector.
+    pub detector_fraction: f64,
+}
+
+/// Figure 12: where LASER's overhead goes for the workloads with ≥ 10 %
+/// overhead.
+#[derive(Debug, Clone, Default)]
+pub struct Fig12Report {
+    /// Rows for the qualifying workloads.
+    pub rows: Vec<Fig12Row>,
+}
+
+impl Fig12Report {
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 12: {:<20} {:>10} {:>10} {:>12}",
+            "benchmark", "slowdown", "driver%", "detector%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "           {:<20} {:>9.2}x {:>9.2}% {:>11.2}%",
+                r.name,
+                r.slowdown,
+                r.driver_fraction * 100.0,
+                r.detector_fraction * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Run the Figure 12 overhead-breakdown experiment. `min_overhead` selects
+/// which workloads appear (the paper uses 10 %).
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig12_breakdown(
+    scale: &ExperimentScale,
+    min_overhead: f64,
+) -> Result<Fig12Report, LaserError> {
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads() {
+        let native = run_native(&spec, &opts)?;
+        let laser = run_laser(&spec, &opts, LaserConfig::detection_only())?;
+        let slowdown = laser.run.cycles as f64 / native.cycles.max(1) as f64;
+        if slowdown < 1.0 + min_overhead {
+            continue;
+        }
+        let total = laser.run.cycles.max(1) as f64;
+        rows.push(Fig12Row {
+            name: spec.name,
+            slowdown,
+            driver_fraction: laser.driver_stats.overhead_cycles as f64 / total,
+            detector_fraction: laser.detector_cycles as f64 / total,
+        });
+    }
+    Ok(Fig12Report { rows })
+}
+
+/// One point of Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Point {
+    /// Sample-after value.
+    pub sav: u32,
+    /// dedup runtime under LASER normalized to native.
+    pub normalized_runtime: f64,
+}
+
+/// Figure 13: dedup's normalized runtime as a function of the SAV.
+#[derive(Debug, Clone, Default)]
+pub struct Fig13Report {
+    /// One point per SAV.
+    pub points: Vec<Fig13Point>,
+}
+
+impl Fig13Report {
+    /// Render the sweep.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Figure 13: {:>6} {:>20}", "SAV", "normalized runtime");
+        for p in &self.points {
+            let _ = writeln!(out, "           {:>6} {:>20.3}", p.sav, p.normalized_runtime);
+        }
+        out
+    }
+}
+
+/// The SAV values of the paper's Figure 13: 1 and every prime up to 31.
+pub fn fig13_savs() -> Vec<u32> {
+    vec![1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+}
+
+/// Run the Figure 13 SAV sweep on dedup.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig13_sav_sweep(scale: &ExperimentScale, savs: &[u32]) -> Result<Fig13Report, LaserError> {
+    let spec = laser_workloads::find("dedup").expect("dedup exists");
+    let opts = scale.options();
+    let native = run_native(&spec, &opts)?;
+    let mut points = Vec::new();
+    for &sav in savs {
+        let config = LaserConfig::detection_only().with_sav(sav);
+        let laser = run_laser(&spec, &opts, config)?;
+        points.push(Fig13Point {
+            sav,
+            normalized_runtime: laser.run.cycles as f64 / native.cycles.max(1) as f64,
+        });
+    }
+    Ok(Fig13Report { points })
+}
+
+/// One group of bars of Figure 14.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig14Row {
+    /// Workload name.
+    pub name: &'static str,
+    /// LASER normalized runtime.
+    pub laser: f64,
+    /// Manually fixed binary's normalized runtime, if a fix exists.
+    pub manual_fix: Option<f64>,
+    /// Sheriff-Detect normalized runtime, or why it did not run.
+    pub sheriff_detect: Result<f64, SheriffFailure>,
+    /// Sheriff-Protect normalized runtime, or why it did not run.
+    pub sheriff_protect: Result<f64, SheriffFailure>,
+}
+
+/// Figure 14: LASER versus Sheriff on the Sheriff-compatible workloads.
+#[derive(Debug, Clone, Default)]
+pub struct Fig14Report {
+    /// Per-workload rows.
+    pub rows: Vec<Fig14Row>,
+}
+
+impl Fig14Report {
+    /// Render the figure.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let fmt = |v: &Result<f64, SheriffFailure>| match v {
+            Ok(x) => format!("{x:.2}"),
+            Err(SheriffFailure::Crash) => "x".into(),
+            Err(SheriffFailure::Incompatible) => "i".into(),
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 14: {:<20} {:>8} {:>10} {:>12} {:>12}",
+            "benchmark", "LASER", "manualfix", "SheriffDet", "SheriffProt"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "           {:<20} {:>8.2} {:>10} {:>12} {:>12}",
+                r.name,
+                r.laser,
+                r.manual_fix.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+                fmt(&r.sheriff_detect),
+                fmt(&r.sheriff_protect)
+            );
+        }
+        out
+    }
+}
+
+/// Run the Figure 14 comparison over the workloads where at least one Sheriff
+/// scheme works.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig14_sheriff(scale: &ExperimentScale) -> Result<Fig14Report, LaserError> {
+    let sheriff = Sheriff::default();
+    let opts = scale.options();
+    let mut rows = Vec::new();
+    for spec in scale.workloads() {
+        if spec.sheriff != laser_workloads::SheriffCompat::Works {
+            continue;
+        }
+        let native = run_native(&spec, &opts)?;
+        let norm = |cycles: u64| cycles as f64 / native.cycles.max(1) as f64;
+        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
+        let manual_fix = if spec.has_fix {
+            Some(norm(run_native(&spec, &BuildOptions { fixed: true, ..opts.clone() })?.cycles))
+        } else {
+            None
+        };
+        let detect = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
+        let protect = sheriff.run(&spec, &opts, SheriffMode::Protect)?;
+        rows.push(Fig14Row {
+            name: spec.name,
+            laser: norm(laser.run.cycles),
+            manual_fix,
+            sheriff_detect: detect.result.map(|r| norm(r.cycles)),
+            sheriff_protect: protect.result.map(|r| norm(r.cycles)),
+        });
+    }
+    Ok(Fig14Report { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(names: &'static [&'static str]) -> ExperimentScale {
+        ExperimentScale { workload_scale: 0.06, only: Some(names) }
+    }
+
+    #[test]
+    fn fig10_laser_is_cheaper_than_vtune() {
+        let report = fig10_overhead(&tiny(&["swaptions", "histogram'", "kmeans"])).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        let (laser, vtune) = report.geomeans();
+        assert!(laser < vtune, "{}", report.render());
+        assert!(vtune > 1.1, "{}", report.render());
+    }
+
+    #[test]
+    fn fig11_reports_automatic_and_manual_speedups() {
+        let report =
+            fig11_speedups(&tiny(&["linear_regression", "histogram'", "reverse_index"])).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        let lreg = report.rows.iter().find(|r| r.name == "linear_regression").unwrap();
+        assert!(lreg.manual.unwrap() > 2.0, "{}", report.render());
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn fig13_sav_one_is_slower_than_nineteen() {
+        let report = fig13_sav_sweep(&tiny(&["dedup"]), &[1, 19]).unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert!(
+            report.points[0].normalized_runtime > report.points[1].normalized_runtime,
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn fig14_covers_only_sheriff_compatible_workloads() {
+        let report = fig14_sheriff(&tiny(&["swaptions", "dedup", "water_nsquared"])).unwrap();
+        // dedup is incompatible with Sheriff and therefore not a Fig 14 row.
+        assert!(report.rows.iter().all(|r| r.name != "dedup"));
+        assert!(!report.rows.is_empty());
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn fig12_selects_high_overhead_workloads_only() {
+        let report = fig12_breakdown(&tiny(&["swaptions", "kmeans"]), 0.0).unwrap();
+        // With a zero cutoff every selected workload appears.
+        assert!(report.rows.len() <= 2);
+        for r in &report.rows {
+            assert!(r.driver_fraction >= 0.0 && r.driver_fraction <= 1.0);
+        }
+        assert!(!report.render().is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! The software store buffer (paper Section 5.1 and 5.5).
+//!
+//! Stores redirected to the SSB are kept in a thread-private, *coalescing*
+//! buffer: one slot per memory word with a per-byte validity bitmap (so
+//! unaligned and sub-word stores are handled correctly). Loads consult the
+//! buffer first and fall back to shared memory, merging partially-buffered
+//! words. A flush drains the buffer to shared memory; because coalescing can
+//! reorder stores, the flush must be made visible atomically (the hook does it
+//! inside a hardware transaction) to preserve TSO.
+
+use std::collections::HashMap;
+
+use laser_machine::{line_of, Addr};
+
+/// Result of a buffer lookup for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsbLookup {
+    /// Every requested byte is buffered; the value is returned directly.
+    Hit(u64),
+    /// No requested byte is buffered.
+    Miss,
+    /// Some requested bytes are buffered; the caller must read memory and
+    /// overlay the buffered bytes with [`SoftwareStoreBuffer::merge`].
+    Partial,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WordEntry {
+    bytes: [u8; 8],
+    valid: u8,
+}
+
+/// A thread-private coalescing software store buffer.
+#[derive(Debug, Default)]
+pub struct SoftwareStoreBuffer {
+    words: HashMap<Addr, WordEntry>,
+    order: Vec<Addr>,
+    total_buffered_stores: u64,
+}
+
+impl SoftwareStoreBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct words currently buffered ("entries" in the paper's
+    /// sense; a pre-emptive flush triggers when this exceeds the hardware
+    /// transaction capacity).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of distinct cache lines the buffered words span.
+    pub fn distinct_lines(&self) -> usize {
+        let mut lines: Vec<Addr> = self.order.iter().map(|&w| line_of(w)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len()
+    }
+
+    /// Total stores ever buffered (for statistics).
+    pub fn total_buffered_stores(&self) -> u64 {
+        self.total_buffered_stores
+    }
+
+    fn word_key(addr: Addr) -> Addr {
+        addr & !7
+    }
+
+    /// Buffer a store of `size` bytes (1..=8) of `value` at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn put(&mut self, addr: Addr, size: u8, value: u64) {
+        assert!((1..=8).contains(&size), "store size must be 1..=8");
+        self.total_buffered_stores += 1;
+        for i in 0..size as u64 {
+            let byte_addr = addr + i;
+            let key = Self::word_key(byte_addr);
+            let off = (byte_addr - key) as usize;
+            let entry = self.words.entry(key).or_insert_with(|| {
+                // Track first-touch order so flushes are reproducible.
+                WordEntry::default()
+            });
+            if entry.valid == 0 && !self.order.contains(&key) {
+                self.order.push(key);
+            }
+            entry.bytes[off] = (value >> (8 * i)) as u8;
+            entry.valid |= 1 << off;
+        }
+    }
+
+    /// Look up a load of `size` bytes at `addr`.
+    pub fn lookup(&self, addr: Addr, size: u8) -> SsbLookup {
+        assert!((1..=8).contains(&size), "load size must be 1..=8");
+        let mut have = 0u32;
+        let mut value = 0u64;
+        for i in 0..size as u64 {
+            let byte_addr = addr + i;
+            let key = Self::word_key(byte_addr);
+            let off = (byte_addr - key) as usize;
+            if let Some(e) = self.words.get(&key) {
+                if e.valid & (1 << off) != 0 {
+                    have += 1;
+                    value |= (e.bytes[off] as u64) << (8 * i);
+                }
+            }
+        }
+        if have == 0 {
+            SsbLookup::Miss
+        } else if have == size as u32 {
+            SsbLookup::Hit(value)
+        } else {
+            SsbLookup::Partial
+        }
+    }
+
+    /// Overlay any buffered bytes of `[addr, addr+size)` onto `memory_value`
+    /// (the value just read from shared memory) and return the merged value.
+    pub fn merge(&self, addr: Addr, size: u8, memory_value: u64) -> u64 {
+        let mut value = memory_value;
+        for i in 0..size as u64 {
+            let byte_addr = addr + i;
+            let key = Self::word_key(byte_addr);
+            let off = (byte_addr - key) as usize;
+            if let Some(e) = self.words.get(&key) {
+                if e.valid & (1 << off) != 0 {
+                    value &= !(0xffu64 << (8 * i));
+                    value |= (e.bytes[off] as u64) << (8 * i);
+                }
+            }
+        }
+        value
+    }
+
+    /// True if any byte of `[addr, addr+size)` is buffered (used by the
+    /// speculative-alias runtime check).
+    pub fn overlaps(&self, addr: Addr, size: u8) -> bool {
+        !matches!(self.lookup(addr, size.clamp(1, 8)), SsbLookup::Miss)
+    }
+
+    /// Drain the buffer into a list of `(addr, size, value)` writes, one per
+    /// contiguous valid byte run, in first-buffered order. The buffer is empty
+    /// afterwards.
+    pub fn drain_writes(&mut self) -> Vec<(Addr, u8, u64)> {
+        let mut out = Vec::new();
+        for key in std::mem::take(&mut self.order) {
+            let Some(entry) = self.words.remove(&key) else { continue };
+            let mut i = 0usize;
+            while i < 8 {
+                if entry.valid & (1 << i) == 0 {
+                    i += 1;
+                    continue;
+                }
+                let start = i;
+                let mut value = 0u64;
+                let mut len = 0u8;
+                while i < 8 && entry.valid & (1 << i) != 0 {
+                    value |= (entry.bytes[i] as u64) << (8 * len);
+                    len += 1;
+                    i += 1;
+                }
+                out.push((key + start as u64, len, value));
+            }
+        }
+        self.words.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_hit() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        assert!(ssb.is_empty());
+        ssb.put(0x1000, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(ssb.lookup(0x1000, 8), SsbLookup::Hit(0xdead_beef_cafe_f00d));
+        assert_eq!(ssb.lookup(0x1000, 4), SsbLookup::Hit(0xcafe_f00d));
+        assert_eq!(ssb.lookup(0x1004, 4), SsbLookup::Hit(0xdead_beef));
+        assert_eq!(ssb.len(), 1);
+        assert_eq!(ssb.total_buffered_stores(), 1);
+    }
+
+    #[test]
+    fn miss_and_partial() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x1000, 4, 0x1122_3344);
+        assert_eq!(ssb.lookup(0x2000, 8), SsbLookup::Miss);
+        assert_eq!(ssb.lookup(0x1000, 8), SsbLookup::Partial);
+        // Merge overlays the four buffered low bytes onto the memory value.
+        let merged = ssb.merge(0x1000, 8, 0xaaaa_bbbb_cccc_dddd);
+        assert_eq!(merged, 0xaaaa_bbbb_1122_3344);
+    }
+
+    #[test]
+    fn unaligned_store_spans_words() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x1006, 4, 0xa1b2_c3d4);
+        assert_eq!(ssb.lookup(0x1006, 4), SsbLookup::Hit(0xa1b2_c3d4));
+        assert_eq!(ssb.len(), 2); // words 0x1000 and 0x1008
+        let writes = ssb.drain_writes();
+        // Two runs: bytes 6..8 of the first word, bytes 0..2 of the second.
+        assert_eq!(writes.len(), 2);
+        assert_eq!(writes[0], (0x1006, 2, 0xc3d4));
+        assert_eq!(writes[1], (0x1008, 2, 0xa1b2));
+        assert!(ssb.is_empty());
+    }
+
+    #[test]
+    fn coalescing_keeps_latest_value() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x1000, 8, 1);
+        ssb.put(0x1000, 8, 2);
+        ssb.put(0x1000, 1, 9);
+        assert_eq!(ssb.lookup(0x1000, 8), SsbLookup::Hit(9));
+        assert_eq!(ssb.len(), 1);
+        let writes = ssb.drain_writes();
+        assert_eq!(writes, vec![(0x1000, 8, 9)]);
+    }
+
+    #[test]
+    fn distinct_lines_counts_cache_lines() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x1000, 8, 1);
+        ssb.put(0x1008, 8, 2); // same line
+        ssb.put(0x1040, 8, 3); // next line
+        assert_eq!(ssb.len(), 3);
+        assert_eq!(ssb.distinct_lines(), 2);
+        assert!(ssb.overlaps(0x1008, 8));
+        assert!(!ssb.overlaps(0x2000, 8));
+    }
+
+    #[test]
+    fn drain_preserves_first_buffered_order() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x3000, 8, 30);
+        ssb.put(0x1000, 8, 10);
+        ssb.put(0x2000, 8, 20);
+        ssb.put(0x1000, 8, 11); // coalesces, does not move
+        let writes = ssb.drain_writes();
+        let addrs: Vec<Addr> = writes.iter().map(|w| w.0).collect();
+        assert_eq!(addrs, vec![0x3000, 0x1000, 0x2000]);
+        assert_eq!(writes[1].2, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "store size")]
+    fn zero_size_put_panics() {
+        let mut ssb = SoftwareStoreBuffer::new();
+        ssb.put(0x1000, 0, 0);
+    }
+}

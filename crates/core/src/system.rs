@@ -1,0 +1,385 @@
+//! The end-to-end LASER system (paper Section 6, Figure 8).
+//!
+//! [`Laser::run`] wires the pieces together the way the paper's deployment
+//! does: the application runs on the simulated machine; the kernel driver
+//! configures the PMU and ships stripped HITM records to the user-space
+//! detector; the detector runs its pipeline online and, when the
+//! false-sharing rate crosses a threshold, attaches the Pin-based SSB
+//! instrumentation to the still-running program. Driver, detector and
+//! instrumentation overhead are all charged to the machine, so the run's
+//! cycle count is directly comparable to a native run — which is exactly how
+//! the paper's Figures 10–14 are built.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use laser_machine::machine::MachineError;
+use laser_machine::{Machine, MachineConfig, RunResult, RunStatus, WorkloadImage};
+use laser_pebs::driver::{Driver, DriverStats};
+use laser_pebs::imprecision::ImprecisionModel;
+use laser_pebs::pmu::{Pmu, PmuConfig};
+
+use crate::config::LaserConfig;
+use crate::detect::Detector;
+use crate::repair::{RepairPlan, SsbHook, SsbStats};
+use crate::report::ContentionReport;
+
+/// What LASERREPAIR did during a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairSummary {
+    /// Machine cycle count at which repair was attached.
+    pub triggered_at_cycle: u64,
+    /// The plan that was applied.
+    pub plan: RepairPlan,
+    /// Instrumentation statistics at the end of the run.
+    pub stats: SsbStats,
+}
+
+/// Everything a LASER run produces.
+#[derive(Debug, Clone)]
+pub struct LaserOutcome {
+    /// The detector's contention report.
+    pub report: ContentionReport,
+    /// The machine-level run result (cycles include all tool overhead).
+    pub run: RunResult,
+    /// Driver activity and overhead.
+    pub driver_stats: DriverStats,
+    /// Cycles the detector process consumed.
+    pub detector_cycles: u64,
+    /// Repair activity, if LASERREPAIR was triggered.
+    pub repair: Option<RepairSummary>,
+    /// Benchmark time in (dilated) seconds.
+    pub elapsed_benchmark_seconds: f64,
+}
+
+impl LaserOutcome {
+    /// Convenience: the end-to-end cycle count of the monitored run.
+    pub fn cycles(&self) -> u64 {
+        self.run.cycles
+    }
+
+    /// Normalized runtime against a native (un-monitored) run of the same
+    /// workload.
+    pub fn normalized_runtime(&self, native: &RunResult) -> f64 {
+        self.run.cycles as f64 / native.cycles.max(1) as f64
+    }
+}
+
+/// Errors from the LASER system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaserError {
+    /// The underlying machine failed (e.g. the workload livelocked).
+    Machine(MachineError),
+}
+
+impl fmt::Display for LaserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaserError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaserError {}
+
+impl From<MachineError> for LaserError {
+    fn from(e: MachineError) -> Self {
+        LaserError::Machine(e)
+    }
+}
+
+/// The LASER system: detection plus (optionally) online repair.
+#[derive(Debug, Clone)]
+pub struct Laser {
+    config: LaserConfig,
+}
+
+impl Default for Laser {
+    fn default() -> Self {
+        Laser::new(LaserConfig::default())
+    }
+}
+
+impl Laser {
+    /// Create a system with the given configuration.
+    pub fn new(config: LaserConfig) -> Self {
+        Laser { config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &LaserConfig {
+        &self.config
+    }
+
+    /// Run `image` natively — no driver, no detector, no repair. This is the
+    /// baseline every overhead figure is normalized against.
+    ///
+    /// # Errors
+    /// Returns an error if the workload exceeds the machine's step budget.
+    pub fn run_native(image: &WorkloadImage) -> Result<RunResult, LaserError> {
+        Self::run_native_on(image, MachineConfig::default())
+    }
+
+    /// Like [`Laser::run_native`] but with an explicit machine configuration.
+    ///
+    /// # Errors
+    /// Returns an error if the workload exceeds the machine's step budget.
+    pub fn run_native_on(
+        image: &WorkloadImage,
+        machine_config: MachineConfig,
+    ) -> Result<RunResult, LaserError> {
+        let mut machine = Machine::new(machine_config, image);
+        Ok(machine.run_to_completion()?)
+    }
+
+    /// Run `image` under LASER with the default machine configuration.
+    ///
+    /// # Errors
+    /// Returns an error if the workload exceeds the machine's step budget.
+    pub fn run(&self, image: &WorkloadImage) -> Result<LaserOutcome, LaserError> {
+        self.run_on(image, MachineConfig::default())
+    }
+
+    /// Run `image` under LASER on a machine with `machine_config`.
+    ///
+    /// # Errors
+    /// Returns an error if the workload exceeds the machine's step budget.
+    pub fn run_on(
+        &self,
+        image: &WorkloadImage,
+        machine_config: MachineConfig,
+    ) -> Result<LaserOutcome, LaserError> {
+        let max_steps = machine_config.max_steps;
+        let num_cores = machine_config.num_cores;
+        let mut machine = Machine::new(machine_config, image);
+
+        let program = image.program();
+        let code_range = (program.base_pc(), program.end_pc());
+        let model = ImprecisionModel::new(
+            self.config.imprecision,
+            image.memory_map(),
+            code_range,
+            self.config.seed,
+        );
+        let pmu = Pmu::new(
+            PmuConfig { sav: self.config.sav, num_cores, ..Default::default() },
+            model,
+        );
+        let mut driver = Driver::new(pmu, self.config.driver);
+        let mut detector = Detector::new(&self.config, program, image.memory_map());
+
+        let mut detector_cycles = 0u64;
+        let mut repair_summary: Option<RepairSummary> = None;
+        let mut ssb_stats: Option<Rc<RefCell<SsbStats>>> = None;
+
+        loop {
+            let status = machine.run_steps(self.config.poll_interval_steps);
+            driver.poll(&mut machine);
+            let records = driver.read_records();
+            if !records.is_empty() {
+                detector.process(&records);
+                let cycles = detector.processing_cycles(records.len());
+                detector_cycles += cycles;
+                let per_core = cycles / num_cores as u64;
+                if per_core > 0 {
+                    machine.charge_all_cores(per_core);
+                }
+            }
+
+            if self.config.enable_repair && repair_summary.is_none() {
+                let elapsed = machine.elapsed_benchmark_seconds();
+                let pcs =
+                    detector.repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
+                if !pcs.is_empty() {
+                    if let Some(plan) = RepairPlan::analyze(
+                        program,
+                        &pcs,
+                        self.config.min_stores_per_flush,
+                        self.config.max_plan_blocks,
+                    ) {
+                        if plan.profitable {
+                            let hook = SsbHook::new(plan.clone(), num_cores);
+                            ssb_stats = Some(hook.stats_handle());
+                            machine.attach_hook(Box::new(hook));
+                            repair_summary = Some(RepairSummary {
+                                triggered_at_cycle: machine.cycles(),
+                                plan,
+                                stats: SsbStats::default(),
+                            });
+                        }
+                    }
+                }
+            }
+
+            if status == RunStatus::Done {
+                break;
+            }
+            if machine.steps() >= max_steps {
+                return Err(LaserError::Machine(MachineError::MaxStepsExceeded {
+                    steps: max_steps,
+                }));
+            }
+        }
+
+        // Final drain: flush PEBS buffers and process what is left.
+        driver.poll(&mut machine);
+        driver.flush();
+        let records = driver.read_records();
+        if !records.is_empty() {
+            detector.process(&records);
+            detector_cycles += detector.processing_cycles(records.len());
+        }
+
+        if let (Some(summary), Some(stats)) = (repair_summary.as_mut(), ssb_stats.as_ref()) {
+            summary.stats = *stats.borrow();
+        }
+
+        let elapsed = machine.elapsed_benchmark_seconds();
+        let report = detector.report(
+            image.name(),
+            elapsed,
+            self.config.rate_threshold_hitm_per_sec,
+            repair_summary.is_some(),
+        );
+        Ok(LaserOutcome {
+            report,
+            run: machine.result(),
+            driver_stats: driver.stats(),
+            detector_cycles,
+            repair: repair_summary,
+            elapsed_benchmark_seconds: elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_isa::inst::{Operand, Reg};
+    use laser_isa::ProgramBuilder;
+    use laser_machine::ThreadSpec;
+
+    /// Two threads false-sharing adjacent counters in one cache line, using
+    /// the memory-destination increment compilers emit for `counter[i]++`.
+    fn false_sharing_image(iters: u64) -> WorkloadImage {
+        let mut b = ProgramBuilder::new("fs_demo");
+        b.source("fs_demo.c", 12);
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(2), 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.mem_add(Reg(0), 0, Operand::Imm(1), 8);
+        b.source("fs_demo.c", 13);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = WorkloadImage::new("fs_demo", program);
+        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
+        image.push_thread(ThreadSpec::new("t0", "entry").with_reg(Reg(0), base));
+        image.push_thread(ThreadSpec::new("t1", "entry").with_reg(Reg(0), base + 8));
+        image
+    }
+
+    /// Four threads doing purely thread-private work.
+    fn private_image(iters: u64) -> WorkloadImage {
+        let mut b = ProgramBuilder::new("private");
+        b.source("private.c", 3);
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(2), 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.load(Reg(1), Reg(0), 0, 8);
+        b.addi(Reg(1), Reg(1), 3);
+        b.store(Operand::Reg(Reg(1)), Reg(0), 0, 8);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = WorkloadImage::new("private", program);
+        for t in 0..4u64 {
+            let a = image.layout_mut().heap_alloc(64, 64).unwrap();
+            image.push_thread(ThreadSpec::new(format!("t{t}"), "entry").with_reg(Reg(0), a));
+        }
+        image
+    }
+
+    #[test]
+    fn detects_and_repairs_false_sharing_online() {
+        let image = false_sharing_image(4000);
+        let native = Laser::run_native(&image).unwrap();
+        let outcome = Laser::new(LaserConfig::default()).run(&image).unwrap();
+
+        // The contending source line is reported.
+        assert!(
+            outcome.report.line("fs_demo.c", 12).is_some(),
+            "report: {}",
+            outcome.report.render()
+        );
+        // Repair was triggered and the run beat native execution.
+        let repair = outcome.repair.as_ref().expect("repair should trigger");
+        assert!(repair.plan.profitable);
+        assert!(repair.stats.buffered_stores > 0);
+        assert!(outcome.report.repair_invoked);
+        assert!(
+            outcome.cycles() < native.cycles,
+            "repaired {} should beat native {}",
+            outcome.cycles(),
+            native.cycles
+        );
+    }
+
+    #[test]
+    fn detection_only_mode_reports_without_repair() {
+        let image = false_sharing_image(3000);
+        let outcome = Laser::new(LaserConfig::detection_only()).run(&image).unwrap();
+        assert!(outcome.repair.is_none());
+        assert!(!outcome.report.repair_invoked);
+        assert!(!outcome.report.lines.is_empty());
+        assert!(outcome.driver_stats.records_sampled > 0);
+    }
+
+    #[test]
+    fn uncontended_workload_has_negligible_overhead() {
+        let image = private_image(3000);
+        let native = Laser::run_native(&image).unwrap();
+        assert_eq!(native.stats.hitm_events, 0);
+        let outcome = Laser::new(LaserConfig::default()).run(&image).unwrap();
+        let normalized = outcome.normalized_runtime(&native);
+        assert!(normalized < 1.02, "overhead too high: {normalized}");
+        assert!(outcome.report.lines.is_empty());
+        assert!(outcome.repair.is_none());
+    }
+
+    #[test]
+    fn native_run_is_deterministic() {
+        let image = false_sharing_image(1000);
+        let a = Laser::run_native(&image).unwrap();
+        let b = Laser::run_native(&image).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn laser_run_is_deterministic_given_seed() {
+        let image = false_sharing_image(1000);
+        let l = Laser::new(LaserConfig::default().with_seed(9));
+        let a = l.run(&image).unwrap();
+        let b = l.run(&image).unwrap();
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.report, b.report);
+    }
+}

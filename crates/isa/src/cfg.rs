@@ -1,0 +1,167 @@
+//! Control-flow graph construction over a [`Program`].
+//!
+//! LASERREPAIR's static analysis (Section 5.3 of the paper) needs block
+//! successors/predecessors, reachability from the contending blocks, and
+//! dominator information (see [`crate::dom`]).
+
+use std::collections::HashSet;
+
+use crate::inst::Terminator;
+use crate::program::{BlockId, Program};
+
+/// The control-flow graph of a program: successor and predecessor lists per
+/// basic block.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the CFG of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.blocks().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for block in program.blocks() {
+            let ss = block.term.successors();
+            if matches!(block.term, Terminator::Halt) {
+                exits.push(block.id);
+            }
+            for s in &ss {
+                preds[s.0 as usize].push(block.id);
+            }
+            succs[block.id.0 as usize] = ss;
+        }
+        Cfg { succs, preds, exits }
+    }
+
+    /// Number of basic blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `block`.
+    pub fn successors(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.0 as usize]
+    }
+
+    /// Predecessors of `block`.
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.0 as usize]
+    }
+
+    /// Blocks whose terminator is `Halt` (thread exits).
+    pub fn exit_blocks(&self) -> &[BlockId] {
+        &self.exits
+    }
+
+    /// The set of blocks reachable from any block in `from` (including the
+    /// starting blocks themselves).
+    pub fn reachable_from(&self, from: &[BlockId]) -> HashSet<BlockId> {
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut stack: Vec<BlockId> = from.to_vec();
+        while let Some(b) = stack.pop() {
+            if seen.insert(b) {
+                for s in self.successors(b) {
+                    if !seen.contains(s) {
+                        stack.push(*s);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of blocks from which some block in `to` is reachable
+    /// (including the target blocks themselves). This walks predecessor edges.
+    pub fn reaching(&self, to: &[BlockId]) -> HashSet<BlockId> {
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut stack: Vec<BlockId> = to.to_vec();
+        while let Some(b) = stack.pop() {
+            if seen.insert(b) {
+                for p in self.predecessors(b) {
+                    if !seen.contains(p) {
+                        stack.push(*p);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All block ids.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.succs.len() as u32).map(BlockId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::Reg;
+
+    /// entry -> loop_head -> loop_body -> loop_head ; loop_head -> exit
+    fn loop_program() -> (Program, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = ProgramBuilder::new("loop");
+        let entry = b.block("entry");
+        let head = b.block("head");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(1), 0);
+        b.jump(head);
+        b.switch_to(head);
+        b.cmp_lt(Reg(2), Reg(1), 10u64.into());
+        b.branch(Reg(2), body, exit);
+        b.switch_to(body);
+        b.addi(Reg(1), Reg(1), 1);
+        b.jump(head);
+        b.switch_to(exit);
+        b.halt();
+        (b.finish(), entry, head, body, exit)
+    }
+
+    use crate::program::Program;
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (p, entry, head, body, exit) = loop_program();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.successors(entry), &[head]);
+        assert_eq!(cfg.successors(head), &[body, exit]);
+        assert_eq!(cfg.successors(body), &[head]);
+        assert!(cfg.successors(exit).is_empty());
+        assert_eq!(cfg.predecessors(head).len(), 2);
+        assert_eq!(cfg.predecessors(entry).len(), 0);
+        assert_eq!(cfg.exit_blocks(), &[exit]);
+    }
+
+    #[test]
+    fn reachability() {
+        let (p, entry, head, body, exit) = loop_program();
+        let cfg = Cfg::build(&p);
+        let from_body = cfg.reachable_from(&[body]);
+        assert!(from_body.contains(&body));
+        assert!(from_body.contains(&head));
+        assert!(from_body.contains(&exit));
+        assert!(!from_body.contains(&entry));
+
+        let to_body = cfg.reaching(&[body]);
+        assert!(to_body.contains(&entry));
+        assert!(to_body.contains(&head));
+        assert!(to_body.contains(&body));
+        assert!(!to_body.contains(&exit));
+    }
+
+    #[test]
+    fn blocks_iterator_counts_all() {
+        let (p, ..) = loop_program();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().count(), 4);
+        assert_eq!(cfg.num_blocks(), 4);
+    }
+}

@@ -1,0 +1,414 @@
+//! Instructions, registers, operands and addressing modes.
+//!
+//! The instruction set is deliberately small: loads/stores of 1–8 bytes,
+//! register ALU operations, compares, a handful of atomic read-modify-write
+//! operations (which act as full fences, as x86 `lock`-prefixed instructions
+//! do), explicit fences, and `pause` for spin loops. Control flow lives in
+//! block terminators (see [`Terminator`]).
+
+use std::fmt;
+
+use crate::program::BlockId;
+
+/// A general-purpose register. The machine provides [`NUM_REGS`] of them.
+///
+/// Register `r0`..`r31` hold 64-bit values. Workload builders conventionally
+/// use low registers for thread arguments (the simulator initialises them at
+/// spawn time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 32;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Either a register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Use the current value of a register.
+    Reg(Reg),
+    /// A constant.
+    Imm(u64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// A memory addressing expression: `base + index * scale + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAddr {
+    /// Base register.
+    pub base: Reg,
+    /// Optional scaled index register.
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement.
+    pub offset: i64,
+}
+
+impl MemAddr {
+    /// Address formed from a base register plus a constant offset.
+    pub fn base_offset(base: Reg, offset: i64) -> Self {
+        MemAddr { base, index: None, offset }
+    }
+
+    /// Address formed from a base register, an index register scaled by
+    /// `scale`, and a constant offset.
+    pub fn indexed(base: Reg, index: Reg, scale: u8, offset: i64) -> Self {
+        MemAddr { base, index: Some((index, scale)), offset }
+    }
+
+    /// Registers read when evaluating this address.
+    pub fn regs(&self) -> Vec<Reg> {
+        let mut v = vec![self.base];
+        if let Some((r, _)) = self.index {
+            v.push(r);
+        }
+        v
+    }
+}
+
+impl fmt::Display for MemAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.base)?;
+        if let Some((r, s)) = self.index {
+            write!(f, " + {r}*{s}")?;
+        }
+        if self.offset != 0 {
+            write!(f, " + {:#x}", self.offset)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Arithmetic / logical operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl AluOp {
+    /// Apply the operation to two 64-bit values. Division by zero yields 0,
+    /// mirroring a trap-free simulator rather than faulting.
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::Div => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs / rhs
+                }
+            }
+            AluOp::Rem => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs % rhs
+                }
+            }
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Shl => lhs.wrapping_shl(rhs as u32),
+            AluOp::Shr => lhs.wrapping_shr(rhs as u32),
+        }
+    }
+}
+
+/// Comparison predicates (unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the predicate, returning 1 for true and 0 for false.
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        let b = match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        };
+        u64::from(b)
+    }
+}
+
+/// Atomic read-modify-write flavours. All of them order like x86 `lock`
+/// prefixed instructions: a full fence before and after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// Fetch-and-add: `dst = old; mem = old + operand`.
+    FetchAdd,
+    /// Exchange: `dst = old; mem = operand`.
+    Exchange,
+    /// Compare-and-swap: `dst = old; if old == expected { mem = operand }`.
+    CompareExchange,
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst <- zero-extended load of `size` bytes from `addr``.
+    Load { dst: Reg, addr: MemAddr, size: u8 },
+    /// Store the low `size` bytes of `src` to `addr`.
+    Store { src: Operand, addr: MemAddr, size: u8 },
+    /// Register/immediate move.
+    Mov { dst: Reg, src: Operand },
+    /// `dst <- op(lhs, rhs)`.
+    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Operand },
+    /// `dst <- cmp(lhs, rhs) ? 1 : 0`.
+    Cmp { op: CmpOp, dst: Reg, lhs: Reg, rhs: Operand },
+    /// Atomic read-modify-write on `addr`; `dst` receives the old value.
+    /// `expected` is only used by [`RmwOp::CompareExchange`].
+    AtomicRmw {
+        op: RmwOp,
+        dst: Reg,
+        addr: MemAddr,
+        operand: Operand,
+        expected: Option<Operand>,
+        size: u8,
+    },
+    /// Non-atomic memory-destination read-modify-write, like x86
+    /// `add [mem], r`: loads `size` bytes, applies `op` with `operand`, and
+    /// stores the result back. Not a fence. Compilers emit these for counter
+    /// increments, which is why such PCs appear in both the load and store
+    /// sets the detector builds.
+    MemRmw { op: AluOp, addr: MemAddr, operand: Operand, size: u8 },
+    /// Full memory fence (drains the store buffer).
+    Fence,
+    /// Spin-loop hint; costs a cycle and does nothing else.
+    Pause,
+    /// No operation. Used as compute filler in characterization tests.
+    Nop,
+}
+
+impl Inst {
+    /// True if the instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. })
+    }
+
+    /// True if the instruction writes memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. })
+    }
+
+    /// The memory access size in bytes, if this is a memory instruction.
+    pub fn access_size(&self) -> Option<u8> {
+        match self {
+            Inst::Load { size, .. }
+            | Inst::Store { size, .. }
+            | Inst::AtomicRmw { size, .. }
+            | Inst::MemRmw { size, .. } => Some(*size),
+            _ => None,
+        }
+    }
+
+    /// The memory address expression, if this is a memory instruction.
+    pub fn mem_addr(&self) -> Option<&MemAddr> {
+        match self {
+            Inst::Load { addr, .. }
+            | Inst::Store { addr, .. }
+            | Inst::AtomicRmw { addr, .. }
+            | Inst::MemRmw { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// True if the instruction orders memory like a fence (explicit fences and
+    /// atomic read-modify-writes).
+    pub fn is_fence_like(&self) -> bool {
+        matches!(self, Inst::Fence | Inst::AtomicRmw { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Load { dst, addr, size } => write!(f, "ld{size} {dst}, {addr}"),
+            Inst::Store { src, addr, size } => write!(f, "st{size} {addr}, {src}"),
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Alu { op, dst, lhs, rhs } => write!(f, "{op:?} {dst}, {lhs}, {rhs}").map(|_| ()),
+            Inst::Cmp { op, dst, lhs, rhs } => write!(f, "cmp.{op:?} {dst}, {lhs}, {rhs}"),
+            Inst::AtomicRmw { op, dst, addr, operand, .. } => {
+                write!(f, "atomic.{op:?} {dst}, {addr}, {operand}")
+            }
+            Inst::MemRmw { op, addr, operand, size } => {
+                write!(f, "{op:?}{size} {addr}, {operand}")
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::Pause => write!(f, "pause"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Branch { cond: Reg, if_true: BlockId, if_false: BlockId },
+    /// End of this thread's execution.
+    Halt,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Halt => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jmp {t:?}"),
+            Terminator::Branch { cond, if_true, if_false } => {
+                write!(f, "br {cond}, {if_true:?}, {if_false:?}")
+            }
+            Terminator::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_apply() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(4, 4), 16);
+        assert_eq!(AluOp::Div.apply(9, 2), 4);
+        assert_eq!(AluOp::Div.apply(9, 0), 0);
+        assert_eq!(AluOp::Rem.apply(9, 4), 1);
+        assert_eq!(AluOp::Rem.apply(9, 0), 0);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+    }
+
+    #[test]
+    fn cmp_ops_apply() {
+        assert_eq!(CmpOp::Eq.apply(1, 1), 1);
+        assert_eq!(CmpOp::Ne.apply(1, 1), 0);
+        assert_eq!(CmpOp::Lt.apply(1, 2), 1);
+        assert_eq!(CmpOp::Le.apply(2, 2), 1);
+        assert_eq!(CmpOp::Gt.apply(3, 2), 1);
+        assert_eq!(CmpOp::Ge.apply(1, 2), 0);
+    }
+
+    #[test]
+    fn inst_classification() {
+        let ld = Inst::Load { dst: Reg(1), addr: MemAddr::base_offset(Reg(0), 0), size: 8 };
+        let st = Inst::Store {
+            src: Operand::Imm(1),
+            addr: MemAddr::base_offset(Reg(0), 8),
+            size: 4,
+        };
+        let rmw = Inst::AtomicRmw {
+            op: RmwOp::FetchAdd,
+            dst: Reg(2),
+            addr: MemAddr::base_offset(Reg(0), 0),
+            operand: Operand::Imm(1),
+            expected: None,
+            size: 8,
+        };
+        assert!(ld.is_load() && !ld.is_store());
+        assert!(st.is_store() && !st.is_load());
+        assert!(rmw.is_load() && rmw.is_store() && rmw.is_fence_like());
+        let mem_rmw = Inst::MemRmw {
+            op: AluOp::Add,
+            addr: MemAddr::base_offset(Reg(0), 0),
+            operand: Operand::Imm(1),
+            size: 4,
+        };
+        assert!(mem_rmw.is_load() && mem_rmw.is_store());
+        assert!(!mem_rmw.is_fence_like());
+        assert_eq!(mem_rmw.access_size(), Some(4));
+        assert!(mem_rmw.mem_addr().is_some());
+        assert!(!format!("{mem_rmw}").is_empty());
+        assert_eq!(ld.access_size(), Some(8));
+        assert_eq!(st.access_size(), Some(4));
+        assert_eq!(Inst::Nop.access_size(), None);
+        assert!(Inst::Fence.is_fence_like());
+        assert!(!Inst::Pause.is_fence_like());
+    }
+
+    #[test]
+    fn mem_addr_regs() {
+        let a = MemAddr::base_offset(Reg(3), 16);
+        assert_eq!(a.regs(), vec![Reg(3)]);
+        let b = MemAddr::indexed(Reg(3), Reg(4), 8, 0);
+        assert_eq!(b.regs(), vec![Reg(3), Reg(4)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let j = Terminator::Jump(BlockId(2));
+        assert_eq!(j.successors(), vec![BlockId(2)]);
+        let b = Terminator::Branch { cond: Reg(0), if_true: BlockId(1), if_false: BlockId(2) };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Halt.successors().is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ld = Inst::Load { dst: Reg(1), addr: MemAddr::indexed(Reg(0), Reg(2), 8, 4), size: 8 };
+        assert!(!format!("{ld}").is_empty());
+        assert!(!format!("{}", Terminator::Halt).is_empty());
+        assert!(!format!("{}", Operand::Imm(7)).is_empty());
+        assert!(!format!("{}", Reg(5)).is_empty());
+    }
+}

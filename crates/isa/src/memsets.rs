@@ -1,0 +1,117 @@
+//! Load/store set extraction.
+//!
+//! LASERDETECT analyses the application binary at runtime "to construct load
+//! and store sets identifying load PCs and store PCs and their sizes"
+//! (Section 4.3). The detector uses these sets to interpret a HITM record's PC
+//! as a load or a store of a known width, which feeds the cache-line model
+//! that classifies true vs false sharing.
+
+use std::collections::HashMap;
+
+use crate::program::{Pc, Program};
+
+/// The load and store sets of a program: PC → access size in bytes.
+///
+/// Instructions that both read and write memory (atomic read-modify-writes,
+/// like x86 `lock` instructions) appear in **both** sets, which the paper
+/// notes as a potential source of detector inaccuracy.
+#[derive(Debug, Clone, Default)]
+pub struct MemAccessSets {
+    loads: HashMap<Pc, u8>,
+    stores: HashMap<Pc, u8>,
+}
+
+impl MemAccessSets {
+    /// Analyse `program` and build its load/store sets.
+    pub fn analyze(program: &Program) -> Self {
+        let mut loads = HashMap::new();
+        let mut stores = HashMap::new();
+        for (pc, _slot) in program.iter_pcs() {
+            if let Some(inst) = program.inst_at(pc) {
+                if let Some(size) = inst.access_size() {
+                    if inst.is_load() {
+                        loads.insert(pc, size);
+                    }
+                    if inst.is_store() {
+                        stores.insert(pc, size);
+                    }
+                }
+            }
+        }
+        MemAccessSets { loads, stores }
+    }
+
+    /// Access size if `pc` is a load instruction.
+    pub fn load_size(&self, pc: Pc) -> Option<u8> {
+        self.loads.get(&pc).copied()
+    }
+
+    /// Access size if `pc` is a store instruction.
+    pub fn store_size(&self, pc: Pc) -> Option<u8> {
+        self.stores.get(&pc).copied()
+    }
+
+    /// True if `pc` is in the load set.
+    pub fn is_load(&self, pc: Pc) -> bool {
+        self.loads.contains_key(&pc)
+    }
+
+    /// True if `pc` is in the store set.
+    pub fn is_store(&self, pc: Pc) -> bool {
+        self.stores.contains_key(&pc)
+    }
+
+    /// Number of load PCs.
+    pub fn num_loads(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of store PCs.
+    pub fn num_stores(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Iterate over all load PCs and sizes.
+    pub fn loads(&self) -> impl Iterator<Item = (Pc, u8)> + '_ {
+        self.loads.iter().map(|(&pc, &s)| (pc, s))
+    }
+
+    /// Iterate over all store PCs and sizes.
+    pub fn stores(&self) -> impl Iterator<Item = (Pc, u8)> + '_ {
+        self.stores.iter().map(|(&pc, &s)| (pc, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{Operand, Reg};
+
+    #[test]
+    fn loads_stores_and_rmws_are_classified() {
+        let mut b = ProgramBuilder::new("memsets");
+        let blk = b.block("b");
+        b.switch_to(blk);
+        b.load(Reg(1), Reg(0), 0, 8); // pc base+0
+        b.store(Operand::Imm(1), Reg(0), 8, 4); // pc base+4
+        b.atomic_fetch_add(Reg(2), Reg(0), 16, Operand::Imm(1), 8); // pc base+8
+        b.nop(); // pc base+12
+        b.halt();
+        let p = b.finish();
+        let sets = MemAccessSets::analyze(&p);
+        let base = p.base_pc();
+        assert_eq!(sets.load_size(base), Some(8));
+        assert!(!sets.is_store(base));
+        assert_eq!(sets.store_size(base + 4), Some(4));
+        assert!(!sets.is_load(base + 4));
+        // RMW is in both sets.
+        assert!(sets.is_load(base + 8) && sets.is_store(base + 8));
+        // Non-memory instruction is in neither.
+        assert!(!sets.is_load(base + 12) && !sets.is_store(base + 12));
+        assert_eq!(sets.num_loads(), 2);
+        assert_eq!(sets.num_stores(), 2);
+        assert_eq!(sets.loads().count(), 2);
+        assert_eq!(sets.stores().count(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Virtual addresses and cache-line arithmetic.
+
+/// A virtual address in the simulated process.
+pub type Addr = u64;
+
+/// Cache line size in bytes (the paper's machine, like all modern x86 parts,
+/// uses 64-byte lines).
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// The address of the cache line containing `addr`.
+pub fn line_of(addr: Addr) -> Addr {
+    addr & !(CACHE_LINE_SIZE - 1)
+}
+
+/// The byte offset of `addr` within its cache line.
+pub fn line_offset(addr: Addr) -> u64 {
+    addr & (CACHE_LINE_SIZE - 1)
+}
+
+/// True if an access of `size` bytes at `addr` crosses a cache-line boundary.
+pub fn crosses_line(addr: Addr, size: u8) -> bool {
+    size > 0 && line_of(addr) != line_of(addr + size as u64 - 1)
+}
+
+/// The set of cache lines touched by an access of `size` bytes at `addr`.
+pub fn lines_touched(addr: Addr, size: u8) -> Vec<Addr> {
+    if size == 0 {
+        return vec![line_of(addr)];
+    }
+    let first = line_of(addr);
+    let last = line_of(addr + size as u64 - 1);
+    let mut v = Vec::new();
+    let mut l = first;
+    while l <= last {
+        v.push(l);
+        l += CACHE_LINE_SIZE;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 64);
+        assert_eq!(line_of(130), 128);
+        assert_eq!(line_offset(0), 0);
+        assert_eq!(line_offset(63), 63);
+        assert_eq!(line_offset(65), 1);
+    }
+
+    #[test]
+    fn line_crossing() {
+        assert!(!crosses_line(0, 8));
+        assert!(!crosses_line(56, 8));
+        assert!(crosses_line(60, 8));
+        assert!(!crosses_line(60, 4));
+        assert!(!crosses_line(100, 0));
+        assert_eq!(lines_touched(60, 8), vec![0, 64]);
+        assert_eq!(lines_touched(8, 8), vec![0]);
+        assert_eq!(lines_touched(100, 0), vec![64]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Dynamic instrumentation hooks — the Pin substitute.
+//!
+//! The paper's LASERREPAIR attaches Intel Pin to the running process and
+//! rewrites the contending instructions to use a software store buffer. The
+//! simulator offers the same interception points through the [`ExecHook`]
+//! trait: an attached tool sees every memory operation before it reaches the
+//! cache hierarchy and may either let it pass through or service it itself
+//! (buffering a store, returning a buffered value for a load), charging
+//! whatever extra cycles the instrumentation costs. Hooks are also notified at
+//! fences, block entries (where flushes are placed) and thread exit.
+
+use laser_isa::program::{BlockId, Pc};
+
+use crate::addr::Addr;
+use crate::event::MemAccessKind;
+use crate::htm::HtmOutcome;
+use crate::machine::{CoreId, MachineInner};
+use crate::timing::LatencyModel;
+
+/// A memory operation about to be executed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// PC of the instruction.
+    pub pc: Pc,
+    /// Effective data address.
+    pub addr: Addr,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Load or store.
+    pub kind: MemAccessKind,
+    /// For stores, the value being written (already masked to `size` bytes).
+    pub store_value: Option<u64>,
+}
+
+/// What the hook decided to do with a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookAction {
+    /// Let the simulator perform the access normally.
+    Passthrough,
+    /// The hook serviced the access itself (e.g. from the software store
+    /// buffer). For loads, `load_value` is the value to place in the
+    /// destination register; `extra_cycles` is the instrumentation cost.
+    Handled {
+        /// Value returned to the load destination register, if a load.
+        load_value: Option<u64>,
+        /// Cycles to charge to the executing core.
+        extra_cycles: u64,
+    },
+}
+
+/// Access to the machine's memory system granted to a hook while it runs.
+///
+/// Reads and writes performed through this context go through the coherence
+/// directory, so a software-store-buffer flush performed by a hook can itself
+/// produce (far fewer) HITM events, exactly as on real hardware.
+pub struct HookCtx<'a> {
+    pub(crate) inner: &'a mut MachineInner,
+    pub(crate) core: usize,
+    pub(crate) now: u64,
+}
+
+impl HookCtx<'_> {
+    /// The core on whose behalf the hook is running.
+    pub fn core(&self) -> CoreId {
+        CoreId(self.core)
+    }
+
+    /// The executing core's current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.inner.latency
+    }
+
+    /// Perform a real load of `size` bytes at `addr`, attributed to `pc`.
+    /// Returns the value and the cycles the access cost.
+    pub fn mem_read(&mut self, pc: Pc, addr: Addr, size: u8) -> (u64, u64) {
+        self.inner.access(self.core, pc, addr, size, false, MemAccessKind::Load, None, self.now)
+    }
+
+    /// Perform a real store of `size` bytes at `addr`, attributed to `pc`.
+    /// Returns the cycles the access cost.
+    pub fn mem_write(&mut self, pc: Pc, addr: Addr, size: u8, value: u64) -> u64 {
+        self.inner
+            .access(self.core, pc, addr, size, true, MemAccessKind::Store, Some(value), self.now)
+            .1
+    }
+
+    /// Flush a set of buffered writes atomically inside a hardware
+    /// transaction. Returns [`HtmOutcome::CapacityAborted`] without performing
+    /// any write if the write set spans more cache lines than the transaction
+    /// capacity; the caller must then fall back to a fenced, non-transactional
+    /// flush.
+    pub fn htm_flush(&mut self, pc: Pc, writes: &[(Addr, u8, u64)]) -> HtmOutcome {
+        self.inner.htm_execute(self.core, pc, writes, self.now)
+    }
+}
+
+/// A dynamic-instrumentation tool attached to the machine.
+///
+/// All methods have default no-op implementations so tools only override the
+/// interception points they need.
+pub trait ExecHook {
+    /// Called before every memory operation. Returning
+    /// [`HookAction::Passthrough`] lets the access proceed normally.
+    fn on_mem_op(&mut self, ctx: &mut HookCtx<'_>, op: &MemOp) -> HookAction {
+        let _ = (ctx, op);
+        HookAction::Passthrough
+    }
+
+    /// Called at explicit fences and atomic read-modify-writes, *before* the
+    /// fencing instruction executes. Returns extra cycles to charge.
+    fn on_fence(&mut self, ctx: &mut HookCtx<'_>, pc: Pc) -> u64 {
+        let _ = (ctx, pc);
+        0
+    }
+
+    /// Called when control transfers to a new basic block. Returns extra
+    /// cycles to charge. This is where LASERREPAIR's flush blocks run.
+    fn on_block_entry(&mut self, ctx: &mut HookCtx<'_>, block: BlockId) -> u64 {
+        let _ = (ctx, block);
+        0
+    }
+
+    /// Called when a thread halts. Returns extra cycles to charge.
+    fn on_thread_exit(&mut self, ctx: &mut HookCtx<'_>) -> u64 {
+        let _ = ctx;
+        0
+    }
+}
+
+/// A hook that does nothing; useful as a baseline in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHook;
+
+impl ExecHook for NullHook {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hook_methods_are_noops() {
+        // NullHook relies entirely on default methods; construct a dummy ctx
+        // indirectly by checking the action variants only.
+        let action = HookAction::Handled { load_value: Some(7), extra_cycles: 3 };
+        assert_ne!(action, HookAction::Passthrough);
+        let op = MemOp {
+            pc: 0x40_0000,
+            addr: 0x1000,
+            size: 8,
+            kind: MemAccessKind::Load,
+            store_value: None,
+        };
+        assert_eq!(op.kind, MemAccessKind::Load);
+    }
+}

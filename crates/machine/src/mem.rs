@@ -1,0 +1,127 @@
+//! Sparse byte-addressable memory for the simulated process.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+
+const PAGE_SIZE: u64 = 4096;
+
+/// Sparse simulated memory. Untouched bytes read as zero, like freshly mapped
+/// anonymous pages.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseMemory {
+    /// An empty memory image.
+    pub fn new() -> Self {
+        SparseMemory { pages: HashMap::new() }
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        self.pages.get(&page).map(|p| p[off]).unwrap_or(0)
+    }
+
+    /// Write a single byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let page = addr / PAGE_SIZE;
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(page)[off] = value;
+    }
+
+    /// Read `size` bytes (1..=8) little-endian, zero-extended to 64 bits.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn read(&self, addr: Addr, size: u8) -> u64 {
+        assert!((1..=8).contains(&size), "access size must be 1..=8, got {size}");
+        let mut v: u64 = 0;
+        for i in 0..size as u64 {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `size` bytes (1..=8) of `value`, little-endian.
+    ///
+    /// # Panics
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn write(&mut self, addr: Addr, size: u8, value: u64) {
+        assert!((1..=8).contains(&size), "access size must be 1..=8, got {size}");
+        for i in 0..size as u64 {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copy `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Read `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Number of touched pages (for tests and capacity sanity checks).
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read(0x1234, 8), 0);
+        assert_eq!(m.read_u8(0xdead_beef), 0);
+        assert_eq!(m.touched_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_various_sizes() {
+        let mut m = SparseMemory::new();
+        m.write(0x1000, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(0x1000, 4), 0x5566_7788);
+        assert_eq!(m.read(0x1004, 4), 0x1122_3344);
+        assert_eq!(m.read(0x1000, 1), 0x88);
+        m.write(0x1002, 2, 0xabcd);
+        assert_eq!(m.read(0x1000, 8) & 0xffff_0000, 0xabcd_0000);
+    }
+
+    #[test]
+    fn writes_crossing_page_boundaries() {
+        let mut m = SparseMemory::new();
+        m.write(4094, 8, u64::MAX);
+        assert_eq!(m.read(4094, 8), u64::MAX);
+        assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn byte_slice_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_bytes(0x2000, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x2000, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "access size")]
+    fn oversized_access_panics() {
+        let m = SparseMemory::new();
+        let _ = m.read(0, 9);
+    }
+}

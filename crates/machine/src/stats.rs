@@ -1,0 +1,65 @@
+//! Execution statistics collected by the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineStats {
+    /// Instructions executed (including terminators).
+    pub instructions: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+    /// Atomic read-modify-write instructions executed.
+    pub atomics: u64,
+    /// Explicit fences executed.
+    pub fences: u64,
+    /// Accesses satisfied from the local L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied on-chip without a HITM.
+    pub llc_hits: u64,
+    /// Accesses that hit a remotely-Modified line (HITM events).
+    pub hitm_events: u64,
+    /// HITM events triggered by loads.
+    pub hitm_loads: u64,
+    /// HITM events triggered by stores.
+    pub hitm_stores: u64,
+    /// Accesses that went to DRAM.
+    pub dram_accesses: u64,
+    /// Memory operations intercepted and serviced by an attached hook
+    /// (the Pin/SSB instrumentation path).
+    pub hook_handled_ops: u64,
+    /// Hardware transactions committed.
+    pub htm_commits: u64,
+    /// Hardware transactions aborted for capacity.
+    pub htm_capacity_aborts: u64,
+    /// Cycles injected by external agents (driver interrupts, detector
+    /// processing, instrumentation overhead).
+    pub injected_overhead_cycles: u64,
+}
+
+impl MachineStats {
+    /// Fraction of memory accesses that were HITMs.
+    pub fn hitm_fraction(&self) -> f64 {
+        let mem = self.loads + self.stores + self.atomics;
+        if mem == 0 {
+            0.0
+        } else {
+            self.hitm_events as f64 / mem as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hitm_fraction_handles_zero() {
+        let s = MachineStats::default();
+        assert_eq!(s.hitm_fraction(), 0.0);
+        let s = MachineStats { loads: 50, stores: 50, hitm_events: 10, ..Default::default() };
+        assert!((s.hitm_fraction() - 0.1).abs() < 1e-12);
+    }
+}

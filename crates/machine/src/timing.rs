@@ -1,0 +1,94 @@
+//! The cycle cost model.
+//!
+//! The absolute values are loosely calibrated to a Haswell-class part (L1 hit
+//! ≈ 4 cycles, LLC hit ≈ 40, cross-core HITM transfer ≈ 90, DRAM ≈ 200); what
+//! matters for reproducing the paper's figures is the *ratio* between a local
+//! hit and a HITM transfer, because that ratio is what contention repair
+//! recovers.
+
+use serde::{Deserialize, Serialize};
+
+/// Latencies (in cycles) charged by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Non-memory instruction (ALU, move, compare, nop).
+    pub alu: u64,
+    /// Branch or jump.
+    pub branch: u64,
+    /// Load/store hitting in the local L1.
+    pub l1_hit: u64,
+    /// Load/store hitting in the shared LLC (line not present locally, not
+    /// modified remotely).
+    pub llc_hit: u64,
+    /// Access to a line that is Modified in a remote core's cache — the HITM
+    /// case. This is the expensive coherence transition LASER removes.
+    pub hitm: u64,
+    /// Cold / capacity miss to DRAM.
+    pub dram: u64,
+    /// Explicit memory fence (store-buffer drain).
+    pub fence: u64,
+    /// Extra cost of an atomic read-modify-write on top of the line access.
+    pub atomic_extra: u64,
+    /// Starting a hardware transaction.
+    pub htm_begin: u64,
+    /// Committing a hardware transaction.
+    pub htm_commit: u64,
+    /// Pause (spin hint).
+    pub pause: u64,
+    /// Core clock frequency in Hz, used to convert cycles to seconds for the
+    /// detector's HITM-rate thresholds (the paper's machine runs at 3.4 GHz).
+    pub freq_hz: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            alu: 1,
+            branch: 1,
+            l1_hit: 4,
+            llc_hit: 40,
+            hitm: 90,
+            dram: 200,
+            fence: 20,
+            atomic_extra: 15,
+            htm_begin: 30,
+            htm_commit: 30,
+            pause: 2,
+            freq_hz: 3_400_000_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Convert a cycle count to seconds at this model's clock frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+
+    /// The ratio between a HITM transfer and a local L1 hit; the headroom that
+    /// contention repair can recover per access.
+    pub fn hitm_penalty_ratio(&self) -> f64 {
+        self.hitm as f64 / self.l1_hit as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_ordered_sensibly() {
+        let m = LatencyModel::default();
+        assert!(m.l1_hit < m.llc_hit);
+        assert!(m.llc_hit < m.hitm);
+        assert!(m.hitm < m.dram);
+        assert!(m.hitm_penalty_ratio() > 10.0);
+    }
+
+    #[test]
+    fn cycle_second_conversion() {
+        let m = LatencyModel::default();
+        let s = m.cycles_to_seconds(3_400_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

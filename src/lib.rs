@@ -1,0 +1,37 @@
+//! # laser
+//!
+//! Umbrella crate for the LASER (HPCA 2016) reproduction: re-exports the
+//! public API of every sub-crate so examples, integration tests and downstream
+//! users can depend on a single crate.
+//!
+//! * [`isa`] — the mini instruction set and static analyses.
+//! * [`machine`] — the multicore simulator (MESI coherence, HITM events, HTM,
+//!   instrumentation hooks).
+//! * [`pebs`] — the PEBS/PMU model with Haswell's record imprecision and the
+//!   kernel-driver model.
+//! * [`workloads`] — the 35 synthetic Phoenix/Parsec/Splash2x workloads, the
+//!   characterization tests and the known-bug database.
+//! * [`core`] — LASERDETECT, LASERREPAIR and the end-to-end [`Laser`] system.
+//! * [`baselines`] — the VTune and Sheriff comparison tools.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use laser::workloads::{find, BuildOptions};
+//! use laser::{Laser, LaserConfig};
+//!
+//! let spec = find("histogram'").expect("workload exists");
+//! let image = spec.build(&BuildOptions::scaled(0.05));
+//! let outcome = Laser::new(LaserConfig::default()).run(&image).expect("run succeeds");
+//! println!("{}", outcome.report.render());
+//! ```
+
+pub use laser_baselines as baselines;
+pub use laser_core as core;
+pub use laser_isa as isa;
+pub use laser_machine as machine;
+pub use laser_pebs as pebs;
+pub use laser_workloads as workloads;
+
+pub use laser_core::{ContentionKind, Laser, LaserConfig, LaserOutcome};
+pub use laser_machine::{Machine, MachineConfig, WorkloadImage};

