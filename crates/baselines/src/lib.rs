@@ -19,5 +19,7 @@
 pub mod sheriff;
 pub mod vtune;
 
-pub use sheriff::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, SheriffOutcome, SheriffRun};
+pub use sheriff::{
+    Sheriff, SheriffConfig, SheriffFailure, SheriffMode, SheriffOutcome, SheriffRun,
+};
 pub use vtune::{Vtune, VtuneConfig, VtuneOutcome};

@@ -151,10 +151,16 @@ impl Sheriff {
     ) -> Result<SheriffOutcome, LaserError> {
         match spec.sheriff {
             SheriffCompat::Crash => {
-                return Ok(SheriffOutcome { mode, result: Err(SheriffFailure::Crash) });
+                return Ok(SheriffOutcome {
+                    mode,
+                    result: Err(SheriffFailure::Crash),
+                });
             }
             SheriffCompat::Incompatible => {
-                return Ok(SheriffOutcome { mode, result: Err(SheriffFailure::Incompatible) });
+                return Ok(SheriffOutcome {
+                    mode,
+                    result: Err(SheriffFailure::Incompatible),
+                });
             }
             SheriffCompat::Works => {}
         }
@@ -176,8 +182,8 @@ impl Sheriff {
             SheriffMode::Protect => self.config.per_sync_cycles_protect,
             SheriffMode::Detect => self.config.per_sync_cycles_detect,
         };
-        let overhead = sync_ops * per_sync / (machine.num_cores() as u64).max(1)
-            + self.config.startup_cycles;
+        let overhead =
+            sync_ops * per_sync / (machine.num_cores() as u64).max(1) + self.config.startup_cycles;
         let cycles = native.cycles.saturating_sub(removed_coherence_cycles) + overhead;
 
         // Sheriff-Detect's twin comparison happens at synchronization points,
@@ -201,7 +207,9 @@ impl Sheriff {
             reported_lines = writers
                 .into_iter()
                 .filter(|(_, (cores, count, words))| {
-                    cores.len() >= 2 && *count >= self.config.detect_write_threshold && words.len() >= 2
+                    cores.len() >= 2
+                        && *count >= self.config.detect_write_threshold
+                        && words.len() >= 2
                 })
                 .map(|(line, _)| line)
                 .collect();
@@ -237,7 +245,9 @@ mod tests {
         let out = sheriff.run(&dedup, &small(), SheriffMode::Detect).unwrap();
         assert_eq!(out.result, Err(SheriffFailure::Incompatible));
         let barnes = find("barnes").unwrap();
-        let out = sheriff.run(&barnes, &small(), SheriffMode::Protect).unwrap();
+        let out = sheriff
+            .run(&barnes, &small(), SheriffMode::Protect)
+            .unwrap();
         assert_eq!(out.result, Err(SheriffFailure::Crash));
         assert!(!out.ran());
     }
@@ -251,9 +261,15 @@ mod tests {
         let lreg = find("linear_regression").unwrap();
         let out = sheriff.run(&lreg, &small(), SheriffMode::Detect).unwrap();
         let run = out.result.unwrap();
-        assert!(run.reported_lines.is_empty(), "Sheriff-Detect should miss linear_regression");
+        assert!(
+            run.reported_lines.is_empty(),
+            "Sheriff-Detect should miss linear_regression"
+        );
         assert!(run.removed_coherence_cycles > 0);
-        assert!(run.normalized_runtime() < 1.0, "isolation should speed it up");
+        assert!(
+            run.normalized_runtime() < 1.0,
+            "isolation should speed it up"
+        );
     }
 
     #[test]
@@ -273,14 +289,34 @@ mod tests {
         let sheriff = Sheriff::default();
         let opts = BuildOptions::scaled(0.5);
         let water = find("water_nsquared").unwrap();
-        let protect = sheriff.run(&water, &opts, SheriffMode::Protect).unwrap().result.unwrap();
-        let detect = sheriff.run(&water, &opts, SheriffMode::Detect).unwrap().result.unwrap();
-        assert!(protect.normalized_runtime() > 1.3, "{}", protect.normalized_runtime());
+        let protect = sheriff
+            .run(&water, &opts, SheriffMode::Protect)
+            .unwrap()
+            .result
+            .unwrap();
+        let detect = sheriff
+            .run(&water, &opts, SheriffMode::Detect)
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(
+            protect.normalized_runtime() > 1.3,
+            "{}",
+            protect.normalized_runtime()
+        );
         assert!(detect.normalized_runtime() > protect.normalized_runtime());
 
         // A workload with almost no synchronization stays cheap.
         let swaptions = find("swaptions").unwrap();
-        let cheap = sheriff.run(&swaptions, &opts, SheriffMode::Protect).unwrap().result.unwrap();
-        assert!(cheap.normalized_runtime() < 1.2, "{}", cheap.normalized_runtime());
+        let cheap = sheriff
+            .run(&swaptions, &opts, SheriffMode::Protect)
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(
+            cheap.normalized_runtime() < 1.2,
+            "{}",
+            cheap.normalized_runtime()
+        );
     }
 }

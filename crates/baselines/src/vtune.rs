@@ -50,7 +50,10 @@ impl Default for VtuneConfig {
             rate_threshold: 2_000.0,
             sampling_interval_insts: 900,
             sample_cost_cycles: 420,
-            driver: DriverConfig { interrupt_cycles: 3000, per_record_cycles: 120 },
+            driver: DriverConfig {
+                interrupt_cycles: 3000,
+                per_record_cycles: 120,
+            },
             imprecision: ImprecisionParams::default(),
             poll_interval_steps: 20_000,
             seed: 0x77AB1E,
@@ -124,7 +127,12 @@ impl Vtune {
         // Interrupt on every sampled record, SAV=1: maximum timeliness,
         // maximum overhead.
         let pmu = Pmu::new(
-            PmuConfig { sav: 1, interrupt_on_each_sample: true, num_cores, ..Default::default() },
+            PmuConfig {
+                sav: 1,
+                interrupt_on_each_sample: true,
+                num_cores,
+                ..Default::default()
+            },
             model,
         );
         let mut driver = Driver::new(pmu, self.config.driver);
@@ -140,7 +148,8 @@ impl Vtune {
             last_steps = machine.steps();
             let samples = executed / self.config.sampling_interval_insts.max(1);
             if samples > 0 {
-                machine.charge_all_cores(samples * self.config.sample_cost_cycles / num_cores as u64);
+                machine
+                    .charge_all_cores(samples * self.config.sample_cost_cycles / num_cores as u64);
             }
             for r in driver.read_records() {
                 total_records += 1;
@@ -180,7 +189,11 @@ impl Vtune {
             .filter(|l| l.rate_per_sec >= self.config.rate_threshold)
             .collect();
         reported_lines.sort_by(|a, b| b.records.cmp(&a.records).then(a.location.cmp(&b.location)));
-        Ok(VtuneOutcome { run: machine.result(), reported_lines, total_records })
+        Ok(VtuneOutcome {
+            run: machine.result(),
+            reported_lines,
+            total_records,
+        })
     }
 }
 
@@ -192,33 +205,53 @@ mod tests {
 
     #[test]
     fn vtune_is_much_slower_than_laser_on_contended_code() {
-        let image = find("histogram'").unwrap().build(&BuildOptions::scaled(0.2));
+        let image = find("histogram'")
+            .unwrap()
+            .build(&BuildOptions::scaled(0.2));
         let native = Laser::run_native(&image).unwrap();
-        let laser = Laser::new(laser_core::LaserConfig::detection_only()).run(&image).unwrap();
+        let laser = Laser::new(laser_core::LaserConfig::detection_only())
+            .run(&image)
+            .unwrap();
         let vtune = Vtune::default().run(&image).unwrap();
         let laser_norm = laser.run.cycles as f64 / native.cycles as f64;
         let vtune_norm = vtune.run.cycles as f64 / native.cycles as f64;
-        assert!(vtune_norm > laser_norm, "vtune {vtune_norm} vs laser {laser_norm}");
-        assert!(vtune_norm > 1.10, "vtune overhead should be substantial: {vtune_norm}");
+        assert!(
+            vtune_norm > laser_norm,
+            "vtune {vtune_norm} vs laser {laser_norm}"
+        );
+        assert!(
+            vtune_norm > 1.10,
+            "vtune overhead should be substantial: {vtune_norm}"
+        );
     }
 
     #[test]
     fn vtune_slows_down_even_contention_free_programs() {
-        let image = find("string_match").unwrap().build(&BuildOptions::scaled(0.2));
+        let image = find("string_match")
+            .unwrap()
+            .build(&BuildOptions::scaled(0.2));
         let native = Laser::run_native(&image).unwrap();
         let vtune = Vtune::default().run(&image).unwrap();
         let norm = vtune.run.cycles as f64 / native.cycles as f64;
-        assert!(norm > 1.2, "always-on profiling should cost something: {norm}");
+        assert!(
+            norm > 1.2,
+            "always-on profiling should cost something: {norm}"
+        );
         assert!(vtune.reported_lines.is_empty());
     }
 
     #[test]
     fn vtune_reports_contended_lines_without_classification() {
-        let image = find("histogram'").unwrap().build(&BuildOptions::scaled(0.3));
+        let image = find("histogram'")
+            .unwrap()
+            .build(&BuildOptions::scaled(0.3));
         let vtune = Vtune::default().run(&image).unwrap();
         assert!(vtune.total_records > 0);
         assert!(
-            vtune.reported_lines.iter().any(|l| l.location.file == "histogram.c"),
+            vtune
+                .reported_lines
+                .iter()
+                .any(|l| l.location.file == "histogram.c"),
             "reported: {:?}",
             vtune.reported_locations()
         );

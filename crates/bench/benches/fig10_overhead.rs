@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 10 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::performance::fig10_overhead;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_overhead");
     group.sample_size(10);
     group.bench_function("fig10_overhead", |b| {
-        b.iter(|| {
-            fig10_overhead(&ExperimentScale::bench()).unwrap()
-        })
+        b.iter(|| fig10_overhead(&ExperimentScale::bench()).unwrap())
     });
     group.finish();
 }

@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 11 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::performance::fig11_speedups;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_speedup");
     group.sample_size(10);
     group.bench_function("fig11_speedup", |b| {
-        b.iter(|| {
-            fig11_speedups(&ExperimentScale::bench()).unwrap()
-        })
+        b.iter(|| fig11_speedups(&ExperimentScale::bench()).unwrap())
     });
     group.finish();
 }

@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 12 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::performance::fig12_breakdown;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_breakdown");
     group.sample_size(10);
     group.bench_function("fig12_breakdown", |b| {
-        b.iter(|| {
-            fig12_breakdown(&ExperimentScale::bench(), 0.0).unwrap()
-        })
+        b.iter(|| fig12_breakdown(&ExperimentScale::bench(), 0.0).unwrap())
     });
     group.finish();
 }

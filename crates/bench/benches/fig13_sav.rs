@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 13 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::performance::fig13_sav_sweep;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_sav");
     group.sample_size(10);
     group.bench_function("fig13_sav", |b| {
-        b.iter(|| {
-            fig13_sav_sweep(&ExperimentScale::bench(), &[1, 7, 19, 31]).unwrap()
-        })
+        b.iter(|| fig13_sav_sweep(&ExperimentScale::bench(), &[1, 7, 19, 31]).unwrap())
     });
     group.finish();
 }

@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 14 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::performance::fig14_sheriff;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_sheriff");
     group.sample_size(10);
     group.bench_function("fig14_sheriff", |b| {
-        b.iter(|| {
-            fig14_sheriff(&ExperimentScale::bench()).unwrap()
-        })
+        b.iter(|| fig14_sheriff(&ExperimentScale::bench()).unwrap())
     });
     group.finish();
 }

@@ -6,9 +6,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_characterization");
     group.sample_size(10);
     group.bench_function("fig3_characterization", |b| {
-        b.iter(|| {
-            fig3_characterization(2)
-        })
+        b.iter(|| fig3_characterization(2))
     });
     group.finish();
 }

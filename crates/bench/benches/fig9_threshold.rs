@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Figure 9 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::accuracy::{fig9_threshold_sweep, fig9_thresholds};
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_threshold");
     group.sample_size(10);
     group.bench_function("fig9_threshold", |b| {
-        b.iter(|| {
-            fig9_threshold_sweep(&ExperimentScale::bench(), &fig9_thresholds()).unwrap()
-        })
+        b.iter(|| fig9_threshold_sweep(&ExperimentScale::bench(), &fig9_thresholds()).unwrap())
     });
     group.finish();
 }

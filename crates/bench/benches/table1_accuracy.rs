@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Table 1 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::accuracy::table1_accuracy;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_accuracy");
     group.sample_size(10);
     group.bench_function("table1_accuracy", |b| {
-        b.iter(|| {
-            table1_accuracy(&ExperimentScale::bench()).unwrap()
-        })
+        b.iter(|| table1_accuracy(&ExperimentScale::bench()).unwrap())
     });
     group.finish();
 }

@@ -1,15 +1,13 @@
 //! Criterion bench regenerating Table 2 at reduced scale.
 use criterion::{criterion_group, criterion_main, Criterion};
-use laser_bench::ExperimentScale;
 use laser_bench::accuracy::table2_types;
+use laser_bench::ExperimentScale;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_type");
     group.sample_size(10);
     group.bench_function("table2_type", |b| {
-        b.iter(|| {
-            table2_types(&ExperimentScale::bench()).unwrap()
-        })
+        b.iter(|| table2_types(&ExperimentScale::bench()).unwrap())
     });
     group.finish();
 }

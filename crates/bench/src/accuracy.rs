@@ -86,7 +86,11 @@ fn sheriff_score(spec: &WorkloadSpec, reported_lines: usize) -> (usize, usize) {
     // sharing bug counts as found when Sheriff reported at least one object;
     // true-sharing bugs are outside its scope. Reports beyond the number of
     // false-sharing bugs count as false positives.
-    let fs_bugs = spec.known_bugs.iter().filter(|b| b.kind == BugKind::FalseSharing).count();
+    let fs_bugs = spec
+        .known_bugs
+        .iter()
+        .filter(|b| b.kind == BugKind::FalseSharing)
+        .count();
     let ts_bugs = spec.known_bugs.len() - fs_bugs;
     let found = fs_bugs.min(if reported_lines > 0 { fs_bugs } else { 0 });
     let false_negatives = (fs_bugs - found) + ts_bugs;
@@ -195,9 +199,18 @@ impl Table2Report {
                 Err(SheriffFailure::Crash) => "x",
                 Err(SheriffFailure::Incompatible) => "i",
             };
-            let _ = writeln!(out, "         {:<20} {:>10} {:>16} {:>16}", r.name, actual, laser, sheriff);
+            let _ = writeln!(
+                out,
+                "         {:<20} {:>10} {:>16} {:>16}",
+                r.name, actual, laser, sheriff
+            );
         }
-        let _ = writeln!(out, "         LASER correct for {} of {} bugs", self.laser_correct(), self.rows.len());
+        let _ = writeln!(
+            out,
+            "         LASER correct for {} of {} bugs",
+            self.laser_correct(),
+            self.rows.len()
+        );
         out
     }
 }
@@ -227,7 +240,12 @@ pub fn table2_types(scale: &ExperimentScale) -> Result<Table2Report, LaserError>
             Ok(run) => Ok(!run.reported_lines.is_empty()),
             Err(f) => Err(f),
         };
-        rows.push(Table2Row { name: spec.name, actual: bug.kind, laser, sheriff: sheriff_found });
+        rows.push(Table2Row {
+            name: spec.name,
+            actual: bug.kind,
+            laser,
+            sheriff: sheriff_found,
+        });
     }
     Ok(Table2Report { rows })
 }
@@ -301,7 +319,11 @@ pub fn fig9_threshold_sweep(
             false_negatives += fneg;
             false_positives += fpos;
         }
-        points.push(Fig9Point { threshold, false_negatives, false_positives });
+        points.push(Fig9Point {
+            threshold,
+            false_negatives,
+            false_positives,
+        });
     }
     Ok(Fig9Report { points })
 }
@@ -316,8 +338,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentScale {
+        // 0.10 is the smallest scale at which enough HITM records survive
+        // sampling + imprecision for the type classification to be stable.
         ExperimentScale {
-            workload_scale: 0.06,
+            workload_scale: 0.10,
             only: Some(&["histogram'", "kmeans", "swaptions", "linear_regression"]),
         }
     }
@@ -327,7 +351,12 @@ mod tests {
         let report = table1_accuracy(&tiny()).unwrap();
         assert_eq!(report.rows.len(), 4);
         let totals = report.totals();
-        assert_eq!(totals.1, 0, "LASER should miss no bugs: {}", report.render());
+        assert_eq!(
+            totals.1,
+            0,
+            "LASER should miss no bugs: {}",
+            report.render()
+        );
         // VTune reports at least as many false positives as LASER.
         assert!(totals.4 >= totals.2, "{}", report.render());
     }
@@ -337,14 +366,18 @@ mod tests {
         let report = table2_types(&tiny()).unwrap();
         assert_eq!(report.rows.len(), 3); // histogram', kmeans, linear_regression
         let hist = report.rows.iter().find(|r| r.name == "histogram'").unwrap();
-        assert_eq!(hist.laser, Some(ContentionKind::FalseSharing), "{}", report.render());
+        assert_eq!(
+            hist.laser,
+            Some(ContentionKind::FalseSharing),
+            "{}",
+            report.render()
+        );
         assert!(!report.render().is_empty());
     }
 
     #[test]
     fn fig9_higher_thresholds_trade_fp_for_fn() {
-        let report =
-            fig9_threshold_sweep(&tiny(), &[1.0, 1_000.0, 10_000_000.0]).unwrap();
+        let report = fig9_threshold_sweep(&tiny(), &[1.0, 1_000.0, 10_000_000.0]).unwrap();
         assert_eq!(report.points.len(), 3);
         let loosest = report.points[0];
         let strictest = report.points[2];

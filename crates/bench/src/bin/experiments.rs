@@ -1,11 +1,15 @@
 //! The experiment driver: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [all|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14] [--scale S]
+//! experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14]
+//!             [--scale S] [--threads N] [--only w1,w2,...]
 //! ```
 //!
 //! `--scale` multiplies every workload's input size (default 0.4); the paper's
 //! qualitative results hold across scales, larger values just take longer.
+//! `campaign` runs the full `workload × tool` grid on a thread pool
+//! (`--threads`, default: all cores); its aggregated output is byte-identical
+//! whatever the thread count.
 
 use std::env;
 use std::process::ExitCode;
@@ -15,14 +19,45 @@ use laser_bench::characterization::{fig2_layout, fig3_characterization};
 use laser_bench::performance::{
     fig10_overhead, fig11_speedups, fig12_breakdown, fig13_sav_sweep, fig13_savs, fig14_sheriff,
 };
-use laser_bench::ExperimentScale;
+use laser_bench::{Campaign, ExperimentScale};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments [all|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14] \
-         [--scale S]"
+        "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|\
+         fig14] [--scale S] [--threads N] [--only w1,w2,...]"
     );
     ExitCode::from(2)
+}
+
+fn run_campaign(
+    scale: &ExperimentScale,
+    threads: Option<usize>,
+    only: &Option<Vec<String>>,
+) -> Result<(), String> {
+    let mut campaign = Campaign::default().with_options(scale.options());
+    if let Some(names) = only {
+        let registry = laser_workloads::registry();
+        for name in names {
+            if !registry.iter().any(|w| w.name == name) {
+                return Err(format!(
+                    "unknown workload '{name}' in --only (names are case-sensitive; \
+                     the alternative-input histogram is \"histogram'\")"
+                ));
+            }
+        }
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        campaign = campaign.with_workload_names(&names);
+    }
+    if let Some(n) = threads {
+        campaign = campaign.with_threads(n);
+    }
+    eprintln!(
+        "running {} cells on {} worker threads...",
+        campaign.cells(),
+        campaign.threads()
+    );
+    print!("{}", campaign.run().render());
+    Ok(())
 }
 
 fn run_one(which: &str, scale: &ExperimentScale) -> Result<(), laser_core::LaserError> {
@@ -34,7 +69,10 @@ fn run_one(which: &str, scale: &ExperimentScale) -> Result<(), laser_core::Laser
         }
         "table1" => print!("{}", table1_accuracy(scale)?.render()),
         "table2" => print!("{}", table2_types(scale)?.render()),
-        "fig9" => print!("{}", fig9_threshold_sweep(scale, &fig9_thresholds())?.render()),
+        "fig9" => print!(
+            "{}",
+            fig9_threshold_sweep(scale, &fig9_thresholds())?.render()
+        ),
         "fig10" => print!("{}", fig10_overhead(scale)?.render()),
         "fig11" => print!("{}", fig11_speedups(scale)?.render()),
         "fig12" => print!("{}", fig12_breakdown(scale, 0.10)?.render()),
@@ -52,6 +90,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = ExperimentScale::default();
+    let mut threads: Option<usize> = None;
+    let mut only: Option<Vec<String>> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +102,20 @@ fn main() -> ExitCode {
                 scale.workload_scale = v;
                 i += 2;
             }
+            "--threads" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                threads = Some(v);
+                i += 2;
+            }
+            "--only" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                only = Some(v.split(',').map(str::to_string).collect());
+                i += 2;
+            }
             "--help" | "-h" => return usage(),
             name => {
                 which = name.to_string();
@@ -70,11 +124,28 @@ fn main() -> ExitCode {
         }
     }
 
+    if which == "campaign" {
+        return match run_campaign(&scale, threads, &only) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if threads.is_some() || only.is_some() {
+        eprintln!("--threads and --only only apply to the campaign subcommand");
+        return usage();
+    }
+
     let all = [
         "fig2", "fig3", "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     ];
-    let selected: Vec<&str> =
-        if which == "all" { all.to_vec() } else { vec![which.as_str()] };
+    let selected: Vec<&str> = if which == "all" {
+        all.to_vec()
+    } else {
+        vec![which.as_str()]
+    };
     if selected.iter().any(|s| !all.contains(s)) {
         return usage();
     }

@@ -1,0 +1,255 @@
+//! Parallel experiment campaigns: a `workload × tool` grid fanned across a
+//! thread pool.
+//!
+//! A [`Campaign`] is the unit in which the paper's evaluation actually runs:
+//! 35 workloads under up to 5 tools. Every cell — one tool on one workload —
+//! is an independent, deterministic simulation, and the execution stack is
+//! built from owned `Send` values (see `laser_core::session`), so cells can
+//! be computed by any worker in any order. Results are stored by cell index
+//! and aggregated in grid order, which makes the output **byte-identical**
+//! whatever the thread count: `threads = 1` is the reference serial
+//! execution, `threads = N` is just faster.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use laser_workloads::{registry, BuildOptions, WorkloadSpec};
+
+use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
+
+/// One `workload × tool` cell of a finished campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: String,
+    /// Tool name.
+    pub tool: String,
+    /// What the tool produced, or why it could not run.
+    pub outcome: Result<ToolRun, ToolFailure>,
+}
+
+/// A configured experiment campaign.
+pub struct Campaign {
+    workloads: Vec<WorkloadSpec>,
+    tools: Vec<Box<dyn Tool>>,
+    opts: BuildOptions,
+    threads: usize,
+}
+
+impl Default for Campaign {
+    /// The full suite under the default tool panel, one worker per available
+    /// core.
+    fn default() -> Self {
+        Campaign::new(registry(), default_tools())
+    }
+}
+
+impl Campaign {
+    /// A campaign over explicit workloads and tools.
+    pub fn new(workloads: Vec<WorkloadSpec>, tools: Vec<Box<dyn Tool>>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Campaign {
+            workloads,
+            tools,
+            opts: BuildOptions::default(),
+            threads,
+        }
+    }
+
+    /// Restrict the campaign to the named workloads (silently dropping
+    /// unknown names), keeping registry order.
+    pub fn with_workload_names(mut self, names: &[&str]) -> Self {
+        self.workloads.retain(|w| names.contains(&w.name));
+        self
+    }
+
+    /// Set the build options applied to every cell.
+    pub fn with_options(mut self, opts: BuildOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of cells the campaign will run.
+    pub fn cells(&self) -> usize {
+        self.workloads.len() * self.tools.len()
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every cell and aggregate in grid order (workload-major, tools in
+    /// panel order). The aggregation is independent of the thread count.
+    pub fn run(&self) -> CampaignResult {
+        let total = self.cells();
+        let slots: Vec<Mutex<Option<CellResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(total.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work stealing off a shared cell counter: each worker
+                    // claims the next unclaimed cell until the grid is drained.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let workload = &self.workloads[i / self.tools.len()];
+                    let tool = &self.tools[i % self.tools.len()];
+                    let outcome = tool.run(workload, &self.opts);
+                    *slots[i].lock().unwrap() = Some(CellResult {
+                        workload: workload.name.to_string(),
+                        tool: tool.name().to_string(),
+                        outcome,
+                    });
+                });
+            }
+        });
+
+        CampaignResult {
+            cells: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().unwrap().expect("every cell is computed"))
+                .collect(),
+        }
+    }
+}
+
+/// The aggregated results of a campaign, in grid order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// One entry per cell, workload-major.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignResult {
+    /// The cell for a given workload/tool pair, if present.
+    pub fn cell(&self, workload: &str, tool: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.tool == tool)
+    }
+
+    /// Runtime of `workload` under `tool` normalized to its native run;
+    /// `None` unless both cells completed and the campaign included the
+    /// native tool.
+    pub fn normalized(&self, workload: &str, tool: &str) -> Option<f64> {
+        let tool_cycles = self.cell(workload, tool)?.outcome.as_ref().ok()?.cycles;
+        let native_cycles = self.cell(workload, "native")?.outcome.as_ref().ok()?.cycles;
+        Some(tool_cycles as f64 / native_cycles.max(1) as f64)
+    }
+
+    /// Render the whole grid as a stable text table. Byte-identical for
+    /// identical campaigns regardless of how many threads computed them.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Campaign: {:<20} {:<16} {:>14} {:>8} {:>7}  reported",
+            "workload", "tool", "cycles", "norm", "repair"
+        );
+        for c in &self.cells {
+            match &c.outcome {
+                Ok(run) => {
+                    let norm = self
+                        .normalized(&c.workload, &c.tool)
+                        .map(|n| format!("{n:.3}"))
+                        .unwrap_or_else(|| "-".to_string());
+                    let _ = writeln!(
+                        out,
+                        "          {:<20} {:<16} {:>14} {:>8} {:>7}  {}",
+                        c.workload,
+                        c.tool,
+                        run.cycles,
+                        norm,
+                        if run.repair_invoked { "yes" } else { "-" },
+                        if run.reported.is_empty() {
+                            "-".to_string()
+                        } else {
+                            run.reported.join("; ")
+                        }
+                    );
+                }
+                Err(failure) => {
+                    let _ = writeln!(
+                        out,
+                        "          {:<20} {:<16} {:>14} {:>8} {:>7}  {failure}",
+                        c.workload, c.tool, "-", "-", "-"
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::{LaserTool, NativeTool};
+    use laser_core::LaserConfig;
+
+    fn small_campaign(threads: usize) -> Campaign {
+        Campaign::new(
+            registry(),
+            vec![
+                Box::new(NativeTool),
+                Box::new(LaserTool::new(LaserConfig::detection_only())),
+            ],
+        )
+        .with_workload_names(&["histogram'", "swaptions"])
+        .with_options(BuildOptions::scaled(0.08))
+        .with_threads(threads)
+    }
+
+    #[test]
+    fn grid_is_workload_major_and_complete() {
+        let result = small_campaign(2).run();
+        assert_eq!(result.cells.len(), 4);
+        assert_eq!(
+            result
+                .cells
+                .iter()
+                .map(|c| (c.workload.as_str(), c.tool.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("histogram'", "native"),
+                ("histogram'", "laser-detect"),
+                ("swaptions", "native"),
+                ("swaptions", "laser-detect"),
+            ]
+        );
+        assert!(result.cells.iter().all(|c| c.outcome.is_ok()));
+    }
+
+    #[test]
+    fn normalized_overhead_is_sane() {
+        let result = small_campaign(4).run();
+        let norm = result.normalized("histogram'", "laser-detect").unwrap();
+        assert!(
+            norm >= 1.0,
+            "tool run cannot beat native without repair: {norm}"
+        );
+        assert!(result.normalized("histogram'", "native").unwrap() == 1.0);
+        assert!(result.normalized("histogram'", "no-such-tool").is_none());
+    }
+
+    #[test]
+    fn thread_count_caps_do_not_drop_cells() {
+        // More workers than cells must still fill the grid exactly once each.
+        let result = small_campaign(64).run();
+        assert_eq!(result.cells.len(), 4);
+        assert!(result.cells.iter().all(|c| c.outcome.is_ok()));
+    }
+}

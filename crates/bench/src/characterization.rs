@@ -32,8 +32,12 @@ pub struct Fig3Report {
 impl Fig3Report {
     /// Average of a metric over one category.
     pub fn category_mean(&self, label: &str, metric: impl Fn(&Fig3Case) -> f64) -> f64 {
-        let vals: Vec<f64> =
-            self.cases.iter().filter(|c| c.label == label).map(|c| metric(c)).collect();
+        let vals: Vec<f64> = self
+            .cases
+            .iter()
+            .filter(|c| c.label == label)
+            .map(metric)
+            .collect();
         if vals.is_empty() {
             0.0
         } else {
@@ -47,7 +51,11 @@ impl Fig3Report {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "Figure 3: HITM record accuracy per test case");
-        let _ = writeln!(out, "{:<6} {:>6} {:>12} {:>10} {:>12}", "case", "cat", "addr_ok%", "pc_ok%", "pc_adj_ok%");
+        let _ = writeln!(
+            out,
+            "{:<6} {:>6} {:>12} {:>10} {:>12}",
+            "case", "cat", "addr_ok%", "pc_ok%", "pc_adj_ok%"
+        );
         for c in &self.cases {
             let _ = writeln!(
                 out,
@@ -91,14 +99,16 @@ pub fn fig3_characterization(cases_per_category: usize) -> Fig3Report {
     for case in selected {
         let built = case.build();
         let mut machine = Machine::new(MachineConfig::default(), &built.image);
-        let _ = machine.run_to_completion().expect("characterization cases terminate");
+        let _ = machine
+            .run_to_completion()
+            .expect("characterization cases terminate");
         let events = machine.take_hitm_events();
         let program = built.image.program();
         let mut model = ImprecisionModel::new(
             ImprecisionParams::default(),
             built.image.memory_map(),
             (program.base_pc(), program.end_pc()),
-            0xF16_3 + case.id as u64,
+            0xF163 + case.id as u64,
         );
         let mut addr_ok = 0u64;
         let mut pc_ok = 0u64;
@@ -134,7 +144,10 @@ pub fn fig2_layout() -> String {
     use laser_workloads::{find, BuildOptions};
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 2: allocator layout of the linear_regression args array\n");
+    let _ = writeln!(
+        out,
+        "Figure 2: allocator layout of the linear_regression args array\n"
+    );
     for (title, opts) in [
         ("default malloc layout (buggy)", BuildOptions::default()),
         ("cache-line aligned (manual fix)", BuildOptions::fixed()),

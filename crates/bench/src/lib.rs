@@ -22,8 +22,14 @@
 //! repository root records paper-reported versus measured values side by side.
 
 pub mod accuracy;
+pub mod campaign;
 pub mod characterization;
 pub mod performance;
 pub mod runner;
+pub mod tool;
 
+pub use campaign::{Campaign, CampaignResult, CellResult};
 pub use runner::{geomean, ExperimentScale};
+pub use tool::{
+    default_tools, LaserTool, NativeTool, SheriffTool, Tool, ToolFailure, ToolRun, VtuneTool,
+};

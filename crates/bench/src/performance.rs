@@ -37,9 +37,17 @@ impl Fig10Report {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 10: {:<20} {:>10} {:>10}", "benchmark", "LASER", "VTune");
+        let _ = writeln!(
+            out,
+            "Figure 10: {:<20} {:>10} {:>10}",
+            "benchmark", "LASER", "VTune"
+        );
         for r in &self.rows {
-            let _ = writeln!(out, "           {:<20} {:>10.3} {:>10.3}", r.name, r.laser, r.vtune);
+            let _ = writeln!(
+                out,
+                "           {:<20} {:>10.3} {:>10.3}",
+                r.name, r.laser, r.vtune
+            );
         }
         let (l, v) = self.geomeans();
         let _ = writeln!(out, "           {:<20} {:>10.3} {:>10.3}", "geomean", l, v);
@@ -93,7 +101,11 @@ impl Fig11Report {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 11: {:<20} {:>12} {:>10}", "benchmark", "automatic", "manual");
+        let _ = writeln!(
+            out,
+            "Figure 11: {:<20} {:>12} {:>10}",
+            "benchmark", "automatic", "manual"
+        );
         for r in &self.rows {
             let fmt = |v: Option<f64>| v.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "-".into());
             let _ = writeln!(
@@ -109,8 +121,14 @@ impl Fig11Report {
 }
 
 /// The workloads the paper's Figure 11 shows.
-pub const FIG11_WORKLOADS: &[&str] =
-    &["histogram'", "linear_regression", "dedup", "kmeans", "lu_ncb", "reverse_index"];
+pub const FIG11_WORKLOADS: &[&str] = &[
+    "histogram'",
+    "linear_regression",
+    "dedup",
+    "kmeans",
+    "lu_ncb",
+    "reverse_index",
+];
 
 /// Run the Figure 11 speedup experiment.
 ///
@@ -135,7 +153,11 @@ pub fn fig11_speedups(scale: &ExperimentScale) -> Result<Fig11Report, LaserError
         } else {
             None
         };
-        rows.push(Fig11Row { name: spec.name, automatic, manual });
+        rows.push(Fig11Row {
+            name: spec.name,
+            automatic,
+            manual,
+        });
     }
     Ok(Fig11Report { rows })
 }
@@ -145,7 +167,10 @@ fn Laser_native_fixed(
     spec: &laser_workloads::WorkloadSpec,
     opts: &BuildOptions,
 ) -> Result<u64, LaserError> {
-    let fixed_opts = BuildOptions { fixed: true, ..opts.clone() };
+    let fixed_opts = BuildOptions {
+        fixed: true,
+        ..opts.clone()
+    };
     Ok(run_native(spec, &fixed_opts)?.cycles)
 }
 
@@ -246,7 +271,11 @@ impl Fig13Report {
         let mut out = String::new();
         let _ = writeln!(out, "Figure 13: {:>6} {:>20}", "SAV", "normalized runtime");
         for p in &self.points {
-            let _ = writeln!(out, "           {:>6} {:>20.3}", p.sav, p.normalized_runtime);
+            let _ = writeln!(
+                out,
+                "           {:>6} {:>20.3}",
+                p.sav, p.normalized_runtime
+            );
         }
         out
     }
@@ -320,7 +349,9 @@ impl Fig14Report {
                 "           {:<20} {:>8.2} {:>10} {:>12} {:>12}",
                 r.name,
                 r.laser,
-                r.manual_fix.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+                r.manual_fix
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into()),
                 fmt(&r.sheriff_detect),
                 fmt(&r.sheriff_protect)
             );
@@ -346,7 +377,16 @@ pub fn fig14_sheriff(scale: &ExperimentScale) -> Result<Fig14Report, LaserError>
         let norm = |cycles: u64| cycles as f64 / native.cycles.max(1) as f64;
         let laser = run_laser(&spec, &opts, LaserConfig::default())?;
         let manual_fix = if spec.has_fix {
-            Some(norm(run_native(&spec, &BuildOptions { fixed: true, ..opts.clone() })?.cycles))
+            Some(norm(
+                run_native(
+                    &spec,
+                    &BuildOptions {
+                        fixed: true,
+                        ..opts.clone()
+                    },
+                )?
+                .cycles,
+            ))
         } else {
             None
         };
@@ -368,7 +408,10 @@ mod tests {
     use super::*;
 
     fn tiny(names: &'static [&'static str]) -> ExperimentScale {
-        ExperimentScale { workload_scale: 0.06, only: Some(names) }
+        ExperimentScale {
+            workload_scale: 0.06,
+            only: Some(names),
+        }
     }
 
     #[test]
@@ -385,7 +428,11 @@ mod tests {
         let report =
             fig11_speedups(&tiny(&["linear_regression", "histogram'", "reverse_index"])).unwrap();
         assert_eq!(report.rows.len(), 3);
-        let lreg = report.rows.iter().find(|r| r.name == "linear_regression").unwrap();
+        let lreg = report
+            .rows
+            .iter()
+            .find(|r| r.name == "linear_regression")
+            .unwrap();
         assert!(lreg.manual.unwrap() > 2.0, "{}", report.render());
         assert!(!report.render().is_empty());
     }

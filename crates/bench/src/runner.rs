@@ -17,7 +17,10 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        ExperimentScale { workload_scale: 0.4, only: None }
+        ExperimentScale {
+            workload_scale: 0.4,
+            only: None,
+        }
     }
 }
 
@@ -40,14 +43,21 @@ impl ExperimentScale {
 
     /// Build options for a workload at this scale.
     pub fn options(&self) -> BuildOptions {
-        BuildOptions { scale: self.workload_scale, ..Default::default() }
+        BuildOptions {
+            scale: self.workload_scale,
+            ..Default::default()
+        }
     }
 
     /// The workloads selected by this scale, in registry order.
     pub fn workloads(&self) -> Vec<WorkloadSpec> {
         registry()
             .into_iter()
-            .filter(|s| self.only.map(|names| names.contains(&s.name)).unwrap_or(true))
+            .filter(|s| {
+                self.only
+                    .map(|names| names.contains(&s.name))
+                    .unwrap_or(true)
+            })
             .collect()
     }
 }
@@ -64,7 +74,10 @@ pub const TOOL_LAYOUT_PERTURBATION: u64 = 32;
 /// elsewhere would perturb layouts the paper reports as unchanged.
 pub fn build_under_tool(spec: &WorkloadSpec, opts: &BuildOptions) -> WorkloadImage {
     if spec.name == "lu_ncb" {
-        let opts = BuildOptions { layout_perturbation: TOOL_LAYOUT_PERTURBATION, ..opts.clone() };
+        let opts = BuildOptions {
+            layout_perturbation: TOOL_LAYOUT_PERTURBATION,
+            ..opts.clone()
+        };
         spec.build(&opts)
     } else {
         spec.build(opts)
@@ -148,7 +161,10 @@ mod tests {
         // Nothing reported: one false negative, no false positives.
         assert_eq!(score_locations(&spec, &[]), (1, 0));
         // The bug line plus a stray line: bug found, one false positive.
-        let reported = vec![("linear_regression.c".to_string(), 45), ("other.c".to_string(), 3)];
+        let reported = vec![
+            ("linear_regression.c".to_string(), 45),
+            ("other.c".to_string(), 3),
+        ];
         assert_eq!(score_locations(&spec, &reported), (0, 1));
     }
 

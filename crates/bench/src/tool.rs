@@ -1,0 +1,275 @@
+//! The [`Tool`] abstraction: LASER, VTune, Sheriff and native execution
+//! behind one interface.
+//!
+//! The paper's evaluation repeatedly runs the same 35 workloads under
+//! different tools (Figures 10–14, Tables 1–2). A `Tool` encapsulates "run
+//! this workload under me and tell me what you saw" so the
+//! [`crate::campaign::Campaign`] runner can fan arbitrary `workload × tool`
+//! grids across a thread pool. Implementations are `Send + Sync` values whose
+//! `run` takes `&self`, and every underlying simulation is deterministic, so
+//! a cell's result is independent of which worker thread computes it.
+
+use laser_baselines::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, Vtune, VtuneConfig};
+use laser_core::LaserConfig;
+use laser_workloads::{BuildOptions, WorkloadSpec};
+
+use crate::runner::{build_under_tool, run_laser, run_native};
+
+/// What one tool observed on one workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolRun {
+    /// End-to-end cycles of the run, all tool overhead included.
+    pub cycles: u64,
+    /// Labels of the contention sites the tool reported (source lines for
+    /// LASER/VTune, allocation-site cache lines for Sheriff-Detect).
+    pub reported: Vec<String>,
+    /// Whether online repair was invoked during the run (LASER only).
+    pub repair_invoked: bool,
+}
+
+/// Why a tool produced no run for a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolFailure {
+    /// The tool cannot run this workload at all (Sheriff's compatibility
+    /// matrix: crashes and unsupported constructs).
+    Unsupported(String),
+    /// The underlying simulation failed (e.g. step-budget exhaustion).
+    Error(String),
+}
+
+impl std::fmt::Display for ToolFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolFailure::Unsupported(why) => write!(f, "unsupported: {why}"),
+            ToolFailure::Error(why) => write!(f, "error: {why}"),
+        }
+    }
+}
+
+/// A contention tool (or the absence of one) that can run a workload.
+pub trait Tool: Send + Sync {
+    /// Stable display name, used as the cell key in campaign results.
+    fn name(&self) -> &str;
+
+    /// Build and run `spec` at `opts` under this tool.
+    ///
+    /// # Errors
+    /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
+    /// workload and [`ToolFailure::Error`] when the simulation fails.
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure>;
+}
+
+/// Native execution: no tool attached; the baseline every overhead figure is
+/// normalized against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeTool;
+
+impl Tool for NativeTool {
+    fn name(&self) -> &str {
+        "native"
+    }
+
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let result = run_native(spec, opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        Ok(ToolRun {
+            cycles: result.cycles,
+            reported: Vec::new(),
+            repair_invoked: false,
+        })
+    }
+}
+
+/// The LASER system (detection, and repair when the configuration allows it).
+#[derive(Debug, Clone, Default)]
+pub struct LaserTool {
+    config: LaserConfig,
+}
+
+impl LaserTool {
+    /// Run LASER with `config` (e.g. [`LaserConfig::detection_only`]).
+    pub fn new(config: LaserConfig) -> Self {
+        LaserTool { config }
+    }
+}
+
+impl Tool for LaserTool {
+    fn name(&self) -> &str {
+        if self.config.enable_repair {
+            "laser"
+        } else {
+            "laser-detect"
+        }
+    }
+
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let outcome = run_laser(spec, opts, self.config.clone())
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        Ok(ToolRun {
+            cycles: outcome.cycles(),
+            reported: outcome
+                .report
+                .lines
+                .iter()
+                .map(|l| format!("{} ({})", l.location.label(), l.kind))
+                .collect(),
+            repair_invoked: outcome.repair.is_some(),
+        })
+    }
+}
+
+/// The VTune profiler model.
+#[derive(Debug, Clone, Default)]
+pub struct VtuneTool {
+    config: VtuneConfig,
+}
+
+impl VtuneTool {
+    /// Run VTune with an explicit configuration.
+    pub fn new(config: VtuneConfig) -> Self {
+        VtuneTool { config }
+    }
+}
+
+impl Tool for VtuneTool {
+    fn name(&self) -> &str {
+        "vtune"
+    }
+
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let image = build_under_tool(spec, opts);
+        let outcome = Vtune::new(self.config.clone())
+            .run(&image)
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        Ok(ToolRun {
+            cycles: outcome.run.cycles,
+            reported: outcome
+                .reported_lines
+                .iter()
+                .map(|l| l.location.label())
+                .collect(),
+            repair_invoked: false,
+        })
+    }
+}
+
+/// The Sheriff baseline in either mode.
+#[derive(Debug, Clone)]
+pub struct SheriffTool {
+    config: SheriffConfig,
+    mode: SheriffMode,
+}
+
+impl SheriffTool {
+    /// Sheriff with the default cost model in `mode`.
+    pub fn new(mode: SheriffMode) -> Self {
+        SheriffTool {
+            config: SheriffConfig::default(),
+            mode,
+        }
+    }
+
+    /// Sheriff with an explicit cost model.
+    pub fn with_config(config: SheriffConfig, mode: SheriffMode) -> Self {
+        SheriffTool { config, mode }
+    }
+}
+
+impl Tool for SheriffTool {
+    fn name(&self) -> &str {
+        match self.mode {
+            SheriffMode::Detect => "sheriff-detect",
+            SheriffMode::Protect => "sheriff-protect",
+        }
+    }
+
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let outcome = Sheriff::new(self.config)
+            .run(spec, opts, self.mode)
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        match outcome.result {
+            Ok(run) => Ok(ToolRun {
+                cycles: run.cycles,
+                reported: run
+                    .reported_lines
+                    .iter()
+                    .map(|line| format!("line@{line:#x}"))
+                    .collect(),
+                repair_invoked: false,
+            }),
+            Err(SheriffFailure::Crash) => Err(ToolFailure::Unsupported(
+                "crashes under Sheriff".to_string(),
+            )),
+            Err(SheriffFailure::Incompatible) => Err(ToolFailure::Unsupported(
+                "uses constructs Sheriff does not support".to_string(),
+            )),
+        }
+    }
+}
+
+/// The default tool panel: native, LASER, VTune and both Sheriff modes —
+/// every column of the paper's comparison tables.
+pub fn default_tools() -> Vec<Box<dyn Tool>> {
+    vec![
+        Box::new(NativeTool),
+        Box::new(LaserTool::default()),
+        Box::new(VtuneTool::default()),
+        Box::new(SheriffTool::new(SheriffMode::Detect)),
+        Box::new(SheriffTool::new(SheriffMode::Protect)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_workloads::find;
+
+    fn opts() -> BuildOptions {
+        BuildOptions::scaled(0.08)
+    }
+
+    #[test]
+    fn tools_are_share_and_send() {
+        fn assert_sync_send<T: Send + Sync>() {}
+        assert_sync_send::<NativeTool>();
+        assert_sync_send::<LaserTool>();
+        assert_sync_send::<VtuneTool>();
+        assert_sync_send::<SheriffTool>();
+        assert_sync_send::<Box<dyn Tool>>();
+    }
+
+    #[test]
+    fn native_runs_and_reports_nothing() {
+        let spec = find("swaptions").unwrap();
+        let run = NativeTool.run(&spec, &opts()).unwrap();
+        assert!(run.cycles > 0);
+        assert!(run.reported.is_empty());
+        assert!(!run.repair_invoked);
+    }
+
+    #[test]
+    fn laser_tool_reports_contention_with_overhead() {
+        let spec = find("histogram'").unwrap();
+        let native = NativeTool.run(&spec, &opts()).unwrap();
+        let laser = LaserTool::new(LaserConfig::detection_only())
+            .run(&spec, &opts())
+            .unwrap();
+        assert!(laser.cycles >= native.cycles);
+        assert!(!laser.reported.is_empty(), "histogram' contends");
+    }
+
+    #[test]
+    fn sheriff_tool_surfaces_incompatibility() {
+        let spec = find("dedup").unwrap();
+        let out = SheriffTool::new(SheriffMode::Detect).run(&spec, &opts());
+        assert!(matches!(out, Err(ToolFailure::Unsupported(_))));
+    }
+
+    #[test]
+    fn tool_names_are_distinct() {
+        let tools = default_tools();
+        let mut names: Vec<&str> = tools.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), tools.len());
+    }
+}

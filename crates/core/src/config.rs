@@ -65,7 +65,10 @@ impl LaserConfig {
     /// A configuration with detection only (repair disabled); used for the
     /// accuracy experiments so that repair does not change what is measured.
     pub fn detection_only() -> Self {
-        LaserConfig { enable_repair: false, ..Self::default() }
+        LaserConfig {
+            enable_repair: false,
+            ..Self::default()
+        }
     }
 
     /// Override the SAV (builder-style).
@@ -101,7 +104,10 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let c = LaserConfig::detection_only().with_sav(7).with_rate_threshold(64.0).with_seed(1);
+        let c = LaserConfig::detection_only()
+            .with_sav(7)
+            .with_rate_threshold(64.0)
+            .with_seed(1);
         assert!(!c.enable_repair);
         assert_eq!(c.sav, 7);
         assert_eq!(c.rate_threshold_hitm_per_sec, 64.0);

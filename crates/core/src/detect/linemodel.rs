@@ -83,7 +83,13 @@ impl CacheLineModel {
         let _ = pc;
         let line = line_of(addr);
         let bitmap = Self::bitmap_for(addr, size);
-        let prev = self.lines.insert(line, LastAccess { was_write: is_write, bitmap });
+        let prev = self.lines.insert(
+            line,
+            LastAccess {
+                was_write: is_write,
+                bitmap,
+            },
+        );
         let prev = prev?;
         if prev.bitmap & bitmap != 0 {
             Some(SharingClass::TrueSharing)
@@ -113,9 +119,15 @@ mod tests {
     fn overlapping_write_then_read_is_true_sharing() {
         let mut m = CacheLineModel::new();
         m.observe(0x1000, 8, true, 0x40_0000);
-        assert_eq!(m.observe(0x1000, 8, false, 0x40_0010), Some(SharingClass::TrueSharing));
+        assert_eq!(
+            m.observe(0x1000, 8, false, 0x40_0010),
+            Some(SharingClass::TrueSharing)
+        );
         // Partial overlap also counts (4-byte write within the 8 bytes).
-        assert_eq!(m.observe(0x1004, 4, true, 0x40_0020), Some(SharingClass::TrueSharing));
+        assert_eq!(
+            m.observe(0x1004, 4, true, 0x40_0020),
+            Some(SharingClass::TrueSharing)
+        );
     }
 
     #[test]
@@ -124,7 +136,10 @@ mod tests {
         // line and an incoming 4-byte write at offset 4.
         let mut m = CacheLineModel::new();
         m.observe(0x1000, 2, true, 0x40_0000);
-        assert_eq!(m.observe(0x1004, 4, true, 0x40_0010), Some(SharingClass::FalseSharing));
+        assert_eq!(
+            m.observe(0x1004, 4, true, 0x40_0010),
+            Some(SharingClass::FalseSharing)
+        );
     }
 
     #[test]
@@ -135,8 +150,14 @@ mod tests {
         // sharing.
         let mut m = CacheLineModel::new();
         m.observe(0x2000, 8, false, 0x40_0000);
-        assert_eq!(m.observe(0x2008, 8, false, 0x40_0004), Some(SharingClass::FalseSharing));
-        assert_eq!(m.observe(0x2008, 8, false, 0x40_0008), Some(SharingClass::TrueSharing));
+        assert_eq!(
+            m.observe(0x2008, 8, false, 0x40_0004),
+            Some(SharingClass::FalseSharing)
+        );
+        assert_eq!(
+            m.observe(0x2008, 8, false, 0x40_0008),
+            Some(SharingClass::TrueSharing)
+        );
     }
 
     #[test]
@@ -147,7 +168,10 @@ mod tests {
         // true sharing (Figure 5 keeps no thread information).
         let mut m = CacheLineModel::new();
         m.observe(0x3000, 8, true, 0x40_0000);
-        assert_eq!(m.observe(0x3000, 8, true, 0x40_0000), Some(SharingClass::TrueSharing));
+        assert_eq!(
+            m.observe(0x3000, 8, true, 0x40_0000),
+            Some(SharingClass::TrueSharing)
+        );
     }
 
     #[test]
@@ -165,6 +189,9 @@ mod tests {
         let mut m = CacheLineModel::new();
         // Access at offset 60 of size 8: only bytes 60..63 belong to this line.
         m.observe(0x103c, 8, true, 0x40_0000);
-        assert_eq!(m.observe(0x1000, 4, true, 0x40_0004), Some(SharingClass::FalseSharing));
+        assert_eq!(
+            m.observe(0x1000, 4, true, 0x40_0004),
+            Some(SharingClass::FalseSharing)
+        );
     }
 }

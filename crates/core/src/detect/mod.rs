@@ -260,7 +260,11 @@ impl Detector {
             })
             .filter(|l| l.rate_per_sec >= rate_threshold)
             .collect();
-        lines.sort_by(|a, b| b.hitm_records.cmp(&a.hitm_records).then(a.location.cmp(&b.location)));
+        lines.sort_by(|a, b| {
+            b.hitm_records
+                .cmp(&a.hitm_records)
+                .then(a.location.cmp(&b.location))
+        });
         ContentionReport {
             workload: workload.to_string(),
             lines,
@@ -298,14 +302,34 @@ mod tests {
 
     fn map(p: &Program) -> MemoryMap {
         let mut m = MemoryMap::new();
-        m.add(Region::new(p.base_pc(), p.end_pc() + 0x1000, RegionKind::AppCode, "det"));
-        m.add(Region::new(0x1000_0000, 0x2000_0000, RegionKind::Heap, "[heap]"));
-        m.add(Region::new(0x7f00_0000, 0x7f10_0000, RegionKind::Stack(0), "[stack:0]"));
+        m.add(Region::new(
+            p.base_pc(),
+            p.end_pc() + 0x1000,
+            RegionKind::AppCode,
+            "det",
+        ));
+        m.add(Region::new(
+            0x1000_0000,
+            0x2000_0000,
+            RegionKind::Heap,
+            "[heap]",
+        ));
+        m.add(Region::new(
+            0x7f00_0000,
+            0x7f10_0000,
+            RegionKind::Stack(0),
+            "[stack:0]",
+        ));
         m
     }
 
     fn record(pc: Pc, addr: u64, cycle: u64) -> HitmRecord {
-        HitmRecord { pc, data_addr: addr, core: CoreId(0), cycle }
+        HitmRecord {
+            pc,
+            data_addr: addr,
+            core: CoreId(0),
+            cycle,
+        }
     }
 
     #[test]
@@ -377,13 +401,20 @@ mod tests {
         // Store and load of the *same* 8 bytes, alternating PCs.
         let mut records = Vec::new();
         for i in 0..500u64 {
-            let pc = if i % 2 == 0 { p.base_pc() } else { p.base_pc() + 4 };
+            let pc = if i % 2 == 0 {
+                p.base_pc()
+            } else {
+                p.base_pc() + 4
+            };
             records.push(record(pc, 0x1000_0000, i));
         }
         d.process(&records);
         assert!(d.true_sharing_events() > 400);
         let r = d.report("det", 1.0, 0.0, false);
-        assert!(r.lines.iter().all(|l| l.kind == ContentionKind::TrueSharing));
+        assert!(r
+            .lines
+            .iter()
+            .all(|l| l.kind == ContentionKind::TrueSharing));
         assert!(d.false_sharing_pcs().is_empty());
     }
 
@@ -401,6 +432,89 @@ mod tests {
         d.process(&records);
         let r = d.report("det", 1.0, 0.0, false);
         assert_eq!(r.lines[0].kind, ContentionKind::Unknown);
+    }
+
+    #[test]
+    fn pc_filter_keeps_library_code_but_drops_everything_else() {
+        let p = program();
+        let mut m = map(&p);
+        m.add(Region::new(
+            0x9000_0000,
+            0x9100_0000,
+            RegionKind::LibCode,
+            "libc",
+        ));
+        let mut d = Detector::new(&LaserConfig::default(), &p, &m);
+        let kept = d.process(&[
+            record(p.base_pc(), 0x1000_0000, 1), // application code: kept
+            record(0x9000_0100, 0x1000_0000, 2), // library code: kept
+            record(0x9100_0100, 0x1000_0000, 3), // past the library: dropped
+            record(0x1000_0000, 0x1000_0000, 4), // PC in the heap: dropped
+            record(0x7f00_0010, 0x1000_0000, 5), // PC in a stack: dropped
+        ]);
+        assert_eq!(kept, 2);
+        assert_eq!(d.records_received(), 5);
+        let r = d.report("det", 1.0, 0.0, false);
+        assert_eq!(r.dropped_non_code, 3);
+        assert_eq!(r.dropped_stack, 0);
+    }
+
+    #[test]
+    fn stack_filter_drops_records_before_aggregation() {
+        let p = program();
+        let m = map(&p);
+        let mut d = Detector::new(&LaserConfig::default(), &p, &m);
+        // Every record has a valid PC but a stack data address: the PC filter
+        // passes them, the stack filter must still keep them out of the
+        // per-line aggregation entirely.
+        let records: Vec<HitmRecord> = (0..50)
+            .map(|i| record(p.base_pc(), 0x7f00_0000 + i * 8, i))
+            .collect();
+        assert_eq!(d.process(&records), 0);
+        let r = d.report("det", 1.0, 0.0, false);
+        assert_eq!(r.dropped_stack, 50);
+        assert!(
+            r.lines.is_empty(),
+            "stack records must not create report lines"
+        );
+        assert_eq!(d.false_sharing_events() + d.true_sharing_events(), 0);
+    }
+
+    #[test]
+    fn threshold_reapplication_is_offline_and_nested() {
+        let p = program();
+        let m = map(&p);
+        let mut d = Detector::new(&LaserConfig::default(), &p, &m);
+        let mut records = Vec::new();
+        for i in 0..800 {
+            records.push(record(p.base_pc(), 0x1000_0000 + (i % 2) * 8, i));
+        }
+        for i in 0..40u64 {
+            records.push(record(p.base_pc() + 4, 0x1000_0100 + (i % 2) * 8, 1000 + i));
+        }
+        d.process(&records);
+        // Re-applying ever-higher thresholds to the same detector state never
+        // reprocesses records and only ever shrinks the report.
+        let received = d.records_received();
+        let mut last_len = usize::MAX;
+        for threshold in [0.0, 10.0, 100.0, 500.0, 1_000_000.0] {
+            let r = d.report("det", 1.0, threshold, false);
+            assert!(
+                r.lines.len() <= last_len,
+                "threshold {threshold} grew the report"
+            );
+            // Lines surviving a higher threshold are a subset of those
+            // surviving a lower one.
+            assert!(r.lines.iter().all(|l| l.rate_per_sec >= threshold));
+            assert_eq!(
+                d.records_received(),
+                received,
+                "report() must not mutate state"
+            );
+            last_len = r.lines.len();
+        }
+        assert_eq!(d.report("det", 1.0, 0.0, false).lines.len(), 2);
+        assert_eq!(d.report("det", 1.0, 1_000_000.0, false).lines.len(), 0);
     }
 
     #[test]

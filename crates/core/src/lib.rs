@@ -49,10 +49,12 @@ pub mod config;
 pub mod detect;
 pub mod repair;
 pub mod report;
+pub mod session;
 pub mod system;
 
 pub use config::LaserConfig;
 pub use detect::Detector;
 pub use repair::{RepairPlan, SoftwareStoreBuffer, SsbHook, SsbStats};
 pub use report::{ContentionKind, ContentionReport, LineReport};
+pub use session::LaserSession;
 pub use system::{Laser, LaserError, LaserOutcome, RepairSummary};

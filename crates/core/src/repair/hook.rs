@@ -7,9 +7,6 @@
 //! plan's flush blocks, at fences/atomics, at thread exit, and pre-emptively
 //! when it outgrows the transaction capacity.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use serde::{Deserialize, Serialize};
 
 use laser_isa::program::{BlockId, Pc};
@@ -35,7 +32,12 @@ pub struct SsbCosts {
 
 impl Default for SsbCosts {
     fn default() -> Self {
-        SsbCosts { store: 6, load: 6, alias_check: 2, flush_base: 12 }
+        SsbCosts {
+            store: 6,
+            load: 6,
+            alias_check: 2,
+            flush_base: 12,
+        }
     }
 }
 
@@ -69,18 +71,22 @@ pub struct SsbStats {
 pub const PREEMPTIVE_FLUSH_ENTRIES: usize = 8;
 
 /// The online-repair instrumentation tool.
+///
+/// The hook owns its statistics outright (no `Rc<RefCell<..>>` sharing), so a
+/// machine carrying it remains `Send`; the system reads the final counters
+/// back through [`ExecHook::as_any`] downcasting once the run finishes.
 pub struct SsbHook {
     plan: RepairPlan,
     costs: SsbCosts,
     buffers: Vec<SoftwareStoreBuffer>,
-    stats: Rc<RefCell<SsbStats>>,
+    stats: SsbStats,
 }
 
 impl std::fmt::Debug for SsbHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SsbHook")
             .field("instrumented_blocks", &self.plan.instrumented_blocks.len())
-            .field("stats", &*self.stats.borrow())
+            .field("stats", &self.stats)
             .finish()
     }
 }
@@ -97,14 +103,13 @@ impl SsbHook {
             plan,
             costs,
             buffers: (0..num_cores).map(|_| SoftwareStoreBuffer::new()).collect(),
-            stats: Rc::new(RefCell::new(SsbStats::default())),
+            stats: SsbStats::default(),
         }
     }
 
-    /// A shared handle to the hook's statistics; the system keeps a clone so
-    /// it can report them after the machine takes ownership of the hook.
-    pub fn stats_handle(&self) -> Rc<RefCell<SsbStats>> {
-        Rc::clone(&self.stats)
+    /// The instrumentation counters so far.
+    pub fn stats(&self) -> SsbStats {
+        self.stats
     }
 
     /// The plan being applied.
@@ -118,17 +123,16 @@ impl SsbHook {
             return 0;
         }
         let writes = self.buffers[core].drain_writes();
-        let mut stats = self.stats.borrow_mut();
-        stats.flushes += 1;
+        self.stats.flushes += 1;
         let mut cycles = self.costs.flush_base;
         match ctx.htm_flush(pc, &writes) {
             HtmOutcome::Committed { cycles: c } => {
-                stats.htm_flushes += 1;
+                self.stats.htm_flushes += 1;
                 cycles += c;
             }
             HtmOutcome::CapacityAborted => {
                 // Fall back to a fenced, write-at-a-time flush.
-                stats.fallback_flushes += 1;
+                self.stats.fallback_flushes += 1;
                 for (addr, size, value) in &writes {
                     cycles += ctx.mem_write(pc, *addr, *size, *value);
                 }
@@ -140,53 +144,66 @@ impl SsbHook {
 }
 
 impl ExecHook for SsbHook {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_mem_op(&mut self, ctx: &mut HookCtx<'_>, op: &MemOp) -> HookAction {
         let core = ctx.core().0;
         match op.kind {
             MemAccessKind::Store if self.plan.ssb_stores.contains(&op.pc) => {
                 self.buffers[core].put(op.addr, op.size, op.store_value.unwrap_or(0));
-                self.stats.borrow_mut().buffered_stores += 1;
+                self.stats.buffered_stores += 1;
                 let mut extra = self.costs.store;
                 if self.buffers[core].len() > PREEMPTIVE_FLUSH_ENTRIES {
-                    self.stats.borrow_mut().preemptive_flushes += 1;
+                    self.stats.preemptive_flushes += 1;
                     extra += self.flush(ctx, op.pc);
                 }
-                HookAction::Handled { load_value: None, extra_cycles: extra }
+                HookAction::Handled {
+                    load_value: None,
+                    extra_cycles: extra,
+                }
             }
             MemAccessKind::Load if self.plan.ssb_loads.contains(&op.pc) => {
                 let mut extra = self.costs.load;
                 let value = match self.buffers[core].lookup(op.addr, op.size) {
                     SsbLookup::Hit(v) => {
-                        self.stats.borrow_mut().ssb_load_hits += 1;
+                        self.stats.ssb_load_hits += 1;
                         v
                     }
                     SsbLookup::Miss => {
-                        self.stats.borrow_mut().ssb_load_misses += 1;
+                        self.stats.ssb_load_misses += 1;
                         let (v, c) = ctx.mem_read(op.pc, op.addr, op.size);
                         extra += c;
                         v
                     }
                     SsbLookup::Partial => {
-                        self.stats.borrow_mut().ssb_load_hits += 1;
+                        self.stats.ssb_load_hits += 1;
                         let (mem, c) = ctx.mem_read(op.pc, op.addr, op.size);
                         extra += c;
                         self.buffers[core].merge(op.addr, op.size, mem)
                     }
                 };
-                HookAction::Handled { load_value: Some(value), extra_cycles: extra }
+                HookAction::Handled {
+                    load_value: Some(value),
+                    extra_cycles: extra,
+                }
             }
             MemAccessKind::Load if self.plan.speculative_loads.contains(&op.pc) => {
                 // Runtime aliasing check: if the speculation fails (the load
                 // address overlaps a buffered store) the SSB is flushed and the
                 // load proceeds against memory.
-                self.stats.borrow_mut().speculative_checks += 1;
+                self.stats.speculative_checks += 1;
                 let mut extra = self.costs.alias_check;
                 if self.buffers[core].overlaps(op.addr, op.size) {
-                    self.stats.borrow_mut().misspeculations += 1;
+                    self.stats.misspeculations += 1;
                     extra += self.flush(ctx, op.pc);
                 }
                 let (v, c) = ctx.mem_read(op.pc, op.addr, op.size);
-                HookAction::Handled { load_value: Some(v), extra_cycles: extra + c }
+                HookAction::Handled {
+                    load_value: Some(v),
+                    extra_cycles: extra + c,
+                }
             }
             _ => HookAction::Passthrough,
         }
@@ -217,6 +234,16 @@ mod tests {
     use laser_isa::inst::{Operand, Reg};
     use laser_isa::ProgramBuilder;
     use laser_machine::{Machine, MachineConfig, ThreadSpec, WorkloadImage};
+
+    /// Read the SSB statistics back out of the machine's attached hook — the
+    /// owned-stats replacement for the old shared `Rc<RefCell<..>>` handle.
+    fn ssb_stats(m: &Machine) -> SsbStats {
+        m.hook()
+            .and_then(|h| h.as_any())
+            .and_then(|a| a.downcast_ref::<SsbHook>())
+            .map(|h| h.stats())
+            .expect("SsbHook attached")
+    }
 
     /// Two threads false-sharing one line through a counted loop. Returns the
     /// image, the contending store PC and the shared allocation's address.
@@ -258,11 +285,9 @@ mod tests {
         assert!(native_result.stats.hitm_events > 1000);
 
         // Repaired run.
-        let plan =
-            RepairPlan::analyze(image.program(), &[store_pc], 4.0, 12).expect("plan exists");
+        let plan = RepairPlan::analyze(image.program(), &[store_pc], 4.0, 12).expect("plan exists");
         assert!(plan.profitable);
         let hook = SsbHook::new(plan, 4);
-        let stats = hook.stats_handle();
         let mut repaired = Machine::new(MachineConfig::default(), &image);
         repaired.attach_hook(Box::new(hook));
         let repaired_result = repaired.run_to_completion().unwrap();
@@ -280,7 +305,7 @@ mod tests {
         assert!(repaired_result.stats.hitm_events < native_result.stats.hitm_events / 10);
         assert!(repaired_result.cycles < native_result.cycles);
 
-        let s = stats.borrow();
+        let s = ssb_stats(&repaired);
         assert!(s.buffered_stores >= 2 * iters);
         assert!(s.flushes >= 2);
         assert!(s.htm_flushes >= 1);
@@ -308,12 +333,11 @@ mod tests {
 
         let plan = RepairPlan::analyze(image.program(), &[store_pc], 0.0, 12).unwrap();
         let hook = SsbHook::new(plan, 4);
-        let stats = hook.stats_handle();
         let mut m = Machine::new(MachineConfig::default(), &image);
         m.attach_hook(Box::new(hook));
         m.run_to_completion().unwrap();
         assert_eq!(m.read_u64(base), 42);
-        assert!(stats.borrow().flushes >= 1);
+        assert!(ssb_stats(&m).flushes >= 1);
     }
 
     #[test]
@@ -339,14 +363,13 @@ mod tests {
 
         let plan = RepairPlan::analyze(image.program(), &pcs, 0.0, 12).unwrap();
         let hook = SsbHook::new(plan, 4);
-        let stats = hook.stats_handle();
         let mut m = Machine::new(MachineConfig::default(), &image);
         m.attach_hook(Box::new(hook));
         m.run_to_completion().unwrap();
         for i in 0..32u64 {
             assert_eq!(m.read_u64(base + i * 64), i + 1);
         }
-        let s = stats.borrow();
+        let s = ssb_stats(&m);
         assert!(s.preemptive_flushes > 0);
         // Every flush stayed within transaction capacity or fell back safely.
         assert_eq!(s.flushes, s.htm_flushes + s.fallback_flushes);

@@ -87,23 +87,20 @@ impl RepairPlan {
                 !contending_blocks.iter().any(|b| reach.contains(b))
             })
             .collect();
-        let flush_block = pdom
-            .nearest(&outside)
-            .or_else(|| {
-                let non_contending: Vec<BlockId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|c| !contending_blocks.contains(c))
-                    .collect();
-                pdom.nearest(&non_contending)
-            })?;
+        let flush_block = pdom.nearest(&outside).or_else(|| {
+            let non_contending: Vec<BlockId> = candidates
+                .iter()
+                .copied()
+                .filter(|c| !contending_blocks.contains(c))
+                .collect();
+            pdom.nearest(&non_contending)
+        })?;
 
         // Region: blocks on a path from the contending blocks to the flush
         // point (exclusive). All their memory operations are instrumented.
         let forward = cfg.reachable_from(&contending_blocks);
         let backward = cfg.reaching(&[flush_block]);
-        let mut region: HashSet<BlockId> =
-            forward.intersection(&backward).copied().collect();
+        let mut region: HashSet<BlockId> = forward.intersection(&backward).copied().collect();
         region.remove(&flush_block);
         for b in &contending_blocks {
             region.insert(*b);

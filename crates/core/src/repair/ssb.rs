@@ -151,7 +151,9 @@ impl SoftwareStoreBuffer {
     pub fn drain_writes(&mut self) -> Vec<(Addr, u8, u64)> {
         let mut out = Vec::new();
         for key in std::mem::take(&mut self.order) {
-            let Some(entry) = self.words.remove(&key) else { continue };
+            let Some(entry) = self.words.remove(&key) else {
+                continue;
+            };
             let mut i = 0usize;
             while i < 8 {
                 if entry.valid & (1 << i) == 0 {

@@ -74,17 +74,23 @@ impl ContentionReport {
 
     /// The report entry for a given file/line, if present.
     pub fn line(&self, file: &str, line: u32) -> Option<&LineReport> {
-        self.lines.iter().find(|l| l.location.file == file && l.location.line == line)
+        self.lines
+            .iter()
+            .find(|l| l.location.file == file && l.location.line == line)
     }
 
     /// True if any reported line is classified as false sharing.
     pub fn has_false_sharing(&self) -> bool {
-        self.lines.iter().any(|l| l.kind == ContentionKind::FalseSharing)
+        self.lines
+            .iter()
+            .any(|l| l.kind == ContentionKind::FalseSharing)
     }
 
     /// True if any reported line is classified as true sharing.
     pub fn has_true_sharing(&self) -> bool {
-        self.lines.iter().any(|l| l.kind == ContentionKind::TrueSharing)
+        self.lines
+            .iter()
+            .any(|l| l.kind == ContentionKind::TrueSharing)
     }
 
     /// Render the report as the text a programmer would read.

@@ -1,0 +1,264 @@
+//! A self-contained, movable LASER run.
+//!
+//! [`LaserSession`] owns every piece of the deployment of the paper's
+//! Figure 8 — the simulated machine, the kernel driver + PMU, the user-space
+//! detector and (once triggered) the repair instrumentation. Nothing inside
+//! is shared behind `Rc`/`RefCell`, so a session is `Send`: it can be built
+//! on one thread, moved to a worker, and driven to completion there. That is
+//! the property `laser-bench`'s campaign runner relies on to fan whole
+//! `workload × tool` experiment grids across a thread pool.
+//!
+//! The session advances in *poll quanta*: the application runs
+//! `poll_interval_steps` instructions, then the driver services the PMU and
+//! the detector consumes the new records — exactly the cadence of the
+//! monolithic loop this type was extracted from.
+
+use laser_machine::machine::MachineError;
+use laser_machine::{Machine, MachineConfig, RunStatus, WorkloadImage};
+use laser_pebs::driver::Driver;
+use laser_pebs::imprecision::ImprecisionModel;
+use laser_pebs::pmu::{Pmu, PmuConfig};
+
+use crate::config::LaserConfig;
+use crate::detect::Detector;
+use crate::repair::{RepairPlan, SsbHook};
+use crate::system::{LaserError, LaserOutcome, RepairSummary};
+
+/// An in-flight LASER run: application, driver, detector and (optionally)
+/// repair, as one owned value.
+#[derive(Debug)]
+pub struct LaserSession {
+    config: LaserConfig,
+    machine: Machine,
+    driver: Driver,
+    detector: Detector,
+    workload: String,
+    num_cores: usize,
+    max_steps: u64,
+    detector_cycles: u64,
+    repair: Option<RepairSummary>,
+}
+
+impl LaserSession {
+    /// Set up a run of `image` under LASER on a machine with `machine_config`.
+    pub fn new(config: LaserConfig, image: &WorkloadImage, machine_config: MachineConfig) -> Self {
+        let max_steps = machine_config.max_steps;
+        let num_cores = machine_config.num_cores;
+        let machine = Machine::new(machine_config, image);
+
+        let program = image.program();
+        let code_range = (program.base_pc(), program.end_pc());
+        let model = ImprecisionModel::new(
+            config.imprecision,
+            image.memory_map(),
+            code_range,
+            config.seed,
+        );
+        let pmu = Pmu::new(
+            PmuConfig {
+                sav: config.sav,
+                num_cores,
+                ..Default::default()
+            },
+            model,
+        );
+        let driver = Driver::new(pmu, config.driver);
+        let detector = Detector::new(&config, program, image.memory_map());
+
+        LaserSession {
+            config,
+            machine,
+            driver,
+            detector,
+            workload: image.name().to_string(),
+            num_cores,
+            max_steps,
+            detector_cycles: 0,
+            repair: None,
+        }
+    }
+
+    /// The machine being monitored.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The detector's live state.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Whether LASERREPAIR has been attached.
+    pub fn repair_triggered(&self) -> bool {
+        self.repair.is_some()
+    }
+
+    /// Run one poll quantum: `poll_interval_steps` application instructions,
+    /// one driver poll, one detector batch, and — when the false-sharing rate
+    /// crosses the threshold — the repair attachment decision.
+    ///
+    /// # Errors
+    /// Returns an error if the machine exhausts its step budget.
+    pub fn advance(&mut self) -> Result<RunStatus, LaserError> {
+        let status = self.machine.run_steps(self.config.poll_interval_steps);
+        self.driver.poll(&mut self.machine);
+        let records = self.driver.read_records();
+        if !records.is_empty() {
+            self.detector.process(&records);
+            let cycles = self.detector.processing_cycles(records.len());
+            self.detector_cycles += cycles;
+            let per_core = cycles / self.num_cores as u64;
+            if per_core > 0 {
+                self.machine.charge_all_cores(per_core);
+            }
+        }
+
+        if self.config.enable_repair && self.repair.is_none() {
+            self.maybe_attach_repair();
+        }
+
+        if status == RunStatus::Running && self.machine.steps() >= self.max_steps {
+            return Err(LaserError::Machine(MachineError::MaxStepsExceeded {
+                steps: self.max_steps,
+            }));
+        }
+        Ok(status)
+    }
+
+    /// Check the repair trigger and attach the SSB instrumentation when a
+    /// profitable plan exists.
+    fn maybe_attach_repair(&mut self) {
+        let elapsed = self.machine.elapsed_benchmark_seconds();
+        let pcs = self
+            .detector
+            .repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
+        if pcs.is_empty() {
+            return;
+        }
+        let Some(plan) = RepairPlan::analyze(
+            self.machine.program(),
+            &pcs,
+            self.config.min_stores_per_flush,
+            self.config.max_plan_blocks,
+        ) else {
+            return;
+        };
+        if !plan.profitable {
+            return;
+        }
+        let hook = SsbHook::new(plan.clone(), self.num_cores);
+        self.repair = Some(RepairSummary {
+            triggered_at_cycle: self.machine.cycles(),
+            plan,
+            stats: hook.stats(),
+        });
+        self.machine.attach_hook(Box::new(hook));
+    }
+
+    /// Drive the session to completion.
+    ///
+    /// # Errors
+    /// Returns an error if the machine exhausts its step budget.
+    pub fn run(mut self) -> Result<LaserOutcome, LaserError> {
+        loop {
+            if self.advance()? == RunStatus::Done {
+                return Ok(self.finish());
+            }
+        }
+    }
+
+    /// Flush what is still buffered in the PEBS hardware, fold the repair
+    /// hook's final counters into the summary, and produce the outcome.
+    pub fn finish(mut self) -> LaserOutcome {
+        self.driver.poll(&mut self.machine);
+        self.driver.flush();
+        let records = self.driver.read_records();
+        if !records.is_empty() {
+            self.detector.process(&records);
+            self.detector_cycles += self.detector.processing_cycles(records.len());
+        }
+
+        if let Some(summary) = self.repair.as_mut() {
+            // The hook owns its statistics; read them back out of the machine.
+            if let Some(ssb) = self
+                .machine
+                .hook()
+                .and_then(|h| h.as_any())
+                .and_then(|a| a.downcast_ref::<SsbHook>())
+            {
+                summary.stats = ssb.stats();
+            }
+        }
+
+        let elapsed = self.machine.elapsed_benchmark_seconds();
+        let report = self.detector.report(
+            &self.workload,
+            elapsed,
+            self.config.rate_threshold_hitm_per_sec,
+            self.repair.is_some(),
+        );
+        LaserOutcome {
+            report,
+            run: self.machine.result(),
+            driver_stats: self.driver.stats(),
+            detector_cycles: self.detector_cycles,
+            repair: self.repair,
+            elapsed_benchmark_seconds: elapsed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole point of the session refactor: a full LASER run is one owned
+    /// value that can move across threads.
+    #[test]
+    fn session_and_its_pieces_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LaserSession>();
+        assert_send::<Machine>();
+        assert_send::<Driver>();
+        assert_send::<Detector>();
+        assert_send::<LaserOutcome>();
+    }
+
+    #[test]
+    fn session_run_on_a_worker_thread_matches_inline_run() {
+        use laser_isa::inst::{Operand, Reg};
+        use laser_isa::ProgramBuilder;
+        use laser_machine::ThreadSpec;
+
+        let mut b = ProgramBuilder::new("xthread");
+        b.source("xthread.c", 4);
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(body);
+        b.mem_add(Reg(0), 0, Operand::Imm(1), 8);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(1500));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = laser_machine::WorkloadImage::new("xthread", program);
+        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
+        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), base));
+        image.push_thread(ThreadSpec::new("t1", "body").with_reg(Reg(0), base + 8));
+
+        let config = LaserConfig::default();
+        let inline = LaserSession::new(config.clone(), &image, MachineConfig::default())
+            .run()
+            .unwrap();
+
+        let session = LaserSession::new(config, &image, MachineConfig::default());
+        let moved = std::thread::spawn(move || session.run().unwrap())
+            .join()
+            .unwrap();
+
+        assert_eq!(inline.cycles(), moved.cycles());
+        assert_eq!(inline.report, moved.report);
+        assert_eq!(inline.detector_cycles, moved.detector_cycles);
+    }
+}

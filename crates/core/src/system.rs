@@ -10,22 +10,18 @@
 //! cycle count is directly comparable to a native run — which is exactly how
 //! the paper's Figures 10–14 are built.
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
 use laser_machine::machine::MachineError;
-use laser_machine::{Machine, MachineConfig, RunResult, RunStatus, WorkloadImage};
-use laser_pebs::driver::{Driver, DriverStats};
-use laser_pebs::imprecision::ImprecisionModel;
-use laser_pebs::pmu::{Pmu, PmuConfig};
+use laser_machine::{Machine, MachineConfig, RunResult, WorkloadImage};
+use laser_pebs::driver::DriverStats;
 
 use crate::config::LaserConfig;
-use crate::detect::Detector;
-use crate::repair::{RepairPlan, SsbHook, SsbStats};
+use crate::repair::{RepairPlan, SsbStats};
 use crate::report::ContentionReport;
+use crate::session::LaserSession;
 
 /// What LASERREPAIR did during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -145,6 +141,10 @@ impl Laser {
 
     /// Run `image` under LASER on a machine with `machine_config`.
     ///
+    /// The whole run lives in a [`LaserSession`] — an owned, `Send`-able
+    /// value — so callers that want to fan runs out across threads can use
+    /// [`Laser::session_on`] and move the session to a worker instead.
+    ///
     /// # Errors
     /// Returns an error if the workload exceeds the machine's step budget.
     pub fn run_on(
@@ -152,106 +152,19 @@ impl Laser {
         image: &WorkloadImage,
         machine_config: MachineConfig,
     ) -> Result<LaserOutcome, LaserError> {
-        let max_steps = machine_config.max_steps;
-        let num_cores = machine_config.num_cores;
-        let mut machine = Machine::new(machine_config, image);
+        self.session_on(image, machine_config).run()
+    }
 
-        let program = image.program();
-        let code_range = (program.base_pc(), program.end_pc());
-        let model = ImprecisionModel::new(
-            self.config.imprecision,
-            image.memory_map(),
-            code_range,
-            self.config.seed,
-        );
-        let pmu = Pmu::new(
-            PmuConfig { sav: self.config.sav, num_cores, ..Default::default() },
-            model,
-        );
-        let mut driver = Driver::new(pmu, self.config.driver);
-        let mut detector = Detector::new(&self.config, program, image.memory_map());
+    /// Set up (but do not run) a session for `image` with the default machine
+    /// configuration.
+    pub fn session(&self, image: &WorkloadImage) -> LaserSession {
+        self.session_on(image, MachineConfig::default())
+    }
 
-        let mut detector_cycles = 0u64;
-        let mut repair_summary: Option<RepairSummary> = None;
-        let mut ssb_stats: Option<Rc<RefCell<SsbStats>>> = None;
-
-        loop {
-            let status = machine.run_steps(self.config.poll_interval_steps);
-            driver.poll(&mut machine);
-            let records = driver.read_records();
-            if !records.is_empty() {
-                detector.process(&records);
-                let cycles = detector.processing_cycles(records.len());
-                detector_cycles += cycles;
-                let per_core = cycles / num_cores as u64;
-                if per_core > 0 {
-                    machine.charge_all_cores(per_core);
-                }
-            }
-
-            if self.config.enable_repair && repair_summary.is_none() {
-                let elapsed = machine.elapsed_benchmark_seconds();
-                let pcs =
-                    detector.repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
-                if !pcs.is_empty() {
-                    if let Some(plan) = RepairPlan::analyze(
-                        program,
-                        &pcs,
-                        self.config.min_stores_per_flush,
-                        self.config.max_plan_blocks,
-                    ) {
-                        if plan.profitable {
-                            let hook = SsbHook::new(plan.clone(), num_cores);
-                            ssb_stats = Some(hook.stats_handle());
-                            machine.attach_hook(Box::new(hook));
-                            repair_summary = Some(RepairSummary {
-                                triggered_at_cycle: machine.cycles(),
-                                plan,
-                                stats: SsbStats::default(),
-                            });
-                        }
-                    }
-                }
-            }
-
-            if status == RunStatus::Done {
-                break;
-            }
-            if machine.steps() >= max_steps {
-                return Err(LaserError::Machine(MachineError::MaxStepsExceeded {
-                    steps: max_steps,
-                }));
-            }
-        }
-
-        // Final drain: flush PEBS buffers and process what is left.
-        driver.poll(&mut machine);
-        driver.flush();
-        let records = driver.read_records();
-        if !records.is_empty() {
-            detector.process(&records);
-            detector_cycles += detector.processing_cycles(records.len());
-        }
-
-        if let (Some(summary), Some(stats)) = (repair_summary.as_mut(), ssb_stats.as_ref()) {
-            summary.stats = *stats.borrow();
-        }
-
-        let elapsed = machine.elapsed_benchmark_seconds();
-        let report = detector.report(
-            image.name(),
-            elapsed,
-            self.config.rate_threshold_hitm_per_sec,
-            repair_summary.is_some(),
-        );
-        Ok(LaserOutcome {
-            report,
-            run: machine.result(),
-            driver_stats: driver.stats(),
-            detector_cycles,
-            repair: repair_summary,
-            elapsed_benchmark_seconds: elapsed,
-        })
+    /// Set up (but do not run) a session for `image` on a machine with
+    /// `machine_config`.
+    pub fn session_on(&self, image: &WorkloadImage, machine_config: MachineConfig) -> LaserSession {
+        LaserSession::new(self.config.clone(), image, machine_config)
     }
 }
 
@@ -345,7 +258,9 @@ mod tests {
     #[test]
     fn detection_only_mode_reports_without_repair() {
         let image = false_sharing_image(3000);
-        let outcome = Laser::new(LaserConfig::detection_only()).run(&image).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&image)
+            .unwrap();
         assert!(outcome.repair.is_none());
         assert!(!outcome.report.repair_invoked);
         assert!(!outcome.report.lines.is_empty());

@@ -95,7 +95,12 @@ impl AliasSpeculation {
                 checks_required.insert(pc, usize::max(1, uses));
             }
         }
-        AliasSpeculation { speculative_loads, ssb_loads, store_base_regs, checks_required }
+        AliasSpeculation {
+            speculative_loads,
+            ssb_loads,
+            store_base_regs,
+            checks_required,
+        }
     }
 
     /// Total number of runtime alias checks needed (one per distinct address
@@ -105,7 +110,7 @@ impl AliasSpeculation {
         // in checks_required divided by uses; approximate as number of groups.
         let mut groups: HashSet<usize> = HashSet::new();
         let mut count = 0usize;
-        for (_pc, &uses) in &self.checks_required {
+        for &uses in self.checks_required.values() {
             // Each group of `uses` loads contributes exactly one check; we
             // count 1/uses per load and sum.
             groups.insert(uses);

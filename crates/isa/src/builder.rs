@@ -118,7 +118,9 @@ impl ProgramBuilder {
     }
 
     fn cur(&mut self) -> &mut PendingBlock {
-        let idx = self.current.expect("switch_to must be called before emitting instructions");
+        let idx = self
+            .current
+            .expect("switch_to must be called before emitting instructions");
         &mut self.blocks[idx]
     }
 
@@ -136,7 +138,11 @@ impl ProgramBuilder {
 
     /// `dst = load size bytes from [base + offset]`.
     pub fn load(&mut self, dst: Reg, base: Reg, offset: i64, size: u8) -> &mut Self {
-        self.emit(Inst::Load { dst, addr: MemAddr::base_offset(base, offset), size })
+        self.emit(Inst::Load {
+            dst,
+            addr: MemAddr::base_offset(base, offset),
+            size,
+        })
     }
 
     /// `dst = load size bytes from addr`.
@@ -146,7 +152,11 @@ impl ProgramBuilder {
 
     /// `store size bytes of src to [base + offset]`.
     pub fn store(&mut self, src: Operand, base: Reg, offset: i64, size: u8) -> &mut Self {
-        self.emit(Inst::Store { src, addr: MemAddr::base_offset(base, offset), size })
+        self.emit(Inst::Store {
+            src,
+            addr: MemAddr::base_offset(base, offset),
+            size,
+        })
     }
 
     /// `store size bytes of src to addr`.
@@ -229,7 +239,12 @@ impl ProgramBuilder {
         operand: Operand,
         size: u8,
     ) -> &mut Self {
-        self.emit(Inst::MemRmw { op, addr: MemAddr::base_offset(base, offset), operand, size })
+        self.emit(Inst::MemRmw {
+            op,
+            addr: MemAddr::base_offset(base, offset),
+            operand,
+            size,
+        })
     }
 
     /// A full memory fence.
@@ -330,7 +345,11 @@ impl ProgramBuilder {
 
     /// Seal the current block with a conditional branch on `cond != 0`.
     pub fn branch(&mut self, cond: Reg, if_true: BlockId, if_false: BlockId) {
-        self.seal(Terminator::Branch { cond, if_true, if_false });
+        self.seal(Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        });
     }
 
     /// Seal the current block by halting the thread.
@@ -359,7 +378,10 @@ impl ProgramBuilder {
             });
             srcs.push(block_srcs);
         }
-        assert!(!blocks.is_empty(), "a program must contain at least one block");
+        assert!(
+            !blocks.is_empty(),
+            "a program must contain at least one block"
+        );
         Program::from_parts(self.name, blocks, self.base_pc, srcs)
     }
 }

@@ -35,7 +35,11 @@ impl Cfg {
             }
             succs[block.id.0 as usize] = ss;
         }
-        Cfg { succs, preds, exits }
+        Cfg {
+            succs,
+            preds,
+            exits,
+        }
     }
 
     /// Number of basic blocks.

@@ -49,8 +49,11 @@ impl Dominators {
                 if b == entry.0 as usize {
                     continue;
                 }
-                let preds: Vec<usize> =
-                    cfg.predecessors(BlockId(b as u32)).iter().map(|p| p.0 as usize).collect();
+                let preds: Vec<usize> = cfg
+                    .predecessors(BlockId(b as u32))
+                    .iter()
+                    .map(|p| p.0 as usize)
+                    .collect();
                 let mut new = intersect_all(&dom, &preds, n);
                 new.insert(b);
                 if new != dom[b] {
@@ -74,8 +77,10 @@ impl Dominators {
 
     /// All dominators of `b`.
     pub fn dominators_of(&self, b: BlockId) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> =
-            self.dom[b.0 as usize].iter().map(|&i| BlockId(i as u32)).collect();
+        let mut v: Vec<BlockId> = self.dom[b.0 as usize]
+            .iter()
+            .map(|&i| BlockId(i as u32))
+            .collect();
         v.sort();
         v
     }
@@ -108,8 +113,11 @@ impl PostDominators {
         while changed {
             changed = false;
             for b in 0..n {
-                let mut succs: Vec<usize> =
-                    cfg.successors(BlockId(b as u32)).iter().map(|s| s.0 as usize).collect();
+                let mut succs: Vec<usize> = cfg
+                    .successors(BlockId(b as u32))
+                    .iter()
+                    .map(|s| s.0 as usize)
+                    .collect();
                 if exit_set.contains(&b) {
                     succs.push(virtual_exit);
                 }
@@ -137,10 +145,16 @@ impl PostDominators {
         }
         let mut acc = self.pdom[blocks[0].0 as usize].clone();
         for b in &blocks[1..] {
-            acc = acc.intersection(&self.pdom[b.0 as usize]).copied().collect();
+            acc = acc
+                .intersection(&self.pdom[b.0 as usize])
+                .copied()
+                .collect();
         }
-        let mut v: Vec<BlockId> =
-            acc.into_iter().filter(|&i| i < self.n).map(|i| BlockId(i as u32)).collect();
+        let mut v: Vec<BlockId> = acc
+            .into_iter()
+            .filter(|&i| i < self.n)
+            .map(|i| BlockId(i as u32))
+            .collect();
         v.sort();
         v
     }
@@ -152,7 +166,11 @@ impl PostDominators {
         candidates
             .iter()
             .copied()
-            .find(|&c| candidates.iter().all(|&other| self.post_dominates(other, c)))
+            .find(|&c| {
+                candidates
+                    .iter()
+                    .all(|&other| self.post_dominates(other, c))
+            })
             .or_else(|| candidates.first().copied())
     }
 }

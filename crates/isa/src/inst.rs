@@ -71,13 +71,21 @@ pub struct MemAddr {
 impl MemAddr {
     /// Address formed from a base register plus a constant offset.
     pub fn base_offset(base: Reg, offset: i64) -> Self {
-        MemAddr { base, index: None, offset }
+        MemAddr {
+            base,
+            index: None,
+            offset,
+        }
     }
 
     /// Address formed from a base register, an index register scaled by
     /// `scale`, and a constant offset.
     pub fn indexed(base: Reg, index: Reg, scale: u8, offset: i64) -> Self {
-        MemAddr { base, index: Some((index, scale)), offset }
+        MemAddr {
+            base,
+            index: Some((index, scale)),
+            offset,
+        }
     }
 
     /// Registers read when evaluating this address.
@@ -126,20 +134,8 @@ impl AluOp {
             AluOp::Add => lhs.wrapping_add(rhs),
             AluOp::Sub => lhs.wrapping_sub(rhs),
             AluOp::Mul => lhs.wrapping_mul(rhs),
-            AluOp::Div => {
-                if rhs == 0 {
-                    0
-                } else {
-                    lhs / rhs
-                }
-            }
-            AluOp::Rem => {
-                if rhs == 0 {
-                    0
-                } else {
-                    lhs % rhs
-                }
-            }
+            AluOp::Div => lhs.checked_div(rhs).unwrap_or(0),
+            AluOp::Rem => lhs.checked_rem(rhs).unwrap_or(0),
             AluOp::And => lhs & rhs,
             AluOp::Or => lhs | rhs,
             AluOp::Xor => lhs ^ rhs,
@@ -193,13 +189,27 @@ pub enum Inst {
     /// `dst <- zero-extended load of `size` bytes from `addr``.
     Load { dst: Reg, addr: MemAddr, size: u8 },
     /// Store the low `size` bytes of `src` to `addr`.
-    Store { src: Operand, addr: MemAddr, size: u8 },
+    Store {
+        src: Operand,
+        addr: MemAddr,
+        size: u8,
+    },
     /// Register/immediate move.
     Mov { dst: Reg, src: Operand },
     /// `dst <- op(lhs, rhs)`.
-    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Operand },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Operand,
+    },
     /// `dst <- cmp(lhs, rhs) ? 1 : 0`.
-    Cmp { op: CmpOp, dst: Reg, lhs: Reg, rhs: Operand },
+    Cmp {
+        op: CmpOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Operand,
+    },
     /// Atomic read-modify-write on `addr`; `dst` receives the old value.
     /// `expected` is only used by [`RmwOp::CompareExchange`].
     AtomicRmw {
@@ -215,7 +225,12 @@ pub enum Inst {
     /// stores the result back. Not a fence. Compilers emit these for counter
     /// increments, which is why such PCs appear in both the load and store
     /// sets the detector builds.
-    MemRmw { op: AluOp, addr: MemAddr, operand: Operand, size: u8 },
+    MemRmw {
+        op: AluOp,
+        addr: MemAddr,
+        operand: Operand,
+        size: u8,
+    },
     /// Full memory fence (drains the store buffer).
     Fence,
     /// Spin-loop hint; costs a cycle and does nothing else.
@@ -227,12 +242,18 @@ pub enum Inst {
 impl Inst {
     /// True if the instruction reads memory.
     pub fn is_load(&self) -> bool {
-        matches!(self, Inst::Load { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. })
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. }
+        )
     }
 
     /// True if the instruction writes memory.
     pub fn is_store(&self) -> bool {
-        matches!(self, Inst::Store { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. })
+        matches!(
+            self,
+            Inst::Store { .. } | Inst::AtomicRmw { .. } | Inst::MemRmw { .. }
+        )
     }
 
     /// The memory access size in bytes, if this is a memory instruction.
@@ -272,10 +293,21 @@ impl fmt::Display for Inst {
             Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
             Inst::Alu { op, dst, lhs, rhs } => write!(f, "{op:?} {dst}, {lhs}, {rhs}").map(|_| ()),
             Inst::Cmp { op, dst, lhs, rhs } => write!(f, "cmp.{op:?} {dst}, {lhs}, {rhs}"),
-            Inst::AtomicRmw { op, dst, addr, operand, .. } => {
+            Inst::AtomicRmw {
+                op,
+                dst,
+                addr,
+                operand,
+                ..
+            } => {
                 write!(f, "atomic.{op:?} {dst}, {addr}, {operand}")
             }
-            Inst::MemRmw { op, addr, operand, size } => {
+            Inst::MemRmw {
+                op,
+                addr,
+                operand,
+                size,
+            } => {
                 write!(f, "{op:?}{size} {addr}, {operand}")
             }
             Inst::Fence => write!(f, "fence"),
@@ -291,7 +323,11 @@ pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
     /// Conditional branch on `cond != 0`.
-    Branch { cond: Reg, if_true: BlockId, if_false: BlockId },
+    Branch {
+        cond: Reg,
+        if_true: BlockId,
+        if_false: BlockId,
+    },
     /// End of this thread's execution.
     Halt,
 }
@@ -301,7 +337,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Terminator::Halt => Vec::new(),
         }
     }
@@ -311,7 +349,11 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump(t) => write!(f, "jmp {t:?}"),
-            Terminator::Branch { cond, if_true, if_false } => {
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 write!(f, "br {cond}, {if_true:?}, {if_false:?}")
             }
             Terminator::Halt => write!(f, "halt"),
@@ -351,7 +393,11 @@ mod tests {
 
     #[test]
     fn inst_classification() {
-        let ld = Inst::Load { dst: Reg(1), addr: MemAddr::base_offset(Reg(0), 0), size: 8 };
+        let ld = Inst::Load {
+            dst: Reg(1),
+            addr: MemAddr::base_offset(Reg(0), 0),
+            size: 8,
+        };
         let st = Inst::Store {
             src: Operand::Imm(1),
             addr: MemAddr::base_offset(Reg(0), 8),
@@ -398,14 +444,22 @@ mod tests {
     fn terminator_successors() {
         let j = Terminator::Jump(BlockId(2));
         assert_eq!(j.successors(), vec![BlockId(2)]);
-        let b = Terminator::Branch { cond: Reg(0), if_true: BlockId(1), if_false: BlockId(2) };
+        let b = Terminator::Branch {
+            cond: Reg(0),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+        };
         assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Halt.successors().is_empty());
     }
 
     #[test]
     fn display_is_nonempty() {
-        let ld = Inst::Load { dst: Reg(1), addr: MemAddr::indexed(Reg(0), Reg(2), 8, 4), size: 8 };
+        let ld = Inst::Load {
+            dst: Reg(1),
+            addr: MemAddr::indexed(Reg(0), Reg(2), 8, 4),
+            size: 8,
+        };
         assert!(!format!("{ld}").is_empty());
         assert!(!format!("{}", Terminator::Halt).is_empty());
         assert!(!format!("{}", Operand::Imm(7)).is_empty());

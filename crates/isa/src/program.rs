@@ -41,7 +41,10 @@ pub struct SourceLoc {
 impl SourceLoc {
     /// Create a source location.
     pub fn new(file: impl Into<String>, line: u32) -> Self {
-        SourceLoc { file: file.into(), line }
+        SourceLoc {
+            file: file.into(),
+            line,
+        }
     }
 
     /// The `file:line` rendering used throughout reports.
@@ -132,11 +135,22 @@ impl Program {
             block_start.push(base_pc + layout.len() as u64 * INST_BYTES);
             label_index.insert(block.label.clone(), block.id);
             for i in 0..block.len() {
-                layout.push(PcSlot { block: block.id, inst_index: i });
+                layout.push(PcSlot {
+                    block: block.id,
+                    inst_index: i,
+                });
                 src.push(src_per_slot[bi].get(i).cloned().flatten());
             }
         }
-        Program { name, blocks, base_pc, layout, block_start, src, label_index }
+        Program {
+            name,
+            blocks,
+            base_pc,
+            layout,
+            block_start,
+            src,
+            label_index,
+        }
     }
 
     /// Program name (the "binary" name used in reports).
@@ -185,7 +199,7 @@ impl Program {
     /// The slot (block and index) a PC refers to, if it is in range and
     /// aligned.
     pub fn slot_of(&self, pc: Pc) -> Option<PcSlot> {
-        if pc < self.base_pc || pc % INST_BYTES != 0 {
+        if pc < self.base_pc || !pc.is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - self.base_pc) / INST_BYTES) as usize;
@@ -218,7 +232,7 @@ impl Program {
 
     /// Source location recorded for the instruction at `pc`.
     pub fn source_of(&self, pc: Pc) -> Option<&SourceLoc> {
-        if pc < self.base_pc || pc % INST_BYTES != 0 {
+        if pc < self.base_pc || !pc.is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - self.base_pc) / INST_BYTES) as usize;

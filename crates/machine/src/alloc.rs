@@ -37,8 +37,14 @@ pub enum AllocError {
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AllocError::OutOfMemory { requested, remaining } => {
-                write!(f, "heap exhausted: requested {requested} bytes, {remaining} remaining")
+            AllocError::OutOfMemory {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "heap exhausted: requested {requested} bytes, {remaining} remaining"
+                )
             }
             AllocError::BadAlignment(a) => write!(f, "alignment {a} is not a power of two"),
         }
@@ -67,7 +73,18 @@ impl HeapAllocator {
     /// Panics if the region is empty.
     pub fn new(start: Addr, end: Addr) -> Self {
         assert!(start < end, "heap region must be non-empty");
-        HeapAllocator { start, end, cursor: start, perturbation: 0, allocations: Vec::new() }
+        HeapAllocator {
+            start,
+            end,
+            cursor: start,
+            perturbation: 0,
+            allocations: Vec::new(),
+        }
+    }
+
+    /// The base address of the managed region.
+    pub fn start(&self) -> Addr {
+        self.start
     }
 
     /// Add a fixed offset before every subsequent allocation, modelling an

@@ -55,8 +55,14 @@ impl CoherenceDirectory {
     /// # Panics
     /// Panics if `num_cores` is zero or greater than 64.
     pub fn new(num_cores: usize) -> Self {
-        assert!(num_cores >= 1 && num_cores <= 64, "1..=64 cores supported, got {num_cores}");
-        CoherenceDirectory { num_cores, lines: HashMap::new() }
+        assert!(
+            (1..=64).contains(&num_cores),
+            "1..=64 cores supported, got {num_cores}"
+        );
+        CoherenceDirectory {
+            num_cores,
+            lines: HashMap::new(),
+        }
     }
 
     /// Number of cores.
@@ -81,12 +87,26 @@ impl CoherenceDirectory {
         let (outcome, new_state) = match state {
             None => {
                 // Cold miss.
-                let ns = if is_write { LineState::Modified(core) } else { LineState::Shared(bit) };
-                (AccessOutcome { class: AccessClass::Dram, previous_owner: None }, ns)
+                let ns = if is_write {
+                    LineState::Modified(core)
+                } else {
+                    LineState::Shared(bit)
+                };
+                (
+                    AccessOutcome {
+                        class: AccessClass::Dram,
+                        previous_owner: None,
+                    },
+                    ns,
+                )
             }
-            Some(LineState::Modified(owner)) if owner == core => {
-                (AccessOutcome { class: AccessClass::L1Hit, previous_owner: None }, state.unwrap())
-            }
+            Some(LineState::Modified(owner)) if owner == core => (
+                AccessOutcome {
+                    class: AccessClass::L1Hit,
+                    previous_owner: None,
+                },
+                state.unwrap(),
+            ),
             Some(LineState::Modified(owner)) => {
                 // Remote modified: HITM. A read leaves the line shared by
                 // both; a write transfers ownership.
@@ -95,24 +115,43 @@ impl CoherenceDirectory {
                 } else {
                     LineState::Shared(bit | (1u64 << owner))
                 };
-                (AccessOutcome { class: AccessClass::Hitm, previous_owner: Some(owner) }, ns)
+                (
+                    AccessOutcome {
+                        class: AccessClass::Hitm,
+                        previous_owner: Some(owner),
+                    },
+                    ns,
+                )
             }
             Some(LineState::Shared(sharers)) => {
                 if is_write {
                     // Upgrade / invalidate others.
-                    let class = if sharers == bit { AccessClass::L1Hit } else { AccessClass::LlcHit };
+                    let class = if sharers == bit {
+                        AccessClass::L1Hit
+                    } else {
+                        AccessClass::LlcHit
+                    };
                     (
-                        AccessOutcome { class, previous_owner: None },
+                        AccessOutcome {
+                            class,
+                            previous_owner: None,
+                        },
                         LineState::Modified(core),
                     )
                 } else if sharers & bit != 0 {
                     (
-                        AccessOutcome { class: AccessClass::L1Hit, previous_owner: None },
+                        AccessOutcome {
+                            class: AccessClass::L1Hit,
+                            previous_owner: None,
+                        },
                         LineState::Shared(sharers),
                     )
                 } else {
                     (
-                        AccessOutcome { class: AccessClass::LlcHit, previous_owner: None },
+                        AccessOutcome {
+                            class: AccessClass::LlcHit,
+                            previous_owner: None,
+                        },
                         LineState::Shared(sharers | bit),
                     )
                 }

@@ -78,14 +78,32 @@ impl HookCtx<'_> {
     /// Perform a real load of `size` bytes at `addr`, attributed to `pc`.
     /// Returns the value and the cycles the access cost.
     pub fn mem_read(&mut self, pc: Pc, addr: Addr, size: u8) -> (u64, u64) {
-        self.inner.access(self.core, pc, addr, size, false, MemAccessKind::Load, None, self.now)
+        self.inner.access(
+            self.core,
+            pc,
+            addr,
+            size,
+            false,
+            MemAccessKind::Load,
+            None,
+            self.now,
+        )
     }
 
     /// Perform a real store of `size` bytes at `addr`, attributed to `pc`.
     /// Returns the cycles the access cost.
     pub fn mem_write(&mut self, pc: Pc, addr: Addr, size: u8, value: u64) -> u64 {
         self.inner
-            .access(self.core, pc, addr, size, true, MemAccessKind::Store, Some(value), self.now)
+            .access(
+                self.core,
+                pc,
+                addr,
+                size,
+                true,
+                MemAccessKind::Store,
+                Some(value),
+                self.now,
+            )
             .1
     }
 
@@ -103,7 +121,20 @@ impl HookCtx<'_> {
 ///
 /// All methods have default no-op implementations so tools only override the
 /// interception points they need.
-pub trait ExecHook {
+///
+/// Hooks are required to be `Send` (they own their state outright — no
+/// `Rc`/`RefCell` sharing with the outside), so a machine with a hook
+/// attached remains a self-contained value that can move across threads;
+/// that is what lets whole tool runs be fanned out over a thread pool.
+pub trait ExecHook: Send {
+    /// Expose the concrete tool for downcasting, so a caller holding the
+    /// machine can read tool statistics (e.g. via [`std::any::Any`]) without
+    /// the tool having to share state behind `Rc<RefCell<..>>`. Tools that
+    /// carry no queryable state can keep the `None` default.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Called before every memory operation. Returning
     /// [`HookAction::Passthrough`] lets the access proceed normally.
     fn on_mem_op(&mut self, ctx: &mut HookCtx<'_>, op: &MemOp) -> HookAction {
@@ -146,7 +177,10 @@ mod tests {
     fn default_hook_methods_are_noops() {
         // NullHook relies entirely on default methods; construct a dummy ctx
         // indirectly by checking the action variants only.
-        let action = HookAction::Handled { load_value: Some(7), extra_cycles: 3 };
+        let action = HookAction::Handled {
+            load_value: Some(7),
+            extra_cycles: 3,
+        };
         assert_ne!(action, HookAction::Passthrough);
         let op = MemOp {
             pc: 0x40_0000,

@@ -50,7 +50,11 @@ pub struct ThreadSpec {
 impl ThreadSpec {
     /// Create a thread starting at the block labelled `entry_label`.
     pub fn new(name: impl Into<String>, entry_label: impl Into<String>) -> Self {
-        ThreadSpec { name: name.into(), entry_label: entry_label.into(), regs: Vec::new() }
+        ThreadSpec {
+            name: name.into(),
+            entry_label: entry_label.into(),
+            regs: Vec::new(),
+        }
     }
 
     /// Set an initial register value (builder-style).
@@ -74,10 +78,30 @@ impl MemoryLayout {
     fn standard(program: &Program) -> Self {
         let mut map = MemoryMap::new();
         let code_end = (program.end_pc() + 0xfff) & !0xfff;
-        map.add(Region::new(program.base_pc(), code_end, RegionKind::AppCode, program.name()));
-        map.add(Region::new(LIB_START, LIB_END, RegionKind::LibCode, "libshared.so"));
-        map.add(Region::new(GLOBALS_START, GLOBALS_END, RegionKind::Globals, "[data]"));
-        map.add(Region::new(HEAP_START, HEAP_END, RegionKind::Heap, "[heap]"));
+        map.add(Region::new(
+            program.base_pc(),
+            code_end,
+            RegionKind::AppCode,
+            program.name(),
+        ));
+        map.add(Region::new(
+            LIB_START,
+            LIB_END,
+            RegionKind::LibCode,
+            "libshared.so",
+        ));
+        map.add(Region::new(
+            GLOBALS_START,
+            GLOBALS_END,
+            RegionKind::Globals,
+            "[data]",
+        ));
+        map.add(Region::new(
+            HEAP_START,
+            HEAP_END,
+            RegionKind::Heap,
+            "[heap]",
+        ));
         MemoryLayout {
             map,
             heap: HeapAllocator::new(HEAP_START, HEAP_END),
@@ -145,7 +169,12 @@ impl MemoryLayout {
     fn add_stack(&mut self, tid: u32) -> Addr {
         let base = STACK_AREA_BASE + tid as u64 * STACK_STRIDE;
         let end = base + STACK_SIZE;
-        self.map.add(Region::new(base, end, RegionKind::Stack(tid), format!("[stack:{tid}]")));
+        self.map.add(Region::new(
+            base,
+            end,
+            RegionKind::Stack(tid),
+            format!("[stack:{tid}]"),
+        ));
         // Stack grows down; leave a small red zone below the top.
         end - 64
     }
@@ -277,11 +306,11 @@ mod tests {
         let mut image = WorkloadImage::new("t", trivial_program());
         let a = image.layout_mut().heap_alloc(128, 1).unwrap();
         let b = image.layout_mut().heap_alloc(128, 64).unwrap();
-        assert!(a >= HEAP_START && a < HEAP_END);
+        assert!((HEAP_START..HEAP_END).contains(&a));
         assert_eq!(b % 64, 0);
         let g = image.layout_mut().global_alloc(256, 64);
         assert_eq!(g % 64, 0);
-        assert!(g >= GLOBALS_START && g < GLOBALS_END);
+        assert!((GLOBALS_START..GLOBALS_END).contains(&g));
     }
 
     #[test]

@@ -10,24 +10,45 @@
 //! External agents (the PEBS driver, the detector process, instrumentation)
 //! inject their overhead with [`Machine::charge_cycles`]; that is how the
 //! reproduction accounts for tool overhead in the paper's Figures 10–14.
+//!
+//! The engine is split into focused submodules:
+//!
+//! * [`inner`](self) — [`MachineInner`], the memory/coherence state shared
+//!   with hooks;
+//! * `sched` — per-thread state and the smallest-clock scheduling decision;
+//! * `exec` — the fetch/execute loop and operand evaluation;
+//! * `dispatch` — hook attachment and dispatch (the Pin substitute).
+//!
+//! A `Machine` owns everything it needs (no shared interior mutability), so a
+//! fully configured machine — hook included — is `Send` and whole runs can be
+//! fanned out across worker threads by `laser-bench`'s campaign runner.
 
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use laser_isa::inst::{Inst, MemAddr, Operand, Reg, RmwOp, Terminator, NUM_REGS};
-use laser_isa::program::{BlockId, Pc, Program};
+use laser_isa::inst::NUM_REGS;
+use laser_isa::program::Program;
 
-use crate::addr::{lines_touched, Addr};
-use crate::coherence::{AccessClass, CoherenceDirectory};
-use crate::event::{HitmEvent, MemAccessKind};
-use crate::hook::{ExecHook, HookAction, HookCtx, MemOp};
-use crate::htm::{fits_in_transaction, HtmOutcome};
+use crate::addr::Addr;
+use crate::coherence::CoherenceDirectory;
+use crate::event::HitmEvent;
+use crate::hook::ExecHook;
 use crate::image::{WorkloadImage, STACK_POINTER_REG};
 use crate::mem::SparseMemory;
 use crate::memmap::MemoryMap;
 use crate::stats::MachineStats;
 use crate::timing::LatencyModel;
+
+mod dispatch;
+mod exec;
+mod inner;
+mod sched;
+#[cfg(test)]
+mod tests;
+
+pub(crate) use inner::MachineInner;
+use sched::ThreadCtx;
 
 /// Identifier of a simulated core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -53,7 +74,11 @@ pub struct MachineConfig {
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { num_cores: 4, latency: LatencyModel::default(), max_steps: 400_000_000 }
+        MachineConfig {
+            num_cores: 4,
+            latency: LatencyModel::default(),
+            max_steps: 400_000_000,
+        }
     }
 }
 
@@ -105,126 +130,6 @@ impl fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
-/// Shared mutable machine state that both normal execution and attached hooks
-/// operate on.
-pub(crate) struct MachineInner {
-    pub(crate) mem: SparseMemory,
-    pub(crate) coh: CoherenceDirectory,
-    pub(crate) stats: MachineStats,
-    pub(crate) pending_hitms: Vec<HitmEvent>,
-    pub(crate) latency: LatencyModel,
-}
-
-impl MachineInner {
-    /// Perform a memory access through the coherence directory, recording a
-    /// HITM event when the access hits a remotely-Modified line. Returns the
-    /// loaded value (0 for stores) and the cycle cost.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn access(
-        &mut self,
-        core: usize,
-        pc: Pc,
-        addr: Addr,
-        size: u8,
-        is_write: bool,
-        event_kind: MemAccessKind,
-        store_value: Option<u64>,
-        now: u64,
-    ) -> (u64, u64) {
-        let mut worst = 0u64;
-        for line in lines_touched(addr, size) {
-            let outcome = self.coh.access(core, line, is_write);
-            let cost = match outcome.class {
-                AccessClass::L1Hit => {
-                    self.stats.l1_hits += 1;
-                    self.latency.l1_hit
-                }
-                AccessClass::LlcHit => {
-                    self.stats.llc_hits += 1;
-                    self.latency.llc_hit
-                }
-                AccessClass::Dram => {
-                    self.stats.dram_accesses += 1;
-                    self.latency.dram
-                }
-                AccessClass::Hitm => {
-                    self.stats.hitm_events += 1;
-                    match event_kind {
-                        MemAccessKind::Load => self.stats.hitm_loads += 1,
-                        MemAccessKind::Store => self.stats.hitm_stores += 1,
-                    }
-                    self.pending_hitms.push(HitmEvent {
-                        core: CoreId(core),
-                        pc,
-                        addr,
-                        size,
-                        kind: event_kind,
-                        cycle: now,
-                    });
-                    self.latency.hitm
-                }
-            };
-            worst = worst.max(cost);
-        }
-        let value = if is_write {
-            if let Some(v) = store_value {
-                self.mem.write(addr, size, v);
-            }
-            0
-        } else {
-            self.mem.read(addr, size)
-        };
-        (value, worst)
-    }
-
-    /// Execute a write set atomically inside a hardware transaction.
-    pub(crate) fn htm_execute(
-        &mut self,
-        core: usize,
-        pc: Pc,
-        writes: &[(Addr, u8, u64)],
-        now: u64,
-    ) -> HtmOutcome {
-        let mut lines: Vec<Addr> = Vec::new();
-        for (addr, size, _) in writes {
-            for l in lines_touched(*addr, *size) {
-                if !lines.contains(&l) {
-                    lines.push(l);
-                }
-            }
-        }
-        if !fits_in_transaction(lines.len()) {
-            self.stats.htm_capacity_aborts += 1;
-            return HtmOutcome::CapacityAborted;
-        }
-        let mut cycles = self.latency.htm_begin + self.latency.htm_commit;
-        for (addr, size, value) in writes {
-            let (_, c) = self.access(
-                core,
-                pc,
-                *addr,
-                *size,
-                true,
-                MemAccessKind::Store,
-                Some(*value),
-                now,
-            );
-            cycles += c;
-        }
-        self.stats.htm_commits += 1;
-        HtmOutcome::Committed { cycles }
-    }
-}
-
-struct ThreadCtx {
-    name: String,
-    core: usize,
-    block: BlockId,
-    idx: usize,
-    regs: [u64; NUM_REGS],
-    halted: bool,
-}
-
 /// The simulated multicore machine.
 pub struct Machine {
     config: MachineConfig,
@@ -256,7 +161,10 @@ impl Machine {
     /// Panics if a thread's entry label does not exist in the program or if
     /// the image declares no threads.
     pub fn new(config: MachineConfig, image: &WorkloadImage) -> Self {
-        assert!(!image.threads().is_empty(), "workload image declares no threads");
+        assert!(
+            !image.threads().is_empty(),
+            "workload image declares no threads"
+        );
         let program = image.program().clone();
         let mut mem = SparseMemory::new();
         for (addr, bytes) in image.layout().initial_contents() {
@@ -299,22 +207,6 @@ impl Machine {
             steps: 0,
             config,
         }
-    }
-
-    /// Attach a dynamic-instrumentation hook (the Pin substitute). Replaces
-    /// any previously attached hook.
-    pub fn attach_hook(&mut self, hook: Box<dyn ExecHook>) {
-        self.hook = Some(hook);
-    }
-
-    /// Detach and return the current hook, if any.
-    pub fn detach_hook(&mut self) -> Option<Box<dyn ExecHook>> {
-        self.hook.take()
-    }
-
-    /// True if a hook is currently attached.
-    pub fn has_hook(&self) -> bool {
-        self.hook.is_some()
     }
 
     /// The program being executed.
@@ -388,41 +280,6 @@ impl Machine {
         self.inner.mem.read(addr, 8)
     }
 
-    /// True if every thread has halted.
-    pub fn is_done(&self) -> bool {
-        self.threads.iter().all(|t| t.halted)
-    }
-
-    /// Run at most `n` instructions. Returns [`RunStatus::Done`] once all
-    /// threads have halted.
-    pub fn run_steps(&mut self, n: u64) -> RunStatus {
-        for _ in 0..n {
-            if !self.step() {
-                return RunStatus::Done;
-            }
-        }
-        if self.is_done() {
-            RunStatus::Done
-        } else {
-            RunStatus::Running
-        }
-    }
-
-    /// Run until every thread halts.
-    ///
-    /// # Errors
-    /// Returns [`MachineError::MaxStepsExceeded`] if the configured step
-    /// budget runs out first.
-    pub fn run_to_completion(&mut self) -> Result<RunResult, MachineError> {
-        while !self.is_done() {
-            if self.steps >= self.config.max_steps {
-                return Err(MachineError::MaxStepsExceeded { steps: self.config.max_steps });
-            }
-            self.step();
-        }
-        Ok(self.result())
-    }
-
     /// Snapshot the result so far.
     pub fn result(&self) -> RunResult {
         RunResult {
@@ -431,613 +288,5 @@ impl Machine {
             stats: self.inner.stats.clone(),
             steps: self.steps,
         }
-    }
-
-    fn pick_thread(&self) -> Option<usize> {
-        self.threads
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.halted)
-            .min_by_key(|(i, t)| (self.core_cycles[t.core], *i))
-            .map(|(i, _)| i)
-    }
-
-    fn eval_operand(regs: &[u64; NUM_REGS], op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => regs[r.0 as usize],
-            Operand::Imm(v) => v,
-        }
-    }
-
-    fn eval_addr(regs: &[u64; NUM_REGS], addr: &MemAddr) -> Addr {
-        let mut a = regs[addr.base.0 as usize];
-        if let Some((idx, scale)) = addr.index {
-            a = a.wrapping_add(regs[idx.0 as usize].wrapping_mul(scale as u64));
-        }
-        a.wrapping_add(addr.offset as u64)
-    }
-
-    fn mask(value: u64, size: u8) -> u64 {
-        if size >= 8 {
-            value
-        } else {
-            value & ((1u64 << (8 * size)) - 1)
-        }
-    }
-
-    fn hook_mem_op(&mut self, ti: usize, op: &MemOp) -> Option<HookAction> {
-        let mut hook = self.hook.take()?;
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let action = {
-            let mut ctx = HookCtx { inner: &mut self.inner, core, now };
-            hook.on_mem_op(&mut ctx, op)
-        };
-        self.hook = Some(hook);
-        Some(action)
-    }
-
-    fn hook_fence(&mut self, ti: usize, pc: Pc) -> u64 {
-        let Some(mut hook) = self.hook.take() else { return 0 };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx { inner: &mut self.inner, core, now };
-            hook.on_fence(&mut ctx, pc)
-        };
-        self.hook = Some(hook);
-        cycles
-    }
-
-    fn hook_block_entry(&mut self, ti: usize, block: BlockId) -> u64 {
-        let Some(mut hook) = self.hook.take() else { return 0 };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx { inner: &mut self.inner, core, now };
-            hook.on_block_entry(&mut ctx, block)
-        };
-        self.hook = Some(hook);
-        cycles
-    }
-
-    fn hook_thread_exit(&mut self, ti: usize) -> u64 {
-        let Some(mut hook) = self.hook.take() else { return 0 };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx { inner: &mut self.inner, core, now };
-            hook.on_thread_exit(&mut ctx)
-        };
-        self.hook = Some(hook);
-        cycles
-    }
-
-    /// Execute one instruction on the thread whose core clock is lowest.
-    /// Returns false when every thread has halted.
-    fn step(&mut self) -> bool {
-        let Some(ti) = self.pick_thread() else { return false };
-        self.steps += 1;
-        self.inner.stats.instructions += 1;
-
-        let core = self.threads[ti].core;
-        let block_id = self.threads[ti].block;
-        let idx = self.threads[ti].idx;
-        let pc = self.program.pc_of(block_id, idx);
-        let now = self.core_cycles[core];
-        let lat = self.config.latency.clone();
-
-        let num_insts = self.program.block(block_id).insts.len();
-        if idx < num_insts {
-            let inst = self.program.block(block_id).insts[idx].clone();
-            let mut cost = 0u64;
-            match inst {
-                Inst::Load { dst, addr, size } => {
-                    self.inner.stats.loads += 1;
-                    let a = Self::eval_addr(&self.threads[ti].regs, &addr);
-                    let op = MemOp { pc, addr: a, size, kind: MemAccessKind::Load, store_value: None };
-                    let action = self.hook_mem_op(ti, &op).unwrap_or(HookAction::Passthrough);
-                    match action {
-                        HookAction::Handled { load_value, extra_cycles } => {
-                            self.inner.stats.hook_handled_ops += 1;
-                            self.threads[ti].regs[dst.0 as usize] = load_value.unwrap_or(0);
-                            cost += extra_cycles;
-                        }
-                        HookAction::Passthrough => {
-                            let (v, c) = self.inner.access(
-                                core,
-                                pc,
-                                a,
-                                size,
-                                false,
-                                MemAccessKind::Load,
-                                None,
-                                now,
-                            );
-                            self.threads[ti].regs[dst.0 as usize] = v;
-                            cost += c;
-                        }
-                    }
-                }
-                Inst::Store { src, addr, size } => {
-                    self.inner.stats.stores += 1;
-                    let a = Self::eval_addr(&self.threads[ti].regs, &addr);
-                    let v = Self::mask(Self::eval_operand(&self.threads[ti].regs, src), size);
-                    let op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Store,
-                        store_value: Some(v),
-                    };
-                    let action = self.hook_mem_op(ti, &op).unwrap_or(HookAction::Passthrough);
-                    match action {
-                        HookAction::Handled { extra_cycles, .. } => {
-                            self.inner.stats.hook_handled_ops += 1;
-                            cost += extra_cycles;
-                        }
-                        HookAction::Passthrough => {
-                            let (_, c) = self.inner.access(
-                                core,
-                                pc,
-                                a,
-                                size,
-                                true,
-                                MemAccessKind::Store,
-                                Some(v),
-                                now,
-                            );
-                            cost += c;
-                        }
-                    }
-                }
-                Inst::AtomicRmw { op, dst, addr, operand, expected, size } => {
-                    self.inner.stats.atomics += 1;
-                    // Atomics are fences: give the hook a chance to flush.
-                    cost += self.hook_fence(ti, pc);
-                    let a = Self::eval_addr(&self.threads[ti].regs, &addr);
-                    let operand_v =
-                        Self::mask(Self::eval_operand(&self.threads[ti].regs, operand), size);
-                    // The read-modify-write is a single exclusive-ownership
-                    // access; its load uop is what the precise PEBS event
-                    // samples, so record it as a load-kind HITM.
-                    let old = self.inner.mem.read(a, size);
-                    let new = match op {
-                        RmwOp::FetchAdd => Self::mask(old.wrapping_add(operand_v), size),
-                        RmwOp::Exchange => operand_v,
-                        RmwOp::CompareExchange => {
-                            let exp = Self::mask(
-                                Self::eval_operand(
-                                    &self.threads[ti].regs,
-                                    expected.unwrap_or(Operand::Imm(0)),
-                                ),
-                                size,
-                            );
-                            if old == exp {
-                                operand_v
-                            } else {
-                                old
-                            }
-                        }
-                    };
-                    let (_, c) = self.inner.access(
-                        core,
-                        pc,
-                        a,
-                        size,
-                        true,
-                        MemAccessKind::Load,
-                        Some(new),
-                        now,
-                    );
-                    self.threads[ti].regs[dst.0 as usize] = old;
-                    cost += c + lat.atomic_extra;
-                }
-                Inst::MemRmw { op, addr, operand, size } => {
-                    self.inner.stats.loads += 1;
-                    self.inner.stats.stores += 1;
-                    let a = Self::eval_addr(&self.threads[ti].regs, &addr);
-                    let rhs = Self::mask(Self::eval_operand(&self.threads[ti].regs, operand), size);
-                    // Load half (this is the uop Haswell's precise HITM event
-                    // samples, so a remote-Modified hit is recorded as a load).
-                    let load_op =
-                        MemOp { pc, addr: a, size, kind: MemAccessKind::Load, store_value: None };
-                    let current = match self
-                        .hook_mem_op(ti, &load_op)
-                        .unwrap_or(HookAction::Passthrough)
-                    {
-                        HookAction::Handled { load_value, extra_cycles } => {
-                            self.inner.stats.hook_handled_ops += 1;
-                            cost += extra_cycles;
-                            load_value.unwrap_or(0)
-                        }
-                        HookAction::Passthrough => {
-                            let (v, c) = self.inner.access(
-                                core,
-                                pc,
-                                a,
-                                size,
-                                false,
-                                MemAccessKind::Load,
-                                None,
-                                now,
-                            );
-                            cost += c;
-                            v
-                        }
-                    };
-                    let new = Self::mask(op.apply(current, rhs), size);
-                    let store_op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Store,
-                        store_value: Some(new),
-                    };
-                    match self.hook_mem_op(ti, &store_op).unwrap_or(HookAction::Passthrough) {
-                        HookAction::Handled { extra_cycles, .. } => {
-                            self.inner.stats.hook_handled_ops += 1;
-                            cost += extra_cycles;
-                        }
-                        HookAction::Passthrough => {
-                            let (_, c) = self.inner.access(
-                                core,
-                                pc,
-                                a,
-                                size,
-                                true,
-                                MemAccessKind::Store,
-                                Some(new),
-                                now,
-                            );
-                            cost += c;
-                        }
-                    }
-                }
-                Inst::Mov { dst, src } => {
-                    self.threads[ti].regs[dst.0 as usize] =
-                        Self::eval_operand(&self.threads[ti].regs, src);
-                    cost += lat.alu;
-                }
-                Inst::Alu { op, dst, lhs, rhs } => {
-                    let l = self.threads[ti].regs[lhs.0 as usize];
-                    let r = Self::eval_operand(&self.threads[ti].regs, rhs);
-                    self.threads[ti].regs[dst.0 as usize] = op.apply(l, r);
-                    cost += lat.alu;
-                }
-                Inst::Cmp { op, dst, lhs, rhs } => {
-                    let l = self.threads[ti].regs[lhs.0 as usize];
-                    let r = Self::eval_operand(&self.threads[ti].regs, rhs);
-                    self.threads[ti].regs[dst.0 as usize] = op.apply(l, r);
-                    cost += lat.alu;
-                }
-                Inst::Fence => {
-                    self.inner.stats.fences += 1;
-                    cost += self.hook_fence(ti, pc);
-                    cost += lat.fence;
-                }
-                Inst::Pause => {
-                    cost += lat.pause;
-                }
-                Inst::Nop => {
-                    cost += lat.alu;
-                }
-            }
-            self.threads[ti].idx += 1;
-            self.core_cycles[core] += cost;
-        } else {
-            // Terminator.
-            let term = self.program.block(block_id).term.clone();
-            let mut cost = lat.branch;
-            match term {
-                Terminator::Jump(target) => {
-                    self.threads[ti].block = target;
-                    self.threads[ti].idx = 0;
-                    cost += self.hook_block_entry(ti, target);
-                }
-                Terminator::Branch { cond, if_true, if_false } => {
-                    let c = self.threads[ti].regs[cond.0 as usize];
-                    let target = if c != 0 { if_true } else { if_false };
-                    self.threads[ti].block = target;
-                    self.threads[ti].idx = 0;
-                    cost += self.hook_block_entry(ti, target);
-                }
-                Terminator::Halt => {
-                    cost += self.hook_thread_exit(ti);
-                    self.threads[ti].halted = true;
-                }
-            }
-            self.core_cycles[core] += cost;
-        }
-        !self.is_done()
-    }
-
-    /// Names of the threads, in spawn order (for reports and tests).
-    pub fn thread_names(&self) -> Vec<&str> {
-        self.threads.iter().map(|t| t.name.as_str()).collect()
-    }
-
-    /// Register value of a thread (for tests).
-    pub fn thread_reg(&self, thread: usize, reg: Reg) -> u64 {
-        self.threads[thread].regs[reg.0 as usize]
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::image::ThreadSpec;
-    use laser_isa::ProgramBuilder;
-
-    /// A single thread storing 1..=n into consecutive u64 slots.
-    fn store_loop_image(n: u64) -> (WorkloadImage, Addr) {
-        let mut b = ProgramBuilder::new("store_loop");
-        b.source("store_loop.c", 1);
-        let body = b.block("body");
-        let done = b.block("done");
-        b.switch_to(body);
-        // r0 = base, r1 = i
-        b.store(Operand::Reg(Reg(1)), Reg(0), 0, 8);
-        b.addi(Reg(0), Reg(0), 8);
-        b.addi(Reg(1), Reg(1), 1);
-        b.cmp_lt(Reg(2), Reg(1), Operand::Imm(n));
-        b.branch(Reg(2), body, done);
-        b.switch_to(done);
-        b.halt();
-        let program = b.finish();
-        let mut image = WorkloadImage::new("store_loop", program);
-        let base = image.layout_mut().heap_alloc(8 * n, 64).unwrap();
-        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), base));
-        (image, base)
-    }
-
-    /// Two threads hammering the same (or adjacent) 8-byte slots.
-    fn sharing_image(offset1: i64, iters: u64) -> WorkloadImage {
-        let mut b = ProgramBuilder::new("sharing");
-        b.source("sharing.c", 10);
-        let body = b.block("body");
-        let done = b.block("done");
-        b.switch_to(body);
-        b.load(Reg(1), Reg(0), 0, 8);
-        b.addi(Reg(1), Reg(1), 1);
-        b.store(Operand::Reg(Reg(1)), Reg(0), 0, 8);
-        b.addi(Reg(2), Reg(2), 1);
-        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
-        b.branch(Reg(3), body, done);
-        b.switch_to(done);
-        b.halt();
-        let program = b.finish();
-        let mut image = WorkloadImage::new("sharing", program);
-        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
-        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), base));
-        image.push_thread(ThreadSpec::new("t1", "body").with_reg(Reg(0), base + offset1 as u64));
-        image
-    }
-
-    #[test]
-    fn single_thread_executes_and_writes_memory() {
-        let (image, base) = store_loop_image(16);
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        let result = m.run_to_completion().unwrap();
-        assert!(result.steps > 16 * 5);
-        assert_eq!(result.stats.hitm_events, 0);
-        for i in 0..16u64 {
-            assert_eq!(m.read_u64(base + i * 8), i);
-        }
-        assert!(m.is_done());
-        assert_eq!(m.thread_names(), vec!["t0"]);
-    }
-
-    #[test]
-    fn false_sharing_generates_hitm_events() {
-        // Both threads write distinct words of the same cache line.
-        let mut m = Machine::new(MachineConfig::default(), &sharing_image(8, 2000));
-        let result = m.run_to_completion().unwrap();
-        assert!(
-            result.stats.hitm_events > 500,
-            "expected many HITMs, got {}",
-            result.stats.hitm_events
-        );
-        let events = m.take_hitm_events();
-        assert_eq!(events.len() as u64, result.stats.hitm_events);
-        // Events carry exact PCs within the program and data addresses on the
-        // allocated line.
-        for e in &events {
-            assert!(m.program().contains_pc(e.pc));
-        }
-        // Draining again yields nothing.
-        assert!(m.take_hitm_events().is_empty());
-    }
-
-    #[test]
-    fn separated_lines_generate_no_hitms() {
-        // Second thread works 2 cache lines away: no sharing at all. Offset
-        // must stay within the 64-byte allocation? Allocate separately: use
-        // offset of 128 within a 192-byte object.
-        let mut b = ProgramBuilder::new("no_share");
-        let body = b.block("body");
-        let done = b.block("done");
-        b.switch_to(body);
-        b.load(Reg(1), Reg(0), 0, 8);
-        b.addi(Reg(1), Reg(1), 1);
-        b.store(Operand::Reg(Reg(1)), Reg(0), 0, 8);
-        b.addi(Reg(2), Reg(2), 1);
-        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(1000));
-        b.branch(Reg(3), body, done);
-        b.switch_to(done);
-        b.halt();
-        let program = b.finish();
-        let mut image = WorkloadImage::new("no_share", program);
-        let base = image.layout_mut().heap_alloc(192, 64).unwrap();
-        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), base));
-        image.push_thread(ThreadSpec::new("t1", "body").with_reg(Reg(0), base + 128));
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        let result = m.run_to_completion().unwrap();
-        assert_eq!(result.stats.hitm_events, 0);
-    }
-
-    #[test]
-    fn contended_run_is_slower_than_uncontended() {
-        let mut contended = Machine::new(MachineConfig::default(), &sharing_image(8, 2000));
-        let c = contended.run_to_completion().unwrap();
-        // Same program, but second thread's data is on its own line far away.
-        let mut b = ProgramBuilder::new("sharing");
-        b.source("sharing.c", 10);
-        let body = b.block("body");
-        let done = b.block("done");
-        b.switch_to(body);
-        b.load(Reg(1), Reg(0), 0, 8);
-        b.addi(Reg(1), Reg(1), 1);
-        b.store(Operand::Reg(Reg(1)), Reg(0), 0, 8);
-        b.addi(Reg(2), Reg(2), 1);
-        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(2000));
-        b.branch(Reg(3), body, done);
-        b.switch_to(done);
-        b.halt();
-        let program = b.finish();
-        let mut image = WorkloadImage::new("sharing_fixed", program);
-        let a0 = image.layout_mut().heap_alloc(64, 64).unwrap();
-        let a1 = image.layout_mut().heap_alloc(64, 64).unwrap();
-        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), a0));
-        image.push_thread(ThreadSpec::new("t1", "body").with_reg(Reg(0), a1));
-        let mut fixed = Machine::new(MachineConfig::default(), &image);
-        let f = fixed.run_to_completion().unwrap();
-        assert!(
-            c.cycles > f.cycles * 2,
-            "contended {} should be much slower than fixed {}",
-            c.cycles,
-            f.cycles
-        );
-    }
-
-    #[test]
-    fn atomic_fetch_add_is_atomic_across_threads() {
-        let mut b = ProgramBuilder::new("atomic_inc");
-        let body = b.block("body");
-        let done = b.block("done");
-        b.switch_to(body);
-        b.atomic_fetch_add(Reg(1), Reg(0), 0, Operand::Imm(1), 8);
-        b.addi(Reg(2), Reg(2), 1);
-        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(500));
-        b.branch(Reg(3), body, done);
-        b.switch_to(done);
-        b.halt();
-        let program = b.finish();
-        let mut image = WorkloadImage::new("atomic_inc", program);
-        let counter = image.layout_mut().heap_alloc(8, 64).unwrap();
-        for t in 0..4 {
-            image.push_thread(ThreadSpec::new(format!("t{t}"), "body").with_reg(Reg(0), counter));
-        }
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        let result = m.run_to_completion().unwrap();
-        assert_eq!(m.read_u64(counter), 4 * 500);
-        assert!(result.stats.atomics >= 2000);
-        // True sharing on the counter produces HITMs too.
-        assert!(result.stats.hitm_events > 100);
-    }
-
-    #[test]
-    fn max_steps_guard_trips_on_infinite_loop() {
-        let mut b = ProgramBuilder::new("spin");
-        let body = b.block("body");
-        b.switch_to(body);
-        b.pause();
-        b.jump(body);
-        let program = b.finish();
-        let mut image = WorkloadImage::new("spin", program);
-        image.push_thread(ThreadSpec::new("t0", "body"));
-        let config = MachineConfig { max_steps: 10_000, ..Default::default() };
-        let mut m = Machine::new(config, &image);
-        let err = m.run_to_completion().unwrap_err();
-        assert!(matches!(err, MachineError::MaxStepsExceeded { .. }));
-        assert!(!err.to_string().is_empty());
-    }
-
-    #[test]
-    fn charge_cycles_adds_overhead() {
-        let (image, _) = store_loop_image(4);
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        let before = m.cycles();
-        m.charge_cycles(CoreId(0), 1000);
-        assert_eq!(m.cycles(), before + 1000);
-        m.charge_all_cores(10);
-        assert_eq!(m.stats().injected_overhead_cycles, 1000 + 10 * 4);
-    }
-
-    #[test]
-    fn incremental_execution_reaches_same_end_state() {
-        let (image, base) = store_loop_image(32);
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        while m.run_steps(7) == RunStatus::Running {}
-        assert!(m.is_done());
-        for i in 0..32u64 {
-            assert_eq!(m.read_u64(base + i * 8), i);
-        }
-    }
-
-    #[test]
-    fn stack_pointer_register_is_initialised() {
-        let (image, _) = store_loop_image(1);
-        let m = Machine::new(MachineConfig::default(), &image);
-        let sp = m.thread_reg(0, STACK_POINTER_REG);
-        assert!(m.memory_map().is_stack(sp));
-    }
-
-    #[test]
-    fn hook_can_intercept_and_service_ops() {
-        use std::collections::HashMap;
-
-        /// Buffers every store to the watched line and serves loads from it.
-        struct TinySsb {
-            watched_line: Addr,
-            buffer: HashMap<Addr, u64>,
-            intercepted: usize,
-        }
-        impl ExecHook for TinySsb {
-            fn on_mem_op(&mut self, _ctx: &mut HookCtx<'_>, op: &MemOp) -> HookAction {
-                if crate::addr::line_of(op.addr) != self.watched_line {
-                    return HookAction::Passthrough;
-                }
-                self.intercepted += 1;
-                match op.kind {
-                    MemAccessKind::Store => {
-                        self.buffer.insert(op.addr, op.store_value.unwrap_or(0));
-                        HookAction::Handled { load_value: None, extra_cycles: 6 }
-                    }
-                    MemAccessKind::Load => match self.buffer.get(&op.addr) {
-                        Some(&v) => HookAction::Handled { load_value: Some(v), extra_cycles: 6 },
-                        None => HookAction::Passthrough,
-                    },
-                }
-            }
-        }
-
-        let image = sharing_image(8, 500);
-        let watched = {
-            // The shared allocation is the first heap allocation; recompute it.
-            let mut probe = WorkloadImage::new("probe", {
-                let mut b = ProgramBuilder::new("p");
-                let blk = b.block("main");
-                b.switch_to(blk);
-                b.halt();
-                b.finish()
-            });
-            probe.layout_mut().heap_alloc(64, 64).unwrap()
-        };
-        let mut m = Machine::new(MachineConfig::default(), &image);
-        m.attach_hook(Box::new(TinySsb {
-            watched_line: crate::addr::line_of(watched),
-            buffer: HashMap::new(),
-            intercepted: 0,
-        }));
-        assert!(m.has_hook());
-        let result = m.run_to_completion().unwrap();
-        // With every store to the contended line buffered, HITM traffic on it
-        // disappears (only cold misses remain possible).
-        assert!(result.stats.hook_handled_ops > 0);
-        assert!(result.stats.hitm_events < 10);
-        let hook = m.detach_hook();
-        assert!(hook.is_some());
-        assert!(!m.has_hook());
     }
 }

@@ -1,0 +1,104 @@
+//! Hook attachment and dispatch — the machine side of the Pin substitute.
+//!
+//! The hook is temporarily taken out of the machine while it runs so it can
+//! be handed a [`HookCtx`] borrowing the machine's inner state without
+//! aliasing; every dispatch helper restores it afterwards.
+
+use laser_isa::program::{BlockId, Pc};
+
+use crate::hook::{ExecHook, HookAction, HookCtx, MemOp};
+use crate::machine::Machine;
+
+impl Machine {
+    /// Attach a dynamic-instrumentation hook (the Pin substitute). Replaces
+    /// any previously attached hook.
+    pub fn attach_hook(&mut self, hook: Box<dyn ExecHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Detach and return the current hook, if any.
+    pub fn detach_hook(&mut self) -> Option<Box<dyn ExecHook>> {
+        self.hook.take()
+    }
+
+    /// The currently attached hook, if any (e.g. to read tool statistics via
+    /// [`ExecHook::as_any`] while the machine still owns the hook).
+    pub fn hook(&self) -> Option<&dyn ExecHook> {
+        self.hook.as_deref()
+    }
+
+    /// True if a hook is currently attached.
+    pub fn has_hook(&self) -> bool {
+        self.hook.is_some()
+    }
+
+    pub(crate) fn hook_mem_op(&mut self, ti: usize, op: &MemOp) -> Option<HookAction> {
+        let mut hook = self.hook.take()?;
+        let core = self.threads[ti].core;
+        let now = self.core_cycles[core];
+        let action = {
+            let mut ctx = HookCtx {
+                inner: &mut self.inner,
+                core,
+                now,
+            };
+            hook.on_mem_op(&mut ctx, op)
+        };
+        self.hook = Some(hook);
+        Some(action)
+    }
+
+    pub(crate) fn hook_fence(&mut self, ti: usize, pc: Pc) -> u64 {
+        let Some(mut hook) = self.hook.take() else {
+            return 0;
+        };
+        let core = self.threads[ti].core;
+        let now = self.core_cycles[core];
+        let cycles = {
+            let mut ctx = HookCtx {
+                inner: &mut self.inner,
+                core,
+                now,
+            };
+            hook.on_fence(&mut ctx, pc)
+        };
+        self.hook = Some(hook);
+        cycles
+    }
+
+    pub(crate) fn hook_block_entry(&mut self, ti: usize, block: BlockId) -> u64 {
+        let Some(mut hook) = self.hook.take() else {
+            return 0;
+        };
+        let core = self.threads[ti].core;
+        let now = self.core_cycles[core];
+        let cycles = {
+            let mut ctx = HookCtx {
+                inner: &mut self.inner,
+                core,
+                now,
+            };
+            hook.on_block_entry(&mut ctx, block)
+        };
+        self.hook = Some(hook);
+        cycles
+    }
+
+    pub(crate) fn hook_thread_exit(&mut self, ti: usize) -> u64 {
+        let Some(mut hook) = self.hook.take() else {
+            return 0;
+        };
+        let core = self.threads[ti].core;
+        let now = self.core_cycles[core];
+        let cycles = {
+            let mut ctx = HookCtx {
+                inner: &mut self.inner,
+                core,
+                now,
+            };
+            hook.on_thread_exit(&mut ctx)
+        };
+        self.hook = Some(hook);
+        cycles
+    }
+}

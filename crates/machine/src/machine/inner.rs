@@ -1,0 +1,128 @@
+//! Shared mutable machine state: memory, coherence directory, statistics.
+//!
+//! [`MachineInner`] is the part of the machine that both normal instruction
+//! execution and attached hooks operate on; hooks receive it through
+//! [`crate::hook::HookCtx`] so a software-store-buffer flush goes through the
+//! same coherence directory as the application's own accesses.
+
+use laser_isa::program::Pc;
+
+use crate::addr::{lines_touched, Addr};
+use crate::coherence::{AccessClass, CoherenceDirectory};
+use crate::event::{HitmEvent, MemAccessKind};
+use crate::htm::{fits_in_transaction, HtmOutcome};
+use crate::machine::CoreId;
+use crate::mem::SparseMemory;
+use crate::stats::MachineStats;
+use crate::timing::LatencyModel;
+
+/// Shared mutable machine state that both normal execution and attached hooks
+/// operate on.
+pub(crate) struct MachineInner {
+    pub(crate) mem: SparseMemory,
+    pub(crate) coh: CoherenceDirectory,
+    pub(crate) stats: MachineStats,
+    pub(crate) pending_hitms: Vec<HitmEvent>,
+    pub(crate) latency: LatencyModel,
+}
+
+impl MachineInner {
+    /// Perform a memory access through the coherence directory, recording a
+    /// HITM event when the access hits a remotely-Modified line. Returns the
+    /// loaded value (0 for stores) and the cycle cost.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn access(
+        &mut self,
+        core: usize,
+        pc: Pc,
+        addr: Addr,
+        size: u8,
+        is_write: bool,
+        event_kind: MemAccessKind,
+        store_value: Option<u64>,
+        now: u64,
+    ) -> (u64, u64) {
+        let mut worst = 0u64;
+        for line in lines_touched(addr, size) {
+            let outcome = self.coh.access(core, line, is_write);
+            let cost = match outcome.class {
+                AccessClass::L1Hit => {
+                    self.stats.l1_hits += 1;
+                    self.latency.l1_hit
+                }
+                AccessClass::LlcHit => {
+                    self.stats.llc_hits += 1;
+                    self.latency.llc_hit
+                }
+                AccessClass::Dram => {
+                    self.stats.dram_accesses += 1;
+                    self.latency.dram
+                }
+                AccessClass::Hitm => {
+                    self.stats.hitm_events += 1;
+                    match event_kind {
+                        MemAccessKind::Load => self.stats.hitm_loads += 1,
+                        MemAccessKind::Store => self.stats.hitm_stores += 1,
+                    }
+                    self.pending_hitms.push(HitmEvent {
+                        core: CoreId(core),
+                        pc,
+                        addr,
+                        size,
+                        kind: event_kind,
+                        cycle: now,
+                    });
+                    self.latency.hitm
+                }
+            };
+            worst = worst.max(cost);
+        }
+        let value = if is_write {
+            if let Some(v) = store_value {
+                self.mem.write(addr, size, v);
+            }
+            0
+        } else {
+            self.mem.read(addr, size)
+        };
+        (value, worst)
+    }
+
+    /// Execute a write set atomically inside a hardware transaction.
+    pub(crate) fn htm_execute(
+        &mut self,
+        core: usize,
+        pc: Pc,
+        writes: &[(Addr, u8, u64)],
+        now: u64,
+    ) -> HtmOutcome {
+        let mut lines: Vec<Addr> = Vec::new();
+        for (addr, size, _) in writes {
+            for l in lines_touched(*addr, *size) {
+                if !lines.contains(&l) {
+                    lines.push(l);
+                }
+            }
+        }
+        if !fits_in_transaction(lines.len()) {
+            self.stats.htm_capacity_aborts += 1;
+            return HtmOutcome::CapacityAborted;
+        }
+        let mut cycles = self.latency.htm_begin + self.latency.htm_commit;
+        for (addr, size, value) in writes {
+            let (_, c) = self.access(
+                core,
+                pc,
+                *addr,
+                *size,
+                true,
+                MemAccessKind::Store,
+                Some(*value),
+                now,
+            );
+            cycles += c;
+        }
+        self.stats.htm_commits += 1;
+        HtmOutcome::Committed { cycles }
+    }
+}

@@ -1,0 +1,50 @@
+//! Thread state and the deterministic scheduler.
+//!
+//! The machine always runs the runnable thread whose core has the smallest
+//! local clock; ties break by thread index. This yields deterministic
+//! interleavings that naturally model the ping-pong timing of contended cache
+//! lines: a core stalled on a 90-cycle HITM transfer falls behind and the
+//! other cores run ahead.
+
+use laser_isa::inst::{Reg, NUM_REGS};
+use laser_isa::program::BlockId;
+
+use crate::machine::Machine;
+
+/// Execution state of one simulated thread.
+pub(crate) struct ThreadCtx {
+    pub(crate) name: String,
+    pub(crate) core: usize,
+    pub(crate) block: BlockId,
+    pub(crate) idx: usize,
+    pub(crate) regs: [u64; NUM_REGS],
+    pub(crate) halted: bool,
+}
+
+impl Machine {
+    /// The scheduling decision: the runnable thread whose core clock is
+    /// lowest (ties broken by thread index, so scheduling is deterministic).
+    pub(crate) fn pick_thread(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.halted)
+            .min_by_key(|(i, t)| (self.core_cycles[t.core], *i))
+            .map(|(i, _)| i)
+    }
+
+    /// True if every thread has halted.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Names of the threads, in spawn order (for reports and tests).
+    pub fn thread_names(&self) -> Vec<&str> {
+        self.threads.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Register value of a thread (for tests).
+    pub fn thread_reg(&self, thread: usize, reg: Reg) -> u64 {
+        self.threads[thread].regs[reg.0 as usize]
+    }
+}

@@ -16,11 +16,15 @@ pub struct SparseMemory {
 impl SparseMemory {
     /// An empty memory image.
     pub fn new() -> Self {
-        SparseMemory { pages: HashMap::new() }
+        SparseMemory {
+            pages: HashMap::new(),
+        }
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8] {
-        self.pages.entry(page).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Read a single byte.
@@ -42,7 +46,10 @@ impl SparseMemory {
     /// # Panics
     /// Panics if `size` is 0 or greater than 8.
     pub fn read(&self, addr: Addr, size: u8) -> u64 {
-        assert!((1..=8).contains(&size), "access size must be 1..=8, got {size}");
+        assert!(
+            (1..=8).contains(&size),
+            "access size must be 1..=8, got {size}"
+        );
         let mut v: u64 = 0;
         for i in 0..size as u64 {
             v |= (self.read_u8(addr + i) as u64) << (8 * i);
@@ -55,7 +62,10 @@ impl SparseMemory {
     /// # Panics
     /// Panics if `size` is 0 or greater than 8.
     pub fn write(&mut self, addr: Addr, size: u8, value: u64) {
-        assert!((1..=8).contains(&size), "access size must be 1..=8, got {size}");
+        assert!(
+            (1..=8).contains(&size),
+            "access size must be 1..=8, got {size}"
+        );
         for i in 0..size as u64 {
             self.write_u8(addr + i, (value >> (8 * i)) as u8);
         }

@@ -54,7 +54,12 @@ impl Region {
     /// Create a region.
     pub fn new(start: Addr, end: Addr, kind: RegionKind, name: impl Into<String>) -> Self {
         assert!(start < end, "region must have positive size");
-        Region { start, end, kind, name: name.into() }
+        Region {
+            start,
+            end,
+            kind,
+            name: name.into(),
+        }
     }
 
     /// True if `addr` falls inside the region.
@@ -82,7 +87,9 @@ pub struct MemoryMap {
 impl MemoryMap {
     /// An empty map.
     pub fn new() -> Self {
-        MemoryMap { regions: Vec::new() }
+        MemoryMap {
+            regions: Vec::new(),
+        }
     }
 
     /// Add a region.
@@ -128,7 +135,10 @@ impl MemoryMap {
 
     /// True if `addr` lies in some thread's stack.
     pub fn is_stack(&self, addr: Addr) -> bool {
-        matches!(self.region_of(addr).map(|r| r.kind), Some(RegionKind::Stack(_)))
+        matches!(
+            self.region_of(addr).map(|r| r.kind),
+            Some(RegionKind::Stack(_))
+        )
     }
 
     /// True if `addr` lies in the heap or global data.
@@ -144,7 +154,11 @@ impl MemoryMap {
         use std::fmt::Write as _;
         let mut out = String::new();
         for r in &self.regions {
-            let _ = writeln!(out, "{:012x}-{:012x} {:?} {}", r.start, r.end, r.kind, r.name);
+            let _ = writeln!(
+                out,
+                "{:012x}-{:012x} {:?} {}",
+                r.start, r.end, r.kind, r.name
+            );
         }
         out
     }
@@ -156,11 +170,36 @@ mod tests {
 
     fn sample_map() -> MemoryMap {
         let mut m = MemoryMap::new();
-        m.add(Region::new(0x0040_0000, 0x0050_0000, RegionKind::AppCode, "app"));
-        m.add(Region::new(0x7f00_0000, 0x7f10_0000, RegionKind::LibCode, "libc.so"));
-        m.add(Region::new(0x1000_0000, 0x2000_0000, RegionKind::Heap, "[heap]"));
-        m.add(Region::new(0x7ffd_0000, 0x7ffe_0000, RegionKind::Stack(0), "[stack:0]"));
-        m.add(Region::new(0x7ffe_0000, 0x7fff_0000, RegionKind::Stack(1), "[stack:1]"));
+        m.add(Region::new(
+            0x0040_0000,
+            0x0050_0000,
+            RegionKind::AppCode,
+            "app",
+        ));
+        m.add(Region::new(
+            0x7f00_0000,
+            0x7f10_0000,
+            RegionKind::LibCode,
+            "libc.so",
+        ));
+        m.add(Region::new(
+            0x1000_0000,
+            0x2000_0000,
+            RegionKind::Heap,
+            "[heap]",
+        ));
+        m.add(Region::new(
+            0x7ffd_0000,
+            0x7ffe_0000,
+            RegionKind::Stack(0),
+            "[stack:0]",
+        ));
+        m.add(Region::new(
+            0x7ffe_0000,
+            0x7fff_0000,
+            RegionKind::Stack(1),
+            "[stack:1]",
+        ));
         m
     }
 
@@ -188,7 +227,12 @@ mod tests {
     #[should_panic(expected = "overlaps")]
     fn overlapping_regions_rejected() {
         let mut m = sample_map();
-        m.add(Region::new(0x0045_0000, 0x0046_0000, RegionKind::Heap, "bad"));
+        m.add(Region::new(
+            0x0045_0000,
+            0x0046_0000,
+            RegionKind::Heap,
+            "bad",
+        ));
     }
 
     #[test]

@@ -59,7 +59,12 @@ mod tests {
     fn hitm_fraction_handles_zero() {
         let s = MachineStats::default();
         assert_eq!(s.hitm_fraction(), 0.0);
-        let s = MachineStats { loads: 50, stores: 50, hitm_events: 10, ..Default::default() };
+        let s = MachineStats {
+            loads: 50,
+            stores: 50,
+            hitm_events: 10,
+            ..Default::default()
+        };
         assert!((s.hitm_fraction() - 0.1).abs() < 1e-12);
     }
 }

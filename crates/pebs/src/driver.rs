@@ -34,7 +34,10 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { interrupt_cycles: 3000, per_record_cycles: 60 }
+        DriverConfig {
+            interrupt_cycles: 3000,
+            per_record_cycles: 60,
+        }
     }
 }
 
@@ -63,7 +66,12 @@ pub struct Driver {
 impl Driver {
     /// Create a driver around a configured PMU.
     pub fn new(pmu: Pmu, config: DriverConfig) -> Self {
-        Driver { pmu, config, staged: Vec::new(), stats: DriverStats::default() }
+        Driver {
+            pmu,
+            config,
+            staged: Vec::new(),
+            stats: DriverStats::default(),
+        }
     }
 
     /// Driver statistics so far.
@@ -158,14 +166,14 @@ mod tests {
 
     fn driver_for(machine: &Machine, sav: u32) -> Driver {
         let code = (machine.program().base_pc(), machine.program().end_pc());
-        let model = ImprecisionModel::new(
-            ImprecisionParams::perfect(),
-            machine.memory_map(),
-            code,
-            11,
-        );
+        let model =
+            ImprecisionModel::new(ImprecisionParams::perfect(), machine.memory_map(), code, 11);
         let pmu = Pmu::new(
-            PmuConfig { sav, num_cores: machine.num_cores(), ..Default::default() },
+            PmuConfig {
+                sav,
+                num_cores: machine.num_cores(),
+                ..Default::default()
+            },
             model,
         );
         Driver::new(pmu, DriverConfig::default())

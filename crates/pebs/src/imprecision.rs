@@ -222,21 +222,47 @@ mod tests {
 
     fn test_map() -> MemoryMap {
         let mut m = MemoryMap::new();
-        m.add(Region::new(0x40_0000, 0x50_0000, RegionKind::AppCode, "app"));
-        m.add(Region::new(0x1000_0000, 0x2000_0000, RegionKind::Heap, "[heap]"));
-        m.add(Region::new(0x7f00_0000, 0x7f10_0000, RegionKind::Stack(0), "[stack:0]"));
+        m.add(Region::new(
+            0x40_0000,
+            0x50_0000,
+            RegionKind::AppCode,
+            "app",
+        ));
+        m.add(Region::new(
+            0x1000_0000,
+            0x2000_0000,
+            RegionKind::Heap,
+            "[heap]",
+        ));
+        m.add(Region::new(
+            0x7f00_0000,
+            0x7f10_0000,
+            RegionKind::Stack(0),
+            "[stack:0]",
+        ));
         m
     }
 
     fn event(kind: MemAccessKind) -> HitmEvent {
-        HitmEvent { core: CoreId(1), pc: 0x40_0100, addr: 0x1000_0040, size: 8, kind, cycle: 7 }
+        HitmEvent {
+            core: CoreId(1),
+            pc: 0x40_0100,
+            addr: 0x1000_0040,
+            size: 8,
+            kind,
+            cycle: 7,
+        }
     }
 
     #[test]
     fn perfect_model_preserves_fields() {
         let map = test_map();
-        let mut m =
-            ImprecisionModel::new(ImprecisionParams::perfect(), &map, (0x40_0000, 0x50_0000), 1);
+        let mut m = ImprecisionModel::new(
+            ImprecisionParams::perfect(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            1,
+        );
         for _ in 0..100 {
             let r = m.distort(&event(MemAccessKind::Load));
             assert_eq!(r.pc, 0x40_0100);
@@ -250,8 +276,12 @@ mod tests {
     #[test]
     fn load_records_match_paper_accuracy_averages() {
         let map = test_map();
-        let mut m =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 2);
+        let mut m = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            2,
+        );
         let n = 20_000;
         let mut addr_ok = 0;
         let mut pc_exact = 0;
@@ -272,15 +302,25 @@ mod tests {
         let pc_exact_frac = pc_exact as f64 / n as f64;
         let pc_adj_frac = pc_adjacent as f64 / n as f64;
         assert!((addr_frac - 0.75).abs() < 0.03, "addr accuracy {addr_frac}");
-        assert!((pc_exact_frac - 0.40).abs() < 0.03, "pc exact {pc_exact_frac}");
-        assert!((pc_adj_frac - 0.70).abs() < 0.03, "pc adjacent {pc_adj_frac}");
+        assert!(
+            (pc_exact_frac - 0.40).abs() < 0.03,
+            "pc exact {pc_exact_frac}"
+        );
+        assert!(
+            (pc_adj_frac - 0.70).abs() < 0.03,
+            "pc adjacent {pc_adj_frac}"
+        );
     }
 
     #[test]
     fn store_records_are_much_less_accurate_than_loads() {
         let map = test_map();
-        let mut m =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 3);
+        let mut m = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            3,
+        );
         let n = 10_000;
         let mut load_addr_ok = 0;
         let mut store_addr_ok = 0;
@@ -298,8 +338,12 @@ mod tests {
     #[test]
     fn wrong_addresses_are_mostly_unmapped() {
         let map = test_map();
-        let mut m =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 4);
+        let mut m = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            4,
+        );
         let mut wrong = 0;
         let mut unmapped = 0;
         for _ in 0..20_000 {
@@ -313,14 +357,21 @@ mod tests {
         }
         assert!(wrong > 0);
         let frac = unmapped as f64 / wrong as f64;
-        assert!(frac > 0.90, "unmapped fraction of wrong addresses was {frac}");
+        assert!(
+            frac > 0.90,
+            "unmapped fraction of wrong addresses was {frac}"
+        );
     }
 
     #[test]
     fn wrong_pcs_stay_inside_the_binary() {
         let map = test_map();
-        let mut m =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 5);
+        let mut m = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            5,
+        );
         let mut wrong = 0;
         let mut in_binary = 0;
         for _ in 0..20_000 {
@@ -339,10 +390,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let map = test_map();
-        let mut a =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 42);
-        let mut b =
-            ImprecisionModel::new(ImprecisionParams::default(), &map, (0x40_0000, 0x50_0000), 42);
+        let mut a = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            42,
+        );
+        let mut b = ImprecisionModel::new(
+            ImprecisionParams::default(),
+            &map,
+            (0x40_0000, 0x50_0000),
+            42,
+        );
         for _ in 0..100 {
             assert_eq!(
                 a.distort(&event(MemAccessKind::Load)),

@@ -34,7 +34,12 @@ pub struct PmuConfig {
 
 impl Default for PmuConfig {
     fn default() -> Self {
-        PmuConfig { sav: 19, pebs_buffer_capacity: 32, interrupt_on_each_sample: false, num_cores: 4 }
+        PmuConfig {
+            sav: 19,
+            pebs_buffer_capacity: 32,
+            interrupt_on_each_sample: false,
+            num_cores: 4,
+        }
     }
 }
 
@@ -157,8 +162,18 @@ mod tests {
 
     fn model(seed: u64) -> ImprecisionModel {
         let mut m = MemoryMap::new();
-        m.add(Region::new(0x40_0000, 0x50_0000, RegionKind::AppCode, "app"));
-        ImprecisionModel::new(ImprecisionParams::perfect(), &m, (0x40_0000, 0x50_0000), seed)
+        m.add(Region::new(
+            0x40_0000,
+            0x50_0000,
+            RegionKind::AppCode,
+            "app",
+        ));
+        ImprecisionModel::new(
+            ImprecisionParams::perfect(),
+            &m,
+            (0x40_0000, 0x50_0000),
+            seed,
+        )
     }
 
     fn events(n: usize, core: usize) -> Vec<HitmEvent> {
@@ -176,18 +191,34 @@ mod tests {
 
     #[test]
     fn sav_controls_sampling_rate() {
-        let mut pmu = Pmu::new(PmuConfig { sav: 19, ..Default::default() }, model(1));
+        let mut pmu = Pmu::new(
+            PmuConfig {
+                sav: 19,
+                ..Default::default()
+            },
+            model(1),
+        );
         pmu.observe(&events(1900, 0));
         assert_eq!(pmu.total_events(), 1900);
         assert_eq!(pmu.total_samples(), 100);
-        let mut pmu1 = Pmu::new(PmuConfig { sav: 1, ..Default::default() }, model(1));
+        let mut pmu1 = Pmu::new(
+            PmuConfig {
+                sav: 1,
+                ..Default::default()
+            },
+            model(1),
+        );
         pmu1.observe(&events(1900, 0));
         assert_eq!(pmu1.total_samples(), 1900);
     }
 
     #[test]
     fn buffer_full_raises_interrupt() {
-        let cfg = PmuConfig { sav: 1, pebs_buffer_capacity: 10, ..Default::default() };
+        let cfg = PmuConfig {
+            sav: 1,
+            pebs_buffer_capacity: 10,
+            ..Default::default()
+        };
         let mut pmu = Pmu::new(cfg, model(2));
         let act = pmu.observe(&events(25, 0));
         assert_eq!(act.records_sampled, 25);
@@ -213,7 +244,10 @@ mod tests {
 
     #[test]
     fn per_core_counters_are_independent() {
-        let cfg = PmuConfig { sav: 10, ..Default::default() };
+        let cfg = PmuConfig {
+            sav: 10,
+            ..Default::default()
+        };
         let mut pmu = Pmu::new(cfg, model(4));
         // 9 events on each of two cores: no samples yet.
         pmu.observe(&events(9, 0));
@@ -226,7 +260,11 @@ mod tests {
 
     #[test]
     fn out_of_range_core_events_are_ignored() {
-        let cfg = PmuConfig { sav: 1, num_cores: 2, ..Default::default() };
+        let cfg = PmuConfig {
+            sav: 1,
+            num_cores: 2,
+            ..Default::default()
+        };
         let mut pmu = Pmu::new(cfg, model(5));
         pmu.observe(&events(5, 3));
         assert_eq!(pmu.total_samples(), 0);
@@ -235,6 +273,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "SAV")]
     fn zero_sav_rejected() {
-        let _ = Pmu::new(PmuConfig { sav: 0, ..Default::default() }, model(6));
+        let _ = Pmu::new(
+            PmuConfig {
+                sav: 0,
+                ..Default::default()
+            },
+            model(6),
+        );
     }
 }

@@ -29,7 +29,12 @@ mod tests {
 
     #[test]
     fn record_is_small_and_copyable() {
-        let r = HitmRecord { pc: 1, data_addr: 2, core: CoreId(3), cycle: 4 };
+        let r = HitmRecord {
+            pc: 1,
+            data_addr: 2,
+            core: CoreId(3),
+            cycle: 4,
+        };
         let s = r;
         assert_eq!(r, s);
         // The driver ships millions of these; keep them compact.

@@ -72,7 +72,14 @@ pub fn emit_lock_acquire(
     let got_blk = b.block(&format!("{prefix}_got"));
     b.jump(try_blk);
     b.switch_to(try_blk);
-    b.atomic_cas(regs::SCRATCH_A, lock_base, lock_off, Operand::Imm(0), Operand::Imm(1), 8);
+    b.atomic_cas(
+        regs::SCRATCH_A,
+        lock_base,
+        lock_off,
+        Operand::Imm(0),
+        Operand::Imm(1),
+        8,
+    );
     b.cmp_eq(regs::SCRATCH_B, regs::SCRATCH_A, Operand::Imm(0));
     let retry = if naive { try_blk } else { spin_blk };
     b.branch(regs::SCRATCH_B, got_blk, retry);
@@ -108,7 +115,12 @@ pub fn emit_barrier(
     b.switch_to(wait_blk);
     b.pause();
     b.load(regs::SCRATCH_A, ctr_base, ctr_off, 8);
-    b.cmp(CmpOp::Ge, regs::SCRATCH_B, regs::SCRATCH_A, Operand::Imm(nthreads));
+    b.cmp(
+        CmpOp::Ge,
+        regs::SCRATCH_B,
+        regs::SCRATCH_A,
+        Operand::Imm(nthreads),
+    );
     b.branch(regs::SCRATCH_B, done_blk, wait_blk);
     b.switch_to(done_blk);
     done_blk
@@ -157,8 +169,18 @@ pub fn private_compute(
     let (body, exit) = open_loop(&mut b, "main");
     b.source(file, 20);
     // Touch a rotating private slot: load, update, store.
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(private_slots.max(1)));
-    b.alu(laser_isa::AluOp::Mul, regs::SCRATCH_A, regs::SCRATCH_A, Operand::Imm(8));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(private_slots.max(1)),
+    );
+    b.alu(
+        laser_isa::AluOp::Mul,
+        regs::SCRATCH_A,
+        regs::SCRATCH_A,
+        Operand::Imm(8),
+    );
     b.add(regs::SCRATCH_A, regs::SCRATCH_A, Operand::Reg(regs::DATA));
     b.load(regs::VAL, regs::SCRATCH_A, 0, 8);
     b.addi(regs::VAL, regs::VAL, 1);
@@ -216,7 +238,13 @@ pub fn barrier_phased(
         b.nops(compute_ops);
         close_loop(&mut b, body, exit, iters);
         b.source(file, 31 + p as u32 * 10);
-        emit_barrier(&mut b, &format!("bar{p}"), regs::SHARED, (p as i64) * 64, nthreads);
+        emit_barrier(
+            &mut b,
+            &format!("bar{p}"),
+            regs::SHARED,
+            (p as i64) * 64,
+            nthreads,
+        );
     }
     b.halt();
     let program = b.finish();
@@ -265,7 +293,12 @@ pub fn locked_accumulator(
     b.store(Operand::Reg(regs::VAL), regs::DATA, 0, 8);
     b.nops(compute_ops);
     // if (iv % lock_period == 0) { lock; shared_sum += 1; unlock; }
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(lock_period.max(1)));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(lock_period.max(1)),
+    );
     b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
     let lock_path = b.block("lock_path");
     let join = b.block("join");
@@ -308,7 +341,10 @@ mod tests {
     use laser_machine::{Machine, MachineConfig};
 
     fn opts() -> BuildOptions {
-        BuildOptions { scale: 0.2, ..Default::default() }
+        BuildOptions {
+            scale: 0.2,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -127,10 +127,14 @@ impl CharacterizationCase {
         let mut image = WorkloadImage::new(format!("chara_{}", self.id), program);
         let line = image.layout_mut().heap_alloc(64, 64).expect("shared line");
         image.push_thread(
-            ThreadSpec::new("writer", "writer").with_reg(regs::DATA, line).with_reg(regs::TID, 0),
+            ThreadSpec::new("writer", "writer")
+                .with_reg(regs::DATA, line)
+                .with_reg(regs::TID, 0),
         );
         image.push_thread(
-            ThreadSpec::new("peer", "peer").with_reg(regs::DATA, line).with_reg(regs::TID, 1),
+            ThreadSpec::new("peer", "peer")
+                .with_reg(regs::DATA, line)
+                .with_reg(regs::TID, 1),
         );
 
         let mut contended_addrs = vec![line];
@@ -196,14 +200,25 @@ mod tests {
         let built = case.build();
         let mut m = Machine::new(MachineConfig::default(), &built.image);
         let r = m.run_to_completion().unwrap();
-        assert!(r.stats.hitm_events > 100, "only {} HITMs", r.stats.hitm_events);
+        assert!(
+            r.stats.hitm_events > 100,
+            "only {} HITMs",
+            r.stats.hitm_events
+        );
         // Every ground-truth HITM event points at one of the contended PCs and
         // one of the contended addresses.
         let events = m.take_hitm_events();
         for e in &events {
-            assert!(built.contended_pcs.contains(&e.pc), "unexpected pc {:#x}", e.pc);
             assert!(
-                built.contended_addrs.iter().any(|&a| e.addr >= a && e.addr < a + 8),
+                built.contended_pcs.contains(&e.pc),
+                "unexpected pc {:#x}",
+                e.pc
+            );
+            assert!(
+                built
+                    .contended_addrs
+                    .iter()
+                    .any(|&a| e.addr >= a && e.addr < a + 8),
                 "unexpected addr {:#x}",
                 e.addr
             );
@@ -228,8 +243,20 @@ mod tests {
 
     #[test]
     fn labels_cover_all_categories() {
-        let c = |p, m| CharacterizationCase { id: 0, pattern: p, mode: m, filler_ops: 0, iters: 1 };
-        assert_eq!(c(SharingPattern::TrueSharing, WriteMode::ReadWrite).label(), "TSRW");
-        assert_eq!(c(SharingPattern::FalseSharing, WriteMode::WriteWrite).label(), "FSWW");
+        let c = |p, m| CharacterizationCase {
+            id: 0,
+            pattern: p,
+            mode: m,
+            filler_ops: 0,
+            iters: 1,
+        };
+        assert_eq!(
+            c(SharingPattern::TrueSharing, WriteMode::ReadWrite).label(),
+            "TSRW"
+        );
+        assert_eq!(
+            c(SharingPattern::FalseSharing, WriteMode::WriteWrite).label(),
+            "FSWW"
+        );
     }
 }

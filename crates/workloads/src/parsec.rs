@@ -101,7 +101,9 @@ pub fn all() -> Vec<WorkloadSpec> {
             known_bugs: vec![],
             sheriff: SheriffCompat::Incompatible,
             has_fix: false,
-            build_fn: |o| locked_accumulator("raytrace.parsec", "raytrace_parsec.cpp", o, 2000, 80, 10),
+            build_fn: |o| {
+                locked_accumulator("raytrace.parsec", "raytrace_parsec.cpp", o, 2000, 80, 10)
+            },
         },
         WorkloadSpec {
             name: "streamcluster",
@@ -176,7 +178,10 @@ fn bodytrack(opts: &BuildOptions) -> WorkloadImage {
     }
     let ticket = image.layout_mut().global_alloc(64, 64);
     for t in 0..opts.threads {
-        let buf = image.layout_mut().heap_alloc(64, 64).expect("particle buffer");
+        let buf = image
+            .layout_mut()
+            .heap_alloc(64, 64)
+            .expect("particle buffer");
         image.push_thread(
             ThreadSpec::new(format!("body{t}"), "entry")
                 .with_reg(regs::DATA, buf)
@@ -207,7 +212,12 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
     if opts.fixed {
         b.source(file, 80);
         b.atomic_fetch_add(regs::VAL, regs::SHARED, 64, Operand::Imm(1), 8);
-        b.alu(laser_isa::AluOp::Rem, regs::VAL, regs::VAL, Operand::Imm(16));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::VAL,
+            regs::VAL,
+            Operand::Imm(16),
+        );
         b.alu(laser_isa::AluOp::Mul, regs::VAL, regs::VAL, Operand::Imm(8));
         b.add(regs::VAL, regs::VAL, Operand::Reg(regs::DATA2));
         b.store(Operand::Reg(regs::IV), regs::VAL, 0, 8);
@@ -217,7 +227,12 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
         b.source(file, 34);
         b.mem_add(regs::SHARED, 8, Operand::Imm(1), 8); // head++
         b.load(regs::VAL, regs::SHARED, 8, 8);
-        b.alu(laser_isa::AluOp::Rem, regs::VAL, regs::VAL, Operand::Imm(16));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::VAL,
+            regs::VAL,
+            Operand::Imm(16),
+        );
         b.alu(laser_isa::AluOp::Mul, regs::VAL, regs::VAL, Operand::Imm(8));
         b.add(regs::VAL, regs::VAL, Operand::Reg(regs::DATA2));
         b.store(Operand::Reg(regs::IV), regs::VAL, 0, 8);
@@ -237,7 +252,12 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
     if opts.fixed {
         b.source(file, 90);
         b.atomic_fetch_add(regs::VAL, regs::SHARED, 128, Operand::Imm(1), 8);
-        b.alu(laser_isa::AluOp::Rem, regs::VAL, regs::VAL, Operand::Imm(16));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::VAL,
+            regs::VAL,
+            Operand::Imm(16),
+        );
         b.alu(laser_isa::AluOp::Mul, regs::VAL, regs::VAL, Operand::Imm(8));
         b.add(regs::VAL, regs::VAL, Operand::Reg(regs::DATA2));
         b.load(regs::SCRATCH_A, regs::VAL, 0, 8);
@@ -247,7 +267,12 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
         b.source(file, 34);
         b.mem_add(regs::SHARED, 16, Operand::Imm(1), 8); // tail++
         b.load(regs::VAL, regs::SHARED, 16, 8);
-        b.alu(laser_isa::AluOp::Rem, regs::VAL, regs::VAL, Operand::Imm(16));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::VAL,
+            regs::VAL,
+            Operand::Imm(16),
+        );
         b.alu(laser_isa::AluOp::Mul, regs::VAL, regs::VAL, Operand::Imm(8));
         b.add(regs::VAL, regs::VAL, Operand::Reg(regs::DATA2));
         b.load(regs::SCRATCH_A, regs::VAL, 0, 8);
@@ -267,7 +292,10 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
     // Queue header: lock at +0, head at +8, tail at +16 (all one line in the
     // buggy variant); the fixed variant's counters live at +64 and +128.
     let queue = image.layout_mut().global_alloc(192, 64);
-    let slots = image.layout_mut().heap_alloc(16 * 8, 64).expect("queue slots");
+    let slots = image
+        .layout_mut()
+        .heap_alloc(16 * 8, 64)
+        .expect("queue slots");
     for t in 0..opts.threads {
         let entry = if t % 2 == 0 { "producer" } else { "consumer" };
         image.push_thread(
@@ -300,7 +328,12 @@ fn streamcluster(opts: &BuildOptions) -> WorkloadImage {
     b.nops(16);
     // … with an occasional update of this thread's work_mem slot (shared line
     // with the neighbouring thread's slot in the buggy layout).
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(8));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(8),
+    );
     b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
     let touch = b.block("work_mem_touch");
     let join = b.block("work_mem_join");
@@ -353,7 +386,12 @@ fn x264(opts: &BuildOptions) -> WorkloadImage {
     b.store(Operand::Reg(regs::VAL), regs::DATA, 0, 8);
     b.nops(6);
     // Row-completion broadcast every 4 rows: atomic bump of a shared counter.
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(4));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(4),
+    );
     b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
     let sync = b.block("row_sync");
     let join = b.block("row_join");
@@ -391,7 +429,9 @@ mod tests {
     use laser_machine::{Machine, MachineConfig};
 
     fn run(image: &WorkloadImage) -> laser_machine::RunResult {
-        Machine::new(MachineConfig::default(), image).run_to_completion().unwrap()
+        Machine::new(MachineConfig::default(), image)
+            .run_to_completion()
+            .unwrap()
     }
 
     fn small() -> BuildOptions {
@@ -408,20 +448,36 @@ mod tests {
     #[test]
     fn dedup_queue_lock_contends_and_lockfree_fix_helps() {
         let buggy = run(&dedup(&small()));
-        let fixed = run(&dedup(&BuildOptions { fixed: true, ..small() }));
+        let fixed = run(&dedup(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
         assert!(buggy.stats.hitm_events > 500);
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events);
-        assert!(fixed.cycles < buggy.cycles, "lock-free queue should speed dedup up");
+        assert!(
+            fixed.cycles < buggy.cycles,
+            "lock-free queue should speed dedup up"
+        );
     }
 
     #[test]
     fn streamcluster_padding_fix_removes_hitms_without_big_speedup() {
         let buggy = run(&streamcluster(&small()));
-        let fixed = run(&streamcluster(&BuildOptions { fixed: true, ..small() }));
-        assert!(buggy.stats.hitm_events > 50, "hitms {}", buggy.stats.hitm_events);
+        let fixed = run(&streamcluster(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
+        assert!(
+            buggy.stats.hitm_events > 50,
+            "hitms {}",
+            buggy.stats.hitm_events
+        );
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events / 3);
         let speedup = buggy.cycles as f64 / fixed.cycles as f64;
-        assert!(speedup < 1.5, "streamcluster fix should not be a dramatic win: {speedup}");
+        assert!(
+            speedup < 1.5,
+            "streamcluster fix should not be a dramatic win: {speedup}"
+        );
     }
 
     #[test]

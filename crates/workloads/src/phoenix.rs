@@ -95,7 +95,9 @@ pub fn all() -> Vec<WorkloadSpec> {
             )],
             sheriff: SheriffCompat::Works,
             has_fix: true,
-            build_fn: |o| packed_counter_kernel("reverse_index", "reverse_index.c", 88, o, 1800, 10, 6),
+            build_fn: |o| {
+                packed_counter_kernel("reverse_index", "reverse_index.c", 88, o, 1800, 10, 6)
+            },
         },
         WorkloadSpec {
             name: "string_match",
@@ -190,8 +192,18 @@ fn histogram(opts: &BuildOptions, alternative_input: bool) -> WorkloadImage {
     let (body, exit) = open_loop(&mut b, "pixels");
     // bucket = iv % buckets_per_thread; counters[bucket]++
     b.source(file, 52);
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(buckets_per_thread));
-    b.alu(laser_isa::AluOp::Mul, regs::SCRATCH_A, regs::SCRATCH_A, Operand::Imm(8));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(buckets_per_thread),
+    );
+    b.alu(
+        laser_isa::AluOp::Mul,
+        regs::SCRATCH_A,
+        regs::SCRATCH_A,
+        Operand::Imm(8),
+    );
     b.add(regs::SCRATCH_A, regs::SCRATCH_A, Operand::Reg(regs::DATA));
     b.source(file, 53);
     b.mem_add(regs::SCRATCH_A, 0, Operand::Imm(1), 8);
@@ -202,10 +214,18 @@ fn histogram(opts: &BuildOptions, alternative_input: bool) -> WorkloadImage {
     let program = b.finish();
 
     let mut image = WorkloadImage::new(
-        if alternative_input { "histogram'" } else { "histogram" },
+        if alternative_input {
+            "histogram'"
+        } else {
+            "histogram"
+        },
         program,
     );
-    image.set_time_dilation(if alternative_input { INTENSE_DILATION } else { common::BENIGN_DILATION });
+    image.set_time_dilation(if alternative_input {
+        INTENSE_DILATION
+    } else {
+        common::BENIGN_DILATION
+    });
     if opts.layout_perturbation > 0 {
         image.layout_mut().perturb_heap(opts.layout_perturbation);
     }
@@ -256,8 +276,18 @@ fn kmeans(opts: &BuildOptions) -> WorkloadImage {
     // sum_obj = sums[(iv + tid) % clusters]; sum_obj->total += iv
     b.source(file, 60);
     b.add(regs::SCRATCH_A, regs::IV, Operand::Reg(regs::TID));
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::SCRATCH_A, Operand::Imm(clusters));
-    b.alu(laser_isa::AluOp::Mul, regs::SCRATCH_A, regs::SCRATCH_A, Operand::Imm(32));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::SCRATCH_A,
+        Operand::Imm(clusters),
+    );
+    b.alu(
+        laser_isa::AluOp::Mul,
+        regs::SCRATCH_A,
+        regs::SCRATCH_A,
+        Operand::Imm(32),
+    );
     b.add(regs::SCRATCH_A, regs::SCRATCH_A, Operand::Reg(regs::DATA));
     b.mem_add(regs::SCRATCH_A, 0, Operand::Imm(1), 8);
     if opts.fixed {
@@ -265,7 +295,12 @@ fn kmeans(opts: &BuildOptions) -> WorkloadImage {
         // written once per outer pass (modelled as once every 64 iterations),
         // and the sums above are thread-local stack objects.
         b.source(file, 72);
-        b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(64));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::SCRATCH_A,
+            regs::IV,
+            Operand::Imm(64),
+        );
         b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
         let flag_blk = b.block("flag");
         let join = b.block("flag_join");
@@ -296,9 +331,15 @@ fn kmeans(opts: &BuildOptions) -> WorkloadImage {
         // they are packed 32-byte heap objects (allocated by the main thread),
         // in the fixed variant they are cache-line-aligned "stack" objects.
         let sums = if opts.fixed {
-            image.layout_mut().heap_alloc(clusters * 64, 64).expect("sums")
+            image
+                .layout_mut()
+                .heap_alloc(clusters * 64, 64)
+                .expect("sums")
         } else {
-            image.layout_mut().heap_alloc(clusters * 32, 1).expect("sums")
+            image
+                .layout_mut()
+                .heap_alloc(clusters * 32, 1)
+                .expect("sums")
         };
         image.push_thread(
             ThreadSpec::new(format!("kmeans{t}"), "entry")
@@ -336,7 +377,12 @@ fn packed_counter_kernel(
     b.store(Operand::Reg(regs::VAL), regs::DATA2, 0, 8);
     b.nops(compute_ops);
     // if (iv % update_period == 0) use_len[tid]++
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(update_period.max(1)));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(update_period.max(1)),
+    );
     b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
     let bump = b.block("bump");
     let join = b.block("join");
@@ -399,7 +445,9 @@ mod tests {
     use laser_machine::{Machine, MachineConfig};
 
     fn run(image: &WorkloadImage) -> laser_machine::RunResult {
-        Machine::new(MachineConfig::default(), image).run_to_completion().unwrap()
+        Machine::new(MachineConfig::default(), image)
+            .run_to_completion()
+            .unwrap()
     }
 
     fn small() -> BuildOptions {
@@ -409,10 +457,20 @@ mod tests {
     #[test]
     fn linear_regression_false_shares_and_fix_removes_it() {
         let buggy = run(&linear_regression(&small()));
-        assert!(buggy.stats.hitm_events > 500, "hitms {}", buggy.stats.hitm_events);
-        let fixed = run(&linear_regression(&BuildOptions { fixed: true, ..small() }));
+        assert!(
+            buggy.stats.hitm_events > 500,
+            "hitms {}",
+            buggy.stats.hitm_events
+        );
+        let fixed = run(&linear_regression(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events / 20);
-        assert!(fixed.cycles < buggy.cycles / 2, "fix should give a large speedup");
+        assert!(
+            fixed.cycles < buggy.cycles / 2,
+            "fix should give a large speedup"
+        );
     }
 
     #[test]
@@ -421,7 +479,13 @@ mod tests {
         assert_eq!(default_input.stats.hitm_events, 0);
         let alt = run(&histogram(&small(), true));
         assert!(alt.stats.hitm_events > 300);
-        let alt_fixed = run(&histogram(&BuildOptions { fixed: true, ..small() }, true));
+        let alt_fixed = run(&histogram(
+            &BuildOptions {
+                fixed: true,
+                ..small()
+            },
+            true,
+        ));
         assert!(alt_fixed.stats.hitm_events < alt.stats.hitm_events / 20);
     }
 
@@ -429,7 +493,10 @@ mod tests {
     fn kmeans_has_true_sharing_and_fix_reduces_it() {
         let buggy = run(&kmeans(&small()));
         assert!(buggy.stats.hitm_events > 500);
-        let fixed = run(&kmeans(&BuildOptions { fixed: true, ..small() }));
+        let fixed = run(&kmeans(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events / 2);
         assert!(fixed.cycles < buggy.cycles);
     }
@@ -437,7 +504,15 @@ mod tests {
     #[test]
     fn reverse_index_contention_is_mild() {
         let o = small();
-        let buggy = run(&packed_counter_kernel("reverse_index", "reverse_index.c", 88, &o, 1800, 6, 6));
+        let buggy = run(&packed_counter_kernel(
+            "reverse_index",
+            "reverse_index.c",
+            88,
+            &o,
+            1800,
+            6,
+            6,
+        ));
         let fixed = run(&packed_counter_kernel(
             "reverse_index",
             "reverse_index.c",

@@ -84,20 +84,31 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { threads: 4, scale: 1.0, fixed: false, layout_perturbation: 0 }
+        BuildOptions {
+            threads: 4,
+            scale: 1.0,
+            fixed: false,
+            layout_perturbation: 0,
+        }
     }
 }
 
 impl BuildOptions {
     /// Options for the manually-fixed variant at default scale.
     pub fn fixed() -> Self {
-        BuildOptions { fixed: true, ..Default::default() }
+        BuildOptions {
+            fixed: true,
+            ..Default::default()
+        }
     }
 
     /// Options at a reduced input scale (Sheriff's `simlarge`-style inputs,
     /// also used by the Criterion benches to stay fast).
     pub fn scaled(scale: f64) -> Self {
-        BuildOptions { scale, ..Default::default() }
+        BuildOptions {
+            scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -174,7 +185,12 @@ mod tests {
     #[test]
     fn registry_has_all_35_workloads() {
         let r = registry();
-        assert_eq!(r.len(), 35, "{:?}", r.iter().map(|s| s.name).collect::<Vec<_>>());
+        assert_eq!(
+            r.len(),
+            35,
+            "{:?}",
+            r.iter().map(|s| s.name).collect::<Vec<_>>()
+        );
         // No duplicate names.
         let mut names: Vec<_> = r.iter().map(|s| s.name).collect();
         names.dedup();
@@ -229,8 +245,16 @@ mod tests {
     fn fixed_variants_exist_where_claimed() {
         for spec in registry() {
             if spec.has_fix {
-                let fixed = spec.build(&BuildOptions { fixed: true, scale: 0.05, ..Default::default() });
-                assert!(!fixed.threads().is_empty(), "{} fixed variant broken", spec.name);
+                let fixed = spec.build(&BuildOptions {
+                    fixed: true,
+                    scale: 0.05,
+                    ..Default::default()
+                });
+                assert!(
+                    !fixed.threads().is_empty(),
+                    "{} fixed variant broken",
+                    spec.name
+                );
             }
         }
     }

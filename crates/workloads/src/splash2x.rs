@@ -101,7 +101,9 @@ pub fn all() -> Vec<WorkloadSpec> {
             known_bugs: vec![],
             sheriff: SheriffCompat::Works,
             has_fix: false,
-            build_fn: |o| locked_accumulator("raytrace.splash2x", "raytrace_splash.c", o, 2100, 64, 9),
+            build_fn: |o| {
+                locked_accumulator("raytrace.splash2x", "raytrace_splash.c", o, 2100, 64, 9)
+            },
         },
         WorkloadSpec {
             name: "volrend",
@@ -152,8 +154,18 @@ fn lu_ncb(opts: &BuildOptions) -> WorkloadImage {
     // Update a rotating element of this thread's block; the first element sits
     // on the line shared with the previous thread's block.
     b.source(file, 140);
-    b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(6));
-    b.alu(laser_isa::AluOp::Mul, regs::SCRATCH_A, regs::SCRATCH_A, Operand::Imm(8));
+    b.alu(
+        laser_isa::AluOp::Rem,
+        regs::SCRATCH_A,
+        regs::IV,
+        Operand::Imm(6),
+    );
+    b.alu(
+        laser_isa::AluOp::Mul,
+        regs::SCRATCH_A,
+        regs::SCRATCH_A,
+        Operand::Imm(8),
+    );
     b.add(regs::SCRATCH_A, regs::SCRATCH_A, Operand::Reg(regs::DATA));
     b.mem_add(regs::SCRATCH_A, 0, Operand::Imm(3), 8);
     b.source(file, 150);
@@ -213,7 +225,12 @@ fn volrend(opts: &BuildOptions) -> WorkloadImage {
     b.nops(6);
     if opts.fixed {
         // Batched atomic increment: once every 8 rays.
-        b.alu(laser_isa::AluOp::Rem, regs::SCRATCH_A, regs::IV, Operand::Imm(8));
+        b.alu(
+            laser_isa::AluOp::Rem,
+            regs::SCRATCH_A,
+            regs::IV,
+            Operand::Imm(8),
+        );
         b.cmp_eq(regs::COND, regs::SCRATCH_A, Operand::Imm(0));
         let bump = b.block("bump");
         let join = b.block("join");
@@ -265,7 +282,9 @@ mod tests {
     use laser_machine::{Machine, MachineConfig};
 
     fn run(image: &WorkloadImage) -> laser_machine::RunResult {
-        Machine::new(MachineConfig::default(), image).run_to_completion().unwrap()
+        Machine::new(MachineConfig::default(), image)
+            .run_to_completion()
+            .unwrap()
     }
 
     fn small() -> BuildOptions {
@@ -275,20 +294,33 @@ mod tests {
     #[test]
     fn lu_ncb_false_shares_until_aligned() {
         let buggy = run(&lu_ncb(&small()));
-        assert!(buggy.stats.hitm_events > 300, "hitms {}", buggy.stats.hitm_events);
-        let fixed = run(&lu_ncb(&BuildOptions { fixed: true, ..small() }));
+        assert!(
+            buggy.stats.hitm_events > 300,
+            "hitms {}",
+            buggy.stats.hitm_events
+        );
+        let fixed = run(&lu_ncb(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events / 10);
         assert!(fixed.cycles < buggy.cycles);
         // The incidental layout shift from running under a tool has the same
         // effect as the manual fix (the paper's 30% observation).
-        let perturbed = run(&lu_ncb(&BuildOptions { layout_perturbation: 32, ..small() }));
+        let perturbed = run(&lu_ncb(&BuildOptions {
+            layout_perturbation: 32,
+            ..small()
+        }));
         assert!(perturbed.stats.hitm_events < buggy.stats.hitm_events / 10);
     }
 
     #[test]
     fn volrend_lock_contends_and_batching_reduces_hitms() {
         let buggy = run(&volrend(&small()));
-        let fixed = run(&volrend(&BuildOptions { fixed: true, ..small() }));
+        let fixed = run(&volrend(&BuildOptions {
+            fixed: true,
+            ..small()
+        }));
         assert!(buggy.stats.hitm_events > 200);
         assert!(fixed.stats.hitm_events < buggy.stats.hitm_events / 4);
     }

@@ -7,7 +7,9 @@ use laser::workloads::{find, registry, BuildOptions};
 use laser::{Laser, LaserConfig};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "linear_regression".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "linear_regression".to_string());
     let Some(spec) = find(&name) else {
         eprintln!("unknown workload '{name}'. Available:");
         for s in registry() {
@@ -16,8 +18,9 @@ fn main() {
         std::process::exit(2);
     };
     let image = spec.build(&BuildOptions::scaled(0.3));
-    let outcome =
-        Laser::new(LaserConfig::detection_only()).run(&image).expect("detection run succeeds");
+    let outcome = Laser::new(LaserConfig::detection_only())
+        .run(&image)
+        .expect("detection run succeeds");
 
     println!("workload: {name}");
     println!(
@@ -27,7 +30,10 @@ fn main() {
         outcome.driver_stats.interrupts,
         outcome.driver_stats.overhead_cycles
     );
-    println!("detector: {} cycles of processing\n", outcome.detector_cycles);
+    println!(
+        "detector: {} cycles of processing\n",
+        outcome.detector_cycles
+    );
     println!("{}", outcome.report.render());
 
     println!("known bugs in the database:");
@@ -35,7 +41,10 @@ fn main() {
         println!("  (none)");
     }
     for bug in &spec.known_bugs {
-        let found = bug.lines.iter().any(|&l| outcome.report.line(&bug.file, l).is_some());
+        let found = bug
+            .lines
+            .iter()
+            .any(|&l| outcome.report.line(&bug.file, l).is_some());
         println!(
             "  {:?} at {}:{:?} -- {}",
             bug.kind,

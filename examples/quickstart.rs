@@ -23,15 +23,27 @@ fn main() {
         println!(
             "  lreg_args[{t}] @ {base:#x} (line offset {:2}) {}",
             base % 64,
-            if straddles { "-- straddles two cache lines" } else { "" }
+            if straddles {
+                "-- straddles two cache lines"
+            } else {
+                ""
+            }
         );
     }
 
     let native = Laser::run_native(&image).expect("native run");
-    println!("\nnative run: {} cycles, {} HITM events", native.cycles, native.stats.hitm_events);
+    println!(
+        "\nnative run: {} cycles, {} HITM events",
+        native.cycles, native.stats.hitm_events
+    );
 
-    let outcome = Laser::new(LaserConfig::default()).run(&image).expect("LASER run");
-    println!("\n== LASER contention report ==\n{}", outcome.report.render());
+    let outcome = Laser::new(LaserConfig::default())
+        .run(&image)
+        .expect("LASER run");
+    println!(
+        "\n== LASER contention report ==\n{}",
+        outcome.report.render()
+    );
     if let Some(repair) = &outcome.repair {
         println!(
             "LASERREPAIR attached at cycle {} and buffered {} stores ({} flushes).",

@@ -12,15 +12,24 @@ fn main() {
     let image = spec.build(&opts);
 
     let native = Laser::run_native(&image).expect("native run");
-    let detect_only =
-        Laser::new(LaserConfig::detection_only()).run(&image).expect("detection run");
-    let repaired = Laser::new(LaserConfig::default()).run(&image).expect("repair run");
-    let fixed_image = spec.build(&BuildOptions { fixed: true, ..opts });
+    let detect_only = Laser::new(LaserConfig::detection_only())
+        .run(&image)
+        .expect("detection run");
+    let repaired = Laser::new(LaserConfig::default())
+        .run(&image)
+        .expect("repair run");
+    let fixed_image = spec.build(&BuildOptions {
+        fixed: true,
+        ..opts
+    });
     let manual = Laser::run_native(&fixed_image).expect("fixed run");
 
     let norm = |c: u64| c as f64 / native.cycles as f64;
     println!("histogram' (input that induces false sharing):");
-    println!("  native:                 {:>10} cycles  (1.00x)", native.cycles);
+    println!(
+        "  native:                 {:>10} cycles  (1.00x)",
+        native.cycles
+    );
     println!(
         "  LASER, detection only:  {:>10} cycles  ({:.2}x)",
         detect_only.run.cycles,

@@ -7,16 +7,21 @@ use laser::workloads::{registry, BuildOptions};
 use laser::{Laser, LaserConfig};
 
 fn main() {
-    let scale = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()).unwrap_or(0.15);
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.15);
     let opts = BuildOptions::scaled(scale);
     println!(
-        "{:<20} {:>6} {:>10} {:>9} {:>8}  {}",
-        "workload", "bugs", "HITMs", "overhead", "lines", "top report"
+        "{:<20} {:>6} {:>10} {:>9} {:>8}  top report",
+        "workload", "bugs", "HITMs", "overhead", "lines"
     );
     for spec in registry() {
         let image = spec.build(&opts);
         let native = Laser::run_native(&image).expect("native run");
-        let outcome = Laser::new(LaserConfig::detection_only()).run(&image).expect("LASER run");
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&image)
+            .expect("LASER run");
         let overhead = outcome.run.cycles as f64 / native.cycles.max(1) as f64;
         let top = outcome
             .report

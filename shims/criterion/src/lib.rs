@@ -1,0 +1,133 @@
+//! Offline stand-in for the subset of `criterion` the laser-bench benchmarks
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups with a
+//! configurable sample size, and `Bencher::iter`. Each benchmark runs its
+//! closure `sample_size` times and reports min / mean / max wall-clock time —
+//! enough to compare runs locally without a crates.io mirror.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value (and the work producing it)
+/// away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run and time one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iterations: 0,
+            };
+            f(&mut b);
+            if b.iterations > 0 {
+                samples.push(b.elapsed / b.iterations);
+            }
+        }
+        if let (Some(min), Some(max)) = (samples.iter().min(), samples.iter().max()) {
+            let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+            println!(
+                "{}/{id}: [{min:?} {mean:?} {max:?}] over {} samples",
+                self.name,
+                samples.len()
+            );
+        }
+        self
+    }
+
+    /// Finish the group (log-only in this shim).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Run `f` once, timing it; criterion proper runs it many times per
+    /// sample, the shim keeps samples cheap because the workloads under it are
+    /// whole experiment suites.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_functions() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

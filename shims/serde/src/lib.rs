@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! without network access. The derives are inert markers — no trait impls are
+//! generated and nothing in this workspace performs (de)serialization.
+
+pub use serde_derive::{Deserialize, Serialize};

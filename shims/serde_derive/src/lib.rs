@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment cannot reach a crates.io mirror, and this workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as inert markers on config
+//! and result types — nothing is ever serialized. These derives therefore
+//! expand to nothing; swapping the real serde back in later requires no source
+//! changes in the crates that use it.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

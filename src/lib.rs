@@ -20,11 +20,14 @@
 //! use laser::workloads::{find, BuildOptions};
 //! use laser::{Laser, LaserConfig};
 //!
-//! let spec = find("histogram'").expect("workload exists");
+//! let spec = find("histogram").expect("workload exists");
 //! let image = spec.build(&BuildOptions::scaled(0.05));
 //! let outcome = Laser::new(LaserConfig::default()).run(&image).expect("run succeeds");
 //! println!("{}", outcome.report.render());
 //! ```
+//!
+//! (The paper's alternative-input variant is registered as `histogram'` —
+//! apostrophe included — and is the one that false-shares.)
 
 pub use laser_baselines as baselines;
 pub use laser_core as core;

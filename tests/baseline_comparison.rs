@@ -14,13 +14,26 @@ fn sheriff_can_run_only_part_of_the_suite() {
     // Paper Table 1 / Section 7.3: most of the suite either crashes under
     // Sheriff or uses unsupported constructs; LASER runs everything.
     let specs = registry();
-    let works = specs.iter().filter(|s| s.sheriff == SheriffCompat::Works).count();
+    let works = specs
+        .iter()
+        .filter(|s| s.sheriff == SheriffCompat::Works)
+        .count();
     let broken = specs.len() - works;
-    assert!(works >= 10, "some workloads must run under Sheriff ({works})");
-    assert!(broken >= 15, "most of the suite should not run under Sheriff ({broken})");
+    assert!(
+        works >= 10,
+        "some workloads must run under Sheriff ({works})"
+    );
+    assert!(
+        broken >= 15,
+        "most of the suite should not run under Sheriff ({broken})"
+    );
     // And the ones that do not run really do not produce results.
     let sheriff = Sheriff::default();
-    for spec in specs.iter().filter(|s| s.sheriff != SheriffCompat::Works).take(3) {
+    for spec in specs
+        .iter()
+        .filter(|s| s.sheriff != SheriffCompat::Works)
+        .take(3)
+    {
         let out = sheriff.run(spec, &opts(), SheriffMode::Detect).unwrap();
         assert!(!out.ran(), "{} should not run under Sheriff", spec.name);
     }
@@ -35,7 +48,9 @@ fn laser_is_cheaper_than_vtune_across_a_mixed_subset() {
         let spec = find(name).unwrap();
         let image = spec.build(&opts());
         let native = Laser::run_native(&image).unwrap();
-        let laser = Laser::new(LaserConfig::detection_only()).run(&image).unwrap();
+        let laser = Laser::new(LaserConfig::detection_only())
+            .run(&image)
+            .unwrap();
         let v = vtune.run(&image).unwrap();
         laser_norms.push(laser.run.cycles as f64 / native.cycles as f64);
         vtune_norms.push(v.run.cycles as f64 / native.cycles as f64);
@@ -46,8 +61,14 @@ fn laser_is_cheaper_than_vtune_across_a_mixed_subset() {
         laser_geo < vtune_geo,
         "LASER geomean {laser_geo:.3} should beat VTune {vtune_geo:.3}"
     );
-    assert!(laser_geo < 1.10, "LASER geomean overhead too high: {laser_geo:.3}");
-    assert!(vtune_geo > 1.15, "VTune should pay for its always-on profiling: {vtune_geo:.3}");
+    assert!(
+        laser_geo < 1.10,
+        "LASER geomean overhead too high: {laser_geo:.3}"
+    );
+    assert!(
+        vtune_geo > 1.15,
+        "VTune should pay for its always-on profiling: {vtune_geo:.3}"
+    );
 }
 
 #[test]
@@ -57,16 +78,22 @@ fn sheriff_protect_fixes_false_sharing_it_cannot_see_while_laser_reports_it() {
     let sheriff = Sheriff::default();
     for name in ["histogram'", "linear_regression"] {
         let spec = find(name).unwrap();
-        let protect =
-            sheriff.run(&spec, &opts(), SheriffMode::Protect).unwrap().result.unwrap();
+        let protect = sheriff
+            .run(&spec, &opts(), SheriffMode::Protect)
+            .unwrap()
+            .result
+            .unwrap();
         assert!(
             protect.normalized_runtime() < 1.0,
             "{name}: Sheriff-Protect should remove the false-sharing misses"
         );
-        let outcome =
-            Laser::new(LaserConfig::detection_only()).run(&spec.build(&opts())).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&spec.build(&opts()))
+            .unwrap();
         let found = spec.known_bugs.iter().any(|bug| {
-            bug.lines.iter().any(|&l| outcome.report.line(&bug.file, l).is_some())
+            bug.lines
+                .iter()
+                .any(|&l| outcome.report.line(&bug.file, l).is_some())
         });
         assert!(found, "{name}: LASER should also *report* the bug");
     }
@@ -79,12 +106,20 @@ fn sheriff_slowdown_tracks_synchronization_not_contention() {
     // water_nsquared synchronizes constantly but has no contention bug;
     // linear_regression has intense contention but no synchronization.
     let water = sheriff
-        .run(&find("water_nsquared").unwrap(), &opts, SheriffMode::Protect)
+        .run(
+            &find("water_nsquared").unwrap(),
+            &opts,
+            SheriffMode::Protect,
+        )
         .unwrap()
         .result
         .unwrap();
     let lreg = sheriff
-        .run(&find("linear_regression").unwrap(), &opts, SheriffMode::Protect)
+        .run(
+            &find("linear_regression").unwrap(),
+            &opts,
+            SheriffMode::Protect,
+        )
         .unwrap()
         .result
         .unwrap();
@@ -103,7 +138,9 @@ fn vtune_reports_more_locations_than_laser_for_the_same_workload() {
     for name in ["kmeans", "bodytrack"] {
         let spec = find(name).unwrap();
         let image = spec.build(&opts());
-        let laser = Laser::new(LaserConfig::detection_only()).run(&image).unwrap();
+        let laser = Laser::new(LaserConfig::detection_only())
+            .run(&image)
+            .unwrap();
         let vtune = Vtune::default().run(&image).unwrap();
         assert!(
             vtune.reported_lines.len() >= laser.report.lines.len(),

@@ -1,0 +1,46 @@
+//! The campaign runner's central guarantee: fanning a `workload × tool` grid
+//! across a thread pool changes nothing but the wall-clock. A campaign run
+//! with `threads = 1` (the reference serial execution) and with `threads = N`
+//! must produce byte-identical aggregated results.
+
+use laser_bench::{Campaign, LaserTool, NativeTool, SheriffTool, Tool, VtuneTool};
+use laser_core::LaserConfig;
+use laser_workloads::{registry, BuildOptions};
+
+fn tools() -> Vec<Box<dyn Tool>> {
+    vec![
+        Box::new(NativeTool),
+        Box::new(LaserTool::new(LaserConfig::detection_only())),
+        Box::new(VtuneTool::default()),
+        Box::new(SheriffTool::new(laser_baselines::SheriffMode::Detect)),
+    ]
+}
+
+fn campaign(threads: usize) -> Campaign {
+    Campaign::new(registry(), tools())
+        .with_workload_names(&["histogram'", "swaptions", "linear_regression"])
+        .with_options(BuildOptions::scaled(0.08))
+        .with_threads(threads)
+}
+
+#[test]
+fn single_and_multi_threaded_campaigns_are_byte_identical() {
+    let serial = campaign(1).run();
+    let parallel = campaign(8).run();
+
+    // Structural equality of every cell...
+    assert_eq!(serial.cells, parallel.cells);
+    // ...and byte-identical rendered output.
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.cells.len(), 12);
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Two parallel runs with the same thread count also agree — there is no
+    // hidden dependence on scheduling at all.
+    let a = campaign(4).run();
+    let b = campaign(4).run();
+    assert_eq!(a.cells, b.cells);
+    assert_eq!(a.render(), b.render());
+}

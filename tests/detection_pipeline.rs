@@ -28,12 +28,19 @@ fn perfect_records_classify_every_characterization_category_correctly() {
         let events = machine.take_hitm_events();
         assert!(!events.is_empty(), "case {} generated no HITMs", case.id);
 
-        let config = LaserConfig { imprecision: ImprecisionParams::perfect(), ..LaserConfig::default() };
-        let mut detector =
-            Detector::new(&config, built.image.program(), built.image.memory_map());
+        let config = LaserConfig {
+            imprecision: ImprecisionParams::perfect(),
+            ..LaserConfig::default()
+        };
+        let mut detector = Detector::new(&config, built.image.program(), built.image.memory_map());
         let records: Vec<HitmRecord> = events
             .iter()
-            .map(|e| HitmRecord { pc: e.pc, data_addr: e.addr, core: e.core, cycle: e.cycle })
+            .map(|e| HitmRecord {
+                pc: e.pc,
+                data_addr: e.addr,
+                core: e.core,
+                cycle: e.cycle,
+            })
             .collect();
         detector.process(&records);
         let report = detector.report(&format!("case{}", case.id), 1.0, 0.0, false);
@@ -53,7 +60,10 @@ fn perfect_records_classify_every_characterization_category_correctly() {
         );
         // Both the writer's and the peer's PCs contribute records.
         if case.mode == WriteMode::WriteWrite {
-            assert!(report.lines.iter().any(|l| l.false_sharing_events + l.true_sharing_events > 0));
+            assert!(report
+                .lines
+                .iter()
+                .any(|l| l.false_sharing_events + l.true_sharing_events > 0));
         }
     }
 }
@@ -72,7 +82,10 @@ fn report_lines_are_monotone_in_the_rate_threshold() {
     let mut previous = usize::MAX;
     for threshold in [0.0, 100.0, 1_000.0, 100_000.0, 1e12] {
         let kept = all.iter().filter(|l| l.rate_per_sec >= threshold).count();
-        assert!(kept <= previous, "threshold {threshold} kept {kept} > {previous}");
+        assert!(
+            kept <= previous,
+            "threshold {threshold} kept {kept} > {previous}"
+        );
         previous = kept;
     }
 }
@@ -122,13 +135,21 @@ fn spurious_records_never_produce_report_lines() {
 fn detection_is_reproducible_and_robust_to_the_sampling_seed() {
     let spec = find("histogram'").unwrap();
     let image = spec.build(&BuildOptions::scaled(0.2));
-    let a = Laser::new(LaserConfig::detection_only().with_seed(1)).run(&image).unwrap();
-    let b = Laser::new(LaserConfig::detection_only().with_seed(1)).run(&image).unwrap();
+    let a = Laser::new(LaserConfig::detection_only().with_seed(1))
+        .run(&image)
+        .unwrap();
+    let b = Laser::new(LaserConfig::detection_only().with_seed(1))
+        .run(&image)
+        .unwrap();
     assert_eq!(a.report, b.report);
     for seed in [2, 3, 4, 5] {
-        let c = Laser::new(LaserConfig::detection_only().with_seed(seed)).run(&image).unwrap();
+        let c = Laser::new(LaserConfig::detection_only().with_seed(seed))
+            .run(&image)
+            .unwrap();
         let found = spec.known_bugs.iter().any(|bug| {
-            bug.lines.iter().any(|&l| c.report.line(&bug.file, l).is_some())
+            bug.lines
+                .iter()
+                .any(|&l| c.report.line(&bug.file, l).is_some())
         });
         assert!(found, "seed {seed}: {}", c.report.render());
     }
@@ -143,10 +164,13 @@ fn detection_works_across_sampling_rates() {
     let mut overheads = Vec::new();
     let native = Laser::run_native(&image).unwrap();
     for sav in [1u32, 7, 19, 31] {
-        let outcome =
-            Laser::new(LaserConfig::detection_only().with_sav(sav)).run(&image).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only().with_sav(sav))
+            .run(&image)
+            .unwrap();
         let found = spec.known_bugs.iter().any(|bug| {
-            bug.lines.iter().any(|&l| outcome.report.line(&bug.file, l).is_some())
+            bug.lines
+                .iter()
+                .any(|&l| outcome.report.line(&bug.file, l).is_some())
         });
         assert!(found, "SAV {sav}: bug missed");
         overheads.push(outcome.run.cycles as f64 / native.cycles as f64);

@@ -13,15 +13,27 @@ fn opts() -> BuildOptions {
 fn laser_finds_every_headline_bug() {
     // The three bugs the paper discusses most: intense false sharing in
     // histogram' and linear_regression, and the novel true sharing in dedup.
-    for name in ["histogram'", "linear_regression", "dedup", "bodytrack", "volrend"] {
+    for name in [
+        "histogram'",
+        "linear_regression",
+        "dedup",
+        "bodytrack",
+        "volrend",
+    ] {
         let spec = find(name).unwrap();
         let outcome = Laser::new(LaserConfig::detection_only())
             .run(&spec.build(&opts()))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let found = spec.known_bugs.iter().any(|bug| {
-            bug.lines.iter().any(|&l| outcome.report.line(&bug.file, l).is_some())
+            bug.lines
+                .iter()
+                .any(|&l| outcome.report.line(&bug.file, l).is_some())
         });
-        assert!(found, "{name}: bug not reported.\n{}", outcome.report.render());
+        assert!(
+            found,
+            "{name}: bug not reported.\n{}",
+            outcome.report.render()
+        );
     }
 }
 
@@ -31,9 +43,16 @@ fn contention_free_workloads_stay_quiet_and_cheap() {
         let spec = find(name).unwrap();
         let image = spec.build(&opts());
         let native = Laser::run_native(&image).unwrap();
-        assert_eq!(native.stats.hitm_events, 0, "{name} should have no contention");
+        assert_eq!(
+            native.stats.hitm_events, 0,
+            "{name} should have no contention"
+        );
         let outcome = Laser::new(LaserConfig::default()).run(&image).unwrap();
-        assert!(outcome.report.lines.is_empty(), "{name}: {}", outcome.report.render());
+        assert!(
+            outcome.report.lines.is_empty(),
+            "{name}: {}",
+            outcome.report.render()
+        );
         assert!(outcome.repair.is_none());
         let overhead = outcome.run.cycles as f64 / native.cycles as f64;
         assert!(overhead < 1.03, "{name} overhead {overhead}");
@@ -46,8 +65,9 @@ fn true_sharing_bugs_are_classified_as_true_sharing() {
         let spec = find(name).unwrap();
         let bug = &spec.known_bugs[0];
         assert_eq!(bug.kind, BugKind::TrueSharing);
-        let outcome =
-            Laser::new(LaserConfig::detection_only()).run(&spec.build(&opts())).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&spec.build(&opts()))
+            .unwrap();
         let reported = outcome
             .report
             .lines
@@ -70,10 +90,15 @@ fn false_sharing_bugs_are_not_classified_as_true_sharing() {
     // histogram' and lu_ncb are read-write false sharing: LASER should call
     // them false sharing. linear_regression is write-write: the paper reports
     // LASER cannot conclusively type it (it must not be called true sharing).
-    for (name, allow_unknown) in [("histogram'", false), ("lu_ncb", false), ("linear_regression", true)] {
+    for (name, allow_unknown) in [
+        ("histogram'", false),
+        ("lu_ncb", false),
+        ("linear_regression", true),
+    ] {
         let spec = find(name).unwrap();
-        let outcome =
-            Laser::new(LaserConfig::detection_only()).run(&spec.build(&opts())).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&spec.build(&opts()))
+            .unwrap();
         let reported = outcome
             .report
             .lines
@@ -84,7 +109,10 @@ fn false_sharing_bugs_are_not_classified_as_true_sharing() {
         match reported.kind {
             ContentionKind::FalseSharing => {}
             ContentionKind::Unknown if allow_unknown => {}
-            other => panic!("{name} classified as {other:?}\n{}", outcome.report.render()),
+            other => panic!(
+                "{name} classified as {other:?}\n{}",
+                outcome.report.render()
+            ),
         }
     }
 }
@@ -112,7 +140,9 @@ fn online_repair_speeds_up_intense_false_sharing() {
 fn repair_is_not_attempted_for_true_sharing_or_mild_contention() {
     for name in ["bodytrack", "reverse_index", "volrend"] {
         let spec = find(name).unwrap();
-        let outcome = Laser::new(LaserConfig::default()).run(&spec.build(&opts())).unwrap();
+        let outcome = Laser::new(LaserConfig::default())
+            .run(&spec.build(&opts()))
+            .unwrap();
         assert!(
             outcome.repair.is_none(),
             "{name}: repair should not trigger ({:?})",
@@ -127,13 +157,17 @@ fn overhead_across_the_whole_suite_is_low_on_geometric_mean() {
     for spec in laser::workloads::registry() {
         let image = spec.build(&BuildOptions::scaled(0.1));
         let native = Laser::run_native(&image).unwrap();
-        let outcome = Laser::new(LaserConfig::detection_only()).run(&image).unwrap();
+        let outcome = Laser::new(LaserConfig::detection_only())
+            .run(&image)
+            .unwrap();
         ratios.push(outcome.run.cycles as f64 / native.cycles.max(1) as f64);
     }
-    let geomean =
-        (ratios.iter().map(|v| v.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let geomean = (ratios.iter().map(|v| v.ln()).sum::<f64>() / ratios.len() as f64).exp();
     assert!(geomean < 1.06, "suite geomean overhead {geomean}");
-    assert!(ratios.iter().all(|&r| r < 1.35), "worst case too high: {ratios:?}");
+    assert!(
+        ratios.iter().all(|&r| r < 1.35),
+        "worst case too high: {ratios:?}"
+    );
 }
 
 #[test]
@@ -143,12 +177,18 @@ fn manual_fixes_recover_native_performance() {
     for name in ["histogram'", "linear_regression", "lu_ncb"] {
         let spec = find(name).unwrap();
         let buggy = Laser::run_native(&spec.build(&opts())).unwrap();
-        let fixed =
-            Laser::run_native(&spec.build(&BuildOptions { fixed: true, ..opts() })).unwrap();
+        let fixed = Laser::run_native(&spec.build(&BuildOptions {
+            fixed: true,
+            ..opts()
+        }))
+        .unwrap();
         assert!(
             fixed.stats.hitm_events * 10 <= buggy.stats.hitm_events.max(10),
             "{name}: fix should remove HITM traffic"
         );
-        assert!(fixed.cycles < buggy.cycles, "{name}: fix should not slow the program down");
+        assert!(
+            fixed.cycles < buggy.cycles,
+            "{name}: fix should not slow the program down"
+        );
     }
 }
