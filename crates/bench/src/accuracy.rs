@@ -1,10 +1,18 @@
 //! Detection-accuracy experiments: Table 1, Table 2 and Figure 9.
+//!
+//! Like the performance figures, each table is a *planner* over a [`Grid`]
+//! plus a *view* over the cached [`GridResult`] — the accuracy experiments
+//! share their `laser-detect` and `sheriff-detect` cells with each other (and
+//! the campaign's native cells with every overhead figure) instead of
+//! re-simulating them.
 
-use laser_baselines::{Sheriff, SheriffFailure, SheriffMode};
-use laser_core::{ContentionKind, LaserConfig, LaserError};
+use laser_baselines::SheriffFailure;
+use laser_core::ContentionKind;
 use laser_workloads::{BugKind, WorkloadSpec};
 
-use crate::runner::{run_laser, score_locations, score_report, ExperimentScale};
+use crate::grid::{ExperimentError, Grid, GridResult};
+use crate::runner::{score_locations, score_reported, ExperimentScale};
+use crate::tool::ToolSpec;
 
 /// One row of Table 1.
 #[derive(Debug, Clone)]
@@ -98,42 +106,49 @@ fn sheriff_score(spec: &WorkloadSpec, reported_lines: usize) -> (usize, usize) {
     (false_negatives, false_positives)
 }
 
-/// Run the Table 1 experiment.
+/// Plan the cells Table 1 needs.
+pub fn plan_table1(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        grid.request(&spec, ToolSpec::LaserDetect);
+        grid.request(&spec, ToolSpec::Vtune);
+        grid.request(&spec, ToolSpec::SheriffDetect);
+    }
+}
+
+/// Derive Table 1 from cached cells.
 ///
 /// # Errors
-/// Propagates simulator errors.
-pub fn table1_accuracy(scale: &ExperimentScale) -> Result<Table1Report, LaserError> {
-    let vtune = laser_baselines::Vtune::default();
-    let sheriff = Sheriff::default();
-    let opts = scale.options();
+/// Propagates missing or failed cells.
+pub fn table1_from_grid(grid: &GridResult) -> Result<Table1Report, ExperimentError> {
     let mut rows = Vec::new();
-    for spec in scale.workloads() {
-        let laser_outcome = run_laser(&spec, &opts, LaserConfig::detection_only())?;
-        let laser = score_report(&spec, &laser_outcome.report);
-
-        let vtune_outcome = vtune.run(&crate::runner::build_under_tool(&spec, &opts))?;
-        let vtune_locs: Vec<(String, u32)> = vtune_outcome
-            .reported_lines
-            .iter()
-            .map(|l| (l.location.file.clone(), l.location.line))
-            .collect();
-        let vtune_score = score_locations(&spec, &vtune_locs);
-
-        let sheriff_outcome = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
-        let sheriff_score = match sheriff_outcome.result {
-            Ok(run) => Ok(sheriff_score(&spec, run.reported_lines.len())),
-            Err(f) => Err(f),
-        };
-
+    for spec in grid.scale().workloads() {
+        let laser = score_reported(
+            &spec,
+            &grid.tool_run(spec.name, ToolSpec::LaserDetect)?.reported,
+        );
+        let vtune = score_reported(&spec, &grid.tool_run(spec.name, ToolSpec::Vtune)?.reported);
+        let sheriff = grid
+            .sheriff_run(spec.name, ToolSpec::SheriffDetect)?
+            .map(|run| sheriff_score(&spec, run.reported.len()));
         rows.push(Table1Row {
             name: spec.name,
             bugs: spec.known_bugs.len(),
             laser,
-            vtune: vtune_score,
-            sheriff: sheriff_score,
+            vtune,
+            sheriff,
         });
     }
     Ok(Table1Report { rows })
+}
+
+/// Run the Table 1 experiment on a single-table grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn table1_accuracy(scale: &ExperimentScale) -> Result<Table1Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_table1(&mut grid);
+    table1_from_grid(&grid.run())
 }
 
 /// One row of Table 2: the contention type of a known bug versus what the
@@ -215,39 +230,61 @@ impl Table2Report {
     }
 }
 
-/// Run the Table 2 experiment over the workloads with known bugs.
+/// Plan the cells Table 2 needs.
+pub fn plan_table2(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        if !spec.has_bugs() {
+            continue;
+        }
+        grid.request(&spec, ToolSpec::LaserDetect);
+        grid.request(&spec, ToolSpec::SheriffDetect);
+    }
+}
+
+/// Derive Table 2 from cached cells.
 ///
 /// # Errors
-/// Propagates simulator errors.
-pub fn table2_types(scale: &ExperimentScale) -> Result<Table2Report, LaserError> {
-    let sheriff = Sheriff::default();
-    let opts = scale.options();
+/// Propagates missing or failed cells.
+pub fn table2_from_grid(grid: &GridResult) -> Result<Table2Report, ExperimentError> {
     let mut rows = Vec::new();
-    for spec in scale.workloads().into_iter().filter(|s| s.has_bugs()) {
-        let outcome = run_laser(&spec, &opts, LaserConfig::detection_only())?;
+    for spec in grid.scale().workloads() {
+        if !spec.has_bugs() {
+            continue;
+        }
         let bug = &spec.known_bugs[0];
         // The report line for the bug with the most records determines the
         // reported type.
-        let laser = outcome
-            .report
-            .lines
+        let laser = grid
+            .tool_run(spec.name, ToolSpec::LaserDetect)?
+            .reported
             .iter()
-            .filter(|l| spec.is_known_bug_location(&l.location.file, l.location.line))
+            .filter(|l| {
+                l.location()
+                    .is_some_and(|(f, line)| spec.is_known_bug_location(f, line))
+            })
             .max_by_key(|l| l.hitm_records)
-            .map(|l| l.kind);
-        let sheriff_outcome = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
-        let sheriff_found = match sheriff_outcome.result {
-            Ok(run) => Ok(!run.reported_lines.is_empty()),
-            Err(f) => Err(f),
-        };
+            .and_then(|l| l.kind);
+        let sheriff = grid
+            .sheriff_run(spec.name, ToolSpec::SheriffDetect)?
+            .map(|run| !run.reported.is_empty());
         rows.push(Table2Row {
             name: spec.name,
             actual: bug.kind,
             laser,
-            sheriff: sheriff_found,
+            sheriff,
         });
     }
     Ok(Table2Report { rows })
+}
+
+/// Run the Table 2 experiment on a single-table grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn table2_types(scale: &ExperimentScale) -> Result<Table2Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_table2(&mut grid);
+    table2_from_grid(&grid.run())
 }
 
 /// One point of Figure 9: total false negatives and false positives across
@@ -286,34 +323,38 @@ impl Fig9Report {
     }
 }
 
-/// Run the Figure 9 threshold sweep. Detection runs once per workload with the
-/// threshold at zero; each candidate threshold is then applied offline, just
-/// as the paper's detector allows.
+/// Plan the cells the Figure 9 threshold sweep needs: one unfiltered
+/// (`laser-detect-raw`) detection run per workload; every candidate threshold
+/// is applied offline to the cached report, just as the paper's detector
+/// allows.
+pub fn plan_fig9(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        grid.request(&spec, ToolSpec::LaserDetectRaw);
+    }
+}
+
+/// Derive Figure 9 from cached cells by applying each threshold offline.
 ///
 /// # Errors
-/// Propagates simulator errors.
-pub fn fig9_threshold_sweep(
-    scale: &ExperimentScale,
+/// Propagates missing or failed cells.
+pub fn fig9_from_grid(
+    grid: &GridResult,
     thresholds: &[f64],
-) -> Result<Fig9Report, LaserError> {
-    let opts = scale.options();
-    // Gather unfiltered reports once.
+) -> Result<Fig9Report, ExperimentError> {
     let mut reports = Vec::new();
-    for spec in scale.workloads() {
-        let config = LaserConfig::detection_only().with_rate_threshold(0.0);
-        let outcome = run_laser(&spec, &opts, config)?;
-        reports.push((spec, outcome.report));
+    for spec in grid.scale().workloads() {
+        let run = grid.tool_run(spec.name, ToolSpec::LaserDetectRaw)?;
+        reports.push((spec, run.reported.clone()));
     }
     let mut points = Vec::new();
     for &threshold in thresholds {
         let mut false_negatives = 0;
         let mut false_positives = 0;
-        for (spec, report) in &reports {
-            let kept: Vec<(String, u32)> = report
-                .lines
+        for (spec, reported) in &reports {
+            let kept: Vec<(String, u32)> = reported
                 .iter()
                 .filter(|l| l.rate_per_sec >= threshold)
-                .map(|l| (l.location.file.clone(), l.location.line))
+                .filter_map(|l| l.location().map(|(f, line)| (f.to_string(), line)))
                 .collect();
             let (fneg, fpos) = score_locations(spec, &kept);
             false_negatives += fneg;
@@ -326,6 +367,19 @@ pub fn fig9_threshold_sweep(
         });
     }
     Ok(Fig9Report { points })
+}
+
+/// Run the Figure 9 threshold sweep on a single-figure grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig9_threshold_sweep(
+    scale: &ExperimentScale,
+    thresholds: &[f64],
+) -> Result<Fig9Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig9(&mut grid);
+    fig9_from_grid(&grid.run(), thresholds)
 }
 
 /// The thresholds of the paper's Figure 9 (32 HITM/s to 64K HITM/s, log scale).
@@ -393,5 +447,18 @@ mod tests {
         let t = fig9_thresholds();
         assert_eq!(t.first().copied(), Some(32.0));
         assert_eq!(t.last().copied(), Some(65536.0));
+    }
+
+    #[test]
+    fn accuracy_tables_share_detection_cells_in_one_grid() {
+        let mut grid = Grid::new(tiny());
+        plan_table1(&mut grid);
+        plan_table2(&mut grid);
+        // Table 2's laser-detect/sheriff-detect cells are a subset of
+        // Table 1's: the union costs exactly Table 1's 3 cells per workload.
+        assert_eq!(grid.cells(), 3 * 4);
+        let result = grid.run();
+        assert_eq!(table1_from_grid(&result).unwrap().rows.len(), 4);
+        assert_eq!(table2_from_grid(&result).unwrap().rows.len(), 3);
     }
 }

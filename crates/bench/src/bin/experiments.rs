@@ -2,51 +2,99 @@
 //!
 //! ```text
 //! experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14]
-//!             [--scale S] [--threads N] [--only w1,w2,...]
+//!             [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv]
 //! ```
 //!
 //! `--scale` multiplies every workload's input size (default 0.4); the paper's
 //! qualitative results hold across scales, larger values just take longer.
-//! `campaign` runs the full `workload × tool` grid on a thread pool
-//! (`--threads`, default: all cores); its aggregated output is byte-identical
-//! whatever the thread count.
+//!
+//! Every figure/table runs through the shared [`Grid`] cell cache: the driver
+//! plans the union of the cells the selected experiments need, runs each
+//! unique `(workload, tool)` cell exactly once on the parallel campaign
+//! runner (`--threads`, default: all cores), and derives each experiment from
+//! the cached cells. Per-cell progress streams to **stderr** as cells
+//! complete; stdout carries only the aggregated output, which is
+//! byte-identical whatever the thread count.
+//!
+//! `--format json` emits one JSON document per experiment (JSON Lines when
+//! several are selected); `--format csv` emits one CSV table per experiment,
+//! prefixed with a `# name` comment line when several are selected (fig2,
+//! a layout demonstration with no tabular form, is skipped under csv).
+//! `campaign` runs the full `workload × tool` grid and supports `--only` to
+//! restrict the workload set.
 
 use std::env;
 use std::process::ExitCode;
 
-use laser_bench::accuracy::{fig9_threshold_sweep, fig9_thresholds, table1_accuracy, table2_types};
-use laser_bench::characterization::{fig2_layout, fig3_characterization};
-use laser_bench::performance::{
-    fig10_overhead, fig11_speedups, fig12_breakdown, fig13_sav_sweep, fig13_savs, fig14_sheriff,
+use laser_bench::accuracy::{
+    fig9_from_grid, fig9_thresholds, plan_fig9, plan_table1, plan_table2, table1_from_grid,
+    table2_from_grid,
 };
-use laser_bench::{Campaign, ExperimentScale};
+use laser_bench::characterization::{fig2_layout, fig3_characterization_on};
+use laser_bench::emit::Emit;
+use laser_bench::performance::{
+    fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig13_savs,
+    fig14_from_grid, plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
+};
+use laser_bench::{Campaign, CellResult, ExperimentScale, Grid, GridResult};
+use serde::json::Value;
+
+const FIGURES: &[&str] = &[
+    "fig2", "fig3", "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "csv" => Some(Format::Csv),
+            _ => None,
+        }
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|\
-         fig14] [--scale S] [--threads N] [--only w1,w2,...]"
+         fig14] [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv]"
     );
     ExitCode::from(2)
+}
+
+/// Stderr progress sink: one line per completed cell while the grid is hot.
+fn announce(total: usize) -> impl Fn(usize, &CellResult) + Sync {
+    move |done, cell| {
+        eprintln!(
+            "[{done}/{total}] {} × {}: {}",
+            cell.workload,
+            cell.tool,
+            cell.status()
+        );
+    }
 }
 
 fn run_campaign(
     scale: &ExperimentScale,
     threads: Option<usize>,
     only: &Option<Vec<String>>,
+    format: Format,
 ) -> Result<(), String> {
     let mut campaign = Campaign::default().with_options(scale.options());
     if let Some(names) = only {
-        let registry = laser_workloads::registry();
-        for name in names {
-            if !registry.iter().any(|w| w.name == name) {
-                return Err(format!(
-                    "unknown workload '{name}' in --only (names are case-sensitive; \
-                     the alternative-input histogram is \"histogram'\")"
-                ));
-            }
-        }
+        // Name validation lives in `Campaign::with_workload_names` itself:
+        // a typo is an error, not an empty grid.
         let names: Vec<&str> = names.iter().map(String::as_str).collect();
-        campaign = campaign.with_workload_names(&names);
+        campaign = campaign
+            .with_workload_names(&names)
+            .map_err(|e| e.to_string())?;
     }
     if let Some(n) = threads {
         campaign = campaign.with_threads(n);
@@ -56,33 +104,190 @@ fn run_campaign(
         campaign.cells(),
         campaign.threads()
     );
-    print!("{}", campaign.run().render());
+    let result = campaign.run_with_progress(announce(campaign.cells()));
+    match format {
+        Format::Text => print!("{}", result.render()),
+        Format::Json => println!("{}", result.to_json().render()),
+        Format::Csv => print!("{}", result.to_csv()),
+    }
     Ok(())
 }
 
-fn run_one(which: &str, scale: &ExperimentScale) -> Result<(), laser_core::LaserError> {
+fn plan_one(which: &str, grid: &mut Grid) {
     match which {
-        "fig2" => print!("{}", fig2_layout()),
+        "table1" => plan_table1(grid),
+        "table2" => plan_table2(grid),
+        "fig9" => plan_fig9(grid),
+        "fig10" => plan_fig10(grid),
+        "fig11" => plan_fig11(grid),
+        "fig12" => plan_fig12(grid),
+        "fig13" => plan_fig13(grid, &fig13_savs()),
+        "fig14" => plan_fig14(grid),
+        // fig2 (a layout demonstration) and fig3 (characterization cases)
+        // have no workload × tool cells.
+        _ => {}
+    }
+}
+
+/// Derive one experiment from the shared grid and format it. Returns the
+/// stdout payload: `(text, json, csv)` selected by `format`.
+fn derive_one(
+    which: &str,
+    grid: &Option<GridResult>,
+    scale: &ExperimentScale,
+    threads: usize,
+    format: Format,
+) -> Result<String, String> {
+    let grid = |name: &str| -> Result<&GridResult, String> {
+        grid.as_ref()
+            .ok_or_else(|| format!("experiment {name} needs a grid (internal error)"))
+    };
+    let emit = |report: &dyn Emit| match format {
+        Format::Text => unreachable!("text is rendered per report"),
+        Format::Json => format!("{}\n", report.to_json().render()),
+        Format::Csv => report.to_csv(),
+    };
+    let err = |e: laser_bench::ExperimentError| format!("experiment {which} failed: {e}");
+    match which {
+        "fig2" => match format {
+            Format::Text => Ok(fig2_layout()),
+            Format::Json => Ok(format!(
+                "{}\n",
+                Value::object()
+                    .set("kind", "fig2")
+                    .set("text", fig2_layout())
+                    .render()
+            )),
+            Format::Csv => Err("fig2 is a layout demonstration with no csv form".to_string()),
+        },
         "fig3" => {
             let per_category = if scale.workload_scale < 0.2 { 5 } else { 40 };
-            print!("{}", fig3_characterization(per_category).render());
+            let report = fig3_characterization_on(per_category, threads);
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
         }
-        "table1" => print!("{}", table1_accuracy(scale)?.render()),
-        "table2" => print!("{}", table2_types(scale)?.render()),
-        "fig9" => print!(
-            "{}",
-            fig9_threshold_sweep(scale, &fig9_thresholds())?.render()
-        ),
-        "fig10" => print!("{}", fig10_overhead(scale)?.render()),
-        "fig11" => print!("{}", fig11_speedups(scale)?.render()),
-        "fig12" => print!("{}", fig12_breakdown(scale, 0.10)?.render()),
-        "fig13" => print!("{}", fig13_sav_sweep(scale, &fig13_savs())?.render()),
-        "fig14" => print!("{}", fig14_sheriff(scale)?.render()),
-        other => {
-            eprintln!("unknown experiment '{other}'");
+        "table1" => {
+            let report = table1_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "table2" => {
+            let report = table2_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig9" => {
+            let report = fig9_from_grid(grid(which)?, &fig9_thresholds()).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig10" => {
+            let report = fig10_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig11" => {
+            let report = fig11_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig12" => {
+            let report = fig12_from_grid(grid(which)?, 0.10).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig13" => {
+            let report = fig13_from_grid(grid(which)?, &fig13_savs()).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        "fig14" => {
+            let report = fig14_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
+        other => Err(format!("unknown experiment '{other}'")),
+    }
+}
+
+fn run_figures(
+    selected: &[&str],
+    scale: &ExperimentScale,
+    threads: Option<usize>,
+    format: Format,
+) -> Result<(), String> {
+    // Resolve format incompatibilities before any cell is simulated: fig2
+    // has no csv form, so an `all --format csv` run skips it (with a note)
+    // instead of discarding the whole grid's work at derive time, and an
+    // explicit `fig2 --format csv` fails up front.
+    let selected: Vec<&str> = if format == Format::Csv && selected.contains(&"fig2") {
+        if selected.len() == 1 {
+            return Err("fig2 is a layout demonstration with no csv form".to_string());
+        }
+        eprintln!("skipping fig2: a layout demonstration with no csv form");
+        selected.iter().copied().filter(|&s| s != "fig2").collect()
+    } else {
+        selected.to_vec()
+    };
+
+    // One grid for everything selected: shared cells (every figure wants the
+    // native baseline, both tables want laser-detect, ...) are planned once
+    // and simulated once.
+    let mut grid = Grid::new(*scale);
+    if let Some(n) = threads {
+        grid = grid.with_threads(n);
+    }
+    let grid_threads = grid.threads();
+    for which in &selected {
+        plan_one(which, &mut grid);
+    }
+    let total = grid.cells();
+    let grid_result = if total > 0 {
+        eprintln!("running {total} unique cells on {grid_threads} worker threads...");
+        Some(grid.run_with_progress(announce(total)))
+    } else {
+        None
+    };
+
+    let many = selected.len() > 1;
+    for which in &selected {
+        let payload = derive_one(which, &grid_result, scale, grid_threads, format)?;
+        match format {
+            Format::Text => {
+                println!("==================== {which} ====================");
+                print!("{payload}");
+                println!();
+            }
+            Format::Json => print!("{payload}"),
+            Format::Csv => {
+                if many {
+                    println!("# {which}");
+                }
+                print!("{payload}");
+                if many {
+                    println!();
+                }
+            }
         }
     }
-    println!();
     Ok(())
 }
 
@@ -92,6 +297,7 @@ fn main() -> ExitCode {
     let mut scale = ExperimentScale::default();
     let mut threads: Option<usize> = None;
     let mut only: Option<Vec<String>> = None;
+    let mut format = Format::Text;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -116,6 +322,13 @@ fn main() -> ExitCode {
                 only = Some(v.split(',').map(str::to_string).collect());
                 i += 2;
             }
+            "--format" => {
+                let Some(v) = args.get(i + 1).and_then(|s| Format::parse(s)) else {
+                    return usage();
+                };
+                format = v;
+                i += 2;
+            }
             "--help" | "-h" => return usage(),
             name => {
                 which = name.to_string();
@@ -125,7 +338,7 @@ fn main() -> ExitCode {
     }
 
     if which == "campaign" {
-        return match run_campaign(&scale, threads, &only) {
+        return match run_campaign(&scale, threads, &only, format) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -133,28 +346,24 @@ fn main() -> ExitCode {
             }
         };
     }
-    if threads.is_some() || only.is_some() {
-        eprintln!("--threads and --only only apply to the campaign subcommand");
+    if only.is_some() {
+        eprintln!("--only only applies to the campaign subcommand");
         return usage();
     }
 
-    let all = [
-        "fig2", "fig3", "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    ];
     let selected: Vec<&str> = if which == "all" {
-        all.to_vec()
+        FIGURES.to_vec()
     } else {
         vec![which.as_str()]
     };
-    if selected.iter().any(|s| !all.contains(s)) {
+    if selected.iter().any(|s| !FIGURES.contains(s)) {
         return usage();
     }
-    for name in selected {
-        println!("==================== {name} ====================");
-        if let Err(e) = run_one(name, &scale) {
-            eprintln!("experiment {name} failed: {e}");
-            return ExitCode::FAILURE;
+    match run_figures(&selected, &scale, threads, format) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

@@ -9,7 +9,15 @@
 //! and aggregated in grid order, which makes the output **byte-identical**
 //! whatever the thread count: `threads = 1` is the reference serial
 //! execution, `threads = N` is just faster.
+//!
+//! Long campaigns survive misbehaving cells: a panic inside a [`Tool`] is
+//! caught per cell and recorded as [`ToolFailure::Panicked`], so one bad
+//! `(workload, tool)` combination costs one grid entry, not the whole run.
+//! Callers that want incremental feedback pass a progress sink to
+//! [`Campaign::run_with_progress`]; cells are announced as they complete,
+//! while the aggregated result stays deterministic.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -18,7 +26,7 @@ use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
 
 /// One `workload × tool` cell of a finished campaign.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Workload name.
     pub workload: String,
@@ -28,10 +36,47 @@ pub struct CellResult {
     pub outcome: Result<ToolRun, ToolFailure>,
 }
 
+impl CellResult {
+    /// One-word status for progress displays and machine-readable output.
+    pub fn status(&self) -> &'static str {
+        match &self.outcome {
+            Ok(_) => "ok",
+            Err(ToolFailure::Unsupported(_)) => "unsupported",
+            Err(ToolFailure::Error(_)) => "error",
+            Err(ToolFailure::Panicked { .. }) => "panicked",
+        }
+    }
+}
+
+/// A workload name passed to [`Campaign::with_workload_names`] that is not in
+/// the campaign's workload set. Surfacing this as an error (instead of
+/// silently dropping the name) is what keeps a typo from quietly running an
+/// empty or partial grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload(pub String);
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload '{}' (names are case-sensitive; the alternative-input histogram \
+             is \"histogram'\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
 /// A configured experiment campaign.
 pub struct Campaign {
     workloads: Vec<WorkloadSpec>,
     tools: Vec<Box<dyn Tool>>,
+    /// The cells to run, as `(workload index, tool index)` pairs in grid
+    /// (aggregation) order. A cross-product campaign is workload-major; a
+    /// sparse campaign (built by the grid cache) lists exactly the cells the
+    /// planned experiments need.
+    pairs: Vec<(usize, usize)>,
     opts: BuildOptions,
     threads: usize,
 }
@@ -45,24 +90,50 @@ impl Default for Campaign {
 }
 
 impl Campaign {
-    /// A campaign over explicit workloads and tools.
+    /// A campaign over the full `workloads × tools` cross product.
     pub fn new(workloads: Vec<WorkloadSpec>, tools: Vec<Box<dyn Tool>>) -> Self {
+        let pairs = (0..workloads.len())
+            .flat_map(|w| (0..tools.len()).map(move |t| (w, t)))
+            .collect();
+        Campaign::from_cells(workloads, tools, pairs)
+    }
+
+    /// A campaign over an explicit cell list. `pairs` index into `workloads`
+    /// and `tools` and define the aggregation order.
+    pub fn from_cells(
+        workloads: Vec<WorkloadSpec>,
+        tools: Vec<Box<dyn Tool>>,
+        pairs: Vec<(usize, usize)>,
+    ) -> Self {
+        debug_assert!(pairs
+            .iter()
+            .all(|&(w, t)| w < workloads.len() && t < tools.len()));
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         Campaign {
             workloads,
             tools,
+            pairs,
             opts: BuildOptions::default(),
             threads,
         }
     }
 
-    /// Restrict the campaign to the named workloads (silently dropping
-    /// unknown names), keeping registry order.
-    pub fn with_workload_names(mut self, names: &[&str]) -> Self {
-        self.workloads.retain(|w| names.contains(&w.name));
-        self
+    /// Restrict the campaign to the named workloads, keeping grid order.
+    ///
+    /// # Errors
+    /// Returns [`UnknownWorkload`] for the first name that does not match any
+    /// workload of this campaign; nothing is silently dropped.
+    pub fn with_workload_names(mut self, names: &[&str]) -> Result<Self, UnknownWorkload> {
+        for name in names {
+            if !self.workloads.iter().any(|w| &w.name == name) {
+                return Err(UnknownWorkload((*name).to_string()));
+            }
+        }
+        self.pairs
+            .retain(|&(w, _)| names.contains(&self.workloads[w].name));
+        Ok(self)
     }
 
     /// Set the build options applied to every cell.
@@ -79,7 +150,7 @@ impl Campaign {
 
     /// Number of cells the campaign will run.
     pub fn cells(&self) -> usize {
-        self.workloads.len() * self.tools.len()
+        self.pairs.len()
     }
 
     /// The configured worker-thread count.
@@ -87,48 +158,95 @@ impl Campaign {
         self.threads
     }
 
-    /// Run every cell and aggregate in grid order (workload-major, tools in
-    /// panel order). The aggregation is independent of the thread count.
+    /// Run every cell and aggregate in grid order. The aggregation is
+    /// independent of the thread count.
     pub fn run(&self) -> CampaignResult {
-        let total = self.cells();
-        let slots: Vec<Mutex<Option<CellResult>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(total.max(1));
+        self.run_with_progress(|_, _| {})
+    }
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    // Work stealing off a shared cell counter: each worker
-                    // claims the next unclaimed cell until the grid is drained.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let workload = &self.workloads[i / self.tools.len()];
-                    let tool = &self.tools[i % self.tools.len()];
-                    let outcome = tool.run(workload, &self.opts);
-                    *slots[i].lock().unwrap() = Some(CellResult {
-                        workload: workload.name.to_string(),
-                        tool: tool.name().to_string(),
-                        outcome,
-                    });
+    /// Like [`Campaign::run`], announcing each cell to `progress` as it
+    /// completes. Completion order depends on scheduling (that is the point:
+    /// callers stream progress while the run is hot), but the returned
+    /// aggregation does not. `progress` receives the number of cells finished
+    /// so far, including the one being announced.
+    pub fn run_with_progress<F>(&self, progress: F) -> CampaignResult
+    where
+        F: Fn(usize, &CellResult) + Sync,
+    {
+        let done = AtomicUsize::new(0);
+        let cells = ordered_parallel(self.pairs.len(), self.threads, |i| {
+            let (w, t) = self.pairs[i];
+            let workload = &self.workloads[w];
+            let tool = &self.tools[t];
+            // A panicking tool must cost one cell, not the campaign: the
+            // scoped worker would otherwise unwind and poison the whole grid.
+            let outcome = catch_unwind(AssertUnwindSafe(|| tool.run(workload, &self.opts)))
+                .unwrap_or_else(|payload| {
+                    Err(ToolFailure::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    })
                 });
-            }
+            let cell = CellResult {
+                workload: workload.name.to_string(),
+                tool: tool.name().to_string(),
+                outcome,
+            };
+            progress(done.fetch_add(1, Ordering::Relaxed) + 1, &cell);
+            cell
         });
-
-        CampaignResult {
-            cells: slots
-                .into_iter()
-                .map(|slot| slot.into_inner().unwrap().expect("every cell is computed"))
-                .collect(),
-        }
+        CampaignResult { cells }
     }
 }
 
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministically-ordered parallel map: compute `f(0..n)` on up to
+/// `threads` workers off a shared atomic counter and return the results in
+/// index order. This is the executor under [`Campaign::run`]; the Figure 3
+/// characterization reuses it directly because its unit of work is a test
+/// case, not a `workload × tool` cell.
+pub fn ordered_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.clamp(1, n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Work stealing off a shared counter: each worker claims the
+                // next unclaimed index until the range is drained.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(f(i));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every index is computed"))
+        .collect()
+}
+
 /// The aggregated results of a campaign, in grid order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
-    /// One entry per cell, workload-major.
+    /// One entry per cell, in the campaign's grid order.
     pub cells: Vec<CellResult>,
 }
 
@@ -177,7 +295,7 @@ impl CampaignResult {
                         if run.reported.is_empty() {
                             "-".to_string()
                         } else {
-                            run.reported.join("; ")
+                            run.reported_labels().join("; ")
                         }
                     );
                 }
@@ -199,6 +317,7 @@ mod tests {
     use super::*;
     use crate::tool::{LaserTool, NativeTool};
     use laser_core::LaserConfig;
+    use std::sync::atomic::AtomicUsize;
 
     fn small_campaign(threads: usize) -> Campaign {
         Campaign::new(
@@ -209,6 +328,7 @@ mod tests {
             ],
         )
         .with_workload_names(&["histogram'", "swaptions"])
+        .unwrap()
         .with_options(BuildOptions::scaled(0.08))
         .with_threads(threads)
     }
@@ -251,5 +371,90 @@ mod tests {
         let result = small_campaign(64).run();
         assert_eq!(result.cells.len(), 4);
         assert!(result.cells.iter().all(|c| c.outcome.is_ok()));
+    }
+
+    #[test]
+    fn unknown_workload_names_are_an_error() {
+        let err = match Campaign::new(registry(), vec![Box::new(NativeTool)])
+            .with_workload_names(&["histogram'", "histogramm"])
+        {
+            Err(e) => e,
+            Ok(_) => panic!("typo'd workload name must not be silently dropped"),
+        };
+        assert_eq!(err, UnknownWorkload("histogramm".to_string()));
+        assert!(err.to_string().contains("histogramm"));
+    }
+
+    #[test]
+    fn progress_announces_every_cell() {
+        let campaign = small_campaign(3);
+        let seen = Mutex::new(Vec::new());
+        let result = campaign.run_with_progress(|done, cell| {
+            seen.lock()
+                .unwrap()
+                .push((done, cell.workload.clone(), cell.tool.clone()));
+        });
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), result.cells.len());
+        // Every completion count 1..=n is announced exactly once.
+        seen.sort();
+        assert_eq!(
+            seen.iter().map(|(d, _, _)| *d).collect::<Vec<_>>(),
+            (1..=result.cells.len()).collect::<Vec<_>>()
+        );
+    }
+
+    /// A tool that panics on one workload and works on the rest.
+    struct PanickyTool;
+
+    impl Tool for PanickyTool {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+
+        fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+            if spec.name == "swaptions" {
+                panic!("deliberate test panic on {}", spec.name);
+            }
+            NativeTool.run(spec, opts)
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_does_not_destroy_the_campaign() {
+        let result = Campaign::new(registry(), vec![Box::new(PanickyTool)])
+            .with_workload_names(&["histogram'", "swaptions", "kmeans"])
+            .unwrap()
+            .with_options(BuildOptions::scaled(0.06))
+            .with_threads(2)
+            .run();
+        assert_eq!(result.cells.len(), 3);
+        let bad = result.cell("swaptions", "panicky").unwrap();
+        assert_eq!(
+            bad.outcome,
+            Err(ToolFailure::Panicked {
+                message: "deliberate test panic on swaptions".to_string()
+            })
+        );
+        assert_eq!(bad.status(), "panicked");
+        // The other cells completed normally.
+        assert!(result
+            .cell("histogram'", "panicky")
+            .unwrap()
+            .outcome
+            .is_ok());
+        assert!(result.cell("kmeans", "panicky").unwrap().outcome.is_ok());
+    }
+
+    #[test]
+    fn ordered_parallel_preserves_index_order() {
+        let calls = AtomicUsize::new(0);
+        let out = ordered_parallel(100, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(ordered_parallel(0, 4, |i| i), Vec::<usize>::new());
     }
 }

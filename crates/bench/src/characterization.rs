@@ -82,10 +82,22 @@ impl Fig3Report {
 }
 
 /// Run the Figure 3 characterization over `cases_per_category` cases per
-/// category (the paper uses 40; pass a smaller number for quick runs).
+/// category (the paper uses 40; pass a smaller number for quick runs), one
+/// worker per available core.
 /// Sampling is disabled, as in the paper: every ground-truth HITM event is
 /// scored after passing through the imprecision model.
 pub fn fig3_characterization(cases_per_category: usize) -> Fig3Report {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    fig3_characterization_on(cases_per_category, threads)
+}
+
+/// Like [`fig3_characterization`] with an explicit worker-thread count. Each
+/// test case is an independent deterministic simulation, so the cases fan out
+/// over the campaign runner's [`ordered_parallel`](crate::campaign::ordered_parallel)
+/// executor and the report is identical for any thread count.
+pub fn fig3_characterization_on(cases_per_category: usize, threads: usize) -> Fig3Report {
     let mut selected: Vec<CharacterizationCase> = Vec::new();
     for label in ["TSRW", "FSRW", "TSWW", "FSWW"] {
         selected.extend(
@@ -95,47 +107,52 @@ pub fn fig3_characterization(cases_per_category: usize) -> Fig3Report {
                 .take(cases_per_category),
         );
     }
-    let mut cases = Vec::new();
-    for case in selected {
-        let built = case.build();
-        let mut machine = Machine::new(MachineConfig::default(), &built.image);
-        let _ = machine
-            .run_to_completion()
-            .expect("characterization cases terminate");
-        let events = machine.take_hitm_events();
-        let program = built.image.program();
-        let mut model = ImprecisionModel::new(
-            ImprecisionParams::default(),
-            built.image.memory_map(),
-            (program.base_pc(), program.end_pc()),
-            0xF163 + case.id as u64,
-        );
-        let mut addr_ok = 0u64;
-        let mut pc_ok = 0u64;
-        let mut pc_adj = 0u64;
-        for e in &events {
-            let r = model.distort(e);
-            if r.data_addr == e.addr {
-                addr_ok += 1;
-            }
-            if r.pc == e.pc {
-                pc_ok += 1;
-            }
-            if (r.pc as i64 - e.pc as i64).unsigned_abs() <= laser_isa::program::INST_BYTES {
-                pc_adj += 1;
-            }
-        }
-        let n = events.len().max(1) as f64;
-        cases.push(Fig3Case {
-            id: case.id,
-            label: case.label(),
-            addr_correct: addr_ok as f64 / n,
-            pc_exact: pc_ok as f64 / n,
-            pc_adjacent: pc_adj as f64 / n,
-            events: events.len() as u64,
-        });
-    }
+    let cases =
+        crate::campaign::ordered_parallel(selected.len(), threads, |i| fig3_case(&selected[i]));
     Fig3Report { cases }
+}
+
+/// Score one characterization case: run it to completion, pass every
+/// ground-truth HITM event through the imprecision model, and count how many
+/// records keep the right address and PC.
+fn fig3_case(case: &CharacterizationCase) -> Fig3Case {
+    let built = case.build();
+    let mut machine = Machine::new(MachineConfig::default(), &built.image);
+    let _ = machine
+        .run_to_completion()
+        .expect("characterization cases terminate");
+    let events = machine.take_hitm_events();
+    let program = built.image.program();
+    let mut model = ImprecisionModel::new(
+        ImprecisionParams::default(),
+        built.image.memory_map(),
+        (program.base_pc(), program.end_pc()),
+        0xF163 + case.id as u64,
+    );
+    let mut addr_ok = 0u64;
+    let mut pc_ok = 0u64;
+    let mut pc_adj = 0u64;
+    for e in &events {
+        let r = model.distort(e);
+        if r.data_addr == e.addr {
+            addr_ok += 1;
+        }
+        if r.pc == e.pc {
+            pc_ok += 1;
+        }
+        if (r.pc as i64 - e.pc as i64).unsigned_abs() <= laser_isa::program::INST_BYTES {
+            pc_adj += 1;
+        }
+    }
+    let n = events.len().max(1) as f64;
+    Fig3Case {
+        id: case.id,
+        label: case.label(),
+        addr_correct: addr_ok as f64 / n,
+        pc_exact: pc_ok as f64 / n,
+        pc_adjacent: pc_adj as f64 / n,
+        events: events.len() as u64,
+    }
 }
 
 /// The Figure 2 demonstration: how the allocator lays `lreg_args` structs out
@@ -200,6 +217,14 @@ mod tests {
         let rw_adj = report.category_mean("FSRW", |c| c.pc_adjacent);
         assert!(rw_adj > 0.55, "rw adjacent-pc accuracy {rw_adj}");
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn fig3_is_thread_count_independent() {
+        let serial = fig3_characterization_on(2, 1);
+        let parallel = fig3_characterization_on(2, 8);
+        assert_eq!(serial.cases, parallel.cases);
+        assert_eq!(serial.render(), parallel.render());
     }
 
     #[test]

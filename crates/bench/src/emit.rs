@@ -1,0 +1,683 @@
+//! Machine-readable emission: every campaign and figure report renders to
+//! JSON (via the [`serde::json`] shim) and CSV in addition to its text table.
+//!
+//! The [`Emit`] trait is what `experiments --format json|csv` calls. JSON
+//! documents are single objects with a `"kind"` discriminator; CSV output is
+//! one header line plus one row per entry. Both derive from the same
+//! aggregated results as the text tables, so they inherit the campaign
+//! runner's determinism: identical for any thread count.
+
+use serde::json::Value;
+
+use laser_baselines::SheriffFailure;
+
+use crate::accuracy::{Fig9Report, Table1Report, Table2Report};
+use crate::campaign::CampaignResult;
+use crate::characterization::Fig3Report;
+use crate::performance::{Fig10Report, Fig11Report, Fig12Report, Fig13Report, Fig14Report};
+
+/// A result that can be emitted in machine-readable formats.
+pub trait Emit {
+    /// The JSON document for this result.
+    fn to_json(&self) -> Value;
+
+    /// The CSV table for this result (header line + rows, `\n`-terminated).
+    fn to_csv(&self) -> String;
+}
+
+/// Quote a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Join fields into one CSV row.
+fn csv_row(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| csv_field(f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn sheriff_status(f: SheriffFailure) -> &'static str {
+    match f {
+        SheriffFailure::Crash => "crash",
+        SheriffFailure::Incompatible => "incompatible",
+    }
+}
+
+impl Emit for CampaignResult {
+    fn to_json(&self) -> Value {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut v = Value::object()
+                    .set("workload", c.workload.as_str())
+                    .set("tool", c.tool.as_str())
+                    .set("status", c.status());
+                match &c.outcome {
+                    Ok(run) => {
+                        v = v
+                            .set("cycles", run.cycles)
+                            .set("normalized", self.normalized(&c.workload, &c.tool))
+                            .set("repair_invoked", run.repair_invoked)
+                            .set(
+                                "reported",
+                                Value::Array(
+                                    run.reported_labels().iter().map(|&l| l.into()).collect(),
+                                ),
+                            )
+                            .set("failure", Value::Null);
+                    }
+                    Err(failure) => {
+                        v = v
+                            .set("cycles", Value::Null)
+                            .set("normalized", Value::Null)
+                            .set("repair_invoked", Value::Null)
+                            .set("reported", Value::Array(Vec::new()))
+                            .set("failure", failure.to_string());
+                    }
+                }
+                v
+            })
+            .collect();
+        Value::object()
+            .set("kind", "campaign")
+            .set("cells", Value::Array(cells))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,tool,status,cycles,normalized,repair_invoked,reported,failure\n",
+        );
+        for c in &self.cells {
+            let row = match &c.outcome {
+                Ok(run) => csv_row(&[
+                    c.workload.clone(),
+                    c.tool.clone(),
+                    c.status().to_string(),
+                    run.cycles.to_string(),
+                    self.normalized(&c.workload, &c.tool)
+                        .map(|n| format!("{n:.6}"))
+                        .unwrap_or_default(),
+                    run.repair_invoked.to_string(),
+                    run.reported_labels().join("; "),
+                    String::new(),
+                ]),
+                Err(failure) => csv_row(&[
+                    c.workload.clone(),
+                    c.tool.clone(),
+                    c.status().to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    failure.to_string(),
+                ]),
+            };
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig3Report {
+    fn to_json(&self) -> Value {
+        let cases = self
+            .cases
+            .iter()
+            .map(|c| {
+                Value::object()
+                    .set("id", c.id)
+                    .set("category", c.label)
+                    .set("addr_correct", c.addr_correct)
+                    .set("pc_exact", c.pc_exact)
+                    .set("pc_adjacent", c.pc_adjacent)
+                    .set("events", c.events)
+            })
+            .collect();
+        let averages = ["TSRW", "FSRW", "TSWW", "FSWW"]
+            .iter()
+            .map(|&label| {
+                Value::object()
+                    .set("category", label)
+                    .set(
+                        "addr_correct",
+                        self.category_mean(label, |c| c.addr_correct),
+                    )
+                    .set("pc_exact", self.category_mean(label, |c| c.pc_exact))
+                    .set("pc_adjacent", self.category_mean(label, |c| c.pc_adjacent))
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig3")
+            .set("cases", Value::Array(cases))
+            .set("category_averages", Value::Array(averages))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("case,category,addr_correct,pc_exact,pc_adjacent,events\n");
+        for c in &self.cases {
+            out.push_str(&csv_row(&[
+                c.id.to_string(),
+                c.label.to_string(),
+                format!("{:.6}", c.addr_correct),
+                format!("{:.6}", c.pc_exact),
+                format!("{:.6}", c.pc_adjacent),
+                c.events.to_string(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig9Report {
+    fn to_json(&self) -> Value {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Value::object()
+                    .set("threshold_hitm_per_sec", p.threshold)
+                    .set("false_negatives", p.false_negatives)
+                    .set("false_positives", p.false_positives)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig9")
+            .set("points", Value::Array(points))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("threshold_hitm_per_sec,false_negatives,false_positives\n");
+        for p in &self.points {
+            out.push_str(&csv_row(&[
+                format!("{:.0}", p.threshold),
+                p.false_negatives.to_string(),
+                p.false_positives.to_string(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig10Report {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::object()
+                    .set("workload", r.name)
+                    .set("laser", r.laser)
+                    .set("vtune", r.vtune)
+            })
+            .collect();
+        let (laser, vtune) = self.geomeans();
+        Value::object()
+            .set("kind", "fig10")
+            .set("rows", Value::Array(rows))
+            .set(
+                "geomean",
+                Value::object().set("laser", laser).set("vtune", vtune),
+            )
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("workload,laser,vtune\n");
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                format!("{:.6}", r.laser),
+                format!("{:.6}", r.vtune),
+            ]));
+            out.push('\n');
+        }
+        let (laser, vtune) = self.geomeans();
+        out.push_str(&csv_row(&[
+            "geomean".to_string(),
+            format!("{laser:.6}"),
+            format!("{vtune:.6}"),
+        ]));
+        out.push('\n');
+        out
+    }
+}
+
+impl Emit for Fig11Report {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::object()
+                    .set("workload", r.name)
+                    .set("automatic", r.automatic)
+                    .set("manual", r.manual)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig11")
+            .set("rows", Value::Array(rows))
+    }
+
+    fn to_csv(&self) -> String {
+        let fmt = |v: Option<f64>| v.map(|s| format!("{s:.6}")).unwrap_or_default();
+        let mut out = String::from("workload,automatic,manual\n");
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                fmt(r.automatic),
+                fmt(r.manual),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig12Report {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::object()
+                    .set("workload", r.name)
+                    .set("slowdown", r.slowdown)
+                    .set("driver_fraction", r.driver_fraction)
+                    .set("detector_fraction", r.detector_fraction)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig12")
+            .set("rows", Value::Array(rows))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("workload,slowdown,driver_fraction,detector_fraction\n");
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                format!("{:.6}", r.slowdown),
+                format!("{:.6}", r.driver_fraction),
+                format!("{:.6}", r.detector_fraction),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig13Report {
+    fn to_json(&self) -> Value {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Value::object()
+                    .set("sav", p.sav)
+                    .set("normalized_runtime", p.normalized_runtime)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig13")
+            .set("points", Value::Array(points))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("sav,normalized_runtime\n");
+        for p in &self.points {
+            out.push_str(&csv_row(&[
+                p.sav.to_string(),
+                format!("{:.6}", p.normalized_runtime),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Fig14Report {
+    fn to_json(&self) -> Value {
+        let sheriff = |v: &Result<f64, SheriffFailure>| match v {
+            Ok(x) => (Value::Float(*x), Value::Str("ok".to_string())),
+            Err(f) => (Value::Null, Value::Str(sheriff_status(*f).to_string())),
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let (det, det_status) = sheriff(&r.sheriff_detect);
+                let (prot, prot_status) = sheriff(&r.sheriff_protect);
+                Value::object()
+                    .set("workload", r.name)
+                    .set("laser", r.laser)
+                    .set("manual_fix", r.manual_fix)
+                    .set("sheriff_detect", det)
+                    .set("sheriff_detect_status", det_status)
+                    .set("sheriff_protect", prot)
+                    .set("sheriff_protect_status", prot_status)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "fig14")
+            .set("rows", Value::Array(rows))
+    }
+
+    fn to_csv(&self) -> String {
+        let fmt = |v: &Result<f64, SheriffFailure>| match v {
+            Ok(x) => format!("{x:.6}"),
+            Err(SheriffFailure::Crash) => "x".to_string(),
+            Err(SheriffFailure::Incompatible) => "i".to_string(),
+        };
+        let mut out = String::from("workload,laser,manual_fix,sheriff_detect,sheriff_protect\n");
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                format!("{:.6}", r.laser),
+                r.manual_fix.map(|v| format!("{v:.6}")).unwrap_or_default(),
+                fmt(&r.sheriff_detect),
+                fmt(&r.sheriff_protect),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Table1Report {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let (sheriff, status) = match r.sheriff {
+                    Ok((fneg, fpos)) => (
+                        Value::object()
+                            .set("false_negatives", fneg)
+                            .set("false_positives", fpos),
+                        "ok",
+                    ),
+                    Err(f) => (Value::Null, sheriff_status(f)),
+                };
+                Value::object()
+                    .set("workload", r.name)
+                    .set("bugs", r.bugs)
+                    .set(
+                        "laser",
+                        Value::object()
+                            .set("false_negatives", r.laser.0)
+                            .set("false_positives", r.laser.1),
+                    )
+                    .set(
+                        "vtune",
+                        Value::object()
+                            .set("false_negatives", r.vtune.0)
+                            .set("false_positives", r.vtune.1),
+                    )
+                    .set("sheriff_detect", sheriff)
+                    .set("sheriff_detect_status", status)
+            })
+            .collect();
+        let t = self.totals();
+        Value::object()
+            .set("kind", "table1")
+            .set("rows", Value::Array(rows))
+            .set(
+                "totals",
+                Value::object()
+                    .set("bugs", t.0)
+                    .set("laser_fn", t.1)
+                    .set("laser_fp", t.2)
+                    .set("vtune_fn", t.3)
+                    .set("vtune_fp", t.4)
+                    .set("sheriff_fn", t.5)
+                    .set("sheriff_fp", t.6),
+            )
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,bugs,laser_fn,laser_fp,vtune_fn,vtune_fp,sheriff_fn,sheriff_fp,sheriff_status\n",
+        );
+        for r in &self.rows {
+            let (sfn, sfp, status) = match r.sheriff {
+                Ok((fneg, fpos)) => (fneg.to_string(), fpos.to_string(), "ok"),
+                Err(f) => (String::new(), String::new(), sheriff_status(f)),
+            };
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                r.bugs.to_string(),
+                r.laser.0.to_string(),
+                r.laser.1.to_string(),
+                r.vtune.0.to_string(),
+                r.vtune.1.to_string(),
+                sfn,
+                sfp,
+                status.to_string(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for Table2Report {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let actual = match r.actual {
+                    laser_workloads::BugKind::FalseSharing => "false-sharing",
+                    laser_workloads::BugKind::TrueSharing => "true-sharing",
+                };
+                let laser = match r.laser {
+                    Some(laser_core::ContentionKind::FalseSharing) => "false-sharing".into(),
+                    Some(laser_core::ContentionKind::TrueSharing) => "true-sharing".into(),
+                    Some(laser_core::ContentionKind::Unknown) => "unknown".into(),
+                    None => Value::Null,
+                };
+                let (sheriff, status) = match r.sheriff {
+                    Ok(found) => (Value::Bool(found), "ok"),
+                    Err(f) => (Value::Null, sheriff_status(f)),
+                };
+                Value::object()
+                    .set("workload", r.name)
+                    .set("actual", actual)
+                    .set("laser", laser)
+                    .set("sheriff_found", sheriff)
+                    .set("sheriff_status", status)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "table2")
+            .set("rows", Value::Array(rows))
+            .set("laser_correct", self.laser_correct())
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from("workload,actual,laser,sheriff\n");
+        for r in &self.rows {
+            let actual = match r.actual {
+                laser_workloads::BugKind::FalseSharing => "FS",
+                laser_workloads::BugKind::TrueSharing => "TS",
+            };
+            let laser = match r.laser {
+                Some(laser_core::ContentionKind::FalseSharing) => "FS",
+                Some(laser_core::ContentionKind::TrueSharing) => "TS",
+                Some(laser_core::ContentionKind::Unknown) => "unknown",
+                None => "",
+            };
+            let sheriff = match r.sheriff {
+                Ok(true) => "FS",
+                Ok(false) => "",
+                Err(SheriffFailure::Crash) => "x",
+                Err(SheriffFailure::Incompatible) => "i",
+            };
+            out.push_str(&csv_row(&[
+                r.name.to_string(),
+                actual.to_string(),
+                laser.to_string(),
+                sheriff.to_string(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{Fig9Point, Table1Row};
+    use crate::campaign::CellResult;
+    use crate::performance::{Fig10Row, Fig14Row};
+    use crate::tool::{ReportedLine, ToolFailure, ToolRun};
+
+    fn sample_campaign() -> CampaignResult {
+        CampaignResult {
+            cells: vec![
+                CellResult {
+                    workload: "histogram'".into(),
+                    tool: "native".into(),
+                    outcome: Ok(ToolRun {
+                        cycles: 1000,
+                        ..ToolRun::default()
+                    }),
+                },
+                CellResult {
+                    workload: "histogram'".into(),
+                    tool: "laser".into(),
+                    outcome: Ok(ToolRun {
+                        cycles: 1100,
+                        reported: vec![ReportedLine {
+                            label: "a.c:3 (false sharing), with \"quotes\"".into(),
+                            file: Some("a.c".into()),
+                            line: Some(3),
+                            kind: None,
+                            hitm_records: 5,
+                            rate_per_sec: 100.0,
+                        }],
+                        repair_invoked: true,
+                        ..ToolRun::default()
+                    }),
+                },
+                CellResult {
+                    workload: "histogram'".into(),
+                    tool: "panicky".into(),
+                    outcome: Err(ToolFailure::Panicked {
+                        message: "boom".into(),
+                    }),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_json_parses_and_carries_cells() {
+        let text = sample_campaign().to_json().render();
+        let doc = Value::parse(&text).unwrap();
+        assert_eq!(doc.get("kind"), Some(&Value::Str("campaign".into())));
+        let Some(Value::Array(cells)) = doc.get("cells") else {
+            panic!("no cells in {text}");
+        };
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[1].get("normalized"), Some(&Value::Float(1.1)));
+        assert_eq!(
+            cells[2].get("failure"),
+            Some(&Value::Str("panicked: boom".into()))
+        );
+    }
+
+    #[test]
+    fn campaign_csv_quotes_embedded_commas() {
+        let csv = sample_campaign().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("workload,tool,status"));
+        assert!(lines[2].contains("\"a.c:3 (false sharing), with \"\"quotes\"\"\""));
+        assert!(lines[3].ends_with("panicked: boom"));
+    }
+
+    #[test]
+    fn figure_reports_emit_valid_json() {
+        let fig10 = Fig10Report {
+            rows: vec![Fig10Row {
+                name: "swaptions",
+                laser: 1.01,
+                vtune: 1.25,
+            }],
+        };
+        let doc = Value::parse(&fig10.to_json().render()).unwrap();
+        assert_eq!(doc.get("kind"), Some(&Value::Str("fig10".into())));
+
+        let fig14 = Fig14Report {
+            rows: vec![Fig14Row {
+                name: "swaptions",
+                laser: 1.0,
+                manual_fix: None,
+                sheriff_detect: Err(SheriffFailure::Crash),
+                sheriff_protect: Ok(4.5),
+            }],
+        };
+        let doc = Value::parse(&fig14.to_json().render()).unwrap();
+        let Some(Value::Array(rows)) = doc.get("rows") else {
+            panic!()
+        };
+        assert_eq!(
+            rows[0].get("sheriff_detect_status"),
+            Some(&Value::Str("crash".into()))
+        );
+        assert_eq!(rows[0].get("sheriff_detect"), Some(&Value::Null));
+
+        let table1 = Table1Report {
+            rows: vec![Table1Row {
+                name: "kmeans",
+                bugs: 1,
+                laser: (0, 0),
+                vtune: (0, 2),
+                sheriff: Err(SheriffFailure::Incompatible),
+            }],
+        };
+        let doc = Value::parse(&table1.to_json().render()).unwrap();
+        assert!(doc.get("totals").is_some());
+
+        let fig9 = Fig9Report {
+            points: vec![Fig9Point {
+                threshold: 32.0,
+                false_negatives: 1,
+                false_positives: 2,
+            }],
+        };
+        assert!(Value::parse(&fig9.to_json().render()).is_ok());
+    }
+
+    #[test]
+    fn figure_csv_has_header_and_rows() {
+        let fig14 = Fig14Report {
+            rows: vec![Fig14Row {
+                name: "swaptions",
+                laser: 1.0,
+                manual_fix: Some(0.5),
+                sheriff_detect: Err(SheriffFailure::Incompatible),
+                sheriff_protect: Ok(4.5),
+            }],
+        };
+        let csv = fig14.to_csv();
+        assert_eq!(
+            csv,
+            "workload,laser,manual_fix,sheriff_detect,sheriff_protect\n\
+             swaptions,1.000000,0.500000,i,4.500000\n"
+        );
+    }
+}

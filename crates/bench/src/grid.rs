@@ -1,0 +1,339 @@
+//! The shared cell cache behind every figure and table: plan the union of the
+//! `(workload, tool)` cells the requested experiments need, run each unique
+//! cell **exactly once** on the parallel [`Campaign`] runner, and let every
+//! figure derive its rows from the cached results.
+//!
+//! Before this layer, each figure generator re-ran its own workloads serially
+//! — `experiments all` simulated the same `(workload, native)` cell up to six
+//! times. Now the planning functions (`plan_fig10`, `plan_table1`, …, in
+//! [`crate::performance`] and [`crate::accuracy`]) register requests on a
+//! [`Grid`], requests deduplicate in a sorted set, and one campaign computes
+//! the union in parallel. Figures become pure views: `fig10_from_grid` and
+//! friends read cells out of the [`GridResult`] and never simulate anything.
+//!
+//! Cell order (and therefore aggregation order) is the sorted request set, so
+//! a grid's rendered output is byte-identical for any thread count and any
+//! planning order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laser_baselines::SheriffFailure;
+use laser_workloads::WorkloadSpec;
+
+use crate::campaign::{Campaign, CampaignResult, CellResult};
+use crate::runner::ExperimentScale;
+use crate::tool::{Tool, ToolFailure, ToolRun, ToolSpec};
+
+/// Why an experiment could not be derived from a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A required cell ran but failed.
+    Cell {
+        /// Workload name.
+        workload: String,
+        /// Tool key.
+        tool: String,
+        /// What went wrong.
+        failure: ToolFailure,
+    },
+    /// A required cell was never planned into the grid (a planner bug).
+    MissingCell {
+        /// Workload name.
+        workload: String,
+        /// Tool key.
+        tool: String,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Cell {
+                workload,
+                tool,
+                failure,
+            } => write!(f, "cell {workload} × {tool} failed: {failure}"),
+            ExperimentError::MissingCell { workload, tool } => {
+                write!(f, "cell {workload} × {tool} was not planned into the grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// A planned set of `(workload, tool)` cells, ready to run as one campaign.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    scale: ExperimentScale,
+    threads: usize,
+    requests: BTreeSet<(String, ToolSpec)>,
+    specs: BTreeMap<String, WorkloadSpec>,
+}
+
+impl Grid {
+    /// An empty grid at `scale`, defaulting to one worker per available core.
+    pub fn new(scale: ExperimentScale) -> Self {
+        Grid {
+            scale,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            requests: BTreeSet::new(),
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The scale experiments will be planned and derived at.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Request one cell. Requests deduplicate: planning ten figures that all
+    /// need `(histogram', native)` still runs that cell once. Taking the
+    /// [`WorkloadSpec`] itself (obtained from `laser_workloads::registry()` /
+    /// `find`) means an unknown workload name cannot be planned at all — the
+    /// typo surfaces where the spec is looked up, not as a late failure here.
+    pub fn request(&mut self, workload: &WorkloadSpec, tool: ToolSpec) {
+        self.specs
+            .entry(workload.name.to_string())
+            .or_insert_with(|| workload.clone());
+        self.requests.insert((workload.name.to_string(), tool));
+    }
+
+    /// Number of unique cells planned so far.
+    pub fn cells(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Run every planned cell once, in parallel, and index the results.
+    pub fn run(self) -> GridResult {
+        self.run_with_progress(|_, _| {})
+    }
+
+    /// Like [`Grid::run`], announcing cells to `progress` as they complete
+    /// (first argument: cells finished so far).
+    pub fn run_with_progress<F>(self, progress: F) -> GridResult
+    where
+        F: Fn(usize, &CellResult) + Sync,
+    {
+        let mut workloads: Vec<WorkloadSpec> = Vec::new();
+        let mut workload_index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut tools: Vec<Box<dyn Tool>> = Vec::new();
+        let mut tool_index: BTreeMap<ToolSpec, usize> = BTreeMap::new();
+        let mut pairs = Vec::with_capacity(self.requests.len());
+        for (name, spec) in &self.requests {
+            let w = *workload_index.entry(name.clone()).or_insert_with(|| {
+                workloads.push(self.specs[name].clone());
+                workloads.len() - 1
+            });
+            let t = *tool_index.entry(*spec).or_insert_with(|| {
+                tools.push(spec.build());
+                tools.len() - 1
+            });
+            pairs.push((w, t));
+        }
+
+        let campaign = Campaign::from_cells(workloads, tools, pairs)
+            .with_options(self.scale.options())
+            .with_threads(self.threads);
+        let result = campaign.run_with_progress(progress);
+        let index = result
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.workload.clone(), c.tool.clone()), i))
+            .collect();
+        GridResult {
+            scale: self.scale,
+            result,
+            index,
+        }
+    }
+}
+
+/// The cached cells of a finished grid run: every figure derives from this.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    scale: ExperimentScale,
+    result: CampaignResult,
+    index: BTreeMap<(String, String), usize>,
+}
+
+impl GridResult {
+    /// The scale the grid ran at.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The underlying campaign result, in grid order.
+    pub fn campaign(&self) -> &CampaignResult {
+        &self.result
+    }
+
+    /// The raw cell for `workload` under `tool`, if it was planned.
+    pub fn cell(&self, workload: &str, tool: ToolSpec) -> Option<&CellResult> {
+        let key = (workload.to_string(), tool.key());
+        self.index.get(&key).map(|&i| &self.result.cells[i])
+    }
+
+    /// The successful run of `workload` under `tool`.
+    ///
+    /// # Errors
+    /// [`ExperimentError::MissingCell`] if the cell was never planned,
+    /// [`ExperimentError::Cell`] if it ran but failed (including Sheriff
+    /// incompatibility — use [`GridResult::sheriff_run`] where that is an
+    /// expected outcome rather than an error).
+    pub fn tool_run(&self, workload: &str, tool: ToolSpec) -> Result<&ToolRun, ExperimentError> {
+        let cell = self
+            .cell(workload, tool)
+            .ok_or_else(|| ExperimentError::MissingCell {
+                workload: workload.to_string(),
+                tool: tool.key(),
+            })?;
+        cell.outcome.as_ref().map_err(|f| ExperimentError::Cell {
+            workload: workload.to_string(),
+            tool: tool.key(),
+            failure: f.clone(),
+        })
+    }
+
+    /// The run of `workload` under a Sheriff `tool`, with the compatibility
+    /// matrix surfaced as data: `Ok(Err(failure))` is Sheriff declining the
+    /// workload (an expected result the tables print as "x"/"i"), while
+    /// simulator errors and panics remain [`ExperimentError`]s.
+    ///
+    /// # Errors
+    /// [`ExperimentError::MissingCell`] / [`ExperimentError::Cell`] as for
+    /// [`GridResult::tool_run`], except `Unsupported` outcomes.
+    pub fn sheriff_run(
+        &self,
+        workload: &str,
+        tool: ToolSpec,
+    ) -> Result<Result<&ToolRun, SheriffFailure>, ExperimentError> {
+        let cell = self
+            .cell(workload, tool)
+            .ok_or_else(|| ExperimentError::MissingCell {
+                workload: workload.to_string(),
+                tool: tool.key(),
+            })?;
+        match &cell.outcome {
+            Ok(run) => Ok(Ok(run)),
+            Err(ToolFailure::Unsupported(failure)) => Ok(Err(*failure)),
+            Err(f) => Err(ExperimentError::Cell {
+                workload: workload.to_string(),
+                tool: tool.key(),
+                failure: f.clone(),
+            }),
+        }
+    }
+
+    /// Runtime of `workload` under `tool` normalized to the workload's native
+    /// cell.
+    ///
+    /// # Errors
+    /// Propagates missing/failed cells for either endpoint.
+    pub fn normalized(&self, workload: &str, tool: ToolSpec) -> Result<f64, ExperimentError> {
+        let cycles = self.tool_run(workload, tool)?.cycles;
+        let native = self.tool_run(workload, ToolSpec::Native)?.cycles;
+        Ok(cycles as f64 / native.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_workloads::find;
+
+    fn spec(name: &str) -> WorkloadSpec {
+        find(name).expect("known workload")
+    }
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            workload_scale: 0.06,
+            only: Some(&["histogram'", "swaptions"]),
+        }
+    }
+
+    #[test]
+    fn requests_deduplicate_and_run_once() {
+        let mut grid = Grid::new(tiny_scale()).with_threads(2);
+        for _ in 0..3 {
+            grid.request(&spec("histogram'"), ToolSpec::Native);
+            grid.request(&spec("histogram'"), ToolSpec::LaserDetect);
+        }
+        grid.request(&spec("swaptions"), ToolSpec::Native);
+        assert_eq!(grid.cells(), 3);
+        let result = grid.run();
+        assert_eq!(result.campaign().cells.len(), 3);
+        assert!(result.tool_run("histogram'", ToolSpec::Native).is_ok());
+        assert!(result.tool_run("histogram'", ToolSpec::LaserDetect).is_ok());
+        let norm = result
+            .normalized("histogram'", ToolSpec::LaserDetect)
+            .unwrap();
+        assert!(norm >= 1.0, "{norm}");
+    }
+
+    #[test]
+    fn missing_cells_are_reported_not_panicked() {
+        let mut grid = Grid::new(tiny_scale());
+        grid.request(&spec("swaptions"), ToolSpec::Native);
+        let result = grid.run();
+        assert_eq!(
+            result.tool_run("swaptions", ToolSpec::Vtune),
+            Err(ExperimentError::MissingCell {
+                workload: "swaptions".to_string(),
+                tool: "vtune".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn sheriff_incompatibility_is_data_not_error() {
+        let mut grid = Grid::new(ExperimentScale {
+            workload_scale: 0.06,
+            only: Some(&["dedup"]),
+        });
+        grid.request(&spec("dedup"), ToolSpec::SheriffDetect);
+        let result = grid.run();
+        // dedup is Sheriff-incompatible: sheriff_run surfaces it as data...
+        assert_eq!(
+            result
+                .sheriff_run("dedup", ToolSpec::SheriffDetect)
+                .unwrap(),
+            Err(SheriffFailure::Incompatible)
+        );
+        // ...while tool_run treats it as a failed cell.
+        assert!(matches!(
+            result.tool_run("dedup", ToolSpec::SheriffDetect),
+            Err(ExperimentError::Cell { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_order_is_independent_of_planning_order() {
+        let mut a = Grid::new(tiny_scale()).with_threads(1);
+        a.request(&spec("swaptions"), ToolSpec::Native);
+        a.request(&spec("histogram'"), ToolSpec::LaserDetect);
+        a.request(&spec("histogram'"), ToolSpec::Native);
+        let mut b = Grid::new(tiny_scale()).with_threads(4);
+        b.request(&spec("histogram'"), ToolSpec::Native);
+        b.request(&spec("swaptions"), ToolSpec::Native);
+        b.request(&spec("histogram'"), ToolSpec::LaserDetect);
+        let (ra, rb) = (a.run(), b.run());
+        assert_eq!(ra.campaign().cells, rb.campaign().cells);
+        assert_eq!(ra.campaign().render(), rb.campaign().render());
+    }
+}

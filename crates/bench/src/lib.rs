@@ -16,6 +16,15 @@
 //! | Figure 13 | [`performance::fig13_sav_sweep`] | `experiments fig13` | `fig13_sav` |
 //! | Figure 14 | [`performance::fig14_sheriff`] | `experiments fig14` | `fig14_sheriff` |
 //!
+//! Every table and figure is a *view over one campaign result*: a planner
+//! (`plan_fig10`, `plan_table1`, …) registers the `(workload, tool)` cells
+//! the experiment needs on a shared [`Grid`], the grid runs each unique cell
+//! exactly once on the parallel [`Campaign`] runner, and the figure derives
+//! its rows from the cached cells (`fig10_from_grid`, …). The `experiments`
+//! binary plans every selected experiment into one grid, streams per-cell
+//! progress to stderr while the grid is hot, and emits the aggregated results
+//! as text, JSON or CSV (`--format`, see [`emit::Emit`]).
+//!
 //! Absolute numbers are simulated cycles, not the paper's wall-clock seconds;
 //! what is expected to match is the *shape* of each result: who wins, by
 //! roughly what factor, and where the crossovers fall. `EXPERIMENTS.md` at the
@@ -24,12 +33,17 @@
 pub mod accuracy;
 pub mod campaign;
 pub mod characterization;
+pub mod emit;
+pub mod grid;
 pub mod performance;
 pub mod runner;
 pub mod tool;
 
-pub use campaign::{Campaign, CampaignResult, CellResult};
+pub use campaign::{ordered_parallel, Campaign, CampaignResult, CellResult, UnknownWorkload};
+pub use emit::Emit;
+pub use grid::{ExperimentError, Grid, GridResult};
 pub use runner::{geomean, ExperimentScale};
 pub use tool::{
-    default_tools, LaserTool, NativeTool, SheriffTool, Tool, ToolFailure, ToolRun, VtuneTool,
+    default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool, Tool,
+    ToolFailure, ToolRun, ToolSpec, VtuneTool,
 };

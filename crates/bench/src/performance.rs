@@ -1,10 +1,20 @@
 //! Performance experiments: Figures 10, 11, 12, 13 and 14.
+//!
+//! Each figure is split into a *planner* (`plan_fig10`, …) that registers the
+//! `(workload, tool)` cells it needs on a [`Grid`], and a *view*
+//! (`fig10_from_grid`, …) that derives the figure's rows from the cached
+//! [`GridResult`] without simulating anything. The `fig10_overhead`-style
+//! entry points plan and run a single-figure grid for callers (tests,
+//! Criterion benches) that want one figure in isolation; the `experiments`
+//! binary plans every selected figure into **one** grid so shared cells run
+//! once.
 
-use laser_baselines::{Sheriff, SheriffFailure, SheriffMode, Vtune};
-use laser_core::{LaserConfig, LaserError};
-use laser_workloads::BuildOptions;
+use laser_baselines::SheriffFailure;
+use laser_workloads::SheriffCompat;
 
-use crate::runner::{build_under_tool, geomean, run_laser, run_native, ExperimentScale};
+use crate::grid::{ExperimentError, Grid, GridResult};
+use crate::runner::{geomean, ExperimentScale};
+use crate::tool::ToolSpec;
 
 /// One bar pair of Figure 10.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,25 +65,39 @@ impl Fig10Report {
     }
 }
 
-/// Run the Figure 10 overhead comparison.
+/// Plan the cells Figure 10 needs.
+pub fn plan_fig10(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        grid.request(&spec, ToolSpec::Native);
+        grid.request(&spec, ToolSpec::Laser);
+        grid.request(&spec, ToolSpec::Vtune);
+    }
+}
+
+/// Derive Figure 10 from cached cells.
 ///
 /// # Errors
-/// Propagates simulator errors.
-pub fn fig10_overhead(scale: &ExperimentScale) -> Result<Fig10Report, LaserError> {
-    let vtune = Vtune::default();
-    let opts = scale.options();
+/// Propagates missing or failed cells.
+pub fn fig10_from_grid(grid: &GridResult) -> Result<Fig10Report, ExperimentError> {
     let mut rows = Vec::new();
-    for spec in scale.workloads() {
-        let native = run_native(&spec, &opts)?;
-        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
-        let vtune_outcome = vtune.run(&build_under_tool(&spec, &opts))?;
+    for spec in grid.scale().workloads() {
         rows.push(Fig10Row {
             name: spec.name,
-            laser: laser.run.cycles as f64 / native.cycles.max(1) as f64,
-            vtune: vtune_outcome.run.cycles as f64 / native.cycles.max(1) as f64,
+            laser: grid.normalized(spec.name, ToolSpec::Laser)?,
+            vtune: grid.normalized(spec.name, ToolSpec::Vtune)?,
         });
     }
     Ok(Fig10Report { rows })
+}
+
+/// Run the Figure 10 overhead comparison on a single-figure grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig10_overhead(scale: &ExperimentScale) -> Result<Fig10Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig10(&mut grid);
+    fig10_from_grid(&grid.run())
 }
 
 /// One bar of Figure 11.
@@ -130,26 +154,38 @@ pub const FIG11_WORKLOADS: &[&str] = &[
     "reverse_index",
 ];
 
-/// Run the Figure 11 speedup experiment.
-///
-/// # Errors
-/// Propagates simulator errors.
-pub fn fig11_speedups(scale: &ExperimentScale) -> Result<Fig11Report, LaserError> {
-    let opts = scale.options();
-    let mut rows = Vec::new();
-    for spec in scale.workloads() {
+/// Plan the cells Figure 11 needs.
+pub fn plan_fig11(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
         if !FIG11_WORKLOADS.contains(&spec.name) {
             continue;
         }
-        let native = run_native(&spec, &opts)?;
-        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
+        grid.request(&spec, ToolSpec::Native);
+        grid.request(&spec, ToolSpec::Laser);
+        if spec.has_fix {
+            grid.request(&spec, ToolSpec::NativeFixed);
+        }
+    }
+}
+
+/// Derive Figure 11 from cached cells.
+///
+/// # Errors
+/// Propagates missing or failed cells.
+pub fn fig11_from_grid(grid: &GridResult) -> Result<Fig11Report, ExperimentError> {
+    let mut rows = Vec::new();
+    for spec in grid.scale().workloads() {
+        if !FIG11_WORKLOADS.contains(&spec.name) {
+            continue;
+        }
+        let native = grid.tool_run(spec.name, ToolSpec::Native)?.cycles;
+        let laser = grid.tool_run(spec.name, ToolSpec::Laser)?;
         let automatic = laser
-            .repair
-            .as_ref()
-            .map(|_| native.cycles as f64 / laser.run.cycles.max(1) as f64);
+            .repair_invoked
+            .then(|| native as f64 / laser.cycles.max(1) as f64);
         let manual = if spec.has_fix {
-            let fixed = Laser_native_fixed(&spec, &opts)?;
-            Some(native.cycles as f64 / fixed.max(1) as f64)
+            let fixed = grid.tool_run(spec.name, ToolSpec::NativeFixed)?.cycles;
+            Some(native as f64 / fixed.max(1) as f64)
         } else {
             None
         };
@@ -162,16 +198,14 @@ pub fn fig11_speedups(scale: &ExperimentScale) -> Result<Fig11Report, LaserError
     Ok(Fig11Report { rows })
 }
 
-#[allow(non_snake_case)]
-fn Laser_native_fixed(
-    spec: &laser_workloads::WorkloadSpec,
-    opts: &BuildOptions,
-) -> Result<u64, LaserError> {
-    let fixed_opts = BuildOptions {
-        fixed: true,
-        ..opts.clone()
-    };
-    Ok(run_native(spec, &fixed_opts)?.cycles)
+/// Run the Figure 11 speedup experiment on a single-figure grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig11_speedups(scale: &ExperimentScale) -> Result<Fig11Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig11(&mut grid);
+    fig11_from_grid(&grid.run())
 }
 
 /// One bar of Figure 12.
@@ -219,33 +253,52 @@ impl Fig12Report {
     }
 }
 
-/// Run the Figure 12 overhead-breakdown experiment. `min_overhead` selects
-/// which workloads appear (the paper uses 10 %).
+/// Plan the cells Figure 12 needs.
+pub fn plan_fig12(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        grid.request(&spec, ToolSpec::Native);
+        grid.request(&spec, ToolSpec::LaserDetect);
+    }
+}
+
+/// Derive Figure 12 from cached cells. `min_overhead` selects which workloads
+/// appear (the paper uses 10 %).
+///
+/// # Errors
+/// Propagates missing or failed cells.
+pub fn fig12_from_grid(
+    grid: &GridResult,
+    min_overhead: f64,
+) -> Result<Fig12Report, ExperimentError> {
+    let mut rows = Vec::new();
+    for spec in grid.scale().workloads() {
+        let slowdown = grid.normalized(spec.name, ToolSpec::LaserDetect)?;
+        if slowdown < 1.0 + min_overhead {
+            continue;
+        }
+        let laser = grid.tool_run(spec.name, ToolSpec::LaserDetect)?;
+        let total = laser.cycles.max(1) as f64;
+        rows.push(Fig12Row {
+            name: spec.name,
+            slowdown,
+            driver_fraction: laser.driver_overhead_cycles as f64 / total,
+            detector_fraction: laser.detector_cycles as f64 / total,
+        });
+    }
+    Ok(Fig12Report { rows })
+}
+
+/// Run the Figure 12 overhead-breakdown experiment on a single-figure grid.
 ///
 /// # Errors
 /// Propagates simulator errors.
 pub fn fig12_breakdown(
     scale: &ExperimentScale,
     min_overhead: f64,
-) -> Result<Fig12Report, LaserError> {
-    let opts = scale.options();
-    let mut rows = Vec::new();
-    for spec in scale.workloads() {
-        let native = run_native(&spec, &opts)?;
-        let laser = run_laser(&spec, &opts, LaserConfig::detection_only())?;
-        let slowdown = laser.run.cycles as f64 / native.cycles.max(1) as f64;
-        if slowdown < 1.0 + min_overhead {
-            continue;
-        }
-        let total = laser.run.cycles.max(1) as f64;
-        rows.push(Fig12Row {
-            name: spec.name,
-            slowdown,
-            driver_fraction: laser.driver_stats.overhead_cycles as f64 / total,
-            detector_fraction: laser.detector_cycles as f64 / total,
-        });
-    }
-    Ok(Fig12Report { rows })
+) -> Result<Fig12Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig12(&mut grid);
+    fig12_from_grid(&grid.run(), min_overhead)
 }
 
 /// One point of Figure 13.
@@ -286,24 +339,44 @@ pub fn fig13_savs() -> Vec<u32> {
     vec![1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
 }
 
-/// Run the Figure 13 SAV sweep on dedup.
+/// The workload Figure 13 sweeps.
+pub const FIG13_WORKLOAD: &str = "dedup";
+
+/// Plan the cells the Figure 13 SAV sweep needs.
+pub fn plan_fig13(grid: &mut Grid, savs: &[u32]) {
+    let spec = laser_workloads::find(FIG13_WORKLOAD).expect("dedup exists");
+    grid.request(&spec, ToolSpec::Native);
+    for &sav in savs {
+        grid.request(&spec, ToolSpec::LaserDetectSav(sav));
+    }
+}
+
+/// Derive Figure 13 from cached cells.
 ///
 /// # Errors
-/// Propagates simulator errors.
-pub fn fig13_sav_sweep(scale: &ExperimentScale, savs: &[u32]) -> Result<Fig13Report, LaserError> {
-    let spec = laser_workloads::find("dedup").expect("dedup exists");
-    let opts = scale.options();
-    let native = run_native(&spec, &opts)?;
+/// Propagates missing or failed cells.
+pub fn fig13_from_grid(grid: &GridResult, savs: &[u32]) -> Result<Fig13Report, ExperimentError> {
     let mut points = Vec::new();
     for &sav in savs {
-        let config = LaserConfig::detection_only().with_sav(sav);
-        let laser = run_laser(&spec, &opts, config)?;
         points.push(Fig13Point {
             sav,
-            normalized_runtime: laser.run.cycles as f64 / native.cycles.max(1) as f64,
+            normalized_runtime: grid.normalized(FIG13_WORKLOAD, ToolSpec::LaserDetectSav(sav))?,
         });
     }
     Ok(Fig13Report { points })
+}
+
+/// Run the Figure 13 SAV sweep on dedup on a single-figure grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig13_sav_sweep(
+    scale: &ExperimentScale,
+    savs: &[u32],
+) -> Result<Fig13Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig13(&mut grid, savs);
+    fig13_from_grid(&grid.run(), savs)
 }
 
 /// One group of bars of Figure 14.
@@ -360,47 +433,66 @@ impl Fig14Report {
     }
 }
 
-/// Run the Figure 14 comparison over the workloads where at least one Sheriff
-/// scheme works.
-///
-/// # Errors
-/// Propagates simulator errors.
-pub fn fig14_sheriff(scale: &ExperimentScale) -> Result<Fig14Report, LaserError> {
-    let sheriff = Sheriff::default();
-    let opts = scale.options();
-    let mut rows = Vec::new();
-    for spec in scale.workloads() {
-        if spec.sheriff != laser_workloads::SheriffCompat::Works {
+/// Plan the cells Figure 14 needs.
+pub fn plan_fig14(grid: &mut Grid) {
+    for spec in grid.scale().workloads() {
+        if spec.sheriff != SheriffCompat::Works {
             continue;
         }
-        let native = run_native(&spec, &opts)?;
-        let norm = |cycles: u64| cycles as f64 / native.cycles.max(1) as f64;
-        let laser = run_laser(&spec, &opts, LaserConfig::default())?;
+        grid.request(&spec, ToolSpec::Native);
+        grid.request(&spec, ToolSpec::Laser);
+        grid.request(&spec, ToolSpec::SheriffDetect);
+        grid.request(&spec, ToolSpec::SheriffProtect);
+        if spec.has_fix {
+            grid.request(&spec, ToolSpec::NativeFixed);
+        }
+    }
+}
+
+/// Derive Figure 14 from cached cells.
+///
+/// # Errors
+/// Propagates missing or failed cells.
+pub fn fig14_from_grid(grid: &GridResult) -> Result<Fig14Report, ExperimentError> {
+    let mut rows = Vec::new();
+    for spec in grid.scale().workloads() {
+        if spec.sheriff != SheriffCompat::Works {
+            continue;
+        }
+        let native = grid.tool_run(spec.name, ToolSpec::Native)?.cycles;
+        let norm = |cycles: u64| cycles as f64 / native.max(1) as f64;
         let manual_fix = if spec.has_fix {
             Some(norm(
-                run_native(
-                    &spec,
-                    &BuildOptions {
-                        fixed: true,
-                        ..opts.clone()
-                    },
-                )?
-                .cycles,
+                grid.tool_run(spec.name, ToolSpec::NativeFixed)?.cycles,
             ))
         } else {
             None
         };
-        let detect = sheriff.run(&spec, &opts, SheriffMode::Detect)?;
-        let protect = sheriff.run(&spec, &opts, SheriffMode::Protect)?;
+        let detect = grid
+            .sheriff_run(spec.name, ToolSpec::SheriffDetect)?
+            .map(|run| norm(run.cycles));
+        let protect = grid
+            .sheriff_run(spec.name, ToolSpec::SheriffProtect)?
+            .map(|run| norm(run.cycles));
         rows.push(Fig14Row {
             name: spec.name,
-            laser: norm(laser.run.cycles),
+            laser: norm(grid.tool_run(spec.name, ToolSpec::Laser)?.cycles),
             manual_fix,
-            sheriff_detect: detect.result.map(|r| norm(r.cycles)),
-            sheriff_protect: protect.result.map(|r| norm(r.cycles)),
+            sheriff_detect: detect,
+            sheriff_protect: protect,
         });
     }
     Ok(Fig14Report { rows })
+}
+
+/// Run the Figure 14 comparison on a single-figure grid.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn fig14_sheriff(scale: &ExperimentScale) -> Result<Fig14Report, ExperimentError> {
+    let mut grid = Grid::new(*scale);
+    plan_fig14(&mut grid);
+    fig14_from_grid(&grid.run())
 }
 
 #[cfg(test)]
@@ -466,5 +558,25 @@ mod tests {
             assert!(r.driver_fraction >= 0.0 && r.driver_fraction <= 1.0);
         }
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn shared_grid_serves_multiple_figures_from_one_run() {
+        // fig10 and fig12 overlap on every native cell; a shared grid plans
+        // the union and both figures derive from the same cached cells.
+        let scale = tiny(&["swaptions", "histogram'"]);
+        let mut grid = Grid::new(scale);
+        plan_fig10(&mut grid);
+        plan_fig12(&mut grid);
+        // native, laser, vtune, laser-detect per workload = 8 unique cells,
+        // not the 10 a serial re-run of both figures would have cost.
+        assert_eq!(grid.cells(), 8);
+        let result = grid.run();
+        let fig10 = fig10_from_grid(&result).unwrap();
+        let fig12 = fig12_from_grid(&result, 0.0).unwrap();
+        assert_eq!(fig10.rows.len(), 2);
+        assert!(fig12.rows.len() <= 2);
+        // The standalone path derives the same figure.
+        assert_eq!(fig10.rows, fig10_overhead(&scale).unwrap().rows);
     }
 }

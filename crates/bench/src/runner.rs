@@ -119,6 +119,23 @@ pub fn score_report(spec: &WorkloadSpec, report: &ContentionReport) -> (usize, u
     )
 }
 
+/// Score the reported lines of a cached campaign cell against the known-bug
+/// database. Only lines that attribute to source locations participate;
+/// Sheriff's allocation-site reports are scored separately (see
+/// `crate::accuracy`).
+pub fn score_reported(
+    spec: &WorkloadSpec,
+    reported: &[crate::tool::ReportedLine],
+) -> (usize, usize) {
+    score_locations(
+        spec,
+        &reported
+            .iter()
+            .filter_map(|l| l.location().map(|(f, line)| (f.to_string(), line)))
+            .collect::<Vec<_>>(),
+    )
+}
+
 /// Score an arbitrary list of reported `(file, line)` locations against the
 /// known-bug database.
 pub fn score_locations(spec: &WorkloadSpec, reported: &[(String, u32)]) -> (usize, usize) {

@@ -8,23 +8,69 @@
 //! grids across a thread pool. Implementations are `Send + Sync` values whose
 //! `run` takes `&self`, and every underlying simulation is deterministic, so
 //! a cell's result is independent of which worker thread computes it.
+//!
+//! A [`ToolRun`] carries everything any figure or table derives from a cell —
+//! cycles, structured reported lines, repair activity and the driver/detector
+//! overhead split — which is what lets the [`crate::grid::Grid`] cache run
+//! each unique `(workload, tool)` cell exactly once and serve every consumer
+//! from the cached result.
 
 use laser_baselines::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, Vtune, VtuneConfig};
-use laser_core::LaserConfig;
+use laser_core::{ContentionKind, LaserConfig};
 use laser_workloads::{BuildOptions, WorkloadSpec};
 
 use crate::runner::{build_under_tool, run_laser, run_native};
 
+/// One contention site a tool reported, in a tool-neutral shape.
+///
+/// LASER and VTune report source lines (`file`/`line` present); Sheriff
+/// reports falsely-shared allocation-site cache lines (`file`/`line` absent,
+/// only the `label`). The extra per-line metrics are what the accuracy
+/// experiments (Tables 1–2, Figure 9) consume from cached campaign cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportedLine {
+    /// Human-readable label as it appears in text output.
+    pub label: String,
+    /// Source file, for tools that attribute to source lines.
+    pub file: Option<String>,
+    /// 1-based source line, for tools that attribute to source lines.
+    pub line: Option<u32>,
+    /// Contention classification (LASER only).
+    pub kind: Option<ContentionKind>,
+    /// HITM records attributed to this site (0 where not applicable).
+    pub hitm_records: u64,
+    /// HITM records per second of dilated benchmark time (0 where not
+    /// applicable).
+    pub rate_per_sec: f64,
+}
+
+impl ReportedLine {
+    /// A reported source location, if this tool attributes to source lines.
+    pub fn location(&self) -> Option<(&str, u32)> {
+        Some((self.file.as_deref()?, self.line?))
+    }
+}
+
 /// What one tool observed on one workload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ToolRun {
     /// End-to-end cycles of the run, all tool overhead included.
     pub cycles: u64,
-    /// Labels of the contention sites the tool reported (source lines for
-    /// LASER/VTune, allocation-site cache lines for Sheriff-Detect).
-    pub reported: Vec<String>,
+    /// The contention sites the tool reported.
+    pub reported: Vec<ReportedLine>,
     /// Whether online repair was invoked during the run (LASER only).
     pub repair_invoked: bool,
+    /// Cycles of driver overhead charged to the run (LASER only).
+    pub driver_overhead_cycles: u64,
+    /// Cycles the detector process consumed (LASER only).
+    pub detector_cycles: u64,
+}
+
+impl ToolRun {
+    /// Labels of the reported sites, for display.
+    pub fn reported_labels(&self) -> Vec<&str> {
+        self.reported.iter().map(|l| l.label.as_str()).collect()
+    }
 }
 
 /// Why a tool produced no run for a cell.
@@ -32,16 +78,28 @@ pub struct ToolRun {
 pub enum ToolFailure {
     /// The tool cannot run this workload at all (Sheriff's compatibility
     /// matrix: crashes and unsupported constructs).
-    Unsupported(String),
+    Unsupported(SheriffFailure),
     /// The underlying simulation failed (e.g. step-budget exhaustion).
     Error(String),
+    /// The tool panicked while running the cell; the campaign runner isolates
+    /// the panic to this cell instead of aborting the grid.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ToolFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ToolFailure::Unsupported(why) => write!(f, "unsupported: {why}"),
+            ToolFailure::Unsupported(SheriffFailure::Crash) => {
+                write!(f, "unsupported: crashes under Sheriff")
+            }
+            ToolFailure::Unsupported(SheriffFailure::Incompatible) => {
+                write!(f, "unsupported: uses constructs Sheriff does not support")
+            }
             ToolFailure::Error(why) => write!(f, "error: {why}"),
+            ToolFailure::Panicked { message } => write!(f, "panicked: {message}"),
         }
     }
 }
@@ -73,32 +131,75 @@ impl Tool for NativeTool {
         let result = run_native(spec, opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
         Ok(ToolRun {
             cycles: result.cycles,
-            reported: Vec::new(),
-            repair_invoked: false,
+            ..ToolRun::default()
+        })
+    }
+}
+
+/// Native execution of the manually-fixed binary variant (padding/alignment/
+/// restructuring applied by hand, as in Figures 11 and 14). Only meaningful
+/// for workloads with `has_fix`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FixedNativeTool;
+
+impl Tool for FixedNativeTool {
+    fn name(&self) -> &str {
+        "native-fixed"
+    }
+
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let opts = BuildOptions {
+            fixed: true,
+            ..opts.clone()
+        };
+        let result = run_native(spec, &opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        Ok(ToolRun {
+            cycles: result.cycles,
+            ..ToolRun::default()
         })
     }
 }
 
 /// The LASER system (detection, and repair when the configuration allows it).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LaserTool {
     config: LaserConfig,
+    name: String,
+}
+
+impl Default for LaserTool {
+    fn default() -> Self {
+        LaserTool::new(LaserConfig::default())
+    }
 }
 
 impl LaserTool {
-    /// Run LASER with `config` (e.g. [`LaserConfig::detection_only`]).
+    /// Run LASER with `config` (e.g. [`LaserConfig::detection_only`]). The
+    /// tool is named `laser` when repair is enabled, `laser-detect` otherwise.
     pub fn new(config: LaserConfig) -> Self {
-        LaserTool { config }
+        let name = if config.enable_repair {
+            "laser"
+        } else {
+            "laser-detect"
+        };
+        LaserTool::named(config, name)
+    }
+
+    /// Run LASER with `config` under an explicit cell-key name. Campaign cells
+    /// are keyed by tool name, so variant configurations sharing a grid (the
+    /// Figure 13 SAV sweep, Figure 9's unfiltered detector) need distinct
+    /// names.
+    pub fn named(config: LaserConfig, name: impl Into<String>) -> Self {
+        LaserTool {
+            config,
+            name: name.into(),
+        }
     }
 }
 
 impl Tool for LaserTool {
     fn name(&self) -> &str {
-        if self.config.enable_repair {
-            "laser"
-        } else {
-            "laser-detect"
-        }
+        &self.name
     }
 
     fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
@@ -110,9 +211,18 @@ impl Tool for LaserTool {
                 .report
                 .lines
                 .iter()
-                .map(|l| format!("{} ({})", l.location.label(), l.kind))
+                .map(|l| ReportedLine {
+                    label: format!("{} ({})", l.location.label(), l.kind),
+                    file: Some(l.location.file.clone()),
+                    line: Some(l.location.line),
+                    kind: Some(l.kind),
+                    hitm_records: l.hitm_records,
+                    rate_per_sec: l.rate_per_sec,
+                })
                 .collect(),
             repair_invoked: outcome.repair.is_some(),
+            driver_overhead_cycles: outcome.driver_stats.overhead_cycles,
+            detector_cycles: outcome.detector_cycles,
         })
     }
 }
@@ -145,9 +255,16 @@ impl Tool for VtuneTool {
             reported: outcome
                 .reported_lines
                 .iter()
-                .map(|l| l.location.label())
+                .map(|l| ReportedLine {
+                    label: l.location.label(),
+                    file: Some(l.location.file.clone()),
+                    line: Some(l.location.line),
+                    kind: None,
+                    hitm_records: l.records,
+                    rate_per_sec: l.rate_per_sec,
+                })
                 .collect(),
-            repair_invoked: false,
+            ..ToolRun::default()
         })
     }
 }
@@ -192,16 +309,82 @@ impl Tool for SheriffTool {
                 reported: run
                     .reported_lines
                     .iter()
-                    .map(|line| format!("line@{line:#x}"))
+                    .map(|line| ReportedLine {
+                        label: format!("line@{line:#x}"),
+                        file: None,
+                        line: None,
+                        kind: None,
+                        hitm_records: 0,
+                        rate_per_sec: 0.0,
+                    })
                     .collect(),
-                repair_invoked: false,
+                ..ToolRun::default()
             }),
-            Err(SheriffFailure::Crash) => Err(ToolFailure::Unsupported(
-                "crashes under Sheriff".to_string(),
+            Err(failure) => Err(ToolFailure::Unsupported(failure)),
+        }
+    }
+}
+
+/// Machine-readable identity of a tool configuration: the key under which a
+/// [`crate::grid::Grid`] caches cells, and a factory for the corresponding
+/// [`Tool`] instance. `key()` always equals `build().name()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ToolSpec {
+    /// Un-instrumented baseline.
+    Native,
+    /// Un-instrumented manually-fixed binary.
+    NativeFixed,
+    /// LASER with online repair enabled (the paper's default deployment).
+    Laser,
+    /// LASERDETECT: detection only, paper-default thresholds.
+    LaserDetect,
+    /// LASERDETECT with the rate threshold at zero, so every line survives
+    /// filtering and Figure 9 can apply candidate thresholds offline.
+    LaserDetectRaw,
+    /// LASERDETECT at an explicit Sample-After-Value (the Figure 13 sweep).
+    LaserDetectSav(u32),
+    /// The VTune profiler model.
+    Vtune,
+    /// Sheriff-Detect.
+    SheriffDetect,
+    /// Sheriff-Protect.
+    SheriffProtect,
+}
+
+impl ToolSpec {
+    /// The stable cell key: identical to the built tool's `name()`.
+    pub fn key(&self) -> String {
+        match self {
+            ToolSpec::Native => "native".to_string(),
+            ToolSpec::NativeFixed => "native-fixed".to_string(),
+            ToolSpec::Laser => "laser".to_string(),
+            ToolSpec::LaserDetect => "laser-detect".to_string(),
+            ToolSpec::LaserDetectRaw => "laser-detect-raw".to_string(),
+            ToolSpec::LaserDetectSav(sav) => format!("laser-detect-sav{sav}"),
+            ToolSpec::Vtune => "vtune".to_string(),
+            ToolSpec::SheriffDetect => "sheriff-detect".to_string(),
+            ToolSpec::SheriffProtect => "sheriff-protect".to_string(),
+        }
+    }
+
+    /// Instantiate the tool this spec describes.
+    pub fn build(&self) -> Box<dyn Tool> {
+        match self {
+            ToolSpec::Native => Box::new(NativeTool),
+            ToolSpec::NativeFixed => Box::new(FixedNativeTool),
+            ToolSpec::Laser => Box::new(LaserTool::default()),
+            ToolSpec::LaserDetect => Box::new(LaserTool::new(LaserConfig::detection_only())),
+            ToolSpec::LaserDetectRaw => Box::new(LaserTool::named(
+                LaserConfig::detection_only().with_rate_threshold(0.0),
+                self.key(),
             )),
-            Err(SheriffFailure::Incompatible) => Err(ToolFailure::Unsupported(
-                "uses constructs Sheriff does not support".to_string(),
+            ToolSpec::LaserDetectSav(sav) => Box::new(LaserTool::named(
+                LaserConfig::detection_only().with_sav(*sav),
+                self.key(),
             )),
+            ToolSpec::Vtune => Box::new(VtuneTool::default()),
+            ToolSpec::SheriffDetect => Box::new(SheriffTool::new(SheriffMode::Detect)),
+            ToolSpec::SheriffProtect => Box::new(SheriffTool::new(SheriffMode::Protect)),
         }
     }
 }
@@ -231,6 +414,7 @@ mod tests {
     fn tools_are_share_and_send() {
         fn assert_sync_send<T: Send + Sync>() {}
         assert_sync_send::<NativeTool>();
+        assert_sync_send::<FixedNativeTool>();
         assert_sync_send::<LaserTool>();
         assert_sync_send::<VtuneTool>();
         assert_sync_send::<SheriffTool>();
@@ -244,6 +428,21 @@ mod tests {
         assert!(run.cycles > 0);
         assert!(run.reported.is_empty());
         assert!(!run.repair_invoked);
+        assert_eq!(run.driver_overhead_cycles, 0);
+    }
+
+    #[test]
+    fn fixed_native_beats_buggy_native_where_a_fix_exists() {
+        let spec = find("linear_regression").unwrap();
+        assert!(spec.has_fix);
+        let buggy = NativeTool.run(&spec, &opts()).unwrap();
+        let fixed = FixedNativeTool.run(&spec, &opts()).unwrap();
+        assert!(
+            fixed.cycles < buggy.cycles,
+            "{} vs {}",
+            fixed.cycles,
+            buggy.cycles
+        );
     }
 
     #[test]
@@ -255,13 +454,22 @@ mod tests {
             .unwrap();
         assert!(laser.cycles >= native.cycles);
         assert!(!laser.reported.is_empty(), "histogram' contends");
+        let first = &laser.reported[0];
+        assert!(first.location().is_some());
+        assert!(first.kind.is_some());
+        assert!(first.hitm_records > 0);
+        assert!(laser.driver_overhead_cycles > 0);
+        assert!(laser.detector_cycles > 0);
     }
 
     #[test]
     fn sheriff_tool_surfaces_incompatibility() {
         let spec = find("dedup").unwrap();
         let out = SheriffTool::new(SheriffMode::Detect).run(&spec, &opts());
-        assert!(matches!(out, Err(ToolFailure::Unsupported(_))));
+        assert_eq!(
+            out,
+            Err(ToolFailure::Unsupported(SheriffFailure::Incompatible))
+        );
     }
 
     #[test]
@@ -271,5 +479,38 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), tools.len());
+    }
+
+    #[test]
+    fn tool_spec_keys_match_built_tool_names() {
+        let specs = [
+            ToolSpec::Native,
+            ToolSpec::NativeFixed,
+            ToolSpec::Laser,
+            ToolSpec::LaserDetect,
+            ToolSpec::LaserDetectRaw,
+            ToolSpec::LaserDetectSav(7),
+            ToolSpec::Vtune,
+            ToolSpec::SheriffDetect,
+            ToolSpec::SheriffProtect,
+        ];
+        for spec in specs {
+            assert_eq!(spec.key(), spec.build().name(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn failure_display_is_stable() {
+        assert_eq!(
+            ToolFailure::Unsupported(SheriffFailure::Crash).to_string(),
+            "unsupported: crashes under Sheriff"
+        );
+        assert_eq!(
+            ToolFailure::Panicked {
+                message: "boom".into()
+            }
+            .to_string(),
+            "panicked: boom"
+        );
     }
 }

@@ -109,12 +109,20 @@ impl Driver {
             }
             let copy_cycles = self.config.per_record_cycles * activity.records_sampled as u64;
             if copy_cycles > 0 {
-                // Record copying is spread over the cores.
+                // Record copying is spread over the cores. Integer division
+                // would silently drop `copy_cycles % n_cores` — on small
+                // batches that rounds the whole charge down to zero — so the
+                // remainder is distributed one cycle each to the first cores,
+                // keeping the total charged exactly `copy_cycles`.
                 let per_core = copy_cycles / n_cores as u64;
                 if per_core > 0 {
                     machine.charge_all_cores(per_core);
                 }
-                self.stats.overhead_cycles += per_core * n_cores as u64;
+                let remainder = (copy_cycles % n_cores as u64) as usize;
+                for core in 0..remainder {
+                    machine.charge_cycles(CoreId(core), 1);
+                }
+                self.stats.overhead_cycles += copy_cycles;
             }
         }
         self.staged.append(&mut self.pmu.drain_ready());
@@ -223,6 +231,52 @@ mod tests {
         d19.poll(&mut m19);
 
         assert!(d1.stats().overhead_cycles > d19.stats().overhead_cycles * 5);
+    }
+
+    #[test]
+    fn copy_overhead_totals_are_exact() {
+        // A per-record cost that is not divisible by the core count: the old
+        // `copy_cycles / n_cores` spreading dropped the remainder, silently
+        // charging small batches nothing. The total charged must now equal
+        // interrupt cost plus exactly `per_record_cycles` per sampled record.
+        let image = contended_image(3000);
+        let mut machine = Machine::new(MachineConfig::default(), &image);
+        let code = (machine.program().base_pc(), machine.program().end_pc());
+        let model =
+            ImprecisionModel::new(ImprecisionParams::perfect(), machine.memory_map(), code, 11);
+        let pmu = Pmu::new(
+            PmuConfig {
+                sav: 19,
+                num_cores: machine.num_cores(),
+                ..Default::default()
+            },
+            model,
+        );
+        let config = DriverConfig {
+            interrupt_cycles: 101,
+            per_record_cycles: 7,
+        };
+        let mut driver = Driver::new(pmu, config);
+        loop {
+            let status = machine.run_steps(5_000);
+            driver.poll(&mut machine);
+            if status == laser_machine::RunStatus::Done {
+                break;
+            }
+        }
+        let stats = driver.stats();
+        assert!(stats.records_sampled > 0);
+        assert_eq!(
+            stats.overhead_cycles,
+            stats.interrupts * config.interrupt_cycles
+                + stats.records_sampled * config.per_record_cycles
+        );
+        // Every charged cycle landed on the machine — nothing double-counted,
+        // nothing dropped.
+        assert_eq!(
+            machine.stats().injected_overhead_cycles,
+            stats.overhead_cycles
+        );
     }
 
     #[test]

@@ -3,6 +3,12 @@
 //! Re-exports the no-op `Serialize` / `Deserialize` derives so that
 //! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
 //! without network access. The derives are inert markers — no trait impls are
-//! generated and nothing in this workspace performs (de)serialization.
+//! generated.
+//!
+//! The [`json`] module is the one place the shim does real work: a minimal
+//! JSON value model (build / render / parse) backing the experiment
+//! harness's `--format json` output until the real `serde_json` is available.
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};

@@ -19,6 +19,7 @@ fn tools() -> Vec<Box<dyn Tool>> {
 fn campaign(threads: usize) -> Campaign {
     Campaign::new(registry(), tools())
         .with_workload_names(&["histogram'", "swaptions", "linear_regression"])
+        .expect("known workload names")
         .with_options(BuildOptions::scaled(0.08))
         .with_threads(threads)
 }

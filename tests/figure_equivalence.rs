@@ -1,0 +1,99 @@
+//! The campaign-backed figure pipeline's central guarantee: every figure and
+//! table derived from a [`Grid`] renders **byte-identically** whether the
+//! grid's cells were computed by one worker thread or many, and the
+//! machine-readable emissions (JSON/CSV) inherit the same determinism.
+
+use laser_bench::accuracy::{
+    fig9_from_grid, plan_fig9, plan_table1, plan_table2, table1_from_grid, table2_from_grid,
+};
+use laser_bench::emit::Emit;
+use laser_bench::performance::{
+    fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig14_from_grid,
+    plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
+};
+use laser_bench::{ExperimentScale, Grid, GridResult};
+use serde::json::Value;
+
+const SAVS: &[u32] = &[1, 19];
+const THRESHOLDS: &[f64] = &[32.0, 1024.0, 65536.0];
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        workload_scale: 0.08,
+        only: Some(&["histogram'", "swaptions", "linear_regression", "dedup"]),
+    }
+}
+
+/// Plan every figure and table into one grid and run it at `threads`.
+fn full_grid(threads: usize) -> GridResult {
+    let mut grid = Grid::new(scale()).with_threads(threads);
+    plan_fig9(&mut grid);
+    plan_fig10(&mut grid);
+    plan_fig11(&mut grid);
+    plan_fig12(&mut grid);
+    plan_fig13(&mut grid, SAVS);
+    plan_fig14(&mut grid);
+    plan_table1(&mut grid);
+    plan_table2(&mut grid);
+    grid.run()
+}
+
+/// Render every experiment (text, JSON and CSV) from one grid result.
+fn render_all(grid: &GridResult) -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, report: &dyn Emit, text: String| {
+        out.push((name, text));
+        out.push((name, report.to_json().render()));
+        out.push((name, report.to_csv()));
+    };
+    let fig9 = fig9_from_grid(grid, THRESHOLDS).unwrap();
+    push("fig9", &fig9, fig9.render());
+    let fig10 = fig10_from_grid(grid).unwrap();
+    push("fig10", &fig10, fig10.render());
+    let fig11 = fig11_from_grid(grid).unwrap();
+    push("fig11", &fig11, fig11.render());
+    let fig12 = fig12_from_grid(grid, 0.0).unwrap();
+    push("fig12", &fig12, fig12.render());
+    let fig13 = fig13_from_grid(grid, SAVS).unwrap();
+    push("fig13", &fig13, fig13.render());
+    let fig14 = fig14_from_grid(grid).unwrap();
+    push("fig14", &fig14, fig14.render());
+    let table1 = table1_from_grid(grid).unwrap();
+    push("table1", &table1, table1.render());
+    let table2 = table2_from_grid(grid).unwrap();
+    push("table2", &table2, table2.render());
+    out
+}
+
+#[test]
+fn every_figure_renders_byte_identically_for_any_thread_count() {
+    let serial = full_grid(1);
+    let parallel = full_grid(8);
+    // The raw grids agree cell by cell...
+    assert_eq!(serial.campaign().cells, parallel.campaign().cells);
+    // ...and every derived artifact, in every output format, is identical.
+    for ((name_a, a), (name_b, b)) in render_all(&serial).into_iter().zip(render_all(&parallel)) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(a, b, "{name_a} differs between threads=1 and threads=8");
+        assert!(!a.is_empty(), "{name_a} rendered empty");
+    }
+}
+
+#[test]
+fn every_figure_json_emission_parses() {
+    let grid = full_grid(4);
+    for (name, text) in render_all(&grid) {
+        if text.starts_with('{') {
+            let doc = Value::parse(&text)
+                .unwrap_or_else(|e| panic!("{name} JSON does not parse: {e}\n{text}"));
+            assert_eq!(
+                doc.get("kind"),
+                Some(&Value::Str(name.to_string())),
+                "{name}"
+            );
+        }
+    }
+    // The campaign's own emission parses too.
+    let doc = Value::parse(&grid.campaign().to_json().render()).unwrap();
+    assert_eq!(doc.get("kind"), Some(&Value::Str("campaign".to_string())));
+}
