@@ -64,7 +64,7 @@ impl Default for VtuneConfig {
 /// A source line VTune reports, with its record count and rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VtuneLine {
-    /// Reported location ("[unknown]" for records outside the binary, which
+    /// Reported location (`[unknown]` for records outside the binary, which
     /// VTune does not filter).
     pub location: SourceLoc,
     /// HITM records attributed to the line.

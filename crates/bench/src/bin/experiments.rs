@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14]
 //!             [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv]
+//!             [--cell-budget-steps N]
 //! ```
 //!
 //! `--scale` multiplies every workload's input size (default 0.4); the paper's
@@ -22,6 +23,13 @@
 //! a layout demonstration with no tabular form, is skipped under csv).
 //! `campaign` runs the full `workload × tool` grid and supports `--only` to
 //! restrict the workload set.
+//!
+//! `--cell-budget-steps N` bounds every cell at `N` retired instructions: a
+//! budget observer rides the run's event stream (LASER cells are cancelled
+//! mid-flight, single-event tools are marked after completion) and an
+//! over-budget cell is recorded as a `budget-exceeded` outcome without
+//! disturbing the rest of the grid. Step budgets are deterministic, so the
+//! output stays byte-identical whatever `--threads` is.
 
 use std::env;
 use std::process::ExitCode;
@@ -36,7 +44,7 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig13_savs,
     fig14_from_grid, plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
-use laser_bench::{Campaign, CellResult, ExperimentScale, Grid, GridResult};
+use laser_bench::{Campaign, CampaignProgress, CellBudget, ExperimentScale, Grid, GridResult};
 use serde::json::Value;
 
 const FIGURES: &[&str] = &[
@@ -64,20 +72,33 @@ impl Format {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|\
-         fig14] [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv]"
+         fig14] [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv] \
+         [--cell-budget-steps N]"
     );
     ExitCode::from(2)
 }
 
-/// Stderr progress sink: one line per completed cell while the grid is hot.
-fn announce(total: usize) -> impl Fn(usize, &CellResult) + Sync {
-    move |done, cell| {
-        eprintln!(
-            "[{done}/{total}] {} × {}: {}",
-            cell.workload,
-            cell.tool,
-            cell.status()
-        );
+/// Stderr progress sink: announce each cell as a worker claims it, and again
+/// — with the result — when it finishes.
+fn announce(progress: CampaignProgress) {
+    match progress {
+        CampaignProgress::Started { workload, tool, .. } => {
+            eprintln!("        ... {workload} × {tool}");
+        }
+        CampaignProgress::Finished { done, total, cell } => match &cell.outcome {
+            Ok(run) => eprintln!(
+                "[{done}/{total}] {} × {}: ok ({} cycles, {} reported{})",
+                cell.workload,
+                cell.tool,
+                run.cycles,
+                run.reported.len(),
+                if run.repair_invoked { ", repaired" } else { "" }
+            ),
+            Err(failure) => eprintln!(
+                "[{done}/{total}] {} × {}: {failure}",
+                cell.workload, cell.tool
+            ),
+        },
     }
 }
 
@@ -85,9 +106,12 @@ fn run_campaign(
     scale: &ExperimentScale,
     threads: Option<usize>,
     only: &Option<Vec<String>>,
+    budget: CellBudget,
     format: Format,
 ) -> Result<(), String> {
-    let mut campaign = Campaign::default().with_options(scale.options());
+    let mut campaign = Campaign::default()
+        .with_options(scale.options())
+        .with_cell_budget(budget);
     if let Some(names) = only {
         // Name validation lives in `Campaign::with_workload_names` itself:
         // a typo is an error, not an empty grid.
@@ -104,7 +128,7 @@ fn run_campaign(
         campaign.cells(),
         campaign.threads()
     );
-    let result = campaign.run_with_progress(announce(campaign.cells()));
+    let result = campaign.run_with_progress(announce);
     match format {
         Format::Text => print!("{}", result.render()),
         Format::Json => println!("{}", result.to_json().render()),
@@ -232,6 +256,7 @@ fn run_figures(
     selected: &[&str],
     scale: &ExperimentScale,
     threads: Option<usize>,
+    budget: CellBudget,
     format: Format,
 ) -> Result<(), String> {
     // Resolve format incompatibilities before any cell is simulated: fig2
@@ -251,7 +276,7 @@ fn run_figures(
     // One grid for everything selected: shared cells (every figure wants the
     // native baseline, both tables want laser-detect, ...) are planned once
     // and simulated once.
-    let mut grid = Grid::new(*scale);
+    let mut grid = Grid::new(*scale).with_cell_budget(budget);
     if let Some(n) = threads {
         grid = grid.with_threads(n);
     }
@@ -262,7 +287,7 @@ fn run_figures(
     let total = grid.cells();
     let grid_result = if total > 0 {
         eprintln!("running {total} unique cells on {grid_threads} worker threads...");
-        Some(grid.run_with_progress(announce(total)))
+        Some(grid.run_with_progress(announce))
     } else {
         None
     };
@@ -298,6 +323,7 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut only: Option<Vec<String>> = None;
     let mut format = Format::Text;
+    let mut budget = CellBudget::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -329,6 +355,13 @@ fn main() -> ExitCode {
                 format = v;
                 i += 2;
             }
+            "--cell-budget-steps" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                budget = CellBudget::steps(v);
+                i += 2;
+            }
             "--help" | "-h" => return usage(),
             name => {
                 which = name.to_string();
@@ -338,7 +371,7 @@ fn main() -> ExitCode {
     }
 
     if which == "campaign" {
-        return match run_campaign(&scale, threads, &only, format) {
+        return match run_campaign(&scale, threads, &only, budget, format) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -359,7 +392,7 @@ fn main() -> ExitCode {
     if selected.iter().any(|s| !FIGURES.contains(s)) {
         return usage();
     }
-    match run_figures(&selected, &scale, threads, format) {
+    match run_figures(&selected, &scale, threads, budget, format) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

@@ -13,14 +13,23 @@
 //! Long campaigns survive misbehaving cells: a panic inside a [`Tool`] is
 //! caught per cell and recorded as [`ToolFailure::Panicked`], so one bad
 //! `(workload, tool)` combination costs one grid entry, not the whole run.
+//! A campaign can also bound every cell with a [`CellBudget`]
+//! ([`Campaign::with_cell_budget`]): a [`BudgetObserver`] is threaded through
+//! [`Tool::run_observed`] into each run, and a cell that trips its budget is
+//! recorded as [`ToolFailure::BudgetExceeded`] — again one grid entry, not
+//! the whole run. Step budgets are deterministic, so budgeted campaigns keep
+//! the byte-identical-across-thread-counts guarantee.
+//!
 //! Callers that want incremental feedback pass a progress sink to
-//! [`Campaign::run_with_progress`]; cells are announced as they complete,
-//! while the aggregated result stays deterministic.
+//! [`Campaign::run_with_progress`]; cells are announced as they start and
+//! complete ([`CampaignProgress`]), while the aggregated result stays
+//! deterministic.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use laser_core::{BudgetObserver, CellBudget};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
 use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
@@ -44,8 +53,39 @@ impl CellResult {
             Err(ToolFailure::Unsupported(_)) => "unsupported",
             Err(ToolFailure::Error(_)) => "error",
             Err(ToolFailure::Panicked { .. }) => "panicked",
+            Err(ToolFailure::BudgetExceeded { .. }) => "budget-exceeded",
         }
     }
+}
+
+/// One progress notification from an in-flight campaign, as delivered to the
+/// sink passed to [`Campaign::run_with_progress`].
+///
+/// Notification order depends on scheduling — that is the point: the sink
+/// streams what is happening while the run is hot — but the aggregated
+/// [`CampaignResult`] never does.
+#[derive(Debug, Clone, Copy)]
+pub enum CampaignProgress<'a> {
+    /// A worker claimed a cell and is about to run it.
+    Started {
+        /// Index of the cell in grid (aggregation) order.
+        index: usize,
+        /// Total cells in the campaign.
+        total: usize,
+        /// Workload name.
+        workload: &'a str,
+        /// Tool name.
+        tool: &'a str,
+    },
+    /// A cell finished (successfully or not).
+    Finished {
+        /// Cells finished so far, including this one.
+        done: usize,
+        /// Total cells in the campaign.
+        total: usize,
+        /// The completed cell, including its outcome.
+        cell: &'a CellResult,
+    },
 }
 
 /// A workload name passed to [`Campaign::with_workload_names`] that is not in
@@ -79,6 +119,7 @@ pub struct Campaign {
     pairs: Vec<(usize, usize)>,
     opts: BuildOptions,
     threads: usize,
+    budget: CellBudget,
 }
 
 impl Default for Campaign {
@@ -117,6 +158,7 @@ impl Campaign {
             pairs,
             opts: BuildOptions::default(),
             threads,
+            budget: CellBudget::default(),
         }
     }
 
@@ -148,6 +190,16 @@ impl Campaign {
         self
     }
 
+    /// Bound every cell with `budget`: a [`BudgetObserver`] is threaded into
+    /// each run and a cell that trips it is recorded as
+    /// [`ToolFailure::BudgetExceeded`] without disturbing the other cells.
+    /// Step budgets keep campaigns deterministic across thread counts;
+    /// wall-clock budgets trade that determinism for a hard time bound.
+    pub fn with_cell_budget(mut self, budget: CellBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Number of cells the campaign will run.
     pub fn cells(&self) -> usize {
         self.pairs.len()
@@ -158,40 +210,62 @@ impl Campaign {
         self.threads
     }
 
+    /// The per-cell budget (unlimited by default).
+    pub fn cell_budget(&self) -> CellBudget {
+        self.budget
+    }
+
     /// Run every cell and aggregate in grid order. The aggregation is
     /// independent of the thread count.
     pub fn run(&self) -> CampaignResult {
-        self.run_with_progress(|_, _| {})
+        self.run_with_progress(|_| {})
     }
 
-    /// Like [`Campaign::run`], announcing each cell to `progress` as it
-    /// completes. Completion order depends on scheduling (that is the point:
-    /// callers stream progress while the run is hot), but the returned
-    /// aggregation does not. `progress` receives the number of cells finished
-    /// so far, including the one being announced.
+    /// Like [`Campaign::run`], streaming [`CampaignProgress`] notifications
+    /// to `progress` as cells start and finish. Notification order depends on
+    /// scheduling (that is the point: callers stream progress while the run
+    /// is hot), but the returned aggregation does not.
     pub fn run_with_progress<F>(&self, progress: F) -> CampaignResult
     where
-        F: Fn(usize, &CellResult) + Sync,
+        F: Fn(CampaignProgress) + Sync,
     {
+        let total = self.pairs.len();
         let done = AtomicUsize::new(0);
-        let cells = ordered_parallel(self.pairs.len(), self.threads, |i| {
+        let cells = ordered_parallel(total, self.threads, |i| {
             let (w, t) = self.pairs[i];
             let workload = &self.workloads[w];
             let tool = &self.tools[t];
+            progress(CampaignProgress::Started {
+                index: i,
+                total,
+                workload: workload.name,
+                tool: tool.name(),
+            });
             // A panicking tool must cost one cell, not the campaign: the
             // scoped worker would otherwise unwind and poison the whole grid.
-            let outcome = catch_unwind(AssertUnwindSafe(|| tool.run(workload, &self.opts)))
-                .unwrap_or_else(|payload| {
-                    Err(ToolFailure::Panicked {
-                        message: panic_message(payload.as_ref()),
-                    })
-                });
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if self.budget.is_unlimited() {
+                    tool.run(workload, &self.opts)
+                } else {
+                    let observer = Box::new(BudgetObserver::new(self.budget));
+                    tool.run_observed(workload, &self.opts, observer)
+                }
+            }))
+            .unwrap_or_else(|payload| {
+                Err(ToolFailure::Panicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            });
             let cell = CellResult {
                 workload: workload.name.to_string(),
                 tool: tool.name().to_string(),
                 outcome,
             };
-            progress(done.fetch_add(1, Ordering::Relaxed) + 1, &cell);
+            progress(CampaignProgress::Finished {
+                done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                total,
+                cell: &cell,
+            });
             cell
         });
         CampaignResult { cells }
@@ -386,22 +460,77 @@ mod tests {
     }
 
     #[test]
-    fn progress_announces_every_cell() {
+    fn progress_announces_every_cell_start_and_finish() {
         let campaign = small_campaign(3);
-        let seen = Mutex::new(Vec::new());
-        let result = campaign.run_with_progress(|done, cell| {
-            seen.lock()
-                .unwrap()
-                .push((done, cell.workload.clone(), cell.tool.clone()));
-        });
-        let mut seen = seen.into_inner().unwrap();
-        assert_eq!(seen.len(), result.cells.len());
-        // Every completion count 1..=n is announced exactly once.
-        seen.sort();
+        let starts = Mutex::new(Vec::new());
+        let finishes = Mutex::new(Vec::new());
+        let result =
+            campaign.run_with_progress(|p| match p {
+                CampaignProgress::Started {
+                    index,
+                    total,
+                    workload,
+                    tool,
+                } => starts.lock().unwrap().push((
+                    index,
+                    total,
+                    workload.to_string(),
+                    tool.to_string(),
+                )),
+                CampaignProgress::Finished { done, total, cell } => finishes
+                    .lock()
+                    .unwrap()
+                    .push((done, total, cell.workload.clone(), cell.tool.clone())),
+            });
+        let mut starts = starts.into_inner().unwrap();
+        let mut finishes = finishes.into_inner().unwrap();
+        let n = result.cells.len();
+        assert_eq!(starts.len(), n);
+        assert_eq!(finishes.len(), n);
+        assert!(starts.iter().all(|(_, total, _, _)| *total == n));
+        // Every cell index is started exactly once...
+        starts.sort();
         assert_eq!(
-            seen.iter().map(|(d, _, _)| *d).collect::<Vec<_>>(),
-            (1..=result.cells.len()).collect::<Vec<_>>()
+            starts.iter().map(|(i, _, _, _)| *i).collect::<Vec<_>>(),
+            (0..n).collect::<Vec<_>>()
         );
+        // ...and every completion count 1..=n is announced exactly once.
+        finishes.sort();
+        assert_eq!(
+            finishes.iter().map(|(d, _, _, _)| *d).collect::<Vec<_>>(),
+            (1..=n).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn step_budget_marks_over_budget_cells_without_disturbing_the_rest() {
+        // A budget that every cell blows through: each cell fails on its own,
+        // the grid shape survives.
+        let result = small_campaign(2)
+            .with_cell_budget(CellBudget::steps(10))
+            .run();
+        assert_eq!(result.cells.len(), 4);
+        for cell in &result.cells {
+            assert_eq!(cell.status(), "budget-exceeded", "{cell:?}");
+            assert!(matches!(
+                &cell.outcome,
+                Err(ToolFailure::BudgetExceeded { .. })
+            ));
+        }
+        // An unlimited budget behaves exactly like no budget.
+        let unlimited = small_campaign(2)
+            .with_cell_budget(CellBudget::default())
+            .run();
+        assert_eq!(unlimited.cells, small_campaign(2).run().cells);
+    }
+
+    #[test]
+    fn budgeted_campaigns_stay_deterministic_across_thread_counts() {
+        let budget = CellBudget::steps(200_000);
+        let serial = small_campaign(1).with_cell_budget(budget).run();
+        let parallel = small_campaign(8).with_cell_budget(budget).run();
+        assert_eq!(serial.cells, parallel.cells);
+        assert_eq!(serial.render(), parallel.render());
     }
 
     /// A tool that panics on one workload and works on the rest.
@@ -412,11 +541,16 @@ mod tests {
             "panicky"
         }
 
-        fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        fn run_observed(
+            &self,
+            spec: &WorkloadSpec,
+            opts: &BuildOptions,
+            observer: Box<dyn laser_core::Observer>,
+        ) -> Result<ToolRun, ToolFailure> {
             if spec.name == "swaptions" {
                 panic!("deliberate test panic on {}", spec.name);
             }
-            NativeTool.run(spec, opts)
+            NativeTool.run_observed(spec, opts, observer)
         }
     }
 

@@ -579,6 +579,16 @@ mod tests {
                         message: "boom".into(),
                     }),
                 },
+                CellResult {
+                    workload: "histogram'".into(),
+                    tool: "laser-detect".into(),
+                    outcome: Err(ToolFailure::BudgetExceeded {
+                        reason: laser_core::StopReason::StepBudget {
+                            limit: 100,
+                            used: 150,
+                        },
+                    }),
+                },
             ],
         }
     }
@@ -591,11 +601,21 @@ mod tests {
         let Some(Value::Array(cells)) = doc.get("cells") else {
             panic!("no cells in {text}");
         };
-        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.len(), 4);
         assert_eq!(cells[1].get("normalized"), Some(&Value::Float(1.1)));
         assert_eq!(
             cells[2].get("failure"),
             Some(&Value::Str("panicked: boom".into()))
+        );
+        assert_eq!(
+            cells[3].get("status"),
+            Some(&Value::Str("budget-exceeded".into()))
+        );
+        assert_eq!(
+            cells[3].get("failure"),
+            Some(&Value::Str(
+                "budget exceeded: step budget exceeded (150 steps > limit 100)".into()
+            ))
         );
     }
 
@@ -603,10 +623,11 @@ mod tests {
     fn campaign_csv_quotes_embedded_commas() {
         let csv = sample_campaign().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("workload,tool,status"));
         assert!(lines[2].contains("\"a.c:3 (false sharing), with \"\"quotes\"\"\""));
         assert!(lines[3].ends_with("panicked: boom"));
+        assert!(lines[4].contains("budget-exceeded"));
     }
 
     #[test]

@@ -18,9 +18,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use laser_baselines::SheriffFailure;
+use laser_core::CellBudget;
 use laser_workloads::WorkloadSpec;
 
-use crate::campaign::{Campaign, CampaignResult, CellResult};
+use crate::campaign::{Campaign, CampaignProgress, CampaignResult, CellResult};
 use crate::runner::ExperimentScale;
 use crate::tool::{Tool, ToolFailure, ToolRun, ToolSpec};
 
@@ -67,6 +68,7 @@ impl std::error::Error for ExperimentError {}
 pub struct Grid {
     scale: ExperimentScale,
     threads: usize,
+    budget: CellBudget,
     requests: BTreeSet<(String, ToolSpec)>,
     specs: BTreeMap<String, WorkloadSpec>,
 }
@@ -79,6 +81,7 @@ impl Grid {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            budget: CellBudget::default(),
             requests: BTreeSet::new(),
             specs: BTreeMap::new(),
         }
@@ -87,6 +90,14 @@ impl Grid {
     /// Set the worker-thread count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Bound every cell with `budget` (see [`Campaign::with_cell_budget`]).
+    /// A figure whose cells trip the budget derives to an
+    /// [`ExperimentError::Cell`] instead of silently using partial data.
+    pub fn with_cell_budget(mut self, budget: CellBudget) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -119,14 +130,14 @@ impl Grid {
 
     /// Run every planned cell once, in parallel, and index the results.
     pub fn run(self) -> GridResult {
-        self.run_with_progress(|_, _| {})
+        self.run_with_progress(|_| {})
     }
 
-    /// Like [`Grid::run`], announcing cells to `progress` as they complete
-    /// (first argument: cells finished so far).
+    /// Like [`Grid::run`], streaming [`CampaignProgress`] notifications to
+    /// `progress` as cells start and finish.
     pub fn run_with_progress<F>(self, progress: F) -> GridResult
     where
-        F: Fn(usize, &CellResult) + Sync,
+        F: Fn(CampaignProgress) + Sync,
     {
         let mut workloads: Vec<WorkloadSpec> = Vec::new();
         let mut workload_index: BTreeMap<String, usize> = BTreeMap::new();
@@ -147,7 +158,8 @@ impl Grid {
 
         let campaign = Campaign::from_cells(workloads, tools, pairs)
             .with_options(self.scale.options())
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_cell_budget(self.budget);
         let result = campaign.run_with_progress(progress);
         let index = result
             .cells

@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiments: workload selection, tool invocation
 //! and scoring against the known-bug database.
 
-use laser_core::{ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome};
+use laser_core::{ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome, Observer};
 use laser_machine::{RunResult, WorkloadImage};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
@@ -102,6 +102,26 @@ pub fn run_laser(
     config: LaserConfig,
 ) -> Result<LaserOutcome, LaserError> {
     Laser::new(config).run(&build_under_tool(spec, opts))
+}
+
+/// Run a workload under LASER with `observer` attached to the session's
+/// event stream (see [`laser_core::observe`]). This is how the campaign
+/// runner threads per-cell budgets into a run.
+///
+/// # Errors
+/// Propagates simulator errors, and [`LaserError::Stopped`] when `observer`
+/// cancelled the run.
+pub fn run_laser_observed(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    observer: Box<dyn Observer>,
+) -> Result<LaserOutcome, LaserError> {
+    Laser::builder()
+        .config(config)
+        .boxed_observer(observer)
+        .build(&build_under_tool(spec, opts))
+        .run()
 }
 
 /// False negatives and false positives of a report, scored against the

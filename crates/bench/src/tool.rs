@@ -15,11 +15,15 @@
 //! each unique `(workload, tool)` cell exactly once and serve every consumer
 //! from the cached result.
 
+use std::ops::ControlFlow;
+
 use laser_baselines::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, Vtune, VtuneConfig};
-use laser_core::{ContentionKind, LaserConfig};
+use laser_core::{
+    ContentionKind, LaserConfig, LaserError, LaserEvent, NullObserver, Observer, StopReason,
+};
 use laser_workloads::{BuildOptions, WorkloadSpec};
 
-use crate::runner::{build_under_tool, run_laser, run_native};
+use crate::runner::{build_under_tool, run_laser_observed, run_native};
 
 /// One contention site a tool reported, in a tool-neutral shape.
 ///
@@ -87,6 +91,14 @@ pub enum ToolFailure {
         /// The panic payload, if it was a string.
         message: String,
     },
+    /// The cell exceeded its per-cell budget: the observer threaded through
+    /// [`Tool::run_observed`] stopped the run. LASER runs are cancelled
+    /// mid-flight; tools that report only a final event are marked after
+    /// completion.
+    BudgetExceeded {
+        /// Which budget tripped, and by how much.
+        reason: StopReason,
+    },
 }
 
 impl std::fmt::Display for ToolFailure {
@@ -100,6 +112,7 @@ impl std::fmt::Display for ToolFailure {
             }
             ToolFailure::Error(why) => write!(f, "error: {why}"),
             ToolFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            ToolFailure::BudgetExceeded { reason } => write!(f, "budget exceeded: {reason}"),
         }
     }
 }
@@ -109,12 +122,51 @@ pub trait Tool: Send + Sync {
     /// Stable display name, used as the cell key in campaign results.
     fn name(&self) -> &str;
 
-    /// Build and run `spec` at `opts` under this tool.
+    /// Build and run `spec` at `opts` under this tool, streaming the run to
+    /// `observer`. An observer that breaks cancels the run (where the tool
+    /// supports it) and the cell fails with [`ToolFailure::BudgetExceeded`].
+    ///
+    /// LASER runs stream their full [`LaserEvent`] sequence and stop
+    /// mid-quantum;
+    /// the native and baseline tools report a single
+    /// [`LaserEvent::Finished`] after the simulation, so a budget can mark
+    /// them over-budget but not shorten them. (The Sheriff model exposes no
+    /// step counter; its `Finished` events carry `steps: 0`, so only
+    /// wall-clock budgets can catch Sheriff cells.)
+    ///
+    /// # Errors
+    /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
+    /// workload, [`ToolFailure::Error`] when the simulation fails and
+    /// [`ToolFailure::BudgetExceeded`] when `observer` stopped the run.
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure>;
+
+    /// Build and run `spec` at `opts` under this tool, unobserved.
     ///
     /// # Errors
     /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
     /// workload and [`ToolFailure::Error`] when the simulation fails.
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure>;
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        self.run_observed(spec, opts, Box::new(NullObserver))
+    }
+}
+
+/// Deliver the post-run [`LaserEvent::Finished`] event for a tool that cannot
+/// stream intermediate events, translating an observer break into the
+/// budget-exceeded cell failure.
+fn finish_observed(
+    mut observer: Box<dyn Observer>,
+    steps: u64,
+    cycles: u64,
+) -> Result<(), ToolFailure> {
+    match observer.on_event(&LaserEvent::Finished { steps, cycles }) {
+        ControlFlow::Continue(()) => Ok(()),
+        ControlFlow::Break(reason) => Err(ToolFailure::BudgetExceeded { reason }),
+    }
 }
 
 /// Native execution: no tool attached; the baseline every overhead figure is
@@ -127,8 +179,14 @@ impl Tool for NativeTool {
         "native"
     }
 
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure> {
         let result = run_native(spec, opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
             ..ToolRun::default()
@@ -147,12 +205,18 @@ impl Tool for FixedNativeTool {
         "native-fixed"
     }
 
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure> {
         let opts = BuildOptions {
             fixed: true,
             ..opts.clone()
         };
         let result = run_native(spec, &opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
             ..ToolRun::default()
@@ -202,9 +266,17 @@ impl Tool for LaserTool {
         &self.name
     }
 
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
-        let outcome = run_laser(spec, opts, self.config.clone())
-            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure> {
+        let outcome =
+            run_laser_observed(spec, opts, self.config.clone(), observer).map_err(|e| match e {
+                LaserError::Stopped(reason) => ToolFailure::BudgetExceeded { reason },
+                other => ToolFailure::Error(other.to_string()),
+            })?;
         Ok(ToolRun {
             cycles: outcome.cycles(),
             reported: outcome
@@ -245,11 +317,17 @@ impl Tool for VtuneTool {
         "vtune"
     }
 
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure> {
         let image = build_under_tool(spec, opts);
         let outcome = Vtune::new(self.config.clone())
             .run(&image)
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        finish_observed(observer, outcome.run.steps, outcome.run.cycles)?;
         Ok(ToolRun {
             cycles: outcome.run.cycles,
             reported: outcome
@@ -299,27 +377,36 @@ impl Tool for SheriffTool {
         }
     }
 
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+    fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure> {
         let outcome = Sheriff::new(self.config)
             .run(spec, opts, self.mode)
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         match outcome.result {
-            Ok(run) => Ok(ToolRun {
-                cycles: run.cycles,
-                reported: run
-                    .reported_lines
-                    .iter()
-                    .map(|line| ReportedLine {
-                        label: format!("line@{line:#x}"),
-                        file: None,
-                        line: None,
-                        kind: None,
-                        hitm_records: 0,
-                        rate_per_sec: 0.0,
-                    })
-                    .collect(),
-                ..ToolRun::default()
-            }),
+            Ok(run) => {
+                // The Sheriff model reports no instruction count.
+                finish_observed(observer, 0, run.cycles)?;
+                Ok(ToolRun {
+                    cycles: run.cycles,
+                    reported: run
+                        .reported_lines
+                        .iter()
+                        .map(|line| ReportedLine {
+                            label: format!("line@{line:#x}"),
+                            file: None,
+                            line: None,
+                            kind: None,
+                            hitm_records: 0,
+                            rate_per_sec: 0.0,
+                        })
+                        .collect(),
+                    ..ToolRun::default()
+                })
+            }
             Err(failure) => Err(ToolFailure::Unsupported(failure)),
         }
     }
@@ -512,5 +599,58 @@ mod tests {
             .to_string(),
             "panicked: boom"
         );
+        assert_eq!(
+            ToolFailure::BudgetExceeded {
+                reason: StopReason::StepBudget { limit: 5, used: 9 }
+            }
+            .to_string(),
+            "budget exceeded: step budget exceeded (9 steps > limit 5)"
+        );
+    }
+
+    #[test]
+    fn laser_tool_is_cancelled_mid_flight_by_a_step_budget() {
+        use laser_core::{BudgetObserver, CellBudget};
+        let spec = find("histogram'").unwrap();
+        let out = LaserTool::new(LaserConfig::detection_only()).run_observed(
+            &spec,
+            &opts(),
+            Box::new(BudgetObserver::new(CellBudget::steps(5_000))),
+        );
+        match out {
+            Err(ToolFailure::BudgetExceeded {
+                reason: StopReason::StepBudget { limit: 5_000, used },
+            }) => assert!(used > 5_000),
+            other => panic!("expected a step-budget failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn native_tool_is_marked_over_budget_after_completion() {
+        use laser_core::{BudgetObserver, CellBudget};
+        let spec = find("swaptions").unwrap();
+        // Native runs cannot be shortened: the run completes and is then held
+        // to the budget via its Finished event.
+        let out = NativeTool.run_observed(
+            &spec,
+            &opts(),
+            Box::new(BudgetObserver::new(CellBudget::steps(1))),
+        );
+        assert!(matches!(
+            out,
+            Err(ToolFailure::BudgetExceeded {
+                reason: StopReason::StepBudget { limit: 1, .. }
+            })
+        ));
+        // A generous budget changes nothing about the run.
+        let unbudgeted = NativeTool.run(&spec, &opts()).unwrap();
+        let budgeted = NativeTool
+            .run_observed(
+                &spec,
+                &opts(),
+                Box::new(BudgetObserver::new(CellBudget::steps(u64::MAX))),
+            )
+            .unwrap();
+        assert_eq!(unbudgeted, budgeted);
     }
 }

@@ -26,6 +26,7 @@ use laser_machine::MemoryMap;
 use laser_pebs::HitmRecord;
 
 use crate::config::LaserConfig;
+use crate::observe::LineRate;
 use crate::report::{ContentionKind, ContentionReport, LineReport};
 use linemodel::{CacheLineModel, SharingClass};
 
@@ -154,6 +155,41 @@ impl Detector {
         } else {
             self.false_sharing_events() as f64 / elapsed_seconds
         }
+    }
+
+    /// The live per-line HITM rates, hottest line first (ties broken by
+    /// source location), with no rate threshold applied. This is the
+    /// detector's intra-run view, carried by
+    /// [`LaserEvent::DetectionUpdate`](crate::observe::LaserEvent) so
+    /// observers can watch contention build while the run advances; the
+    /// end-of-run [`Detector::report`] applies the threshold.
+    pub fn line_rates(&self, elapsed_seconds: f64) -> Vec<LineRate> {
+        let elapsed = elapsed_seconds.max(1e-9);
+        let mut per_line: HashMap<SourceLoc, u64> = HashMap::new();
+        for (&pc, c) in &self.per_pc {
+            let loc = self
+                .source_of
+                .get(&pc)
+                .cloned()
+                .unwrap_or_else(|| SourceLoc::new("<unknown>", 0));
+            *per_line.entry(loc).or_default() += c.records;
+        }
+        let mut lines: Vec<LineRate> = per_line
+            .into_iter()
+            .map(|(loc, records)| LineRate {
+                file: loc.file,
+                line: loc.line,
+                hitm_records: records,
+                rate_per_sec: records as f64 / elapsed,
+            })
+            .collect();
+        lines.sort_by(|a, b| {
+            b.hitm_records
+                .cmp(&a.hitm_records)
+                .then_with(|| a.file.cmp(&b.file))
+                .then(a.line.cmp(&b.line))
+        });
+        lines
     }
 
     /// PCs implicated in false sharing, ordered by decreasing false-sharing
@@ -515,6 +551,28 @@ mod tests {
         }
         assert_eq!(d.report("det", 1.0, 0.0, false).lines.len(), 2);
         assert_eq!(d.report("det", 1.0, 1_000_000.0, false).lines.len(), 0);
+    }
+
+    #[test]
+    fn line_rates_are_live_unfiltered_and_hottest_first() {
+        let p = program();
+        let m = map(&p);
+        let mut d = Detector::new(&LaserConfig::default(), &p, &m);
+        assert!(d.line_rates(1.0).is_empty());
+        let mut records = Vec::new();
+        for i in 0..30 {
+            records.push(record(p.base_pc(), 0x1000_0000 + (i % 2) * 8, i));
+        }
+        records.push(record(p.base_pc() + 4, 0x1000_0100, 100));
+        d.process(&records);
+        let rates = d.line_rates(2.0);
+        // No threshold: both lines are visible, hottest first.
+        assert_eq!(rates.len(), 2);
+        assert_eq!((rates[0].file.as_str(), rates[0].line), ("det.c", 10));
+        assert_eq!(rates[0].hitm_records, 30);
+        assert!((rates[0].rate_per_sec - 15.0).abs() < 1e-9);
+        assert_eq!(rates[1].line, 20);
+        assert_eq!(rates[1].hitm_records, 1);
     }
 
     #[test]

@@ -35,18 +35,51 @@
 //!
 //! ## Quick start
 //!
+//! Runs are built with [`Laser::builder`] — the single construction path —
+//! which wires the LASER configuration, the machine configuration and an
+//! optional [`Observer`] into a [`LaserSession`]:
+//!
 //! ```no_run
 //! use laser_core::{Laser, LaserConfig};
 //! # fn image() -> laser_machine::WorkloadImage { unimplemented!() }
 //!
-//! let outcome = Laser::new(LaserConfig::default()).run(&image()).unwrap();
+//! let outcome = Laser::builder()
+//!     .config(LaserConfig::default())
+//!     .build(&image())
+//!     .run()
+//!     .unwrap();
 //! for line in &outcome.report.lines {
 //!     println!("{} {:?} {} HITMs/s", line.location, line.kind, line.rate_per_sec);
 //! }
 //! ```
+//!
+//! LASER is an *online* tool, and the session exposes that: an [`Observer`]
+//! attached through the builder receives typed [`LaserEvent`]s while the run
+//! advances — completed quanta, record batches (with PMU drop counts), live
+//! per-line HITM rates, the repair attachment — and can cancel the run
+//! mid-flight by returning `ControlFlow::Break` with a [`StopReason`]:
+//!
+//! ```no_run
+//! use std::ops::ControlFlow;
+//! use laser_core::{BudgetObserver, CellBudget, Laser, LaserError, StopReason};
+//! # fn image() -> laser_machine::WorkloadImage { unimplemented!() }
+//!
+//! // Cancel the run once it retires more than a million instructions.
+//! let result = Laser::builder()
+//!     .observer(BudgetObserver::new(CellBudget::steps(1_000_000)))
+//!     .build(&image())
+//!     .run();
+//! if let Err(LaserError::Stopped(StopReason::StepBudget { used, .. })) = result {
+//!     eprintln!("over budget at {used} steps");
+//! }
+//! ```
+//!
+//! The legacy entry points ([`Laser::run`], [`Laser::session_on`],
+//! [`LaserSession::new`], …) remain as thin wrappers over the builder.
 
 pub mod config;
 pub mod detect;
+pub mod observe;
 pub mod repair;
 pub mod report;
 pub mod session;
@@ -54,7 +87,10 @@ pub mod system;
 
 pub use config::LaserConfig;
 pub use detect::Detector;
+pub use observe::{
+    BudgetObserver, CellBudget, EventLog, LaserEvent, LineRate, NullObserver, Observer, StopReason,
+};
 pub use repair::{RepairPlan, SoftwareStoreBuffer, SsbHook, SsbStats};
 pub use report::{ContentionKind, ContentionReport, LineReport};
-pub use session::LaserSession;
+pub use session::{LaserSession, SessionBuilder, SessionStatus};
 pub use system::{Laser, LaserError, LaserOutcome, RepairSummary};

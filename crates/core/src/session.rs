@@ -1,4 +1,4 @@
-//! A self-contained, movable LASER run.
+//! A self-contained, movable, observable LASER run.
 //!
 //! [`LaserSession`] owns every piece of the deployment of the paper's
 //! Figure 8 — the simulated machine, the kernel driver + PMU, the user-space
@@ -8,40 +8,135 @@
 //! the property `laser-bench`'s campaign runner relies on to fan whole
 //! `workload × tool` experiment grids across a thread pool.
 //!
+//! Sessions are built with [`SessionBuilder`] (obtained from
+//! [`Laser::builder`](crate::system::Laser::builder)), the single
+//! construction path behind every legacy constructor:
+//!
+//! ```no_run
+//! use laser_core::{Laser, LaserConfig};
+//! # fn image() -> laser_machine::WorkloadImage { unimplemented!() }
+//!
+//! let outcome = Laser::builder()
+//!     .config(LaserConfig::detection_only())
+//!     .build(&image())
+//!     .run()
+//!     .unwrap();
+//! ```
+//!
 //! The session advances in *poll quanta*: the application runs
 //! `poll_interval_steps` instructions, then the driver services the PMU and
 //! the detector consumes the new records — exactly the cadence of the
-//! monolithic loop this type was extracted from.
+//! monolithic loop this type was extracted from. Each quantum is reported to
+//! the session's [`Observer`] as a stream of typed
+//! [`LaserEvent`]s, and the observer can cancel
+//! the run mid-flight by returning `ControlFlow::Break` (see
+//! [`crate::observe`]).
+
+use std::fmt;
+use std::ops::ControlFlow;
 
 use laser_machine::machine::MachineError;
-use laser_machine::{Machine, MachineConfig, RunStatus, WorkloadImage};
+use laser_machine::{CoreId, Machine, MachineConfig, RunStatus, WorkloadImage};
 use laser_pebs::driver::Driver;
 use laser_pebs::imprecision::ImprecisionModel;
 use laser_pebs::pmu::{Pmu, PmuConfig};
 
 use crate::config::LaserConfig;
 use crate::detect::Detector;
+use crate::observe::{LaserEvent, NullObserver, Observer, StopReason};
 use crate::repair::{RepairPlan, SsbHook};
 use crate::system::{LaserError, LaserOutcome, RepairSummary};
 
-/// An in-flight LASER run: application, driver, detector and (optionally)
-/// repair, as one owned value.
-#[derive(Debug)]
-pub struct LaserSession {
-    config: LaserConfig,
-    machine: Machine,
-    driver: Driver,
-    detector: Detector,
-    workload: String,
-    num_cores: usize,
-    max_steps: u64,
-    detector_cycles: u64,
-    repair: Option<RepairSummary>,
+/// What one call to [`LaserSession::advance`] left the session in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The application has more work; call [`LaserSession::advance`] again.
+    Running,
+    /// The application halted; call [`LaserSession::finish`] for the outcome.
+    Done,
+    /// The session's [`Observer`] cancelled the run. The partial state is
+    /// still inspectable, but there is no complete outcome to produce.
+    Stopped(StopReason),
 }
 
-impl LaserSession {
-    /// Set up a run of `image` under LASER on a machine with `machine_config`.
-    pub fn new(config: LaserConfig, image: &WorkloadImage, machine_config: MachineConfig) -> Self {
+/// Fluent construction of a [`LaserSession`]: LASER configuration, machine
+/// configuration and an optional [`Observer`], in any order, then
+/// [`SessionBuilder::build`].
+///
+/// ```no_run
+/// use std::ops::ControlFlow;
+/// use laser_core::{Laser, LaserConfig, LaserEvent};
+/// # fn image() -> laser_machine::WorkloadImage { unimplemented!() }
+///
+/// let session = Laser::builder()
+///     .config(LaserConfig::default().with_seed(7))
+///     .machine(laser_machine::MachineConfig::default())
+///     .observer(|event: &LaserEvent| {
+///         if let LaserEvent::RepairAttached { at_cycle, .. } = event {
+///             eprintln!("repair attached at cycle {at_cycle}");
+///         }
+///         ControlFlow::Continue(())
+///     })
+///     .build(&image());
+/// ```
+#[derive(Default)]
+pub struct SessionBuilder {
+    config: LaserConfig,
+    machine: MachineConfig,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("config", &self.config)
+            .field("machine", &self.machine)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl SessionBuilder {
+    /// A builder with the default LASER and machine configurations and no
+    /// observer. Equivalent to [`Laser::builder`](crate::system::Laser::builder).
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Set the LASER configuration (default: [`LaserConfig::default`]).
+    pub fn config(mut self, config: LaserConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the machine configuration (default: [`MachineConfig::default`]).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Attach an [`Observer`] that receives the run's
+    /// [`LaserEvent`] stream and may cancel the
+    /// run. Without one, events go to a [`NullObserver`].
+    pub fn observer(self, observer: impl Observer + 'static) -> Self {
+        self.boxed_observer(Box::new(observer))
+    }
+
+    /// Like [`SessionBuilder::observer`], for an observer that is already
+    /// boxed (e.g. one threaded through `dyn`-typed plumbing).
+    pub fn boxed_observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Construct the session for `image`. Pure setup: nothing runs until
+    /// [`LaserSession::advance`] or [`LaserSession::run`].
+    pub fn build(self, image: &WorkloadImage) -> LaserSession {
+        let SessionBuilder {
+            config,
+            machine: machine_config,
+            observer,
+        } = self;
         let max_steps = machine_config.max_steps;
         let num_cores = machine_config.num_cores;
         let machine = Machine::new(machine_config, image);
@@ -70,12 +165,65 @@ impl LaserSession {
             machine,
             driver,
             detector,
+            observed: observer.is_some(),
+            observer: observer.unwrap_or_else(|| Box::new(NullObserver)),
             workload: image.name().to_string(),
             num_cores,
             max_steps,
             detector_cycles: 0,
+            reported_dropped: 0,
             repair: None,
         }
+    }
+}
+
+/// An in-flight LASER run: application, driver, detector, observer and
+/// (optionally) repair, as one owned value.
+pub struct LaserSession {
+    config: LaserConfig,
+    machine: Machine,
+    driver: Driver,
+    detector: Detector,
+    /// Whether an observer was attached at build time. Events are not even
+    /// constructed when this is false, so unobserved runs (every legacy entry
+    /// point) pay nothing for the event stream.
+    observed: bool,
+    observer: Box<dyn Observer>,
+    workload: String,
+    num_cores: usize,
+    max_steps: u64,
+    detector_cycles: u64,
+    /// PMU drop count already reported through `RecordBatch` events.
+    reported_dropped: u64,
+    repair: Option<RepairSummary>,
+}
+
+impl fmt::Debug for LaserSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaserSession")
+            .field("config", &self.config)
+            .field("machine", &self.machine)
+            .field("driver", &self.driver)
+            .field("detector", &self.detector)
+            .field("workload", &self.workload)
+            .field("num_cores", &self.num_cores)
+            .field("max_steps", &self.max_steps)
+            .field("detector_cycles", &self.detector_cycles)
+            .field("repair", &self.repair)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LaserSession {
+    /// Set up a run of `image` under LASER on a machine with `machine_config`.
+    ///
+    /// Legacy entry point: delegates to [`SessionBuilder`], which also takes
+    /// an [`Observer`].
+    pub fn new(config: LaserConfig, image: &WorkloadImage, machine_config: MachineConfig) -> Self {
+        SessionBuilder::new()
+            .config(config)
+            .machine(machine_config)
+            .build(image)
     }
 
     /// The machine being monitored.
@@ -88,33 +236,100 @@ impl LaserSession {
         &self.detector
     }
 
+    /// Cycles the detector process has consumed so far.
+    pub fn detector_cycles(&self) -> u64 {
+        self.detector_cycles
+    }
+
     /// Whether LASERREPAIR has been attached.
     pub fn repair_triggered(&self) -> bool {
         self.repair.is_some()
     }
 
+    /// Send one event to the observer.
+    fn emit(&mut self, event: LaserEvent) -> ControlFlow<StopReason> {
+        self.observer.on_event(&event)
+    }
+
+    /// Charge `cycles` of detector work to the machine, spread over the
+    /// cores. Integer division would silently drop `cycles % num_cores` — on
+    /// small batches that rounds the whole charge down to zero — so the
+    /// remainder is distributed one cycle each to the first cores, keeping
+    /// the total charged exactly `cycles` (the same policy as the driver's
+    /// record-copy charging).
+    fn charge_detector_cycles(&mut self, cycles: u64) {
+        self.detector_cycles += cycles;
+        let per_core = cycles / self.num_cores as u64;
+        if per_core > 0 {
+            self.machine.charge_all_cores(per_core);
+        }
+        let remainder = (cycles % self.num_cores as u64) as usize;
+        for core in 0..remainder {
+            self.machine.charge_cycles(CoreId(core), 1);
+        }
+    }
+
     /// Run one poll quantum: `poll_interval_steps` application instructions,
     /// one driver poll, one detector batch, and — when the false-sharing rate
-    /// crosses the threshold — the repair attachment decision.
+    /// crosses the threshold — the repair attachment decision. The quantum is
+    /// reported to the session's [`Observer`] as [`LaserEvent`]s; if the
+    /// observer breaks, the quantum's remaining events are skipped and the
+    /// session reports [`SessionStatus::Stopped`]. Every event is emitted
+    /// *after* the work it describes, so a stopped session is always in a
+    /// consistent state (a later [`LaserSession::finish`] never undercounts).
     ///
     /// # Errors
     /// Returns an error if the machine exhausts its step budget.
-    pub fn advance(&mut self) -> Result<RunStatus, LaserError> {
+    pub fn advance(&mut self) -> Result<SessionStatus, LaserError> {
+        let steps_before = self.machine.steps();
         let status = self.machine.run_steps(self.config.poll_interval_steps);
+        if self.observed {
+            let quantum = LaserEvent::QuantumCompleted {
+                steps: self.machine.steps() - steps_before,
+                cycles: self.machine.cycles(),
+            };
+            if let ControlFlow::Break(reason) = self.emit(quantum) {
+                return Ok(SessionStatus::Stopped(reason));
+            }
+        }
+
         self.driver.poll(&mut self.machine);
         let records = self.driver.read_records();
         if !records.is_empty() {
             self.detector.process(&records);
             let cycles = self.detector.processing_cycles(records.len());
-            self.detector_cycles += cycles;
-            let per_core = cycles / self.num_cores as u64;
-            if per_core > 0 {
-                self.machine.charge_all_cores(per_core);
+            self.charge_detector_cycles(cycles);
+
+            if self.observed {
+                let dropped_total = self.driver.stats().events_dropped;
+                let batch = LaserEvent::RecordBatch {
+                    n: records.len(),
+                    dropped: dropped_total - self.reported_dropped,
+                };
+                self.reported_dropped = dropped_total;
+                if let ControlFlow::Break(reason) = self.emit(batch) {
+                    return Ok(SessionStatus::Stopped(reason));
+                }
+
+                let update = LaserEvent::DetectionUpdate {
+                    lines: self
+                        .detector
+                        .line_rates(self.machine.elapsed_benchmark_seconds()),
+                };
+                if let ControlFlow::Break(reason) = self.emit(update) {
+                    return Ok(SessionStatus::Stopped(reason));
+                }
             }
         }
 
         if self.config.enable_repair && self.repair.is_none() {
-            self.maybe_attach_repair();
+            if let Some(attached) = self.maybe_attach_repair() {
+                if self.observed {
+                    if let ControlFlow::Break(reason) = self.emit(attached) {
+                        return Ok(SessionStatus::Stopped(reason));
+                    }
+                }
+            }
         }
 
         if status == RunStatus::Running && self.machine.steps() >= self.max_steps {
@@ -122,60 +337,90 @@ impl LaserSession {
                 steps: self.max_steps,
             }));
         }
-        Ok(status)
+        Ok(match status {
+            RunStatus::Running => SessionStatus::Running,
+            RunStatus::Done => SessionStatus::Done,
+        })
     }
 
     /// Check the repair trigger and attach the SSB instrumentation when a
-    /// profitable plan exists.
-    fn maybe_attach_repair(&mut self) {
+    /// profitable plan exists. Returns the event to report on attachment.
+    fn maybe_attach_repair(&mut self) -> Option<LaserEvent> {
         let elapsed = self.machine.elapsed_benchmark_seconds();
         let pcs = self
             .detector
             .repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
         if pcs.is_empty() {
-            return;
+            return None;
         }
-        let Some(plan) = RepairPlan::analyze(
+        let plan = RepairPlan::analyze(
             self.machine.program(),
             &pcs,
             self.config.min_stores_per_flush,
             self.config.max_plan_blocks,
-        ) else {
-            return;
-        };
+        )?;
         if !plan.profitable {
-            return;
+            return None;
         }
         let hook = SsbHook::new(plan.clone(), self.num_cores);
+        let event = LaserEvent::RepairAttached {
+            at_cycle: self.machine.cycles(),
+            instrumented_blocks: plan.instrumented_blocks.len(),
+            flush_blocks: plan.flush_blocks.len(),
+            ssb_stores: plan.ssb_stores.len(),
+            estimated_stores_per_flush: plan.estimated_stores_per_flush,
+        };
         self.repair = Some(RepairSummary {
             triggered_at_cycle: self.machine.cycles(),
             plan,
             stats: hook.stats(),
         });
         self.machine.attach_hook(Box::new(hook));
+        Some(event)
     }
 
     /// Drive the session to completion.
     ///
     /// # Errors
-    /// Returns an error if the machine exhausts its step budget.
+    /// Returns [`LaserError::Machine`] if the machine exhausts its step
+    /// budget, and [`LaserError::Stopped`] if the session's [`Observer`]
+    /// cancelled the run.
     pub fn run(mut self) -> Result<LaserOutcome, LaserError> {
         loop {
-            if self.advance()? == RunStatus::Done {
-                return Ok(self.finish());
+            match self.advance()? {
+                SessionStatus::Running => {}
+                SessionStatus::Done => return Ok(self.finish()),
+                SessionStatus::Stopped(reason) => return Err(LaserError::Stopped(reason)),
             }
         }
     }
 
     /// Flush what is still buffered in the PEBS hardware, fold the repair
     /// hook's final counters into the summary, and produce the outcome.
+    ///
+    /// The final flush batch is charged to the machine exactly like an
+    /// [`advance`](LaserSession::advance) batch — the detector is still
+    /// sharing the chip while it drains the device — so the outcome's cycle
+    /// count accounts for every record the detector processed.
     pub fn finish(mut self) -> LaserOutcome {
         self.driver.poll(&mut self.machine);
         self.driver.flush();
         let records = self.driver.read_records();
         if !records.is_empty() {
             self.detector.process(&records);
-            self.detector_cycles += self.detector.processing_cycles(records.len());
+            let cycles = self.detector.processing_cycles(records.len());
+            self.charge_detector_cycles(cycles);
+
+            if self.observed {
+                let dropped_total = self.driver.stats().events_dropped;
+                let batch = LaserEvent::RecordBatch {
+                    n: records.len(),
+                    dropped: dropped_total - self.reported_dropped,
+                };
+                self.reported_dropped = dropped_total;
+                // The run is complete: a Break here has nothing left to cancel.
+                let _ = self.emit(batch);
+            }
         }
 
         if let Some(summary) = self.repair.as_mut() {
@@ -188,6 +433,14 @@ impl LaserSession {
             {
                 summary.stats = ssb.stats();
             }
+        }
+
+        if self.observed {
+            let finished = LaserEvent::Finished {
+                steps: self.machine.steps(),
+                cycles: self.machine.cycles(),
+            };
+            let _ = self.emit(finished);
         }
 
         let elapsed = self.machine.elapsed_benchmark_seconds();
@@ -211,6 +464,38 @@ impl LaserSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::{BudgetObserver, CellBudget, EventLog};
+    use crate::system::Laser;
+    use laser_isa::inst::{Operand, Reg};
+    use laser_isa::ProgramBuilder;
+    use laser_machine::ThreadSpec;
+
+    /// Two threads false-sharing adjacent counters in one cache line, using
+    /// the memory-destination increment compilers emit for `counter[i]++`.
+    fn contended_image(name: &str, iters: u64) -> WorkloadImage {
+        let mut b = ProgramBuilder::new(name);
+        b.source("xthread.c", 12);
+        let entry = b.block("entry");
+        let body = b.block("body");
+        let exit = b.block("exit");
+        b.switch_to(entry);
+        b.movi(Reg(2), 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.mem_add(Reg(0), 0, Operand::Imm(1), 8);
+        b.source("xthread.c", 13);
+        b.addi(Reg(2), Reg(2), 1);
+        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(iters));
+        b.branch(Reg(3), body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let program = b.finish();
+        let mut image = laser_machine::WorkloadImage::new(name, program);
+        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
+        image.push_thread(ThreadSpec::new("t0", "entry").with_reg(Reg(0), base));
+        image.push_thread(ThreadSpec::new("t1", "entry").with_reg(Reg(0), base + 8));
+        image
+    }
 
     /// The whole point of the session refactor: a full LASER run is one owned
     /// value that can move across threads.
@@ -226,26 +511,7 @@ mod tests {
 
     #[test]
     fn session_run_on_a_worker_thread_matches_inline_run() {
-        use laser_isa::inst::{Operand, Reg};
-        use laser_isa::ProgramBuilder;
-        use laser_machine::ThreadSpec;
-
-        let mut b = ProgramBuilder::new("xthread");
-        b.source("xthread.c", 4);
-        let body = b.block("body");
-        let exit = b.block("exit");
-        b.switch_to(body);
-        b.mem_add(Reg(0), 0, Operand::Imm(1), 8);
-        b.addi(Reg(2), Reg(2), 1);
-        b.cmp_lt(Reg(3), Reg(2), Operand::Imm(1500));
-        b.branch(Reg(3), body, exit);
-        b.switch_to(exit);
-        b.halt();
-        let program = b.finish();
-        let mut image = laser_machine::WorkloadImage::new("xthread", program);
-        let base = image.layout_mut().heap_alloc(64, 64).unwrap();
-        image.push_thread(ThreadSpec::new("t0", "body").with_reg(Reg(0), base));
-        image.push_thread(ThreadSpec::new("t1", "body").with_reg(Reg(0), base + 8));
+        let image = contended_image("xthread", 1500);
 
         let config = LaserConfig::default();
         let inline = LaserSession::new(config.clone(), &image, MachineConfig::default())
@@ -260,5 +526,193 @@ mod tests {
         assert_eq!(inline.cycles(), moved.cycles());
         assert_eq!(inline.report, moved.report);
         assert_eq!(inline.detector_cycles, moved.detector_cycles);
+    }
+
+    /// Regression test for two charging bugs: `advance` used to drop the
+    /// `cycles % num_cores` remainder when spreading detector overhead (the
+    /// same bug class as the driver's record-copy charging), and `finish`
+    /// accumulated the final flush batch's detector cycles without charging
+    /// the cores at all. Every injected cycle must now be accounted for:
+    /// driver overhead plus detector cycles, exactly.
+    #[test]
+    fn detector_overhead_is_charged_exactly_including_the_final_flush() {
+        let image = contended_image("exact", 3000);
+        // A per-record cost that is odd and coprime with the core count so
+        // batch charges almost always leave a remainder.
+        let config = LaserConfig {
+            detector_cycles_per_record: 37,
+            ..LaserConfig::detection_only()
+        };
+        let outcome = Laser::builder().config(config).build(&image).run().unwrap();
+        assert!(outcome.detector_cycles > 0);
+        // The final flush processed records too: the detector's total must be
+        // per-record cost times *all* sampled records, not just the polled
+        // batches.
+        assert_eq!(
+            outcome.detector_cycles,
+            outcome.driver_stats.records_sampled * 37
+        );
+        assert_eq!(
+            outcome.run.stats.injected_overhead_cycles,
+            outcome.driver_stats.overhead_cycles + outcome.detector_cycles,
+            "total charged must equal driver overhead + detector cycles"
+        );
+    }
+
+    // Builder/legacy-constructor outcome equivalence is pinned by the broader
+    // integration test in `tests/end_to_end.rs`, which covers all four entry
+    // points under both configurations on a real workload.
+
+    #[test]
+    fn stopped_session_can_still_finish_without_undercounting() {
+        // An observer that breaks on the first RecordBatch: the batch must
+        // already be processed and charged when the stop surfaces, so a
+        // subsequent finish() yields an outcome whose detector accounting
+        // still balances.
+        let image = contended_image("stopfin", 6000);
+        let config = LaserConfig {
+            detector_cycles_per_record: 37,
+            ..LaserConfig::detection_only()
+        };
+        let mut session = Laser::builder()
+            .config(config)
+            .observer(|event: &LaserEvent| {
+                if let LaserEvent::RecordBatch { .. } = event {
+                    return ControlFlow::Break(StopReason::Cancelled("first batch".into()));
+                }
+                ControlFlow::Continue(())
+            })
+            .build(&image);
+        loop {
+            match session.advance().unwrap() {
+                SessionStatus::Running => {}
+                SessionStatus::Done => panic!("observer should stop before completion"),
+                SessionStatus::Stopped(reason) => {
+                    assert_eq!(reason, StopReason::Cancelled("first batch".into()));
+                    break;
+                }
+            }
+        }
+        let outcome = session.finish();
+        assert!(outcome.driver_stats.records_sampled > 0);
+        assert_eq!(
+            outcome.detector_cycles,
+            outcome.driver_stats.records_sampled * 37,
+            "every sampled record must be processed and charged exactly once"
+        );
+        assert_eq!(
+            outcome.run.stats.injected_overhead_cycles,
+            outcome.driver_stats.overhead_cycles + outcome.detector_cycles
+        );
+    }
+
+    #[test]
+    fn observer_stream_narrates_the_run_and_does_not_perturb_it() {
+        let image = contended_image("events", 6000);
+        let baseline = Laser::builder().build(&image).run().unwrap();
+
+        let log = EventLog::new();
+        let observed = Laser::builder()
+            .observer(log.clone())
+            .build(&image)
+            .run()
+            .unwrap();
+        // Observation is read-only: the outcome is identical.
+        assert_eq!(baseline.cycles(), observed.cycles());
+        assert_eq!(baseline.report, observed.report);
+
+        let events = log.events();
+        assert!(matches!(events.last(), Some(LaserEvent::Finished { .. })));
+        let total_steps: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                LaserEvent::QuantumCompleted { steps, .. } => Some(*steps),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total_steps, observed.run.steps);
+        let batched: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                LaserEvent::RecordBatch { n, .. } => Some(*n as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(batched, observed.driver_stats.records_sampled);
+        // This workload contends: the detector's live view reported it before
+        // the run ended, and repair attached exactly once.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            LaserEvent::DetectionUpdate { lines } if !lines.is_empty()
+        )));
+        assert!(observed.repair.is_some(), "repair should trigger");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, LaserEvent::RepairAttached { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn observer_break_cancels_the_run_mid_flight() {
+        let image = contended_image("cancel", 50_000);
+        let mut quanta = 0u32;
+        let err = Laser::builder()
+            .observer(move |event: &LaserEvent| {
+                if let LaserEvent::QuantumCompleted { .. } = event {
+                    quanta += 1;
+                    if quanta >= 2 {
+                        return ControlFlow::Break(StopReason::Cancelled("test".into()));
+                    }
+                }
+                ControlFlow::Continue(())
+            })
+            .build(&image)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LaserError::Stopped(StopReason::Cancelled("test".into()))
+        );
+    }
+
+    #[test]
+    fn budget_observer_stops_a_session_at_its_step_budget() {
+        let image = contended_image("budget", 50_000);
+        let config = LaserConfig::detection_only();
+        let limit = config.poll_interval_steps * 3;
+        let err = Laser::builder()
+            .config(config)
+            .observer(BudgetObserver::new(CellBudget::steps(limit)))
+            .build(&image)
+            .run()
+            .unwrap_err();
+        match err {
+            LaserError::Stopped(StopReason::StepBudget { limit: l, used }) => {
+                assert_eq!(l, limit);
+                assert!(used > limit);
+            }
+            other => panic!("expected a step-budget stop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advance_reports_stopped_and_leaves_state_inspectable() {
+        let image = contended_image("stopped", 50_000);
+        let mut session = Laser::builder()
+            .observer(|_: &LaserEvent| {
+                ControlFlow::Break(StopReason::Cancelled("immediately".into()))
+            })
+            .build(&image);
+        let status = session.advance().unwrap();
+        assert_eq!(
+            status,
+            SessionStatus::Stopped(StopReason::Cancelled("immediately".into()))
+        );
+        // The partial run is still inspectable.
+        assert!(session.machine().steps() > 0);
+        assert!(!session.repair_triggered());
     }
 }

@@ -19,9 +19,10 @@ use laser_machine::{Machine, MachineConfig, RunResult, WorkloadImage};
 use laser_pebs::driver::DriverStats;
 
 use crate::config::LaserConfig;
+use crate::observe::StopReason;
 use crate::repair::{RepairPlan, SsbStats};
 use crate::report::ContentionReport;
-use crate::session::LaserSession;
+use crate::session::{LaserSession, SessionBuilder};
 
 /// What LASERREPAIR did during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,12 +70,17 @@ impl LaserOutcome {
 pub enum LaserError {
     /// The underlying machine failed (e.g. the workload livelocked).
     Machine(MachineError),
+    /// The session's [`Observer`](crate::observe::Observer) cancelled the run
+    /// mid-flight (e.g. a step or wall-clock budget tripped); there is no
+    /// complete outcome.
+    Stopped(StopReason),
 }
 
 impl fmt::Display for LaserError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LaserError::Machine(e) => write!(f, "machine error: {e}"),
+            LaserError::Stopped(reason) => write!(f, "run stopped by observer: {reason}"),
         }
     }
 }
@@ -103,6 +109,15 @@ impl Laser {
     /// Create a system with the given configuration.
     pub fn new(config: LaserConfig) -> Self {
         Laser { config }
+    }
+
+    /// Start building a session: the canonical construction path. The
+    /// builder unifies the LASER and machine configurations and optionally
+    /// attaches an [`Observer`](crate::observe::Observer) to stream the run's
+    /// [`LaserEvent`](crate::observe::LaserEvent)s; every other constructor
+    /// on this type is a thin wrapper over it.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
     }
 
     /// The configuration in effect.
@@ -144,6 +159,7 @@ impl Laser {
     /// The whole run lives in a [`LaserSession`] — an owned, `Send`-able
     /// value — so callers that want to fan runs out across threads can use
     /// [`Laser::session_on`] and move the session to a worker instead.
+    /// Callers that want to watch or cancel the run use [`Laser::builder`].
     ///
     /// # Errors
     /// Returns an error if the workload exceeds the machine's step budget.
@@ -156,15 +172,18 @@ impl Laser {
     }
 
     /// Set up (but do not run) a session for `image` with the default machine
-    /// configuration.
+    /// configuration. Thin wrapper over [`Laser::builder`].
     pub fn session(&self, image: &WorkloadImage) -> LaserSession {
         self.session_on(image, MachineConfig::default())
     }
 
     /// Set up (but do not run) a session for `image` on a machine with
-    /// `machine_config`.
+    /// `machine_config`. Thin wrapper over [`Laser::builder`].
     pub fn session_on(&self, image: &WorkloadImage, machine_config: MachineConfig) -> LaserSession {
-        LaserSession::new(self.config.clone(), image, machine_config)
+        Laser::builder()
+            .config(self.config.clone())
+            .machine(machine_config)
+            .build(image)
     }
 }
 

@@ -16,7 +16,7 @@
 //! * [`program`] — basic blocks, programs, PCs and source maps.
 //! * [`builder`] — an ergonomic [`builder::ProgramBuilder`] used by the
 //!   synthetic workloads.
-//! * [`cfg`] — control-flow graph construction.
+//! * [`cfg`](mod@cfg) — control-flow graph construction.
 //! * [`dom`] — dominator and post-dominator trees (used to place SSB flushes).
 //! * [`memsets`] — load/store set extraction ("binary analysis" in the paper).
 //! * [`alias`] — the simplified speculative alias analysis of Section 5.3.

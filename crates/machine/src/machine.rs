@@ -13,8 +13,7 @@
 //!
 //! The engine is split into focused submodules:
 //!
-//! * [`inner`](self) — [`MachineInner`], the memory/coherence state shared
-//!   with hooks;
+//! * `inner` — `MachineInner`, the memory/coherence state shared with hooks;
 //! * `sched` — per-thread state and the smallest-clock scheduling decision;
 //! * `exec` — the fetch/execute loop and operand evaluation;
 //! * `dispatch` — hook attachment and dispatch (the Pin substitute).

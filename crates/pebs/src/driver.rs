@@ -1,6 +1,6 @@
 //! The kernel-driver model.
 //!
-//! The paper's driver is "a standard Linux kernel module … [it] configures the
+//! The paper's driver is "a standard Linux kernel module … \[it\] configures the
 //! chip's performance monitoring unit to record HITM events into per-core
 //! memory buffers. The driver receives an interrupt whenever a per-core buffer
 //! is full, and empties the buffer by moving the records to an internal buffer
@@ -48,6 +48,10 @@ pub struct DriverStats {
     pub events_observed: u64,
     /// Records sampled.
     pub records_sampled: u64,
+    /// Ground-truth events the PMU dropped outright (e.g. events from cores
+    /// outside its configured range) — never sampled, never counted against a
+    /// SAV countdown.
+    pub events_dropped: u64,
     /// Interrupts taken.
     pub interrupts: u64,
     /// Cycles of overhead charged to the application's cores.
@@ -95,6 +99,7 @@ impl Driver {
         self.stats.events_observed += events.len() as u64;
         let activity = self.pmu.observe(&events);
         self.stats.records_sampled += activity.records_sampled as u64;
+        self.stats.events_dropped += activity.events_dropped as u64;
         self.stats.interrupts += activity.interrupts as u64;
         if activity.interrupts > 0 || activity.records_sampled > 0 {
             // Interrupt handling lands on the core whose buffer filled; we

@@ -51,6 +51,9 @@ pub struct PmuActivity {
     pub records_sampled: usize,
     /// Interrupts raised (buffer full, or per-sample in VTune mode).
     pub interrupts: usize,
+    /// Events dropped outright (not sampled, not counted against a SAV
+    /// countdown) — e.g. events from cores outside the configured range.
+    pub events_dropped: usize,
 }
 
 /// The performance monitoring unit for all cores.
@@ -64,6 +67,7 @@ pub struct Pmu {
     total_events: u64,
     total_samples: u64,
     total_interrupts: u64,
+    total_dropped: u64,
 }
 
 impl Pmu {
@@ -81,6 +85,7 @@ impl Pmu {
             total_events: 0,
             total_samples: 0,
             total_interrupts: 0,
+            total_dropped: 0,
             config,
             model,
         }
@@ -107,6 +112,11 @@ impl Pmu {
         self.total_interrupts
     }
 
+    /// Total events dropped outright (see [`PmuActivity::events_dropped`]).
+    pub fn total_dropped(&self) -> u64 {
+        self.total_dropped
+    }
+
     /// Feed a batch of ground-truth HITM events into the PMU. Sampled events
     /// are distorted by the imprecision model and recorded into the
     /// originating core's PEBS buffer.
@@ -116,6 +126,8 @@ impl Pmu {
             self.total_events += 1;
             let core = event.core.0;
             if core >= self.config.num_cores {
+                self.total_dropped += 1;
+                activity.events_dropped += 1;
                 continue;
             }
             self.countdown[core] -= 1;
@@ -266,8 +278,15 @@ mod tests {
             ..Default::default()
         };
         let mut pmu = Pmu::new(cfg, model(5));
-        pmu.observe(&events(5, 3));
+        let act = pmu.observe(&events(5, 3));
         assert_eq!(pmu.total_samples(), 0);
+        // The drop is counted, per batch and in total.
+        assert_eq!(act.events_dropped, 5);
+        assert_eq!(pmu.total_dropped(), 5);
+        // In-range events are not drops.
+        let act = pmu.observe(&events(3, 1));
+        assert_eq!(act.events_dropped, 0);
+        assert_eq!(pmu.total_dropped(), 5);
     }
 
     #[test]

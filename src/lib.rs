@@ -16,15 +16,26 @@
 //!
 //! ## Quick start
 //!
+//! Runs are assembled with [`Laser::builder`] — configuration, machine and an
+//! optional [`Observer`] — and driven to an outcome with `run()`:
+//!
 //! ```
 //! use laser::workloads::{find, BuildOptions};
 //! use laser::{Laser, LaserConfig};
 //!
 //! let spec = find("histogram").expect("workload exists");
 //! let image = spec.build(&BuildOptions::scaled(0.05));
-//! let outcome = Laser::new(LaserConfig::default()).run(&image).expect("run succeeds");
+//! let outcome = Laser::builder()
+//!     .config(LaserConfig::default())
+//!     .build(&image)
+//!     .run()
+//!     .expect("run succeeds");
 //! println!("{}", outcome.report.render());
 //! ```
+//!
+//! An [`Observer`] attached through the builder streams typed [`LaserEvent`]s
+//! while the run advances and can cancel it mid-flight — see
+//! [`laser_core::observe`](crate::core::observe).
 //!
 //! (The paper's alternative-input variant is registered as `histogram'` —
 //! apostrophe included — and is the one that false-shares.)
@@ -36,5 +47,8 @@ pub use laser_machine as machine;
 pub use laser_pebs as pebs;
 pub use laser_workloads as workloads;
 
-pub use laser_core::{ContentionKind, Laser, LaserConfig, LaserOutcome};
+pub use laser_core::{
+    BudgetObserver, CellBudget, ContentionKind, EventLog, Laser, LaserConfig, LaserError,
+    LaserEvent, LaserOutcome, LaserSession, Observer, SessionBuilder, SessionStatus, StopReason,
+};
 pub use laser_machine::{Machine, MachineConfig, WorkloadImage};

@@ -1,11 +1,15 @@
 //! The campaign runner's central guarantee: fanning a `workload × tool` grid
 //! across a thread pool changes nothing but the wall-clock. A campaign run
 //! with `threads = 1` (the reference serial execution) and with `threads = N`
-//! must produce byte-identical aggregated results.
+//! must produce byte-identical aggregated results — including when per-cell
+//! budgets are enabled, and including the per-run observer event stream,
+//! which is identical whether a session runs inline or on a worker thread.
 
-use laser_bench::{Campaign, LaserTool, NativeTool, SheriffTool, Tool, VtuneTool};
-use laser_core::LaserConfig;
-use laser_workloads::{registry, BuildOptions};
+use laser_bench::{
+    Campaign, CellBudget, Emit, LaserTool, NativeTool, SheriffTool, Tool, VtuneTool,
+};
+use laser_core::{EventLog, Laser, LaserConfig};
+use laser_workloads::{find, registry, BuildOptions};
 
 fn tools() -> Vec<Box<dyn Tool>> {
     vec![
@@ -44,4 +48,69 @@ fn repeated_parallel_runs_are_stable() {
     let b = campaign(4).run();
     assert_eq!(a.cells, b.cells);
     assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn observer_event_stream_is_identical_inline_and_on_a_worker_thread() {
+    let spec = find("histogram'").expect("known workload");
+    let image = spec.build(&BuildOptions::scaled(0.08));
+    let config = LaserConfig::detection_only();
+
+    let inline_log = EventLog::new();
+    let inline = Laser::builder()
+        .config(config.clone())
+        .observer(inline_log.clone())
+        .build(&image)
+        .run()
+        .unwrap();
+
+    let worker_log = EventLog::new();
+    let session = Laser::builder()
+        .config(config)
+        .observer(worker_log.clone())
+        .build(&image);
+    let moved = std::thread::spawn(move || session.run().unwrap())
+        .join()
+        .unwrap();
+
+    // The runs agree...
+    assert_eq!(inline.cycles(), moved.cycles());
+    assert_eq!(inline.report, moved.report);
+    // ...and so does the full event sequence, byte for byte.
+    let inline_events = inline_log.events();
+    assert!(!inline_events.is_empty());
+    assert_eq!(inline_events, worker_log.events());
+    assert_eq!(
+        format!("{inline_events:?}"),
+        format!("{:?}", worker_log.events())
+    );
+}
+
+#[test]
+fn budgeted_campaigns_are_byte_identical_for_any_thread_count() {
+    // A step budget that some cells trip and others survive: the grid must
+    // aggregate identically — including the budget-exceeded cells — whatever
+    // the thread count, in the text, JSON and CSV emissions alike.
+    let budget = CellBudget::steps(10_000);
+    let serial = campaign(1).with_cell_budget(budget).run();
+    let parallel = campaign(8).with_cell_budget(budget).run();
+
+    assert_eq!(serial.cells, parallel.cells);
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.to_json().render(), parallel.to_json().render());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+
+    // The budget did something (this is not vacuous determinism)...
+    assert!(
+        serial.cells.iter().any(|c| c.status() == "budget-exceeded"),
+        "budget should trip for at least one cell:\n{}",
+        serial.render()
+    );
+    // ...without disturbing the cells that fit inside it.
+    let unbudgeted = campaign(4).run();
+    for (with_budget, without) in serial.cells.iter().zip(&unbudgeted.cells) {
+        if with_budget.outcome.is_ok() {
+            assert_eq!(with_budget, without);
+        }
+    }
 }

@@ -3,7 +3,7 @@
 //! the umbrella crate.
 
 use laser::workloads::{find, BugKind, BuildOptions};
-use laser::{ContentionKind, Laser, LaserConfig};
+use laser::{ContentionKind, Laser, LaserConfig, LaserSession, MachineConfig};
 
 fn opts() -> BuildOptions {
     BuildOptions::scaled(0.2)
@@ -34,6 +34,44 @@ fn laser_finds_every_headline_bug() {
             "{name}: bug not reported.\n{}",
             outcome.report.render()
         );
+    }
+}
+
+#[test]
+fn builder_and_legacy_constructors_produce_identical_outcomes() {
+    // The fluent builder is the single construction path; the legacy entry
+    // points are thin wrappers over it and must agree with it exactly, on a
+    // representative contending workload under both LASER configurations.
+    for config in [LaserConfig::default(), LaserConfig::detection_only()] {
+        let spec = find("histogram'").unwrap();
+        let image = spec.build(&opts());
+
+        let via_builder = Laser::builder()
+            .config(config.clone())
+            .machine(MachineConfig::default())
+            .build(&image)
+            .run()
+            .unwrap();
+        let via_laser_run = Laser::new(config.clone()).run(&image).unwrap();
+        let via_session_new = LaserSession::new(config.clone(), &image, MachineConfig::default())
+            .run()
+            .unwrap();
+        let via_session_on = Laser::new(config)
+            .session_on(&image, MachineConfig::default())
+            .run()
+            .unwrap();
+
+        for other in [&via_laser_run, &via_session_new, &via_session_on] {
+            assert_eq!(via_builder.cycles(), other.cycles());
+            assert_eq!(via_builder.report, other.report);
+            assert_eq!(via_builder.detector_cycles, other.detector_cycles);
+            assert_eq!(via_builder.driver_stats, other.driver_stats);
+            assert_eq!(
+                via_builder.repair.is_some(),
+                other.repair.is_some(),
+                "repair decision must not depend on the construction path"
+            );
+        }
     }
 }
 

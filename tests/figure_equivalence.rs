@@ -11,7 +11,7 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig14_from_grid,
     plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
-use laser_bench::{ExperimentScale, Grid, GridResult};
+use laser_bench::{CellBudget, ExperimentScale, Grid, GridResult};
 use serde::json::Value;
 
 const SAVS: &[u32] = &[1, 19];
@@ -96,4 +96,28 @@ fn every_figure_json_emission_parses() {
     // The campaign's own emission parses too.
     let doc = Value::parse(&grid.campaign().to_json().render()).unwrap();
     assert_eq!(doc.get("kind"), Some(&Value::Str("campaign".to_string())));
+}
+
+#[test]
+fn budgeted_grids_emit_byte_identically_for_any_thread_count() {
+    // Per-cell step budgets are deterministic, so a grid where some cells
+    // trip the budget still aggregates — and emits, in every format —
+    // byte-identically whatever the thread count.
+    let budgeted = |threads| {
+        let mut grid = Grid::new(scale())
+            .with_threads(threads)
+            .with_cell_budget(CellBudget::steps(10_000));
+        plan_fig10(&mut grid);
+        plan_table1(&mut grid);
+        grid.run()
+    };
+    let serial = budgeted(1);
+    let parallel = budgeted(8);
+    assert_eq!(serial.campaign().cells, parallel.campaign().cells);
+    assert_eq!(serial.campaign().render(), parallel.campaign().render());
+    assert_eq!(
+        serial.campaign().to_json().render(),
+        parallel.campaign().to_json().render()
+    );
+    assert_eq!(serial.campaign().to_csv(), parallel.campaign().to_csv());
 }
