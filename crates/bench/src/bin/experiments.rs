@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|fig14]
 //!             [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv]
-//!             [--cell-budget-steps N]
+//!             [--cell-budget-steps N] [--pipeline]
 //! ```
 //!
 //! `--scale` multiplies every workload's input size (default 0.4); the paper's
@@ -30,6 +30,17 @@
 //! over-budget cell is recorded as a `budget-exceeded` outcome without
 //! disturbing the rest of the grid. Step budgets are deterministic, so the
 //! output stays byte-identical whatever `--threads` is.
+//!
+//! `--pipeline` deploys every LASER cell with its detector stage on a worker
+//! thread, overlapped with the simulated quantum behind a double-buffered
+//! record channel (see `laser_core::PipelineConfig`). Pipelining raises
+//! throughput when cells are fewer than worker threads; the output is
+//! **byte-identical** to a non-pipelined run — CI diffs the two to prove it.
+//! Workload names in `--only` are validated up front: an unknown name in the
+//! comma list (including an empty entry from a stray comma) is an error
+//! before anything is simulated, never a silently smaller grid. Names are
+//! exact — the alternative-input histogram really is called `histogram'`,
+//! apostrophe included.
 
 use std::env;
 use std::process::ExitCode;
@@ -44,7 +55,11 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig13_savs,
     fig14_from_grid, plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
-use laser_bench::{Campaign, CampaignProgress, CellBudget, ExperimentScale, Grid, GridResult};
+use laser_bench::{
+    validate_workload_names, Campaign, CampaignProgress, CellBudget, ExperimentScale, Grid,
+    GridResult, PipelineConfig,
+};
+use laser_workloads::registry;
 use serde::json::Value;
 
 const FIGURES: &[&str] = &[
@@ -69,12 +84,22 @@ impl Format {
     }
 }
 
+const USAGE: &str = "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|\
+                     fig12|fig13|fig14] [--scale S] [--threads N] [--only w1,w2,...] \
+                     [--format text|json|csv] [--cell-budget-steps N] [--pipeline]\n\
+                     \n\
+                     --scale S             workload input-size multiplier (default 0.4)\n\
+                     --threads N           campaign worker threads (default: all cores)\n\
+                     --only w1,w2,...      campaign only: restrict to the named workloads\n\
+                     \x20                     (validated up front; unknown names are an error)\n\
+                     --format F            stdout format: text (default), json or csv\n\
+                     --cell-budget-steps N bound every cell at N retired instructions\n\
+                     --pipeline            run each LASER cell's detector stage on a worker\n\
+                     \x20                     thread, overlapped with the simulated quantum\n\
+                     \x20                     (byte-identical output, higher throughput)";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|fig12|fig13|\
-         fig14] [--scale S] [--threads N] [--only w1,w2,...] [--format text|json|csv] \
-         [--cell-budget-steps N]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -107,14 +132,16 @@ fn run_campaign(
     threads: Option<usize>,
     only: &Option<Vec<String>>,
     budget: CellBudget,
+    pipeline: PipelineConfig,
     format: Format,
 ) -> Result<(), String> {
     let mut campaign = Campaign::default()
         .with_options(scale.options())
-        .with_cell_budget(budget);
+        .with_cell_budget(budget)
+        .with_pipeline(pipeline);
     if let Some(names) = only {
-        // Name validation lives in `Campaign::with_workload_names` itself:
-        // a typo is an error, not an empty grid.
+        // The names were validated at argument-parse time; revalidation here
+        // keeps `Campaign::with_workload_names` the single source of truth.
         let names: Vec<&str> = names.iter().map(String::as_str).collect();
         campaign = campaign
             .with_workload_names(&names)
@@ -257,6 +284,7 @@ fn run_figures(
     scale: &ExperimentScale,
     threads: Option<usize>,
     budget: CellBudget,
+    pipeline: PipelineConfig,
     format: Format,
 ) -> Result<(), String> {
     // Resolve format incompatibilities before any cell is simulated: fig2
@@ -276,7 +304,9 @@ fn run_figures(
     // One grid for everything selected: shared cells (every figure wants the
     // native baseline, both tables want laser-detect, ...) are planned once
     // and simulated once.
-    let mut grid = Grid::new(*scale).with_cell_budget(budget);
+    let mut grid = Grid::new(*scale)
+        .with_cell_budget(budget)
+        .with_pipeline(pipeline);
     if let Some(n) = threads {
         grid = grid.with_threads(n);
     }
@@ -316,62 +346,137 @@ fn run_figures(
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let mut which = "all".to_string();
-    let mut scale = ExperimentScale::default();
-    let mut threads: Option<usize> = None;
-    let mut only: Option<Vec<String>> = None;
-    let mut format = Format::Text;
-    let mut budget = CellBudget::default();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
-                    return usage();
-                };
-                scale.workload_scale = v;
-                i += 2;
-            }
-            "--threads" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
-                    return usage();
-                };
-                threads = Some(v);
-                i += 2;
-            }
-            "--only" => {
-                let Some(v) = args.get(i + 1) else {
-                    return usage();
-                };
-                only = Some(v.split(',').map(str::to_string).collect());
-                i += 2;
-            }
-            "--format" => {
-                let Some(v) = args.get(i + 1).and_then(|s| Format::parse(s)) else {
-                    return usage();
-                };
-                format = v;
-                i += 2;
-            }
-            "--cell-budget-steps" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
-                    return usage();
-                };
-                budget = CellBudget::steps(v);
-                i += 2;
-            }
-            "--help" | "-h" => return usage(),
-            name => {
-                which = name.to_string();
-                i += 1;
+/// The parsed command line.
+#[derive(Debug, PartialEq)]
+struct Cli {
+    which: String,
+    scale: f64,
+    threads: Option<usize>,
+    only: Option<Vec<String>>,
+    format: Format,
+    budget: CellBudget,
+    pipeline: PipelineConfig,
+}
+
+/// Why the command line was rejected.
+#[derive(Debug, PartialEq)]
+enum CliError {
+    /// Malformed flags (or an explicit `--help`): print usage, exit 2.
+    Usage,
+    /// A well-formed but invalid request (e.g. an unknown `--only` name):
+    /// print the message, then usage, exit 2.
+    Invalid(String),
+}
+
+impl Cli {
+    /// Parse and validate `args` (the command line without the program name).
+    ///
+    /// Validation happens *up front*, before anything is simulated: every
+    /// name in an `--only` list must exist in the workload registry, so a
+    /// typo is an immediate error rather than a silently smaller grid. (The
+    /// registry's odd duck is the alternative-input `histogram'`, whose
+    /// apostrophe is part of the name.)
+    fn parse(args: &[String]) -> Result<Cli, CliError> {
+        let mut cli = Cli {
+            which: "all".to_string(),
+            scale: ExperimentScale::default().workload_scale,
+            threads: None,
+            only: None,
+            format: Format::Text,
+            budget: CellBudget::default(),
+            pipeline: PipelineConfig::default(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.scale = v;
+                    i += 2;
+                }
+                "--threads" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.threads = Some(v);
+                    i += 2;
+                }
+                "--only" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.only = Some(v.split(',').map(str::to_string).collect());
+                    i += 2;
+                }
+                "--format" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| Format::parse(s)) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.format = v;
+                    i += 2;
+                }
+                "--cell-budget-steps" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.budget = CellBudget::steps(v);
+                    i += 2;
+                }
+                "--pipeline" => {
+                    cli.pipeline = PipelineConfig::pipelined();
+                    i += 1;
+                }
+                "--help" | "-h" => return Err(CliError::Usage),
+                name => {
+                    cli.which = name.to_string();
+                    i += 1;
+                }
             }
         }
-    }
 
-    if which == "campaign" {
-        return match run_campaign(&scale, threads, &only, budget, format) {
+        if let Some(names) = &cli.only {
+            if cli.which != "campaign" {
+                return Err(CliError::Invalid(
+                    "--only only applies to the campaign subcommand".to_string(),
+                ));
+            }
+            let names: Vec<&str> = names.iter().map(String::as_str).collect();
+            validate_workload_names(&names, &registry())
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+        }
+        if cli.which != "campaign" && cli.which != "all" && !FIGURES.contains(&cli.which.as_str()) {
+            return Err(CliError::Usage);
+        }
+        Ok(cli)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(CliError::Usage) => return usage(),
+        Err(CliError::Invalid(msg)) => {
+            eprintln!("{msg}");
+            return usage();
+        }
+    };
+    let scale = ExperimentScale {
+        workload_scale: cli.scale,
+        ..ExperimentScale::default()
+    };
+
+    if cli.which == "campaign" {
+        return match run_campaign(
+            &scale,
+            cli.threads,
+            &cli.only,
+            cli.budget,
+            cli.pipeline,
+            cli.format,
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -379,24 +484,94 @@ fn main() -> ExitCode {
             }
         };
     }
-    if only.is_some() {
-        eprintln!("--only only applies to the campaign subcommand");
-        return usage();
-    }
 
-    let selected: Vec<&str> = if which == "all" {
+    let selected: Vec<&str> = if cli.which == "all" {
         FIGURES.to_vec()
     } else {
-        vec![which.as_str()]
+        vec![cli.which.as_str()]
     };
-    if selected.iter().any(|s| !FIGURES.contains(s)) {
-        return usage();
-    }
-    match run_figures(&selected, &scale, threads, budget, format) {
+    match run_figures(
+        &selected,
+        &scale,
+        cli.threads,
+        cli.budget,
+        cli.pipeline,
+        cli.format,
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_to_all_figures_inline() {
+        let cli = Cli::parse(&[]).unwrap();
+        assert_eq!(cli.which, "all");
+        assert_eq!(cli.format, Format::Text);
+        assert!(!cli.pipeline.enabled);
+        assert!(cli.budget.is_unlimited());
+        assert_eq!(cli.only, None);
+    }
+
+    #[test]
+    fn pipeline_flag_enables_the_double_buffered_deployment() {
+        let cli = Cli::parse(&args(&["campaign", "--pipeline", "--threads", "2"])).unwrap();
+        assert!(cli.pipeline.enabled);
+        assert_eq!(cli.pipeline, PipelineConfig::pipelined());
+        assert_eq!(cli.threads, Some(2));
+    }
+
+    #[test]
+    fn only_names_are_validated_before_anything_runs() {
+        // The valid list parses...
+        let cli = Cli::parse(&args(&["campaign", "--only", "histogram',swaptions"])).unwrap();
+        assert_eq!(
+            cli.only,
+            Some(vec!["histogram'".to_string(), "swaptions".to_string()])
+        );
+        // ...a typo'd name is rejected up front, before anything simulates,
+        // with a hint about the apostrophe-carrying `histogram'`...
+        let err = Cli::parse(&args(&["campaign", "--only", "histogramm,swaptions"])).unwrap_err();
+        match err {
+            CliError::Invalid(msg) => {
+                assert!(msg.contains("unknown workload 'histogramm'"), "{msg}");
+                assert!(msg.contains("histogram'"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // ...as is an empty entry from a stray comma.
+        assert!(matches!(
+            Cli::parse(&args(&["campaign", "--only", "swaptions,"])).unwrap_err(),
+            CliError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn only_outside_campaign_is_rejected() {
+        assert_eq!(
+            Cli::parse(&args(&["fig10", "--only", "swaptions"])).unwrap_err(),
+            CliError::Invalid("--only only applies to the campaign subcommand".to_string())
+        );
+    }
+
+    #[test]
+    fn unknown_subcommands_and_malformed_flags_are_usage_errors() {
+        assert_eq!(Cli::parse(&args(&["fig99"])).unwrap_err(), CliError::Usage);
+        assert_eq!(
+            Cli::parse(&args(&["--scale", "fast"])).unwrap_err(),
+            CliError::Usage
+        );
+        assert_eq!(Cli::parse(&args(&["--help"])).unwrap_err(), CliError::Usage);
     }
 }

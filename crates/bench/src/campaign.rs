@@ -29,7 +29,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use laser_core::{BudgetObserver, CellBudget};
+use laser_core::{BudgetObserver, CellBudget, PipelineConfig};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
 use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
@@ -108,6 +108,25 @@ impl std::fmt::Display for UnknownWorkload {
 
 impl std::error::Error for UnknownWorkload {}
 
+/// Check every name in `names` against `workloads`, rejecting the first
+/// unknown one. This is the validation behind
+/// [`Campaign::with_workload_names`], exposed so callers (the `experiments`
+/// binary's `--only` list) can fail fast *before* any cell is simulated.
+///
+/// # Errors
+/// Returns [`UnknownWorkload`] for the first name that matches no workload.
+pub fn validate_workload_names(
+    names: &[&str],
+    workloads: &[WorkloadSpec],
+) -> Result<(), UnknownWorkload> {
+    for name in names {
+        if !workloads.iter().any(|w| &w.name == name) {
+            return Err(UnknownWorkload((*name).to_string()));
+        }
+    }
+    Ok(())
+}
+
 /// A configured experiment campaign.
 pub struct Campaign {
     workloads: Vec<WorkloadSpec>,
@@ -120,6 +139,7 @@ pub struct Campaign {
     opts: BuildOptions,
     threads: usize,
     budget: CellBudget,
+    pipeline: PipelineConfig,
 }
 
 impl Default for Campaign {
@@ -159,6 +179,7 @@ impl Campaign {
             opts: BuildOptions::default(),
             threads,
             budget: CellBudget::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -168,11 +189,7 @@ impl Campaign {
     /// Returns [`UnknownWorkload`] for the first name that does not match any
     /// workload of this campaign; nothing is silently dropped.
     pub fn with_workload_names(mut self, names: &[&str]) -> Result<Self, UnknownWorkload> {
-        for name in names {
-            if !self.workloads.iter().any(|w| &w.name == name) {
-                return Err(UnknownWorkload((*name).to_string()));
-            }
-        }
+        validate_workload_names(names, &self.workloads)?;
         self.pairs
             .retain(|&(w, _)| names.contains(&self.workloads[w].name));
         Ok(self)
@@ -200,6 +217,19 @@ impl Campaign {
         self
     }
 
+    /// Deploy every cell's session with `pipeline` (see
+    /// [`Tool::set_pipeline`]): LASER cells move their detector stage to a
+    /// worker thread so record processing overlaps the simulated quantum.
+    /// Cell results — and therefore the whole aggregated campaign — are
+    /// byte-identical to an un-pipelined run; only the wall-clock changes.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        for tool in &mut self.tools {
+            tool.set_pipeline(pipeline);
+        }
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Number of cells the campaign will run.
     pub fn cells(&self) -> usize {
         self.pairs.len()
@@ -213,6 +243,11 @@ impl Campaign {
     /// The per-cell budget (unlimited by default).
     pub fn cell_budget(&self) -> CellBudget {
         self.budget
+    }
+
+    /// The session pipeline deployment (inline by default).
+    pub fn pipeline(&self) -> PipelineConfig {
+        self.pipeline
     }
 
     /// Run every cell and aggregate in grid order. The aggregation is
@@ -522,6 +557,43 @@ mod tests {
             .with_cell_budget(CellBudget::default())
             .run();
         assert_eq!(unlimited.cells, small_campaign(2).run().cells);
+    }
+
+    #[test]
+    fn validate_workload_names_rejects_the_first_unknown_name() {
+        let workloads = registry();
+        assert_eq!(
+            validate_workload_names(&["histogram'", "swaptions"], &workloads),
+            Ok(())
+        );
+        assert_eq!(validate_workload_names(&[], &workloads), Ok(()));
+        // `histogram` and `histogram'` are *both* real workloads (the
+        // Phoenix original and its alternative-input variant) — neither is a
+        // typo of the other, and both must validate.
+        assert_eq!(
+            validate_workload_names(&["histogram", "histogram'"], &workloads),
+            Ok(())
+        );
+        assert_eq!(
+            validate_workload_names(&["histogram'", "histogramm", "bogus"], &workloads),
+            Err(UnknownWorkload("histogramm".to_string())),
+            "the first unknown name is the one reported"
+        );
+        assert_eq!(
+            validate_workload_names(&[""], &workloads),
+            Err(UnknownWorkload(String::new())),
+            "empty entries from a stray comma are unknown, not ignored"
+        );
+    }
+
+    #[test]
+    fn pipelined_campaign_is_byte_identical_to_inline() {
+        let inline = small_campaign(2).run();
+        let piped = small_campaign(2)
+            .with_pipeline(PipelineConfig::pipelined())
+            .run();
+        assert_eq!(inline.cells, piped.cells);
+        assert_eq!(inline.render(), piped.render());
     }
 
     #[test]

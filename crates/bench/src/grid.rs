@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use laser_baselines::SheriffFailure;
-use laser_core::CellBudget;
+use laser_core::{CellBudget, PipelineConfig};
 use laser_workloads::WorkloadSpec;
 
 use crate::campaign::{Campaign, CampaignProgress, CampaignResult, CellResult};
@@ -69,6 +69,7 @@ pub struct Grid {
     scale: ExperimentScale,
     threads: usize,
     budget: CellBudget,
+    pipeline: PipelineConfig,
     requests: BTreeSet<(String, ToolSpec)>,
     specs: BTreeMap<String, WorkloadSpec>,
 }
@@ -82,6 +83,7 @@ impl Grid {
                 .map(|n| n.get())
                 .unwrap_or(1),
             budget: CellBudget::default(),
+            pipeline: PipelineConfig::default(),
             requests: BTreeSet::new(),
             specs: BTreeMap::new(),
         }
@@ -98,6 +100,14 @@ impl Grid {
     /// [`ExperimentError::Cell`] instead of silently using partial data.
     pub fn with_cell_budget(mut self, budget: CellBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Deploy every cell's session with `pipeline` (see
+    /// [`Campaign::with_pipeline`]). The cached cells — and every figure
+    /// derived from them — are byte-identical to an un-pipelined grid.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -159,7 +169,8 @@ impl Grid {
         let campaign = Campaign::from_cells(workloads, tools, pairs)
             .with_options(self.scale.options())
             .with_threads(self.threads)
-            .with_cell_budget(self.budget);
+            .with_cell_budget(self.budget)
+            .with_pipeline(self.pipeline);
         let result = campaign.run_with_progress(progress);
         let index = result
             .cells

@@ -40,11 +40,12 @@ pub mod runner;
 pub mod tool;
 
 pub use campaign::{
-    ordered_parallel, Campaign, CampaignProgress, CampaignResult, CellResult, UnknownWorkload,
+    ordered_parallel, validate_workload_names, Campaign, CampaignProgress, CampaignResult,
+    CellResult, UnknownWorkload,
 };
 pub use emit::Emit;
 pub use grid::{ExperimentError, Grid, GridResult};
-pub use laser_core::{CellBudget, StopReason};
+pub use laser_core::{CellBudget, PipelineConfig, StopReason};
 pub use runner::{geomean, ExperimentScale};
 pub use tool::{
     default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool, Tool,

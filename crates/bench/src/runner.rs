@@ -1,7 +1,9 @@
 //! Shared plumbing for the experiments: workload selection, tool invocation
 //! and scoring against the known-bug database.
 
-use laser_core::{ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome, Observer};
+use laser_core::{
+    ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome, Observer, PipelineConfig,
+};
 use laser_machine::{RunResult, WorkloadImage};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
@@ -105,8 +107,11 @@ pub fn run_laser(
 }
 
 /// Run a workload under LASER with `observer` attached to the session's
-/// event stream (see [`laser_core::observe`]). This is how the campaign
-/// runner threads per-cell budgets into a run.
+/// event stream (see [`laser_core::observe`]) and the given pipeline
+/// deployment. This is how the campaign runner threads per-cell budgets —
+/// and the `--pipeline` execution mode — into a run. Pipelining changes
+/// only the wall-clock: the outcome and event stream are byte-identical to
+/// an inline run.
 ///
 /// # Errors
 /// Propagates simulator errors, and [`LaserError::Stopped`] when `observer`
@@ -115,11 +120,33 @@ pub fn run_laser_observed(
     spec: &WorkloadSpec,
     opts: &BuildOptions,
     config: LaserConfig,
+    pipeline: PipelineConfig,
     observer: Box<dyn Observer>,
 ) -> Result<LaserOutcome, LaserError> {
     Laser::builder()
         .config(config)
+        .pipeline_config(pipeline)
         .boxed_observer(observer)
+        .build(&build_under_tool(spec, opts))
+        .run()
+}
+
+/// Run a workload under LASER with the detector stage pipelined onto a
+/// worker thread (see [`laser_core::PipelineConfig`]), unobserved. Used by
+/// the `bench_throughput` harness to compare inline and pipelined
+/// steps-per-second on identical sessions.
+///
+/// # Errors
+/// Propagates simulator errors (step-budget exhaustion).
+pub fn run_laser_piped(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    pipeline: PipelineConfig,
+) -> Result<LaserOutcome, LaserError> {
+    Laser::builder()
+        .config(config)
+        .pipeline_config(pipeline)
         .build(&build_under_tool(spec, opts))
         .run()
 }

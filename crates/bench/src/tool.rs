@@ -19,11 +19,12 @@ use std::ops::ControlFlow;
 
 use laser_baselines::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, Vtune, VtuneConfig};
 use laser_core::{
-    ContentionKind, LaserConfig, LaserError, LaserEvent, NullObserver, Observer, StopReason,
+    ContentionKind, LaserConfig, LaserError, LaserEvent, NullObserver, Observer, PipelineConfig,
+    StopReason,
 };
 use laser_workloads::{BuildOptions, WorkloadSpec};
 
-use crate::runner::{build_under_tool, run_laser_observed, run_native};
+use crate::runner::{build_under_tool, run_laser_observed, run_laser_piped, run_native};
 
 /// One contention site a tool reported, in a tool-neutral shape.
 ///
@@ -153,6 +154,16 @@ pub trait Tool: Send + Sync {
     fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
         self.run_observed(spec, opts, Box::new(NullObserver))
     }
+
+    /// Deploy this tool's runs with the given session pipeline (see
+    /// [`laser_core::PipelineConfig`]): the detector stage moves to a worker
+    /// thread so record processing overlaps application execution.
+    ///
+    /// Pipelining is an *execution strategy*, not a measurement change — a
+    /// pipelined cell is byte-identical to its inline equivalent — so tools
+    /// it does not apply to (native, the baselines) ignore it; only
+    /// [`LaserTool`] runs a session with a detector stage to move.
+    fn set_pipeline(&mut self, _pipeline: PipelineConfig) {}
 }
 
 /// Deliver the post-run [`LaserEvent::Finished`] event for a tool that cannot
@@ -229,6 +240,7 @@ impl Tool for FixedNativeTool {
 pub struct LaserTool {
     config: LaserConfig,
     name: String,
+    pipeline: PipelineConfig,
 }
 
 impl Default for LaserTool {
@@ -257,7 +269,15 @@ impl LaserTool {
         LaserTool {
             config,
             name: name.into(),
+            pipeline: PipelineConfig::default(),
         }
+    }
+
+    /// Deploy this tool's sessions with `pipeline` (builder-style); see
+    /// [`Tool::set_pipeline`].
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
     }
 }
 
@@ -266,36 +286,56 @@ impl Tool for LaserTool {
         &self.name
     }
 
+    fn set_pipeline(&mut self, pipeline: PipelineConfig) {
+        self.pipeline = pipeline;
+    }
+
+    /// Unobserved runs skip the boxed [`NullObserver`] of the default
+    /// implementation so the session stays genuinely *unobserved*: no events
+    /// are constructed, and a pipelined session's worker never owes a reply
+    /// (the machine stage streams without per-batch round-trips). This is
+    /// the path ordinary (unbudgeted) campaign and figure cells take.
+    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
+        let outcome = run_laser_piped(spec, opts, self.config.clone(), self.pipeline)
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        Ok(laser_outcome_to_tool_run(outcome))
+    }
+
     fn run_observed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let outcome =
-            run_laser_observed(spec, opts, self.config.clone(), observer).map_err(|e| match e {
+        let outcome = run_laser_observed(spec, opts, self.config.clone(), self.pipeline, observer)
+            .map_err(|e| match e {
                 LaserError::Stopped(reason) => ToolFailure::BudgetExceeded { reason },
                 other => ToolFailure::Error(other.to_string()),
             })?;
-        Ok(ToolRun {
-            cycles: outcome.cycles(),
-            reported: outcome
-                .report
-                .lines
-                .iter()
-                .map(|l| ReportedLine {
-                    label: format!("{} ({})", l.location.label(), l.kind),
-                    file: Some(l.location.file.clone()),
-                    line: Some(l.location.line),
-                    kind: Some(l.kind),
-                    hitm_records: l.hitm_records,
-                    rate_per_sec: l.rate_per_sec,
-                })
-                .collect(),
-            repair_invoked: outcome.repair.is_some(),
-            driver_overhead_cycles: outcome.driver_stats.overhead_cycles,
-            detector_cycles: outcome.detector_cycles,
-        })
+        Ok(laser_outcome_to_tool_run(outcome))
+    }
+}
+
+/// Project a finished LASER run onto the tool-neutral [`ToolRun`] shape.
+fn laser_outcome_to_tool_run(outcome: laser_core::LaserOutcome) -> ToolRun {
+    ToolRun {
+        cycles: outcome.cycles(),
+        reported: outcome
+            .report
+            .lines
+            .iter()
+            .map(|l| ReportedLine {
+                label: format!("{} ({})", l.location.label(), l.kind),
+                file: Some(l.location.file.clone()),
+                line: Some(l.location.line),
+                kind: Some(l.kind),
+                hitm_records: l.hitm_records,
+                rate_per_sec: l.rate_per_sec,
+            })
+            .collect(),
+        repair_invoked: outcome.repair.is_some(),
+        driver_overhead_cycles: outcome.driver_stats.overhead_cycles,
+        detector_cycles: outcome.detector_cycles,
     }
 }
 
@@ -623,6 +663,30 @@ mod tests {
             }) => assert!(used > 5_000),
             other => panic!("expected a step-budget failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pipelined_laser_cell_is_byte_identical_to_inline() {
+        let spec = find("histogram'").unwrap();
+        let inline = LaserTool::new(LaserConfig::detection_only())
+            .run(&spec, &opts())
+            .unwrap();
+        let piped = LaserTool::new(LaserConfig::detection_only())
+            .with_pipeline(PipelineConfig::pipelined())
+            .run(&spec, &opts())
+            .unwrap();
+        assert_eq!(inline, piped);
+
+        // The trait-object path the campaign runner uses agrees too.
+        let mut boxed: Box<dyn Tool> = Box::new(LaserTool::new(LaserConfig::detection_only()));
+        boxed.set_pipeline(PipelineConfig::pipelined());
+        assert_eq!(boxed.run(&spec, &opts()).unwrap(), inline);
+
+        // Tools without a detector stage accept (and ignore) the deployment.
+        let mut native: Box<dyn Tool> = Box::new(NativeTool);
+        native.set_pipeline(PipelineConfig::pipelined());
+        let native_run = native.run(&spec, &opts()).unwrap();
+        assert_eq!(native_run, NativeTool.run(&spec, &opts()).unwrap());
     }
 
     #[test]

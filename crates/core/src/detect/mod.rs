@@ -30,6 +30,15 @@ use crate::observe::LineRate;
 use crate::report::{ContentionKind, ContentionReport, LineReport};
 use linemodel::{CacheLineModel, SharingClass};
 
+/// Cycles a detector with per-record cost `cycles_per_record` spends on a
+/// batch of `n` records: the *single home* of the charge formula. Both
+/// [`Detector::processing_cycles`] and the pipelined session's main-thread
+/// charge go through here — they must agree exactly, or pipelined runs stop
+/// being byte-identical to inline runs at the cycle level.
+pub(crate) fn batch_processing_cycles(cycles_per_record: u64, n: usize) -> u64 {
+    cycles_per_record * n as u64
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct PcCounters {
     records: u64,
@@ -128,7 +137,7 @@ impl Detector {
     /// charges this to the machine because the detector shares the chip with
     /// the application.
     pub fn processing_cycles(&self, n: usize) -> u64 {
-        self.detector_cycles_per_record * n as u64
+        batch_processing_cycles(self.detector_cycles_per_record, n)
     }
 
     /// Total records received so far (before filtering).

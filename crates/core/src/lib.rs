@@ -92,5 +92,5 @@ pub use observe::{
 };
 pub use repair::{RepairPlan, SoftwareStoreBuffer, SsbHook, SsbStats};
 pub use report::{ContentionKind, ContentionReport, LineReport};
-pub use session::{LaserSession, SessionBuilder, SessionStatus};
+pub use session::{LaserSession, PipelineConfig, SessionBuilder, SessionStatus};
 pub use system::{Laser, LaserError, LaserOutcome, RepairSummary};

@@ -31,19 +31,52 @@
 //! [`LaserEvent`]s, and the observer can cancel
 //! the run mid-flight by returning `ControlFlow::Break` (see
 //! [`crate::observe`]).
+//!
+//! # Pipelined execution
+//!
+//! The paper's central performance claim is that detection runs
+//! *concurrently* with the application: HITM records are processed off-core
+//! while the program keeps executing. [`SessionBuilder::pipeline`] deploys
+//! the session that way — the detector stage moves to a dedicated worker
+//! thread, fed record batches through a bounded double-buffered channel
+//! (`laser_pebs::channel`), so quantum `k + 1` of application execution
+//! overlaps with detection of quantum `k`'s records.
+//!
+//! Pipelining never changes *what* a session computes, only *when* the host
+//! does the work: the detector's overhead charge is a pure function of the
+//! batch size (charged at the same machine point as an inline run), batches
+//! are consumed in FIFO order, and the observer sees the event sequence in
+//! exactly the inline order. A pipelined run is therefore **byte-identical**
+//! to its inline equivalent — outcome and event stream alike. The one
+//! semantic difference is cancellation latency: a `Break` returned against a
+//! deferred `RecordBatch`/`DetectionUpdate` event stops the session one
+//! quantum later than it would inline (the overlapped quantum has already
+//! executed by the time the event is delivered).
+//!
+//! While LASERREPAIR is armed (`enable_repair` and not yet attached) the
+//! attach decision for quantum `k` gates quantum `k + 1`, so the pipeline
+//! runs those quanta in lock-step — still through the worker, but without
+//! overlap. Once repair attaches (or when it is disabled, the
+//! detection-only configurations every accuracy experiment uses), the
+//! stages stream freely.
 
 use std::fmt;
 use std::ops::ControlFlow;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 
+use laser_isa::program::Pc;
 use laser_machine::machine::MachineError;
 use laser_machine::{CoreId, Machine, MachineConfig, RunStatus, WorkloadImage};
+use laser_pebs::channel::{self, OverflowPolicy, SendOutcome};
 use laser_pebs::driver::Driver;
 use laser_pebs::imprecision::ImprecisionModel;
 use laser_pebs::pmu::{Pmu, PmuConfig};
+use laser_pebs::record::HitmRecord;
 
 use crate::config::LaserConfig;
-use crate::detect::Detector;
-use crate::observe::{LaserEvent, NullObserver, Observer, StopReason};
+use crate::detect::{self, Detector};
+use crate::observe::{LaserEvent, LineRate, NullObserver, Observer, StopReason};
 use crate::repair::{RepairPlan, SsbHook};
 use crate::system::{LaserError, LaserOutcome, RepairSummary};
 
@@ -59,9 +92,69 @@ pub enum SessionStatus {
     Stopped(StopReason),
 }
 
+/// How a session's detector stage is deployed (see the
+/// [module docs](self) on pipelined execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Run the detector stage on a worker thread, overlapping record
+    /// processing with the next quantum of application execution.
+    pub enabled: bool,
+    /// Capacity of the record channel, in batches (clamped to at least 1).
+    /// The default of 2 is the classic double buffer: one batch in flight at
+    /// the detector, one staged behind it.
+    pub capacity: usize,
+    /// When the detector lags `capacity` batches behind, drop the offered
+    /// batch — modelling a PEBS buffer overflow, surfaced through
+    /// `DriverStats::records_dropped` — instead of blocking the machine
+    /// stage. Lossy delivery bounds producer latency but forfeits the
+    /// byte-identity guarantee; leave it off where determinism matters.
+    ///
+    /// Lossy mode only has teeth on *unobserved* sessions. An observed
+    /// session settles each batch's deferred events before the next quantum
+    /// is reported, so at most one batch is ever in flight and the channel
+    /// never fills — the run degrades gracefully to lossless, with
+    /// `records_dropped` staying 0.
+    pub lossy: bool,
+}
+
+impl Default for PipelineConfig {
+    /// Pipelining off; capacity 2 (double buffer); lossless.
+    fn default() -> Self {
+        PipelineConfig {
+            enabled: false,
+            capacity: 2,
+            lossy: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The standard pipelined deployment: worker-thread detector stage behind
+    /// a lossless double-buffered channel.
+    pub fn pipelined() -> Self {
+        PipelineConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Override the record-channel capacity (builder-style).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Switch between lossless backpressure and lossy overflow
+    /// (builder-style).
+    pub fn with_lossy(mut self, lossy: bool) -> Self {
+        self.lossy = lossy;
+        self
+    }
+}
+
 /// Fluent construction of a [`LaserSession`]: LASER configuration, machine
-/// configuration and an optional [`Observer`], in any order, then
-/// [`SessionBuilder::build`].
+/// configuration, an optional [`Observer`] and the pipeline deployment, in
+/// any order, then [`SessionBuilder::build`].
 ///
 /// ```no_run
 /// use std::ops::ControlFlow;
@@ -71,6 +164,7 @@ pub enum SessionStatus {
 /// let session = Laser::builder()
 ///     .config(LaserConfig::default().with_seed(7))
 ///     .machine(laser_machine::MachineConfig::default())
+///     .pipeline(true)
 ///     .observer(|event: &LaserEvent| {
 ///         if let LaserEvent::RepairAttached { at_cycle, .. } = event {
 ///             eprintln!("repair attached at cycle {at_cycle}");
@@ -84,6 +178,7 @@ pub struct SessionBuilder {
     config: LaserConfig,
     machine: MachineConfig,
     observer: Option<Box<dyn Observer>>,
+    pipeline: PipelineConfig,
 }
 
 impl fmt::Debug for SessionBuilder {
@@ -92,6 +187,7 @@ impl fmt::Debug for SessionBuilder {
             .field("config", &self.config)
             .field("machine", &self.machine)
             .field("observer", &self.observer.is_some())
+            .field("pipeline", &self.pipeline)
             .finish()
     }
 }
@@ -115,6 +211,22 @@ impl SessionBuilder {
         self
     }
 
+    /// Run the detector stage on a worker thread, overlapped with
+    /// application execution (default: off). Shorthand for
+    /// [`SessionBuilder::pipeline_config`] with the standard double-buffered
+    /// lossless deployment; the results are byte-identical either way, only
+    /// the wall-clock changes.
+    pub fn pipeline(mut self, enabled: bool) -> Self {
+        self.pipeline.enabled = enabled;
+        self
+    }
+
+    /// Set the full pipeline deployment (capacity, overflow policy).
+    pub fn pipeline_config(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Attach an [`Observer`] that receives the run's
     /// [`LaserEvent`] stream and may cancel the
     /// run. Without one, events go to a [`NullObserver`].
@@ -130,12 +242,14 @@ impl SessionBuilder {
     }
 
     /// Construct the session for `image`. Pure setup: nothing runs until
-    /// [`LaserSession::advance`] or [`LaserSession::run`].
+    /// [`LaserSession::advance`] or [`LaserSession::run`] (a pipelined
+    /// session's worker thread spawns here, but idles on an empty channel).
     pub fn build(self, image: &WorkloadImage) -> LaserSession {
         let SessionBuilder {
             config,
             machine: machine_config,
             observer,
+            pipeline,
         } = self;
         let max_steps = machine_config.max_steps;
         let num_cores = machine_config.num_cores;
@@ -159,12 +273,18 @@ impl SessionBuilder {
         );
         let driver = Driver::new(pmu, config.driver);
         let detector = Detector::new(&config, program, image.memory_map());
+        let (detector, pipe) = if pipeline.enabled {
+            (None, Some(PipeStage::spawn(detector, pipeline)))
+        } else {
+            (Some(detector), None)
+        };
 
         LaserSession {
             config,
             machine,
             driver,
             detector,
+            pipe,
             observed: observer.is_some(),
             observer: observer.unwrap_or_else(|| Box::new(NullObserver)),
             workload: image.name().to_string(),
@@ -177,13 +297,122 @@ impl SessionBuilder {
     }
 }
 
+/// A unit of work for the pipelined detector stage.
+enum DetectorJob {
+    /// Process one record batch. `elapsed` is the dilated benchmark time at
+    /// the batch's charge point, so live rates and trigger checks see exactly
+    /// the denominator an inline run would.
+    Batch {
+        records: Vec<HitmRecord>,
+        elapsed: f64,
+        /// Compute the `DetectionUpdate` line rates (observed sessions only).
+        want_lines: bool,
+        /// Run the repair trigger check at this rate threshold (lock-step
+        /// quanta only).
+        trigger_threshold: Option<f64>,
+    },
+    /// A repair-armed quantum delivered no records; the trigger still
+    /// re-evaluates (rates decay as elapsed time grows).
+    Check { elapsed: f64, threshold: f64 },
+}
+
+/// What the detector stage sends back for a job that asked for anything.
+struct DetectorReply {
+    /// Live per-line rates, when the job asked for them.
+    lines: Option<Vec<LineRate>>,
+    /// PCs whose false-sharing rate crossed the repair threshold (empty when
+    /// the job ran no trigger check).
+    trigger_pcs: Vec<Pc>,
+}
+
+/// The detector stage's worker loop: consume jobs in FIFO order until the
+/// channel closes, then hand the detector back to the session.
+fn detector_worker(
+    mut detector: Detector,
+    jobs: channel::Receiver<DetectorJob>,
+    replies: mpsc::Sender<DetectorReply>,
+) -> Detector {
+    while let Some(job) = jobs.recv() {
+        match job {
+            DetectorJob::Batch {
+                records,
+                elapsed,
+                want_lines,
+                trigger_threshold,
+            } => {
+                detector.process(&records);
+                if want_lines || trigger_threshold.is_some() {
+                    let reply = DetectorReply {
+                        lines: want_lines.then(|| detector.line_rates(elapsed)),
+                        trigger_pcs: trigger_threshold
+                            .map(|t| detector.repair_trigger_pcs(elapsed, t))
+                            .unwrap_or_default(),
+                    };
+                    // The session may have been dropped mid-run; a dead reply
+                    // channel just means nobody is listening any more.
+                    let _ = replies.send(reply);
+                }
+            }
+            DetectorJob::Check { elapsed, threshold } => {
+                let _ = replies.send(DetectorReply {
+                    lines: None,
+                    trigger_pcs: detector.repair_trigger_pcs(elapsed, threshold),
+                });
+            }
+        }
+    }
+    detector
+}
+
+/// The running half of a pipelined session: the channel endpoints, the
+/// worker handle, and the event bookkeeping for the batch in flight.
+struct PipeStage {
+    jobs: channel::Sender<DetectorJob>,
+    replies: mpsc::Receiver<DetectorReply>,
+    worker: JoinHandle<Detector>,
+    /// The `RecordBatch` event of the batch in flight, deferred until its
+    /// reply arrives (observed streaming mode only).
+    pending: Option<LaserEvent>,
+    /// Whether a reply is owed for the batch in flight.
+    awaiting_reply: bool,
+    lossy: bool,
+}
+
+impl PipeStage {
+    fn spawn(detector: Detector, config: PipelineConfig) -> Self {
+        let policy = if config.lossy {
+            OverflowPolicy::DropNewest
+        } else {
+            OverflowPolicy::Backpressure
+        };
+        let (jobs, jobs_rx) = channel::bounded(config.capacity, policy);
+        let (replies_tx, replies) = mpsc::channel();
+        let worker = std::thread::Builder::new()
+            .name("laser-detector".to_string())
+            .spawn(move || detector_worker(detector, jobs_rx, replies_tx))
+            .expect("spawn detector stage worker");
+        PipeStage {
+            jobs,
+            replies,
+            worker,
+            pending: None,
+            awaiting_reply: false,
+            lossy: config.lossy,
+        }
+    }
+}
+
 /// An in-flight LASER run: application, driver, detector, observer and
 /// (optionally) repair, as one owned value.
 pub struct LaserSession {
     config: LaserConfig,
     machine: Machine,
     driver: Driver,
-    detector: Detector,
+    /// The detector, when it runs inline. `None` while a pipelined session's
+    /// worker owns it; [`LaserSession::finish`] reclaims it.
+    detector: Option<Detector>,
+    /// The worker-thread detector stage of a pipelined session.
+    pipe: Option<PipeStage>,
     /// Whether an observer was attached at build time. Events are not even
     /// constructed when this is false, so unobserved runs (every legacy entry
     /// point) pay nothing for the event stream.
@@ -205,6 +434,7 @@ impl fmt::Debug for LaserSession {
             .field("machine", &self.machine)
             .field("driver", &self.driver)
             .field("detector", &self.detector)
+            .field("pipelined", &self.pipe.is_some())
             .field("workload", &self.workload)
             .field("num_cores", &self.num_cores)
             .field("max_steps", &self.max_steps)
@@ -231,9 +461,16 @@ impl LaserSession {
         &self.machine
     }
 
-    /// The detector's live state.
-    pub fn detector(&self) -> &Detector {
-        &self.detector
+    /// The detector's live state, when the detector runs inline. A pipelined
+    /// session's detector lives on its worker thread, so this is `None`
+    /// until [`LaserSession::finish`] reclaims it.
+    pub fn detector(&self) -> Option<&Detector> {
+        self.detector.as_ref()
+    }
+
+    /// Whether the detector stage runs pipelined on a worker thread.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipe.is_some()
     }
 
     /// Cycles the detector process has consumed so far.
@@ -270,66 +507,53 @@ impl LaserSession {
     }
 
     /// Run one poll quantum: `poll_interval_steps` application instructions,
-    /// one driver poll, one detector batch, and — when the false-sharing rate
-    /// crosses the threshold — the repair attachment decision. The quantum is
-    /// reported to the session's [`Observer`] as [`LaserEvent`]s; if the
-    /// observer breaks, the quantum's remaining events are skipped and the
-    /// session reports [`SessionStatus::Stopped`]. Every event is emitted
-    /// *after* the work it describes, so a stopped session is always in a
-    /// consistent state (a later [`LaserSession::finish`] never undercounts).
+    /// one driver service pass, one detector batch, and — when the
+    /// false-sharing rate crosses the threshold — the repair attachment
+    /// decision. The quantum is reported to the session's [`Observer`] as
+    /// [`LaserEvent`]s; if the observer breaks, the quantum's remaining
+    /// events are skipped and the session reports [`SessionStatus::Stopped`].
+    /// Every event is emitted *after* the work it describes, so a stopped
+    /// session is always in a consistent state (a later
+    /// [`LaserSession::finish`] never undercounts).
+    ///
+    /// In a pipelined session the detector consumes the batch on its worker
+    /// thread while the next quantum executes; the event order, payloads and
+    /// machine charging are identical to an inline run (see the
+    /// [module docs](self)).
     ///
     /// # Errors
     /// Returns an error if the machine exhausts its step budget.
     pub fn advance(&mut self) -> Result<SessionStatus, LaserError> {
         let steps_before = self.machine.steps();
-        let status = self.machine.run_steps(self.config.poll_interval_steps);
-        if self.observed {
-            let quantum = LaserEvent::QuantumCompleted {
-                steps: self.machine.steps() - steps_before,
-                cycles: self.machine.cycles(),
-            };
-            if let ControlFlow::Break(reason) = self.emit(quantum) {
+        let quantum = self.machine.run_quantum(self.config.poll_interval_steps);
+        let status = quantum.status;
+        // Capture the quantum event *before* the driver charges interrupt and
+        // copy overhead, matching the inline emission point.
+        let quantum_event = self.observed.then(|| LaserEvent::QuantumCompleted {
+            steps: self.machine.steps() - steps_before,
+            cycles: self.machine.cycles(),
+        });
+        self.driver.ingest(quantum.events, &mut self.machine);
+
+        // Streaming pipeline: the previous quantum's deferred batch events
+        // come due before this quantum's are emitted.
+        if let ControlFlow::Break(reason) = self.settle_in_flight() {
+            return Ok(SessionStatus::Stopped(reason));
+        }
+        if let Some(event) = quantum_event {
+            if let ControlFlow::Break(reason) = self.emit(event) {
                 return Ok(SessionStatus::Stopped(reason));
             }
         }
 
-        self.driver.poll(&mut self.machine);
         let records = self.driver.read_records();
-        if !records.is_empty() {
-            self.detector.process(&records);
-            let cycles = self.detector.processing_cycles(records.len());
-            self.charge_detector_cycles(cycles);
-
-            if self.observed {
-                let dropped_total = self.driver.stats().events_dropped;
-                let batch = LaserEvent::RecordBatch {
-                    n: records.len(),
-                    dropped: dropped_total - self.reported_dropped,
-                };
-                self.reported_dropped = dropped_total;
-                if let ControlFlow::Break(reason) = self.emit(batch) {
-                    return Ok(SessionStatus::Stopped(reason));
-                }
-
-                let update = LaserEvent::DetectionUpdate {
-                    lines: self
-                        .detector
-                        .line_rates(self.machine.elapsed_benchmark_seconds()),
-                };
-                if let ControlFlow::Break(reason) = self.emit(update) {
-                    return Ok(SessionStatus::Stopped(reason));
-                }
-            }
-        }
-
-        if self.config.enable_repair && self.repair.is_none() {
-            if let Some(attached) = self.maybe_attach_repair() {
-                if self.observed {
-                    if let ControlFlow::Break(reason) = self.emit(attached) {
-                        return Ok(SessionStatus::Stopped(reason));
-                    }
-                }
-            }
+        let flow = if self.pipe.is_some() {
+            self.dispatch_piped(records)
+        } else {
+            self.dispatch_inline(records)
+        };
+        if let ControlFlow::Break(reason) = flow {
+            return Ok(SessionStatus::Stopped(reason));
         }
 
         if status == RunStatus::Running && self.machine.steps() >= self.max_steps {
@@ -343,19 +567,188 @@ impl LaserSession {
         })
     }
 
-    /// Check the repair trigger and attach the SSB instrumentation when a
-    /// profitable plan exists. Returns the event to report on attachment.
-    fn maybe_attach_repair(&mut self) -> Option<LaserEvent> {
-        let elapsed = self.machine.elapsed_benchmark_seconds();
-        let pcs = self
-            .detector
-            .repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
+    /// The inline detector stage: process the batch, charge its cost, report
+    /// it, and run the repair trigger — all on the calling thread.
+    fn dispatch_inline(&mut self, records: Vec<HitmRecord>) -> ControlFlow<StopReason> {
+        if !records.is_empty() {
+            let detector = self.detector.as_mut().expect("inline stage owns detector");
+            detector.process(&records);
+            let cycles = detector.processing_cycles(records.len());
+            self.charge_detector_cycles(cycles);
+
+            if self.observed {
+                let batch = self.record_batch_event(records.len());
+                self.emit(batch)?;
+
+                let update = LaserEvent::DetectionUpdate {
+                    lines: self
+                        .detector
+                        .as_ref()
+                        .expect("inline stage owns detector")
+                        .line_rates(self.machine.elapsed_benchmark_seconds()),
+                };
+                self.emit(update)?;
+            }
+        }
+
+        if self.config.enable_repair && self.repair.is_none() {
+            let elapsed = self.machine.elapsed_benchmark_seconds();
+            let pcs = self
+                .detector
+                .as_ref()
+                .expect("inline stage owns detector")
+                .repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
+            if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
+                if self.observed {
+                    self.emit(attached)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The pipelined detector stage: charge the batch's cost (a pure function
+    /// of its size) at the inline charge point, then hand the records to the
+    /// worker. While repair is armed the attach decision gates the next
+    /// quantum, so those quanta round-trip in lock-step; otherwise the batch
+    /// streams and its events are deferred to [`LaserSession::settle_in_flight`].
+    fn dispatch_piped(&mut self, records: Vec<HitmRecord>) -> ControlFlow<StopReason> {
+        let lockstep = self.config.enable_repair && self.repair.is_none();
+        if !records.is_empty() {
+            let n = records.len();
+            let pipe = self.pipe.as_ref().expect("piped stage");
+            if pipe.lossy && pipe.jobs.is_full() {
+                // The consumer has lagged a full channel behind: model a PEBS
+                // overflow. The detector never sees the batch, so its cost is
+                // not charged either.
+                self.driver.note_lagging_drops(n as u64);
+                return ControlFlow::Continue(());
+            }
+            // The detector's per-record cost is configuration, not state, so
+            // the machine stage charges it at exactly the inline charge
+            // point — before the next quantum's scheduling decisions — while
+            // the semantic processing overlaps on the worker. The formula is
+            // shared with `Detector::processing_cycles`; the two sites must
+            // agree exactly for pipelined runs to stay byte-identical.
+            let cycles = detect::batch_processing_cycles(self.config.detector_cycles_per_record, n);
+            self.charge_detector_cycles(cycles);
+            let elapsed = self.machine.elapsed_benchmark_seconds();
+            let batch_event = self.observed.then(|| self.record_batch_event(n));
+            let job = DetectorJob::Batch {
+                records,
+                elapsed,
+                want_lines: self.observed,
+                trigger_threshold: lockstep.then_some(self.config.repair_rate_threshold),
+            };
+            let expects_reply = self.observed || lockstep;
+            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
+            debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
+
+            if lockstep {
+                let reply = self.recv_reply();
+                if let Some(event) = batch_event {
+                    self.emit(event)?;
+                }
+                if let Some(lines) = reply.lines {
+                    self.emit(LaserEvent::DetectionUpdate { lines })?;
+                }
+                if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
+                    if self.observed {
+                        self.emit(attached)?;
+                    }
+                }
+            } else if expects_reply {
+                let pipe = self.pipe.as_mut().expect("piped stage");
+                pipe.pending = batch_event;
+                pipe.awaiting_reply = true;
+            }
+        } else if lockstep {
+            // No new records, but the armed trigger still re-evaluates every
+            // quantum, exactly as the inline stage does.
+            let job = DetectorJob::Check {
+                elapsed: self.machine.elapsed_benchmark_seconds(),
+                threshold: self.config.repair_rate_threshold,
+            };
+            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
+            debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
+            let reply = self.recv_reply();
+            if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
+                if self.observed {
+                    self.emit(attached)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Block for the worker's next reply. The worker holds its reply sender
+    /// for as long as the session holds the job sender, so a disconnect here
+    /// means the worker died mid-run — in that case its own panic is the
+    /// real diagnostic, so join it and re-raise the original payload rather
+    /// than masking it with a channel error (the campaign runner's per-cell
+    /// `catch_unwind` then records the true message).
+    fn recv_reply(&mut self) -> DetectorReply {
+        let received = {
+            let pipe = self.pipe.as_ref().expect("piped stage");
+            pipe.replies.recv()
+        };
+        match received {
+            Ok(reply) => reply,
+            Err(_) => {
+                let pipe = self.pipe.take().expect("piped stage");
+                drop(pipe.jobs);
+                match pipe.worker.join() {
+                    Err(payload) => std::panic::resume_unwind(payload),
+                    Ok(_) => panic!("detector stage worker exited before its channel closed"),
+                }
+            }
+        }
+    }
+
+    /// If a streamed batch is in flight, wait for the worker to finish it and
+    /// emit its deferred `RecordBatch`/`DetectionUpdate` events.
+    fn settle_in_flight(&mut self) -> ControlFlow<StopReason> {
+        let awaiting = self.pipe.as_ref().is_some_and(|p| p.awaiting_reply);
+        if !awaiting {
+            return ControlFlow::Continue(());
+        }
+        let reply = self.recv_reply();
+        let pending = {
+            let pipe = self.pipe.as_mut().expect("piped stage");
+            pipe.awaiting_reply = false;
+            pipe.pending.take()
+        };
+        if let Some(event) = pending {
+            self.emit(event)?;
+        }
+        if let Some(lines) = reply.lines {
+            self.emit(LaserEvent::DetectionUpdate { lines })?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Build the `RecordBatch` event for a batch of `n` records, advancing
+    /// the reported-drop watermark.
+    fn record_batch_event(&mut self, n: usize) -> LaserEvent {
+        let dropped_total = self.driver.stats().events_dropped;
+        let event = LaserEvent::RecordBatch {
+            n,
+            dropped: dropped_total - self.reported_dropped,
+        };
+        self.reported_dropped = dropped_total;
+        event
+    }
+
+    /// Attach the SSB instrumentation if `pcs` (the lines over the repair
+    /// trigger threshold) yields a profitable plan. Returns the event to
+    /// report on attachment.
+    fn attach_repair_from_pcs(&mut self, pcs: &[Pc]) -> Option<LaserEvent> {
         if pcs.is_empty() {
             return None;
         }
         let plan = RepairPlan::analyze(
             self.machine.program(),
-            &pcs,
+            pcs,
             self.config.min_stores_per_flush,
             self.config.max_plan_blocks,
         )?;
@@ -395,29 +788,48 @@ impl LaserSession {
         }
     }
 
+    /// Wind down the pipelined detector stage: settle the batch in flight,
+    /// close the channel so the worker drains its queue in FIFO order and
+    /// exits, and take the detector back for the final inline flush.
+    fn reclaim_detector(&mut self) {
+        // The run is over; a Break during settlement has nothing to cancel.
+        let _ = self.settle_in_flight();
+        let Some(pipe) = self.pipe.take() else {
+            return;
+        };
+        drop(pipe.jobs);
+        let detector = match pipe.worker.join() {
+            Ok(detector) => detector,
+            // Re-raise the worker's own panic payload: it is the real
+            // diagnostic, and per-cell panic isolation depends on it.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        self.detector = Some(detector);
+    }
+
     /// Flush what is still buffered in the PEBS hardware, fold the repair
     /// hook's final counters into the summary, and produce the outcome.
     ///
     /// The final flush batch is charged to the machine exactly like an
     /// [`advance`](LaserSession::advance) batch — the detector is still
     /// sharing the chip while it drains the device — so the outcome's cycle
-    /// count accounts for every record the detector processed.
+    /// count accounts for every record the detector processed. A pipelined
+    /// session reclaims its detector from the worker stage first, so the
+    /// final flush (and the report) sees every streamed batch.
     pub fn finish(mut self) -> LaserOutcome {
+        self.reclaim_detector();
+
         self.driver.poll(&mut self.machine);
         self.driver.flush();
         let records = self.driver.read_records();
         if !records.is_empty() {
-            self.detector.process(&records);
-            let cycles = self.detector.processing_cycles(records.len());
+            let detector = self.detector.as_mut().expect("detector reclaimed");
+            detector.process(&records);
+            let cycles = detector.processing_cycles(records.len());
             self.charge_detector_cycles(cycles);
 
             if self.observed {
-                let dropped_total = self.driver.stats().events_dropped;
-                let batch = LaserEvent::RecordBatch {
-                    n: records.len(),
-                    dropped: dropped_total - self.reported_dropped,
-                };
-                self.reported_dropped = dropped_total;
+                let batch = self.record_batch_event(records.len());
                 // The run is complete: a Break here has nothing left to cancel.
                 let _ = self.emit(batch);
             }
@@ -444,7 +856,7 @@ impl LaserSession {
         }
 
         let elapsed = self.machine.elapsed_benchmark_seconds();
-        let report = self.detector.report(
+        let report = self.detector.as_ref().expect("detector reclaimed").report(
             &self.workload,
             elapsed,
             self.config.rate_threshold_hitm_per_sec,
@@ -714,5 +1126,240 @@ mod tests {
         // The partial run is still inspectable.
         assert!(session.machine().steps() > 0);
         assert!(!session.repair_triggered());
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined execution
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pipeline_config_defaults_are_a_lossless_double_buffer() {
+        let config = PipelineConfig::default();
+        assert!(!config.enabled);
+        assert_eq!(config.capacity, 2);
+        assert!(!config.lossy);
+        let on = PipelineConfig::pipelined()
+            .with_capacity(0)
+            .with_lossy(true);
+        assert!(on.enabled);
+        assert_eq!(on.capacity, 1, "capacity clamps to at least one batch");
+        assert!(on.lossy);
+    }
+
+    #[test]
+    fn pipelined_detection_run_is_byte_identical_to_inline() {
+        let image = contended_image("piped", 6000);
+        let config = LaserConfig::detection_only();
+
+        let inline = Laser::builder()
+            .config(config.clone())
+            .build(&image)
+            .run()
+            .unwrap();
+        let piped = Laser::builder()
+            .config(config)
+            .pipeline(true)
+            .build(&image)
+            .run()
+            .unwrap();
+
+        assert_eq!(inline.cycles(), piped.cycles());
+        assert_eq!(inline.run.per_core_cycles, piped.run.per_core_cycles);
+        assert_eq!(inline.report, piped.report);
+        assert_eq!(inline.detector_cycles, piped.detector_cycles);
+        assert_eq!(inline.driver_stats, piped.driver_stats);
+        assert_eq!(
+            format!("{:?}", inline.report),
+            format!("{:?}", piped.report)
+        );
+    }
+
+    #[test]
+    fn pipelined_repair_run_attaches_at_the_same_cycle_as_inline() {
+        // With repair enabled the pipeline runs armed quanta in lock-step;
+        // the attach point, plan and final outcome must match inline exactly.
+        let image = contended_image("piperep", 6000);
+        let inline = Laser::builder().build(&image).run().unwrap();
+        let piped = Laser::builder().pipeline(true).build(&image).run().unwrap();
+
+        assert!(inline.repair.is_some(), "workload should trigger repair");
+        let (a, b) = (
+            inline.repair.as_ref().unwrap(),
+            piped.repair.as_ref().unwrap(),
+        );
+        assert_eq!(a.triggered_at_cycle, b.triggered_at_cycle);
+        // (Plan sets are HashSets whose Debug order is unstable; compare
+        // structurally.)
+        assert_eq!(a.plan.instrumented_blocks, b.plan.instrumented_blocks);
+        assert_eq!(a.plan.flush_blocks, b.plan.flush_blocks);
+        assert_eq!(a.plan.ssb_stores, b.plan.ssb_stores);
+        assert_eq!(
+            a.plan.estimated_stores_per_flush,
+            b.plan.estimated_stores_per_flush
+        );
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(inline.cycles(), piped.cycles());
+        assert_eq!(inline.report, piped.report);
+        assert_eq!(inline.detector_cycles, piped.detector_cycles);
+    }
+
+    #[test]
+    fn pipelined_event_stream_is_byte_identical_to_inline() {
+        for config in [LaserConfig::detection_only(), LaserConfig::default()] {
+            let image = contended_image("pipevents", 6000);
+            let inline_log = EventLog::new();
+            let inline = Laser::builder()
+                .config(config.clone())
+                .observer(inline_log.clone())
+                .build(&image)
+                .run()
+                .unwrap();
+            let piped_log = EventLog::new();
+            let piped = Laser::builder()
+                .config(config.clone())
+                .pipeline(true)
+                .observer(piped_log.clone())
+                .build(&image)
+                .run()
+                .unwrap();
+            assert_eq!(inline.cycles(), piped.cycles());
+            let (ie, pe) = (inline_log.events(), piped_log.events());
+            assert!(!ie.is_empty());
+            assert_eq!(ie, pe, "repair={}", config.enable_repair);
+            assert_eq!(format!("{ie:?}"), format!("{pe:?}"));
+        }
+    }
+
+    #[test]
+    fn pipelined_session_exposes_stage_and_reclaims_detector() {
+        let image = contended_image("reclaim", 1500);
+        let mut session = Laser::builder()
+            .config(LaserConfig::detection_only())
+            .pipeline(true)
+            .build(&image);
+        assert!(session.is_pipelined());
+        assert!(
+            session.detector().is_none(),
+            "the worker stage owns the detector while the pipeline runs"
+        );
+        loop {
+            match session.advance().unwrap() {
+                SessionStatus::Running => {}
+                SessionStatus::Done => break,
+                SessionStatus::Stopped(r) => panic!("unexpected stop: {r}"),
+            }
+        }
+        let outcome = session.finish();
+        assert!(outcome.report.lines.iter().any(|l| l.hitm_records > 0));
+    }
+
+    #[test]
+    fn pipelined_budget_cancellation_matches_inline() {
+        let image = contended_image("pipbudget", 50_000);
+        let config = LaserConfig::detection_only();
+        let limit = config.poll_interval_steps * 3;
+        let run = |pipelined: bool| {
+            Laser::builder()
+                .config(config.clone())
+                .pipeline(pipelined)
+                .observer(BudgetObserver::new(CellBudget::steps(limit)))
+                .build(&image)
+                .run()
+                .unwrap_err()
+        };
+        // Step budgets trip on QuantumCompleted events, which pipelining
+        // emits at the same stream position with the same payloads — the
+        // stop reason is identical, not merely similar.
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stopped_pipelined_session_still_finishes_without_undercounting() {
+        let image = contended_image("pipstop", 6000);
+        let config = LaserConfig {
+            detector_cycles_per_record: 37,
+            ..LaserConfig::detection_only()
+        };
+        let mut session = Laser::builder()
+            .config(config)
+            .pipeline(true)
+            .observer(|event: &LaserEvent| {
+                if let LaserEvent::RecordBatch { .. } = event {
+                    return ControlFlow::Break(StopReason::Cancelled("first batch".into()));
+                }
+                ControlFlow::Continue(())
+            })
+            .build(&image);
+        loop {
+            match session.advance().unwrap() {
+                SessionStatus::Running => {}
+                SessionStatus::Done => panic!("observer should stop before completion"),
+                SessionStatus::Stopped(reason) => {
+                    assert_eq!(reason, StopReason::Cancelled("first batch".into()));
+                    break;
+                }
+            }
+        }
+        let outcome = session.finish();
+        assert!(outcome.driver_stats.records_sampled > 0);
+        assert_eq!(
+            outcome.detector_cycles,
+            outcome.driver_stats.records_sampled * 37,
+            "every sampled record must be processed and charged exactly once"
+        );
+        assert_eq!(
+            outcome.run.stats.injected_overhead_cycles,
+            outcome.driver_stats.overhead_cycles + outcome.detector_cycles
+        );
+    }
+
+    #[test]
+    fn dropping_a_pipelined_session_mid_run_shuts_the_worker_down() {
+        let image = contended_image("pipdrop", 50_000);
+        let mut session = Laser::builder()
+            .config(LaserConfig::detection_only())
+            .pipeline(true)
+            .build(&image);
+        for _ in 0..3 {
+            assert_eq!(session.advance().unwrap(), SessionStatus::Running);
+        }
+        // Dropping the session drops the job sender; the worker drains and
+        // exits rather than leaking a parked thread. (A deadlock here would
+        // hang the test suite, which is the assertion.)
+        drop(session);
+    }
+
+    #[test]
+    fn lossy_pipeline_accounts_channel_overflow_as_driver_drops() {
+        // A capacity-1 lossy channel with a worker that cannot keep up (the
+        // channel stays saturated because the producer never blocks): some
+        // batches must be dropped and accounted, and the outcome stays
+        // internally consistent (dropped batches are neither processed nor
+        // charged).
+        let image = contended_image("piplossy", 20_000);
+        let config = LaserConfig {
+            detector_cycles_per_record: 37,
+            ..LaserConfig::detection_only()
+        };
+        let outcome = Laser::builder()
+            .config(config)
+            .pipeline_config(
+                PipelineConfig::pipelined()
+                    .with_capacity(1)
+                    .with_lossy(true),
+            )
+            .build(&image)
+            .run()
+            .unwrap();
+        let stats = outcome.driver_stats;
+        assert_eq!(
+            outcome.detector_cycles,
+            (stats.records_sampled - stats.records_dropped) * 37,
+            "dropped records are not charged: {stats:?}"
+        );
+        assert_eq!(
+            outcome.run.stats.injected_overhead_cycles,
+            stats.overhead_cycles + outcome.detector_cycles
+        );
     }
 }

@@ -78,7 +78,7 @@ pub use coherence::CoherenceDirectory;
 pub use event::{HitmEvent, MemAccessKind};
 pub use hook::{ExecHook, HookAction, HookCtx, MemOp};
 pub use image::{ThreadSpec, WorkloadImage};
-pub use machine::{CoreId, Machine, MachineConfig, RunResult, RunStatus};
+pub use machine::{CoreId, Machine, MachineConfig, QuantumYield, RunResult, RunStatus};
 pub use memmap::{MemoryMap, PcClass, Region, RegionKind};
 pub use stats::MachineStats;
 pub use timing::LatencyModel;

@@ -90,6 +90,23 @@ pub enum RunStatus {
     Done,
 }
 
+/// What one quantum of execution produced: the run status plus the batch of
+/// ground-truth HITM events the quantum generated.
+///
+/// [`Machine::run_quantum`] *yields* the event batch instead of leaving it
+/// inside the machine to be polled in place ([`Machine::take_hitm_events`]).
+/// Yielding makes the quantum a self-contained unit of work that can be handed
+/// to a concurrent consumer — the record channel feeding `laser-core`'s
+/// pipelined session stage — without the consumer ever needing a reference to
+/// the machine.
+#[derive(Debug)]
+pub struct QuantumYield {
+    /// Whether any thread still has work after this quantum.
+    pub status: RunStatus,
+    /// The HITM events generated during the quantum, in machine order.
+    pub events: Vec<HitmEvent>,
+}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
@@ -258,6 +275,21 @@ impl Machine {
     /// PMU model pulls ground-truth coherence events out of the machine.
     pub fn take_hitm_events(&mut self) -> Vec<HitmEvent> {
         std::mem::take(&mut self.inner.pending_hitms)
+    }
+
+    /// Run one quantum of up to `steps` instructions and *yield* the HITM
+    /// events it generated (equivalent to [`Machine::run_steps`] followed by
+    /// [`Machine::take_hitm_events`], as one operation).
+    ///
+    /// This is the producer half of the pipelined execution model: the yielded
+    /// batch is a plain owned value that can be sent down a record channel to
+    /// a driver/detector stage running concurrently with the next quantum.
+    pub fn run_quantum(&mut self, steps: u64) -> QuantumYield {
+        let status = self.run_steps(steps);
+        QuantumYield {
+            status,
+            events: self.take_hitm_events(),
+        }
     }
 
     /// Inject externally-caused cycles (driver interrupts, detector work

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use laser_machine::{CoreId, Machine};
+use laser_machine::{CoreId, HitmEvent, Machine};
 
 use crate::pmu::Pmu;
 use crate::record::HitmRecord;
@@ -52,6 +52,11 @@ pub struct DriverStats {
     /// outside its configured range) — never sampled, never counted against a
     /// SAV countdown.
     pub events_dropped: u64,
+    /// Sampled records discarded *after* the PMU because the downstream
+    /// consumer lagged — a full record channel overflowing the way a real
+    /// PEBS buffer does (see [`Driver::note_lagging_drops`]). Zero under
+    /// lossless (backpressure) delivery.
+    pub records_dropped: u64,
     /// Interrupts taken.
     pub interrupts: u64,
     /// Cycles of overhead charged to the application's cores.
@@ -93,6 +98,16 @@ impl Driver {
     /// stage completed records for the detector.
     pub fn poll(&mut self, machine: &mut Machine) {
         let events = machine.take_hitm_events();
+        self.ingest(events, machine);
+    }
+
+    /// Consume one *yielded* batch of HITM events (see
+    /// [`laser_machine::Machine::run_quantum`]): sample the batch, take any
+    /// buffer-full interrupts (charging their cost to the cores), and stage
+    /// completed records for the detector. [`Driver::poll`] is this operation
+    /// applied to the machine's own pending events; pipelined callers pass
+    /// the batch the quantum yielded instead.
+    pub fn ingest(&mut self, events: Vec<HitmEvent>, machine: &mut Machine) {
         if events.is_empty() {
             return;
         }
@@ -137,6 +152,15 @@ impl Driver {
     /// run so no sampled record is lost).
     pub fn flush(&mut self) {
         self.staged.append(&mut self.pmu.drain_all_buffers());
+    }
+
+    /// Account `records` sampled records that were discarded because the
+    /// record channel to the detector was full — the consumer lagged and the
+    /// buffer overflowed, as real PEBS hardware does. Pipelined sessions
+    /// running with a lossy channel report their channel drops here so the
+    /// loss is visible in [`DriverStats::records_dropped`].
+    pub fn note_lagging_drops(&mut self, records: u64) {
+        self.stats.records_dropped += records;
     }
 
     /// Read the records staged for the detector (the file-like device read).
@@ -282,6 +306,57 @@ mod tests {
             machine.stats().injected_overhead_cycles,
             stats.overhead_cycles
         );
+    }
+
+    #[test]
+    fn ingesting_yielded_quanta_matches_polling_in_place() {
+        // `run_quantum` + `ingest` is the pipelined decomposition of
+        // `run_steps` + `poll`; the two must produce identical records,
+        // statistics and machine charges.
+        let image = contended_image(3000);
+
+        let mut polled_machine = Machine::new(MachineConfig::default(), &image);
+        let mut polled_driver = driver_for(&polled_machine, 19);
+        let mut polled = Vec::new();
+        loop {
+            let status = polled_machine.run_steps(5_000);
+            polled_driver.poll(&mut polled_machine);
+            polled.extend(polled_driver.read_records());
+            if status == laser_machine::RunStatus::Done {
+                break;
+            }
+        }
+
+        let mut yielded_machine = Machine::new(MachineConfig::default(), &image);
+        let mut yielded_driver = driver_for(&yielded_machine, 19);
+        let mut ingested = Vec::new();
+        loop {
+            let quantum = yielded_machine.run_quantum(5_000);
+            yielded_driver.ingest(quantum.events, &mut yielded_machine);
+            ingested.extend(yielded_driver.read_records());
+            if quantum.status == laser_machine::RunStatus::Done {
+                break;
+            }
+        }
+
+        assert_eq!(polled, ingested);
+        assert_eq!(polled_driver.stats(), yielded_driver.stats());
+        assert_eq!(polled_machine.cycles(), yielded_machine.cycles());
+        assert_eq!(
+            polled_machine.stats().injected_overhead_cycles,
+            yielded_machine.stats().injected_overhead_cycles
+        );
+    }
+
+    #[test]
+    fn lagging_consumer_drops_are_recorded() {
+        let image = contended_image(10);
+        let machine = Machine::new(MachineConfig::default(), &image);
+        let mut driver = driver_for(&machine, 19);
+        assert_eq!(driver.stats().records_dropped, 0);
+        driver.note_lagging_drops(17);
+        driver.note_lagging_drops(3);
+        assert_eq!(driver.stats().records_dropped, 20);
     }
 
     #[test]

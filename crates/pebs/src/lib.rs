@@ -19,6 +19,9 @@
 //! * [`pmu`] and [`driver`] — Sample-After-Value sampling into per-core PEBS
 //!   buffers, buffer-full interrupts, and the overhead-charging driver that
 //!   moves records into a file-like device the detector reads.
+//! * [`channel`] — the bounded, double-buffered batch channel that feeds a
+//!   concurrent detector stage, with backpressure or PEBS-style overflow
+//!   drops when the consumer lags ([`channel::OverflowPolicy`]).
 //!
 //! ## Example
 //!
@@ -45,11 +48,13 @@
 //! assert_eq!(records[0].pc, 0x40_0010);
 //! ```
 
+pub mod channel;
 pub mod driver;
 pub mod imprecision;
 pub mod pmu;
 pub mod record;
 
+pub use channel::{OverflowPolicy, SendOutcome};
 pub use driver::{Driver, DriverConfig, DriverStats};
 pub use imprecision::{ImprecisionModel, ImprecisionParams};
 pub use pmu::{Pmu, PmuConfig};

@@ -49,6 +49,7 @@ pub use laser_workloads as workloads;
 
 pub use laser_core::{
     BudgetObserver, CellBudget, ContentionKind, EventLog, Laser, LaserConfig, LaserError,
-    LaserEvent, LaserOutcome, LaserSession, Observer, SessionBuilder, SessionStatus, StopReason,
+    LaserEvent, LaserOutcome, LaserSession, Observer, PipelineConfig, SessionBuilder,
+    SessionStatus, StopReason,
 };
 pub use laser_machine::{Machine, MachineConfig, WorkloadImage};

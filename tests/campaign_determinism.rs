@@ -6,7 +6,7 @@
 //! which is identical whether a session runs inline or on a worker thread.
 
 use laser_bench::{
-    Campaign, CellBudget, Emit, LaserTool, NativeTool, SheriffTool, Tool, VtuneTool,
+    Campaign, CellBudget, Emit, LaserTool, NativeTool, PipelineConfig, SheriffTool, Tool, VtuneTool,
 };
 use laser_core::{EventLog, Laser, LaserConfig};
 use laser_workloads::{find, registry, BuildOptions};
@@ -83,6 +83,93 @@ fn observer_event_stream_is_identical_inline_and_on_a_worker_thread() {
     assert_eq!(
         format!("{inline_events:?}"),
         format!("{:?}", worker_log.events())
+    );
+}
+
+#[test]
+fn pipelined_campaigns_are_byte_identical_to_inline_for_any_thread_count() {
+    // The tentpole guarantee of the pipelined session: moving the detector
+    // stage to a worker thread changes the wall-clock and nothing else. A
+    // pipelined campaign must aggregate and render byte-identically to the
+    // inline reference — serial or fanned across workers, with the inline
+    // serial run as the common baseline.
+    let reference = campaign(1).run();
+    let piped_serial = campaign(1).with_pipeline(PipelineConfig::pipelined()).run();
+    let piped_parallel = campaign(8).with_pipeline(PipelineConfig::pipelined()).run();
+
+    assert_eq!(reference.cells, piped_serial.cells);
+    assert_eq!(reference.cells, piped_parallel.cells);
+    assert_eq!(reference.render(), piped_serial.render());
+    assert_eq!(reference.render(), piped_parallel.render());
+    assert_eq!(
+        reference.to_json().render(),
+        piped_parallel.to_json().render()
+    );
+    assert_eq!(reference.to_csv(), piped_parallel.to_csv());
+}
+
+#[test]
+fn pipelined_observer_event_stream_is_identical_to_inline() {
+    // The event sequence — order and payloads — is part of the determinism
+    // contract: an observer cannot tell a pipelined session from an inline
+    // one. Covers both the streaming mode (detection-only) and the
+    // lock-step-then-streaming mode (repair armed).
+    for config in [LaserConfig::detection_only(), LaserConfig::default()] {
+        let spec = find("histogram'").expect("known workload");
+        let image = spec.build(&BuildOptions::scaled(0.08));
+
+        let inline_log = EventLog::new();
+        let inline = Laser::builder()
+            .config(config.clone())
+            .observer(inline_log.clone())
+            .build(&image)
+            .run()
+            .unwrap();
+
+        let piped_log = EventLog::new();
+        let piped = Laser::builder()
+            .config(config.clone())
+            .pipeline(true)
+            .observer(piped_log.clone())
+            .build(&image)
+            .run()
+            .unwrap();
+
+        assert_eq!(inline.cycles(), piped.cycles());
+        assert_eq!(inline.report, piped.report);
+        let inline_events = inline_log.events();
+        assert!(!inline_events.is_empty());
+        assert_eq!(
+            inline_events,
+            piped_log.events(),
+            "repair={}",
+            config.enable_repair
+        );
+        assert_eq!(
+            format!("{inline_events:?}"),
+            format!("{:?}", piped_log.events())
+        );
+    }
+}
+
+#[test]
+fn pipelined_budgeted_campaigns_match_inline_budgeted_campaigns() {
+    // Budget observers ride the event stream; since the stream is identical,
+    // the same cells trip the same budgets at the same points whatever the
+    // execution mode or thread count.
+    let budget = CellBudget::steps(10_000);
+    let inline = campaign(1).with_cell_budget(budget).run();
+    let piped = campaign(8)
+        .with_cell_budget(budget)
+        .with_pipeline(PipelineConfig::pipelined())
+        .run();
+    assert_eq!(inline.cells, piped.cells);
+    assert_eq!(inline.render(), piped.render());
+    assert_eq!(inline.to_json().render(), piped.to_json().render());
+    assert_eq!(inline.to_csv(), piped.to_csv());
+    assert!(
+        inline.cells.iter().any(|c| c.status() == "budget-exceeded"),
+        "budget should trip for at least one cell"
     );
 }
 

@@ -11,7 +11,7 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig14_from_grid,
     plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
-use laser_bench::{CellBudget, ExperimentScale, Grid, GridResult};
+use laser_bench::{CellBudget, ExperimentScale, Grid, GridResult, PipelineConfig};
 use serde::json::Value;
 
 const SAVS: &[u32] = &[1, 19];
@@ -24,9 +24,12 @@ fn scale() -> ExperimentScale {
     }
 }
 
-/// Plan every figure and table into one grid and run it at `threads`.
-fn full_grid(threads: usize) -> GridResult {
-    let mut grid = Grid::new(scale()).with_threads(threads);
+/// Plan every figure and table into one grid and run it at `threads`,
+/// inline or with every LASER cell's detector stage pipelined.
+fn full_grid_with(threads: usize, pipeline: PipelineConfig) -> GridResult {
+    let mut grid = Grid::new(scale())
+        .with_threads(threads)
+        .with_pipeline(pipeline);
     plan_fig9(&mut grid);
     plan_fig10(&mut grid);
     plan_fig11(&mut grid);
@@ -36,6 +39,11 @@ fn full_grid(threads: usize) -> GridResult {
     plan_table1(&mut grid);
     plan_table2(&mut grid);
     grid.run()
+}
+
+/// Plan every figure and table into one grid and run it at `threads`.
+fn full_grid(threads: usize) -> GridResult {
+    full_grid_with(threads, PipelineConfig::default())
 }
 
 /// Render every experiment (text, JSON and CSV) from one grid result.
@@ -96,6 +104,51 @@ fn every_figure_json_emission_parses() {
     // The campaign's own emission parses too.
     let doc = Value::parse(&grid.campaign().to_json().render()).unwrap();
     assert_eq!(doc.get("kind"), Some(&Value::Str("campaign".to_string())));
+}
+
+#[test]
+fn pipelined_grids_render_every_figure_byte_identically_to_inline() {
+    // Pipelined cells are byte-identical to inline cells, so every figure
+    // and table derived from a pipelined grid — in text, JSON and CSV alike
+    // — must render byte-for-byte the same as the inline reference, at any
+    // thread count.
+    let reference = full_grid(1);
+    for threads in [1, 8] {
+        let piped = full_grid_with(threads, PipelineConfig::pipelined());
+        assert_eq!(reference.campaign().cells, piped.campaign().cells);
+        for ((name_a, a), (name_b, b)) in render_all(&reference).into_iter().zip(render_all(&piped))
+        {
+            assert_eq!(name_a, name_b);
+            assert_eq!(
+                a, b,
+                "{name_a} differs between inline and pipelined at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_budgeted_grids_emit_byte_identically_to_inline() {
+    // Budgets and pipelining compose: the budget observer rides an identical
+    // event stream, so budget-exceeded cells land identically too.
+    let budgeted = |threads, pipeline| {
+        let mut grid = Grid::new(scale())
+            .with_threads(threads)
+            .with_cell_budget(CellBudget::steps(10_000))
+            .with_pipeline(pipeline);
+        plan_fig10(&mut grid);
+        plan_table1(&mut grid);
+        grid.run()
+    };
+    let inline = budgeted(1, PipelineConfig::default());
+    let piped = budgeted(8, PipelineConfig::pipelined());
+    assert_eq!(inline.campaign().cells, piped.campaign().cells);
+    assert_eq!(inline.campaign().render(), piped.campaign().render());
+    assert_eq!(
+        inline.campaign().to_json().render(),
+        piped.campaign().to_json().render()
+    );
+    assert_eq!(inline.campaign().to_csv(), piped.campaign().to_csv());
 }
 
 #[test]
