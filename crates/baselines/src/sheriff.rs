@@ -137,7 +137,8 @@ impl Sheriff {
         &self.config
     }
 
-    /// Run `spec` under the given Sheriff scheme.
+    /// Run `spec` under the given Sheriff scheme on the default
+    /// (single-socket) machine.
     ///
     /// # Errors
     /// Returns an error if the underlying simulation exceeds its step budget;
@@ -148,6 +149,23 @@ impl Sheriff {
         spec: &WorkloadSpec,
         opts: &BuildOptions,
         mode: SheriffMode,
+    ) -> Result<SheriffOutcome, LaserError> {
+        self.run_on(spec, opts, mode, MachineConfig::default())
+    }
+
+    /// Like [`Sheriff::run`], on an explicit machine configuration (e.g. a
+    /// multi-socket topology preset). The isolation model removes local-rate
+    /// coherence cycles per HITM; on a multi-socket machine that makes it a
+    /// conservative estimate of what address-space isolation saves.
+    ///
+    /// # Errors
+    /// Returns an error if the underlying simulation exceeds its step budget.
+    pub fn run_on(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        mode: SheriffMode,
+        machine_config: MachineConfig,
     ) -> Result<SheriffOutcome, LaserError> {
         match spec.sheriff {
             SheriffCompat::Crash => {
@@ -166,11 +184,11 @@ impl Sheriff {
         }
 
         let image = spec.build(opts);
-        let mut machine = Machine::new(MachineConfig::default(), &image);
+        let lat = machine_config.latency.clone();
+        let mut machine = Machine::new(machine_config, &image);
         let native = machine.run_to_completion().map_err(LaserError::Machine)?;
         let events = machine.take_hitm_events();
         let memsets = MemAccessSets::analyze(image.program());
-        let lat = MachineConfig::default().latency;
 
         // Address-space isolation removes cross-thread coherence misses: each
         // process keeps touching its own copy of the line.

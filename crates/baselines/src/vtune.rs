@@ -108,12 +108,24 @@ impl Vtune {
         &self.config
     }
 
-    /// Profile `image`.
+    /// Profile `image` on the default (single-socket) machine.
     ///
     /// # Errors
     /// Returns an error if the workload exceeds the machine's step budget.
     pub fn run(&self, image: &WorkloadImage) -> Result<VtuneOutcome, LaserError> {
-        let machine_config = MachineConfig::default();
+        self.run_on(image, MachineConfig::default())
+    }
+
+    /// Profile `image` on an explicit machine configuration (e.g. a
+    /// multi-socket topology preset via [`MachineConfig::for_topology`]).
+    ///
+    /// # Errors
+    /// Returns an error if the workload exceeds the machine's step budget.
+    pub fn run_on(
+        &self,
+        image: &WorkloadImage,
+        machine_config: MachineConfig,
+    ) -> Result<VtuneOutcome, LaserError> {
         let num_cores = machine_config.num_cores;
         let max_steps = machine_config.max_steps;
         let mut machine = Machine::new(machine_config, image);

@@ -36,11 +36,24 @@
 //! record channel (see `laser_core::PipelineConfig`). Pipelining raises
 //! throughput when cells are fewer than worker threads; the output is
 //! **byte-identical** to a non-pipelined run — CI diffs the two to prove it.
+//!
+//! `--topology flat|2s|4s` deploys every cell's machine on a socket-topology
+//! preset (4 cores per socket, threads scaled to match, multi-socket
+//! placement round-robin across sockets); `flat` is the default and is
+//! byte-identical to the pre-topology behaviour. fig2 and fig3 are derived
+//! outside the workload grid, so a non-flat preset skips them (with a note)
+//! rather than passing flat results off as multi-socket data. The `xsocket`
+//! subcommand
+//! sweeps the headline false-sharing workloads across *all* presets and
+//! reports how the cross-socket HITM traffic — and repair's benefit — grows
+//! with the socket count.
+//!
 //! Workload names in `--only` are validated up front: an unknown name in the
 //! comma list (including an empty entry from a stray comma) is an error
 //! before anything is simulated, never a silently smaller grid. Names are
 //! exact — the alternative-input histogram really is called `histogram'`,
-//! apostrophe included.
+//! apostrophe included. Unknown `--topology` names are rejected the same
+//! way.
 
 use std::env;
 use std::process::ExitCode;
@@ -55,9 +68,10 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig13_savs,
     fig14_from_grid, plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
+use laser_bench::xsocket::{plan_xsocket, xsocket_from_grid};
 use laser_bench::{
     validate_workload_names, Campaign, CampaignProgress, CellBudget, ExperimentScale, Grid,
-    GridResult, PipelineConfig,
+    GridResult, PipelineConfig, TopologySpec,
 };
 use laser_workloads::registry;
 use serde::json::Value;
@@ -65,6 +79,11 @@ use serde::json::Value;
 const FIGURES: &[&str] = &[
     "fig2", "fig3", "table1", "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 ];
+
+/// Experiments beyond the paper's figures. `xsocket` is not part of `all`
+/// (which regenerates exactly the paper's artifacts); it is requested by
+/// name.
+const EXTRAS: &[&str] = &["xsocket"];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -84,11 +103,13 @@ impl Format {
     }
 }
 
-const USAGE: &str = "usage: experiments [all|campaign|fig2|fig3|table1|table2|fig9|fig10|fig11|\
-                     fig12|fig13|fig14] [--scale S] [--threads N] [--only w1,w2,...] \
-                     [--format text|json|csv] [--cell-budget-steps N] [--pipeline]\n\
+const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|table2|fig9|fig10|\
+                     fig11|fig12|fig13|fig14] [--scale S] [--threads N] [--only w1,w2,...] \
+                     [--format text|json|csv] [--cell-budget-steps N] [--pipeline] \
+                     [--topology flat|2s|4s]\n\
                      \n\
-                     --scale S             workload input-size multiplier (default 0.4)\n\
+                     --scale S             workload input-size multiplier (default 0.4;\n\
+                     \x20                     xsocket defaults to 1.0)\n\
                      --threads N           campaign worker threads (default: all cores)\n\
                      --only w1,w2,...      campaign only: restrict to the named workloads\n\
                      \x20                     (validated up front; unknown names are an error)\n\
@@ -96,7 +117,11 @@ const USAGE: &str = "usage: experiments [all|campaign|fig2|fig3|table1|table2|fi
                      --cell-budget-steps N bound every cell at N retired instructions\n\
                      --pipeline            run each LASER cell's detector stage on a worker\n\
                      \x20                     thread, overlapped with the simulated quantum\n\
-                     \x20                     (byte-identical output, higher throughput)";
+                     \x20                     (byte-identical output, higher throughput)\n\
+                     --topology T          deploy every cell on a socket-topology preset:\n\
+                     \x20                     flat (default, single socket), 2s or 4s\n\
+                     \x20                     (4 cores/socket, threads scaled to match);\n\
+                     \x20                     xsocket always sweeps all three presets";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -133,12 +158,14 @@ fn run_campaign(
     only: &Option<Vec<String>>,
     budget: CellBudget,
     pipeline: PipelineConfig,
+    topology: TopologySpec,
     format: Format,
 ) -> Result<(), String> {
     let mut campaign = Campaign::default()
         .with_options(scale.options())
         .with_cell_budget(budget)
-        .with_pipeline(pipeline);
+        .with_pipeline(pipeline)
+        .with_topology(topology);
     if let Some(names) = only {
         // The names were validated at argument-parse time; revalidation here
         // keeps `Campaign::with_workload_names` the single source of truth.
@@ -164,8 +191,15 @@ fn run_campaign(
     Ok(())
 }
 
+/// Experiments that do not run workloads through the grid, so a topology
+/// preset cannot change them.
+fn topology_independent(which: &str) -> bool {
+    matches!(which, "fig2" | "fig3")
+}
+
 fn plan_one(which: &str, grid: &mut Grid) {
     match which {
+        "xsocket" => plan_xsocket(grid),
         "table1" => plan_table1(grid),
         "table2" => plan_table2(grid),
         "fig9" => plan_fig9(grid),
@@ -275,6 +309,13 @@ fn derive_one(
                 _ => emit(&report),
             })
         }
+        "xsocket" => {
+            let report = xsocket_from_grid(grid(which)?).map_err(err)?;
+            Ok(match format {
+                Format::Text => report.render(),
+                _ => emit(&report),
+            })
+        }
         other => Err(format!("unknown experiment '{other}'")),
     }
 }
@@ -285,6 +326,7 @@ fn run_figures(
     threads: Option<usize>,
     budget: CellBudget,
     pipeline: PipelineConfig,
+    topology: TopologySpec,
     format: Format,
 ) -> Result<(), String> {
     // Resolve format incompatibilities before any cell is simulated: fig2
@@ -301,12 +343,39 @@ fn run_figures(
         selected.to_vec()
     };
 
+    // Same policy for the topology axis: fig2 (an allocator-layout demo) and
+    // fig3 (PEBS record characterization on fixed two-thread cases) are
+    // derived outside the workload grid, so a topology preset cannot apply
+    // to them — skip them with a note rather than silently reporting flat
+    // results as if they were 2s/4s data, and fail an explicit request.
+    let selected: Vec<&str> = if topology != TopologySpec::Flat
+        && selected.iter().any(|s| topology_independent(s))
+    {
+        if selected.iter().all(|s| topology_independent(s)) {
+            return Err(format!(
+                "{} is derived outside the workload grid; --topology does not apply",
+                selected.join(", ")
+            ));
+        }
+        for s in selected.iter().filter(|s| topology_independent(s)) {
+            eprintln!("skipping {s}: derived outside the workload grid, --topology does not apply");
+        }
+        selected
+            .iter()
+            .copied()
+            .filter(|s| !topology_independent(s))
+            .collect()
+    } else {
+        selected
+    };
+
     // One grid for everything selected: shared cells (every figure wants the
     // native baseline, both tables want laser-detect, ...) are planned once
     // and simulated once.
     let mut grid = Grid::new(*scale)
         .with_cell_budget(budget)
-        .with_pipeline(pipeline);
+        .with_pipeline(pipeline)
+        .with_topology(topology);
     if let Some(n) = threads {
         grid = grid.with_threads(n);
     }
@@ -350,12 +419,16 @@ fn run_figures(
 #[derive(Debug, PartialEq)]
 struct Cli {
     which: String,
-    scale: f64,
+    /// `--scale`, when given; each subcommand otherwise picks its default
+    /// (0.4 for the figures, 1.0 for `xsocket`, whose repair trigger needs
+    /// full-length contended phases to fire early enough to matter).
+    scale: Option<f64>,
     threads: Option<usize>,
     only: Option<Vec<String>>,
     format: Format,
     budget: CellBudget,
     pipeline: PipelineConfig,
+    topology: TopologySpec,
 }
 
 /// Why the command line was rejected.
@@ -375,16 +448,18 @@ impl Cli {
     /// name in an `--only` list must exist in the workload registry, so a
     /// typo is an immediate error rather than a silently smaller grid. (The
     /// registry's odd duck is the alternative-input `histogram'`, whose
-    /// apostrophe is part of the name.)
+    /// apostrophe is part of the name.) `--topology` names are validated the
+    /// same way against the preset set.
     fn parse(args: &[String]) -> Result<Cli, CliError> {
         let mut cli = Cli {
             which: "all".to_string(),
-            scale: ExperimentScale::default().workload_scale,
+            scale: None,
             threads: None,
             only: None,
             format: Format::Text,
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
+            topology: TopologySpec::Flat,
         };
         let mut i = 0;
         while i < args.len() {
@@ -393,7 +468,7 @@ impl Cli {
                     let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
                         return Err(CliError::Usage);
                     };
-                    cli.scale = v;
+                    cli.scale = Some(v);
                     i += 2;
                 }
                 "--threads" => {
@@ -428,6 +503,17 @@ impl Cli {
                     cli.pipeline = PipelineConfig::pipelined();
                     i += 1;
                 }
+                "--topology" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.topology = TopologySpec::parse(v).ok_or_else(|| {
+                        CliError::Invalid(format!(
+                            "unknown topology '{v}' (expected flat, 2s or 4s)"
+                        ))
+                    })?;
+                    i += 2;
+                }
                 "--help" | "-h" => return Err(CliError::Usage),
                 name => {
                     cli.which = name.to_string();
@@ -446,7 +532,11 @@ impl Cli {
             validate_workload_names(&names, &registry())
                 .map_err(|e| CliError::Invalid(e.to_string()))?;
         }
-        if cli.which != "campaign" && cli.which != "all" && !FIGURES.contains(&cli.which.as_str()) {
+        if cli.which != "campaign"
+            && cli.which != "all"
+            && !FIGURES.contains(&cli.which.as_str())
+            && !EXTRAS.contains(&cli.which.as_str())
+        {
             return Err(CliError::Usage);
         }
         Ok(cli)
@@ -464,7 +554,11 @@ fn main() -> ExitCode {
         }
     };
     let scale = ExperimentScale {
-        workload_scale: cli.scale,
+        workload_scale: cli.scale.unwrap_or(if cli.which == "xsocket" {
+            1.0
+        } else {
+            ExperimentScale::default().workload_scale
+        }),
         ..ExperimentScale::default()
     };
 
@@ -475,6 +569,7 @@ fn main() -> ExitCode {
             &cli.only,
             cli.budget,
             cli.pipeline,
+            cli.topology,
             cli.format,
         ) {
             Ok(()) => ExitCode::SUCCESS,
@@ -496,6 +591,7 @@ fn main() -> ExitCode {
         cli.threads,
         cli.budget,
         cli.pipeline,
+        cli.topology,
         cli.format,
     ) {
         Ok(()) => ExitCode::SUCCESS,
@@ -522,6 +618,46 @@ mod tests {
         assert!(!cli.pipeline.enabled);
         assert!(cli.budget.is_unlimited());
         assert_eq!(cli.only, None);
+        assert_eq!(cli.topology, TopologySpec::Flat);
+    }
+
+    #[test]
+    fn topology_names_are_validated_up_front() {
+        // Every preset parses...
+        for (name, spec) in [
+            ("flat", TopologySpec::Flat),
+            ("2s", TopologySpec::DualSocket),
+            ("4s", TopologySpec::QuadSocket),
+        ] {
+            let cli = Cli::parse(&args(&["campaign", "--topology", name])).unwrap();
+            assert_eq!(cli.topology, spec);
+        }
+        // ...an unknown name is rejected before anything simulates, with the
+        // valid set in the message...
+        let err = Cli::parse(&args(&["campaign", "--topology", "8s"])).unwrap_err();
+        match err {
+            CliError::Invalid(msg) => {
+                assert!(msg.contains("unknown topology '8s'"), "{msg}");
+                assert!(msg.contains("flat, 2s or 4s"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // ...and a dangling flag is a usage error.
+        assert_eq!(
+            Cli::parse(&args(&["--topology"])).unwrap_err(),
+            CliError::Usage
+        );
+    }
+
+    #[test]
+    fn xsocket_is_a_valid_subcommand_but_not_part_of_all() {
+        let cli = Cli::parse(&args(&["xsocket", "--topology", "2s"])).unwrap();
+        assert_eq!(cli.which, "xsocket");
+        assert_eq!(cli.scale, None, "scale default resolves per subcommand");
+        assert!(!FIGURES.contains(&"xsocket"), "xsocket must not join `all`");
+        assert!(EXTRAS.contains(&"xsocket"));
+        let cli = Cli::parse(&args(&["xsocket", "--scale", "0.5"])).unwrap();
+        assert_eq!(cli.scale, Some(0.5));
     }
 
     #[test]

@@ -29,10 +29,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use laser_core::{BudgetObserver, CellBudget, PipelineConfig};
+use laser_core::{BudgetObserver, CellBudget, PipelineConfig, TopologySpec};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
-use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
+use crate::tool::{cell_key, default_tools, Tool, ToolFailure, ToolRun};
 
 /// One `workload × tool` cell of a finished campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,11 +131,12 @@ pub fn validate_workload_names(
 pub struct Campaign {
     workloads: Vec<WorkloadSpec>,
     tools: Vec<Box<dyn Tool>>,
-    /// The cells to run, as `(workload index, tool index)` pairs in grid
-    /// (aggregation) order. A cross-product campaign is workload-major; a
-    /// sparse campaign (built by the grid cache) lists exactly the cells the
-    /// planned experiments need.
-    pairs: Vec<(usize, usize)>,
+    /// The cells to run, as `(workload index, tool index, topology)` triples
+    /// in grid (aggregation) order. A cross-product campaign is
+    /// workload-major on the flat topology; a sparse campaign (built by the
+    /// grid cache) lists exactly the cells the planned experiments need,
+    /// which may mix topologies.
+    cells: Vec<(usize, usize, TopologySpec)>,
     opts: BuildOptions,
     threads: usize,
     budget: CellBudget,
@@ -151,7 +152,8 @@ impl Default for Campaign {
 }
 
 impl Campaign {
-    /// A campaign over the full `workloads × tools` cross product.
+    /// A campaign over the full `workloads × tools` cross product, on the
+    /// flat (single-socket) topology.
     pub fn new(workloads: Vec<WorkloadSpec>, tools: Vec<Box<dyn Tool>>) -> Self {
         let pairs = (0..workloads.len())
             .flat_map(|w| (0..tools.len()).map(move |t| (w, t)))
@@ -159,23 +161,40 @@ impl Campaign {
         Campaign::from_cells(workloads, tools, pairs)
     }
 
-    /// A campaign over an explicit cell list. `pairs` index into `workloads`
-    /// and `tools` and define the aggregation order.
+    /// A campaign over an explicit cell list on the flat topology. `pairs`
+    /// index into `workloads` and `tools` and define the aggregation order.
     pub fn from_cells(
         workloads: Vec<WorkloadSpec>,
         tools: Vec<Box<dyn Tool>>,
         pairs: Vec<(usize, usize)>,
     ) -> Self {
-        debug_assert!(pairs
+        let cells = pairs
+            .into_iter()
+            .map(|(w, t)| (w, t, TopologySpec::Flat))
+            .collect();
+        Campaign::from_cells_at(workloads, tools, cells)
+    }
+
+    /// A campaign over an explicit cell list that may mix socket topologies:
+    /// each `(workload, tool, topology)` triple runs the tool with the
+    /// machine deployed on that topology preset (and the build options
+    /// adapted to it). This is how the grid cache runs cross-socket sweeps
+    /// next to flat cells in one parallel campaign.
+    pub fn from_cells_at(
+        workloads: Vec<WorkloadSpec>,
+        tools: Vec<Box<dyn Tool>>,
+        cells: Vec<(usize, usize, TopologySpec)>,
+    ) -> Self {
+        debug_assert!(cells
             .iter()
-            .all(|&(w, t)| w < workloads.len() && t < tools.len()));
+            .all(|&(w, t, _)| w < workloads.len() && t < tools.len()));
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         Campaign {
             workloads,
             tools,
-            pairs,
+            cells,
             opts: BuildOptions::default(),
             threads,
             budget: CellBudget::default(),
@@ -190,9 +209,20 @@ impl Campaign {
     /// workload of this campaign; nothing is silently dropped.
     pub fn with_workload_names(mut self, names: &[&str]) -> Result<Self, UnknownWorkload> {
         validate_workload_names(names, &self.workloads)?;
-        self.pairs
-            .retain(|&(w, _)| names.contains(&self.workloads[w].name));
+        self.cells
+            .retain(|&(w, _, _)| names.contains(&self.workloads[w].name));
         Ok(self)
+    }
+
+    /// Run every cell on `topology` (default: flat). Cell keys keep their
+    /// bare tool names on the flat preset and gain an `@2s` / `@4s` suffix
+    /// on the multi-socket ones, so sweeps over several topologies never
+    /// collide.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        for cell in &mut self.cells {
+            cell.2 = topology;
+        }
+        self
     }
 
     /// Set the build options applied to every cell.
@@ -232,7 +262,7 @@ impl Campaign {
 
     /// Number of cells the campaign will run.
     pub fn cells(&self) -> usize {
-        self.pairs.len()
+        self.cells.len()
     }
 
     /// The configured worker-thread count.
@@ -264,10 +294,10 @@ impl Campaign {
     where
         F: Fn(CampaignProgress) + Sync,
     {
-        let total = self.pairs.len();
+        let total = self.cells.len();
         let done = AtomicUsize::new(0);
         let cells = ordered_parallel(total, self.threads, |i| {
-            let (w, t) = self.pairs[i];
+            let (w, t, topo) = self.cells[i];
             let workload = &self.workloads[w];
             let tool = &self.tools[t];
             progress(CampaignProgress::Started {
@@ -280,10 +310,10 @@ impl Campaign {
             // scoped worker would otherwise unwind and poison the whole grid.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if self.budget.is_unlimited() {
-                    tool.run(workload, &self.opts)
+                    tool.run_at(workload, &self.opts, topo)
                 } else {
                     let observer = Box::new(BudgetObserver::new(self.budget));
-                    tool.run_observed(workload, &self.opts, observer)
+                    tool.run_observed_at(workload, &self.opts, topo, observer)
                 }
             }))
             .unwrap_or_else(|payload| {
@@ -293,7 +323,7 @@ impl Campaign {
             });
             let cell = CellResult {
                 workload: workload.name.to_string(),
-                tool: tool.name().to_string(),
+                tool: cell_key(tool.name(), topo),
                 outcome,
             };
             progress(CampaignProgress::Finished {
@@ -367,12 +397,22 @@ impl CampaignResult {
             .find(|c| c.workload == workload && c.tool == tool)
     }
 
-    /// Runtime of `workload` under `tool` normalized to its native run;
-    /// `None` unless both cells completed and the campaign included the
-    /// native tool.
+    /// Runtime of `workload` under `tool` normalized to its native run on
+    /// the *same topology* (a `laser@2s` cell normalizes against
+    /// `native@2s`); `None` unless both cells completed and the campaign
+    /// included the native tool there.
     pub fn normalized(&self, workload: &str, tool: &str) -> Option<f64> {
         let tool_cycles = self.cell(workload, tool)?.outcome.as_ref().ok()?.cycles;
-        let native_cycles = self.cell(workload, "native")?.outcome.as_ref().ok()?.cycles;
+        let native_key = match tool.rsplit_once('@') {
+            Some((_, topo)) => format!("native@{topo}"),
+            None => "native".to_string(),
+        };
+        let native_cycles = self
+            .cell(workload, &native_key)?
+            .outcome
+            .as_ref()
+            .ok()?
+            .cycles;
         Some(tool_cycles as f64 / native_cycles.max(1) as f64)
     }
 
@@ -613,16 +653,17 @@ mod tests {
             "panicky"
         }
 
-        fn run_observed(
+        fn run_observed_at(
             &self,
             spec: &WorkloadSpec,
             opts: &BuildOptions,
+            topo: TopologySpec,
             observer: Box<dyn laser_core::Observer>,
         ) -> Result<ToolRun, ToolFailure> {
             if spec.name == "swaptions" {
                 panic!("deliberate test panic on {}", spec.name);
             }
-            NativeTool.run_observed(spec, opts, observer)
+            NativeTool.run_observed_at(spec, opts, topo, observer)
         }
     }
 

@@ -15,6 +15,7 @@ use crate::accuracy::{Fig9Report, Table1Report, Table2Report};
 use crate::campaign::CampaignResult;
 use crate::characterization::Fig3Report;
 use crate::performance::{Fig10Report, Fig11Report, Fig12Report, Fig13Report, Fig14Report};
+use crate::xsocket::XsocketReport;
 
 /// A result that can be emitted in machine-readable formats.
 pub trait Emit {
@@ -529,6 +530,55 @@ impl Emit for Table2Report {
                 actual.to_string(),
                 laser.to_string(),
                 sheriff.to_string(),
+            ]));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Emit for XsocketReport {
+    fn to_json(&self) -> Value {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Value::object()
+                    .set("topology", r.topology.key())
+                    .set("sockets", r.topology.sockets() as u64)
+                    .set("workload", r.workload)
+                    .set("native_cycles", r.native_cycles)
+                    .set("native_hitms", r.native_hitms)
+                    .set("native_remote_hitms", r.native_remote_hitms)
+                    .set("native_remote_share", r.native_remote_share())
+                    .set("detect_norm", r.detect_norm)
+                    .set("repair_norm", r.repair_norm)
+                    .set("repair_invoked", r.repair_invoked)
+                    .set("repair_remote_hitms", r.repair_remote_hitms)
+            })
+            .collect();
+        Value::object()
+            .set("kind", "xsocket")
+            .set("rows", Value::Array(rows))
+    }
+
+    fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "topology,sockets,workload,native_cycles,native_hitms,native_remote_hitms,\
+             detect_norm,repair_norm,repair_invoked,repair_remote_hitms\n",
+        );
+        for r in &self.rows {
+            out.push_str(&csv_row(&[
+                r.topology.key().to_string(),
+                r.topology.sockets().to_string(),
+                r.workload.to_string(),
+                r.native_cycles.to_string(),
+                r.native_hitms.to_string(),
+                r.native_remote_hitms.to_string(),
+                format!("{:.6}", r.detect_norm),
+                format!("{:.6}", r.repair_norm),
+                r.repair_invoked.to_string(),
+                r.repair_remote_hitms.to_string(),
             ]));
             out.push('\n');
         }

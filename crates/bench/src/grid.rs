@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use laser_baselines::SheriffFailure;
-use laser_core::{CellBudget, PipelineConfig};
+use laser_core::{CellBudget, PipelineConfig, TopologySpec};
 use laser_workloads::WorkloadSpec;
 
 use crate::campaign::{Campaign, CampaignProgress, CampaignResult, CellResult};
@@ -63,19 +63,22 @@ impl std::fmt::Display for ExperimentError {
 
 impl std::error::Error for ExperimentError {}
 
-/// A planned set of `(workload, tool)` cells, ready to run as one campaign.
+/// A planned set of `(workload, tool, topology)` cells, ready to run as one
+/// campaign.
 #[derive(Debug, Clone)]
 pub struct Grid {
     scale: ExperimentScale,
     threads: usize,
     budget: CellBudget,
     pipeline: PipelineConfig,
-    requests: BTreeSet<(String, ToolSpec)>,
+    topology: TopologySpec,
+    requests: BTreeSet<(String, ToolSpec, TopologySpec)>,
     specs: BTreeMap<String, WorkloadSpec>,
 }
 
 impl Grid {
-    /// An empty grid at `scale`, defaulting to one worker per available core.
+    /// An empty grid at `scale`, defaulting to one worker per available core
+    /// and the flat (single-socket) topology.
     pub fn new(scale: ExperimentScale) -> Self {
         Grid {
             scale,
@@ -84,6 +87,7 @@ impl Grid {
                 .unwrap_or(1),
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
+            topology: TopologySpec::Flat,
             requests: BTreeSet::new(),
             specs: BTreeMap::new(),
         }
@@ -111,9 +115,25 @@ impl Grid {
         self
     }
 
+    /// Run every cell planned through [`Grid::request`] on `topology`
+    /// (default: flat). Explicit [`Grid::request_at`] cells — e.g. the
+    /// cross-socket sweep, which plans the same workloads at several
+    /// topologies — are unaffected. Every figure planner routes through
+    /// `request`, so `experiments --topology 2s` shifts the whole grid with
+    /// this one knob.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// The scale experiments will be planned and derived at.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The topology [`Grid::request`] plans cells on.
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
     }
 
     /// The configured worker-thread count.
@@ -127,10 +147,18 @@ impl Grid {
     /// `find`) means an unknown workload name cannot be planned at all — the
     /// typo surfaces where the spec is looked up, not as a late failure here.
     pub fn request(&mut self, workload: &WorkloadSpec, tool: ToolSpec) {
+        self.request_at(workload, tool, self.topology);
+    }
+
+    /// Request one cell on an explicit topology, regardless of the grid's
+    /// default. The cross-socket sweep uses this to plan the same workloads
+    /// at every preset into one grid.
+    pub fn request_at(&mut self, workload: &WorkloadSpec, tool: ToolSpec, topology: TopologySpec) {
         self.specs
             .entry(workload.name.to_string())
             .or_insert_with(|| workload.clone());
-        self.requests.insert((workload.name.to_string(), tool));
+        self.requests
+            .insert((workload.name.to_string(), tool, topology));
     }
 
     /// Number of unique cells planned so far.
@@ -153,8 +181,8 @@ impl Grid {
         let mut workload_index: BTreeMap<String, usize> = BTreeMap::new();
         let mut tools: Vec<Box<dyn Tool>> = Vec::new();
         let mut tool_index: BTreeMap<ToolSpec, usize> = BTreeMap::new();
-        let mut pairs = Vec::with_capacity(self.requests.len());
-        for (name, spec) in &self.requests {
+        let mut cells = Vec::with_capacity(self.requests.len());
+        for (name, spec, topo) in &self.requests {
             let w = *workload_index.entry(name.clone()).or_insert_with(|| {
                 workloads.push(self.specs[name].clone());
                 workloads.len() - 1
@@ -163,10 +191,10 @@ impl Grid {
                 tools.push(spec.build());
                 tools.len() - 1
             });
-            pairs.push((w, t));
+            cells.push((w, t, *topo));
         }
 
-        let campaign = Campaign::from_cells(workloads, tools, pairs)
+        let campaign = Campaign::from_cells_at(workloads, tools, cells)
             .with_options(self.scale.options())
             .with_threads(self.threads)
             .with_cell_budget(self.budget)
@@ -180,6 +208,7 @@ impl Grid {
             .collect();
         GridResult {
             scale: self.scale,
+            topology: self.topology,
             result,
             index,
         }
@@ -190,6 +219,7 @@ impl Grid {
 #[derive(Debug, Clone)]
 pub struct GridResult {
     scale: ExperimentScale,
+    topology: TopologySpec,
     result: CampaignResult,
     index: BTreeMap<(String, String), usize>,
 }
@@ -200,18 +230,37 @@ impl GridResult {
         self.scale
     }
 
+    /// The topology default-planned cells ran on. Figure views look their
+    /// cells up here, so a `--topology 2s` grid derives every figure from
+    /// the 2-socket cells without the views knowing anything changed.
+    pub fn topology(&self) -> TopologySpec {
+        self.topology
+    }
+
     /// The underlying campaign result, in grid order.
     pub fn campaign(&self) -> &CampaignResult {
         &self.result
     }
 
-    /// The raw cell for `workload` under `tool`, if it was planned.
+    /// The raw cell for `workload` under `tool` on the grid's default
+    /// topology, if it was planned.
     pub fn cell(&self, workload: &str, tool: ToolSpec) -> Option<&CellResult> {
-        let key = (workload.to_string(), tool.key());
+        self.cell_at(workload, tool, self.topology)
+    }
+
+    /// The raw cell for `workload` under `tool` on an explicit topology.
+    pub fn cell_at(
+        &self,
+        workload: &str,
+        tool: ToolSpec,
+        topology: TopologySpec,
+    ) -> Option<&CellResult> {
+        let key = (workload.to_string(), tool.key_at(topology));
         self.index.get(&key).map(|&i| &self.result.cells[i])
     }
 
-    /// The successful run of `workload` under `tool`.
+    /// The successful run of `workload` under `tool` on the grid's default
+    /// topology.
     ///
     /// # Errors
     /// [`ExperimentError::MissingCell`] if the cell was never planned,
@@ -219,15 +268,29 @@ impl GridResult {
     /// incompatibility — use [`GridResult::sheriff_run`] where that is an
     /// expected outcome rather than an error).
     pub fn tool_run(&self, workload: &str, tool: ToolSpec) -> Result<&ToolRun, ExperimentError> {
-        let cell = self
-            .cell(workload, tool)
-            .ok_or_else(|| ExperimentError::MissingCell {
-                workload: workload.to_string(),
-                tool: tool.key(),
-            })?;
+        self.tool_run_at(workload, tool, self.topology)
+    }
+
+    /// The successful run of `workload` under `tool` on an explicit
+    /// topology.
+    ///
+    /// # Errors
+    /// As for [`GridResult::tool_run`].
+    pub fn tool_run_at(
+        &self,
+        workload: &str,
+        tool: ToolSpec,
+        topology: TopologySpec,
+    ) -> Result<&ToolRun, ExperimentError> {
+        let cell =
+            self.cell_at(workload, tool, topology)
+                .ok_or_else(|| ExperimentError::MissingCell {
+                    workload: workload.to_string(),
+                    tool: tool.key_at(topology),
+                })?;
         cell.outcome.as_ref().map_err(|f| ExperimentError::Cell {
             workload: workload.to_string(),
-            tool: tool.key(),
+            tool: tool.key_at(topology),
             failure: f.clone(),
         })
     }
@@ -263,13 +326,29 @@ impl GridResult {
     }
 
     /// Runtime of `workload` under `tool` normalized to the workload's native
-    /// cell.
+    /// cell, both on the grid's default topology.
     ///
     /// # Errors
     /// Propagates missing/failed cells for either endpoint.
     pub fn normalized(&self, workload: &str, tool: ToolSpec) -> Result<f64, ExperimentError> {
-        let cycles = self.tool_run(workload, tool)?.cycles;
-        let native = self.tool_run(workload, ToolSpec::Native)?.cycles;
+        self.normalized_at(workload, tool, self.topology)
+    }
+
+    /// Runtime of `workload` under `tool` normalized to the workload's
+    /// native cell, both on an explicit topology.
+    ///
+    /// # Errors
+    /// Propagates missing/failed cells for either endpoint.
+    pub fn normalized_at(
+        &self,
+        workload: &str,
+        tool: ToolSpec,
+        topology: TopologySpec,
+    ) -> Result<f64, ExperimentError> {
+        let cycles = self.tool_run_at(workload, tool, topology)?.cycles;
+        let native = self
+            .tool_run_at(workload, ToolSpec::Native, topology)?
+            .cycles;
         Ok(cycles as f64 / native.max(1) as f64)
     }
 }

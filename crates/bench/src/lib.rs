@@ -38,6 +38,7 @@ pub mod grid;
 pub mod performance;
 pub mod runner;
 pub mod tool;
+pub mod xsocket;
 
 pub use campaign::{
     ordered_parallel, validate_workload_names, Campaign, CampaignProgress, CampaignResult,
@@ -45,9 +46,10 @@ pub use campaign::{
 };
 pub use emit::Emit;
 pub use grid::{ExperimentError, Grid, GridResult};
-pub use laser_core::{CellBudget, PipelineConfig, StopReason};
+pub use laser_core::{CellBudget, PipelineConfig, StopReason, TopologySpec};
 pub use runner::{geomean, ExperimentScale};
 pub use tool::{
-    default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool, Tool,
-    ToolFailure, ToolRun, ToolSpec, VtuneTool,
+    cell_key, default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool,
+    Tool, ToolFailure, ToolRun, ToolSpec, VtuneTool,
 };
+pub use xsocket::{plan_xsocket, xsocket_from_grid, xsocket_sweep, XsocketReport, XsocketRow};

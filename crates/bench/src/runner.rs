@@ -3,8 +3,9 @@
 
 use laser_core::{
     ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome, Observer, PipelineConfig,
+    TopologySpec,
 };
-use laser_machine::{RunResult, WorkloadImage};
+use laser_machine::{MachineConfig, RunResult, WorkloadImage};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
 /// How large an experiment to run.
@@ -94,6 +95,23 @@ pub fn run_native(spec: &WorkloadSpec, opts: &BuildOptions) -> Result<RunResult,
     Laser::run_native(&spec.build(opts))
 }
 
+/// Run a workload natively on a topology preset: the build options are
+/// adapted to it ([`BuildOptions::for_topology`]: threads scale with the
+/// socket count, multi-socket placement goes round-robin) and the machine is
+/// deployed on the preset's topology and core count. The flat preset is
+/// byte-identical to [`run_native`].
+///
+/// # Errors
+/// Propagates simulator errors (step-budget exhaustion).
+pub fn run_native_at(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    topo: TopologySpec,
+) -> Result<RunResult, LaserError> {
+    let opts = opts.clone().for_topology(topo);
+    Laser::run_native_on(&spec.build(&opts), MachineConfig::for_topology(topo))
+}
+
 /// Run a workload under LASER with the given configuration.
 ///
 /// # Errors
@@ -123,11 +141,38 @@ pub fn run_laser_observed(
     pipeline: PipelineConfig,
     observer: Box<dyn Observer>,
 ) -> Result<LaserOutcome, LaserError> {
+    run_laser_observed_at(spec, opts, config, pipeline, TopologySpec::Flat, observer)
+}
+
+/// Like [`run_laser_observed`], deployed on a topology preset: the build
+/// options are adapted to it and the session's machine is configured with
+/// the preset's topology and core count (via `LaserConfig::topology`). The
+/// flat preset is byte-identical to [`run_laser_observed`].
+///
+/// # Errors
+/// Propagates simulator errors, and [`LaserError::Stopped`] when `observer`
+/// cancelled the run.
+pub fn run_laser_observed_at(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    pipeline: PipelineConfig,
+    topo: TopologySpec,
+    observer: Box<dyn Observer>,
+) -> Result<LaserOutcome, LaserError> {
+    let opts = opts.clone().for_topology(topo);
+    // The flat default never clobbers a topology the caller put in their own
+    // LaserConfig.
+    let config = if topo == TopologySpec::Flat {
+        config
+    } else {
+        config.with_topology(topo)
+    };
     Laser::builder()
         .config(config)
         .pipeline_config(pipeline)
         .boxed_observer(observer)
-        .build(&build_under_tool(spec, opts))
+        .build(&build_under_tool(spec, &opts))
         .run()
 }
 
@@ -144,10 +189,31 @@ pub fn run_laser_piped(
     config: LaserConfig,
     pipeline: PipelineConfig,
 ) -> Result<LaserOutcome, LaserError> {
+    run_laser_piped_at(spec, opts, config, pipeline, TopologySpec::Flat)
+}
+
+/// Like [`run_laser_piped`], deployed on a topology preset (see
+/// [`run_laser_observed_at`] for how the preset is applied).
+///
+/// # Errors
+/// Propagates simulator errors (step-budget exhaustion).
+pub fn run_laser_piped_at(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    pipeline: PipelineConfig,
+    topo: TopologySpec,
+) -> Result<LaserOutcome, LaserError> {
+    let opts = opts.clone().for_topology(topo);
+    let config = if topo == TopologySpec::Flat {
+        config
+    } else {
+        config.with_topology(topo)
+    };
     Laser::builder()
         .config(config)
         .pipeline_config(pipeline)
-        .build(&build_under_tool(spec, opts))
+        .build(&build_under_tool(spec, &opts))
         .run()
 }
 

@@ -20,11 +20,12 @@ use std::ops::ControlFlow;
 use laser_baselines::{Sheriff, SheriffConfig, SheriffFailure, SheriffMode, Vtune, VtuneConfig};
 use laser_core::{
     ContentionKind, LaserConfig, LaserError, LaserEvent, NullObserver, Observer, PipelineConfig,
-    StopReason,
+    StopReason, TopologySpec,
 };
+use laser_machine::MachineConfig;
 use laser_workloads::{BuildOptions, WorkloadSpec};
 
-use crate::runner::{build_under_tool, run_laser_observed, run_laser_piped, run_native};
+use crate::runner::{build_under_tool, run_laser_observed_at, run_laser_piped_at, run_native_at};
 
 /// One contention site a tool reported, in a tool-neutral shape.
 ///
@@ -69,6 +70,13 @@ pub struct ToolRun {
     pub driver_overhead_cycles: u64,
     /// Cycles the detector process consumed (LASER only).
     pub detector_cycles: u64,
+    /// Ground-truth HITM events of the monitored run (0 where the tool's
+    /// model exposes no machine statistics, i.e. Sheriff).
+    pub hitm_events: u64,
+    /// Ground-truth HITM events serviced across a socket boundary; always 0
+    /// on the flat topology. The cross-socket sweep derives its
+    /// repair-reduces-remote-HITMs claim from this.
+    pub hitm_remote: u64,
 }
 
 impl ToolRun {
@@ -118,14 +126,37 @@ impl std::fmt::Display for ToolFailure {
     }
 }
 
+/// The cell key of a tool deployed on a topology: the bare tool name on the
+/// flat (default) topology, `name@2s` / `name@4s` on the multi-socket
+/// presets. Keeping flat keys bare preserves the pre-topology cell naming
+/// byte-for-byte.
+pub fn cell_key(tool_name: &str, topo: TopologySpec) -> String {
+    if topo == TopologySpec::Flat {
+        tool_name.to_string()
+    } else {
+        format!("{tool_name}@{topo}")
+    }
+}
+
 /// A contention tool (or the absence of one) that can run a workload.
+///
+/// The primary entry point is [`Tool::run_observed_at`], which takes the
+/// socket topology the cell runs on; the topology-less methods are
+/// conveniences that run on the flat (single-socket) preset. A tool is
+/// responsible for adapting the build options to the topology
+/// ([`BuildOptions::for_topology`]: threads scale with the socket count,
+/// placement goes round-robin) and for deploying its machine on the preset —
+/// so a caller never has to keep options and machine configuration in sync
+/// by hand.
 pub trait Tool: Send + Sync {
-    /// Stable display name, used as the cell key in campaign results.
+    /// Stable display name, used (suffixed with the topology via
+    /// [`cell_key`]) as the cell key in campaign results.
     fn name(&self) -> &str;
 
-    /// Build and run `spec` at `opts` under this tool, streaming the run to
-    /// `observer`. An observer that breaks cancels the run (where the tool
-    /// supports it) and the cell fails with [`ToolFailure::BudgetExceeded`].
+    /// Build and run `spec` at `opts` on topology `topo` under this tool,
+    /// streaming the run to `observer`. An observer that breaks cancels the
+    /// run (where the tool supports it) and the cell fails with
+    /// [`ToolFailure::BudgetExceeded`].
     ///
     /// LASER runs stream their full [`LaserEvent`] sequence and stop
     /// mid-quantum;
@@ -139,20 +170,48 @@ pub trait Tool: Send + Sync {
     /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
     /// workload, [`ToolFailure::Error`] when the simulation fails and
     /// [`ToolFailure::BudgetExceeded`] when `observer` stopped the run.
+    fn run_observed_at(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        topo: TopologySpec,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure>;
+
+    /// Build and run `spec` at `opts` on topology `topo`, unobserved.
+    ///
+    /// # Errors
+    /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
+    /// workload and [`ToolFailure::Error`] when the simulation fails.
+    fn run_at(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        topo: TopologySpec,
+    ) -> Result<ToolRun, ToolFailure> {
+        self.run_observed_at(spec, opts, topo, Box::new(NullObserver))
+    }
+
+    /// Build and run `spec` at `opts` under this tool on the flat topology,
+    /// streaming the run to `observer`.
+    ///
+    /// # Errors
+    /// As for [`Tool::run_observed_at`].
     fn run_observed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
         observer: Box<dyn Observer>,
-    ) -> Result<ToolRun, ToolFailure>;
+    ) -> Result<ToolRun, ToolFailure> {
+        self.run_observed_at(spec, opts, TopologySpec::Flat, observer)
+    }
 
-    /// Build and run `spec` at `opts` under this tool, unobserved.
+    /// Build and run `spec` at `opts` on the flat topology, unobserved.
     ///
     /// # Errors
-    /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
-    /// workload and [`ToolFailure::Error`] when the simulation fails.
+    /// As for [`Tool::run_at`].
     fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
-        self.run_observed(spec, opts, Box::new(NullObserver))
+        self.run_at(spec, opts, TopologySpec::Flat)
     }
 
     /// Deploy this tool's runs with the given session pipeline (see
@@ -190,16 +249,20 @@ impl Tool for NativeTool {
         "native"
     }
 
-    fn run_observed(
+    fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
+        topo: TopologySpec,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let result = run_native(spec, opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        let result =
+            run_native_at(spec, opts, topo).map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
+            hitm_events: result.stats.hitm_events,
+            hitm_remote: result.stats.hitm_remote,
             ..ToolRun::default()
         })
     }
@@ -216,20 +279,24 @@ impl Tool for FixedNativeTool {
         "native-fixed"
     }
 
-    fn run_observed(
+    fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
+        topo: TopologySpec,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
         let opts = BuildOptions {
             fixed: true,
             ..opts.clone()
         };
-        let result = run_native(spec, &opts).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        let result =
+            run_native_at(spec, &opts, topo).map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
+            hitm_events: result.stats.hitm_events,
+            hitm_remote: result.stats.hitm_remote,
             ..ToolRun::default()
         })
     }
@@ -295,23 +362,36 @@ impl Tool for LaserTool {
     /// are constructed, and a pipelined session's worker never owes a reply
     /// (the machine stage streams without per-batch round-trips). This is
     /// the path ordinary (unbudgeted) campaign and figure cells take.
-    fn run(&self, spec: &WorkloadSpec, opts: &BuildOptions) -> Result<ToolRun, ToolFailure> {
-        let outcome = run_laser_piped(spec, opts, self.config.clone(), self.pipeline)
+    fn run_at(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        topo: TopologySpec,
+    ) -> Result<ToolRun, ToolFailure> {
+        let outcome = run_laser_piped_at(spec, opts, self.config.clone(), self.pipeline, topo)
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         Ok(laser_outcome_to_tool_run(outcome))
     }
 
-    fn run_observed(
+    fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
+        topo: TopologySpec,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let outcome = run_laser_observed(spec, opts, self.config.clone(), self.pipeline, observer)
-            .map_err(|e| match e {
-                LaserError::Stopped(reason) => ToolFailure::BudgetExceeded { reason },
-                other => ToolFailure::Error(other.to_string()),
-            })?;
+        let outcome = run_laser_observed_at(
+            spec,
+            opts,
+            self.config.clone(),
+            self.pipeline,
+            topo,
+            observer,
+        )
+        .map_err(|e| match e {
+            LaserError::Stopped(reason) => ToolFailure::BudgetExceeded { reason },
+            other => ToolFailure::Error(other.to_string()),
+        })?;
         Ok(laser_outcome_to_tool_run(outcome))
     }
 }
@@ -336,6 +416,8 @@ fn laser_outcome_to_tool_run(outcome: laser_core::LaserOutcome) -> ToolRun {
         repair_invoked: outcome.repair.is_some(),
         driver_overhead_cycles: outcome.driver_stats.overhead_cycles,
         detector_cycles: outcome.detector_cycles,
+        hitm_events: outcome.run.stats.hitm_events,
+        hitm_remote: outcome.run.stats.hitm_remote,
     }
 }
 
@@ -357,15 +439,17 @@ impl Tool for VtuneTool {
         "vtune"
     }
 
-    fn run_observed(
+    fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
+        topo: TopologySpec,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let image = build_under_tool(spec, opts);
+        let opts = opts.clone().for_topology(topo);
+        let image = build_under_tool(spec, &opts);
         let outcome = Vtune::new(self.config.clone())
-            .run(&image)
+            .run_on(&image, MachineConfig::for_topology(topo))
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, outcome.run.steps, outcome.run.cycles)?;
         Ok(ToolRun {
@@ -382,6 +466,8 @@ impl Tool for VtuneTool {
                     rate_per_sec: l.rate_per_sec,
                 })
                 .collect(),
+            hitm_events: outcome.run.stats.hitm_events,
+            hitm_remote: outcome.run.stats.hitm_remote,
             ..ToolRun::default()
         })
     }
@@ -417,14 +503,16 @@ impl Tool for SheriffTool {
         }
     }
 
-    fn run_observed(
+    fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
+        topo: TopologySpec,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
+        let opts = opts.clone().for_topology(topo);
         let outcome = Sheriff::new(self.config)
-            .run(spec, opts, self.mode)
+            .run_on(spec, &opts, self.mode, MachineConfig::for_topology(topo))
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         match outcome.result {
             Ok(run) => {
@@ -479,6 +567,11 @@ pub enum ToolSpec {
 }
 
 impl ToolSpec {
+    /// The cell key of this tool on topology `topo` (see [`cell_key`]).
+    pub fn key_at(&self, topo: TopologySpec) -> String {
+        cell_key(&self.key(), topo)
+    }
+
     /// The stable cell key: identical to the built tool's `name()`.
     pub fn key(&self) -> String {
         match self {

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use laser_machine::TopologySpec;
 use laser_pebs::driver::DriverConfig;
 use laser_pebs::imprecision::ImprecisionParams;
 
@@ -18,7 +19,12 @@ pub struct LaserConfig {
     /// sustains at least this many HITM records per second (Section 4.4: the
     /// detector "periodically checks the HITM event rate, triggering
     /// LASERREPAIR if the rate of false sharing events exceeds a given
-    /// threshold").
+    /// threshold"). On a multi-socket topology the session cost-weights this
+    /// threshold by the observed remote-HITM share — cross-socket transfers
+    /// are dearer but correspondingly rarer per second, so a raw event-rate
+    /// trigger would under-fire exactly where repair pays most; on a single
+    /// socket the weighting is exactly 1 and the paper's semantics are
+    /// unchanged.
     pub repair_rate_threshold: f64,
     /// How many instructions the application runs between driver polls /
     /// detector wake-ups.
@@ -41,6 +47,12 @@ pub struct LaserConfig {
     pub driver: DriverConfig,
     /// Seed for the imprecision model's random draws.
     pub seed: u64,
+    /// The socket topology the deployment runs on (default: the paper's
+    /// single-socket machine). A non-flat preset makes
+    /// `SessionBuilder::build` configure the machine with the preset's
+    /// topology and core count unless the caller supplied an explicit
+    /// non-default machine configuration of their own.
+    pub topology: TopologySpec,
 }
 
 impl Default for LaserConfig {
@@ -57,6 +69,7 @@ impl Default for LaserConfig {
             imprecision: ImprecisionParams::default(),
             driver: DriverConfig::default(),
             seed: 0xA5E12,
+            topology: TopologySpec::Flat,
         }
     }
 }
@@ -88,6 +101,12 @@ impl LaserConfig {
         self.seed = seed;
         self
     }
+
+    /// Override the socket topology (builder-style).
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,10 +126,13 @@ mod tests {
         let c = LaserConfig::detection_only()
             .with_sav(7)
             .with_rate_threshold(64.0)
-            .with_seed(1);
+            .with_seed(1)
+            .with_topology(TopologySpec::DualSocket);
         assert!(!c.enable_repair);
         assert_eq!(c.sav, 7);
         assert_eq!(c.rate_threshold_hitm_per_sec, 64.0);
         assert_eq!(c.seed, 1);
+        assert_eq!(c.topology, TopologySpec::DualSocket);
+        assert_eq!(LaserConfig::default().topology, TopologySpec::Flat);
     }
 }

@@ -318,6 +318,9 @@ impl Detector {
             dropped_stack: self.dropped_stack,
             elapsed_seconds,
             repair_invoked,
+            // Ground truth the detector cannot see from sampled records; the
+            // session fills it in from machine statistics.
+            remote_hitm_share: 0.0,
         }
     }
 }

@@ -87,6 +87,7 @@ pub mod system;
 
 pub use config::LaserConfig;
 pub use detect::Detector;
+pub use laser_machine::{ThreadPlacement, Topology, TopologySpec};
 pub use observe::{
     BudgetObserver, CellBudget, EventLog, LaserEvent, LineRate, NullObserver, Observer, StopReason,
 };

@@ -65,6 +65,11 @@ pub enum LaserEvent {
     DetectionUpdate {
         /// Per-line rates over the benchmark time elapsed so far.
         lines: Vec<LineRate>,
+        /// Fraction of the ground-truth HITM events so far that crossed a
+        /// socket boundary (0.0 on a single-socket topology). Drawn from
+        /// machine statistics at the batch's charge point, so it is
+        /// identical inline and pipelined.
+        remote_hitm_share: f64,
     },
     /// LASERREPAIR attached its instrumentation to the running program.
     RepairAttached {

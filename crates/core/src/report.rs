@@ -64,6 +64,11 @@ pub struct ContentionReport {
     pub elapsed_seconds: f64,
     /// Whether LASERREPAIR was invoked during the run.
     pub repair_invoked: bool,
+    /// Fraction of the run's ground-truth HITM events that crossed a socket
+    /// boundary (0.0 on a single-socket topology). Filled in by the session
+    /// from machine statistics — the detector itself only sees sampled
+    /// records.
+    pub remote_hitm_share: f64,
 }
 
 impl ContentionReport {
@@ -107,6 +112,13 @@ impl ContentionReport {
             "  dropped: {} non-code PCs, {} stack addresses; repair invoked: {}",
             self.dropped_non_code, self.dropped_stack, self.repair_invoked
         );
+        if self.remote_hitm_share > 0.0 {
+            let _ = writeln!(
+                out,
+                "  cross-socket HITM share: {:.1}%",
+                self.remote_hitm_share * 100.0
+            );
+        }
         for l in &self.lines {
             let _ = writeln!(
                 out,
@@ -155,6 +167,7 @@ mod tests {
             dropped_stack: 2,
             elapsed_seconds: 1.5,
             repair_invoked: true,
+            remote_hitm_share: 0.0,
         }
     }
 
@@ -176,6 +189,14 @@ mod tests {
         assert!(text.contains("demo.c:42"));
         assert!(text.contains("false sharing"));
         assert!(text.contains("true sharing"));
+        // Single-socket runs do not mention sockets at all...
+        assert!(!text.contains("cross-socket"));
+        // ...multi-socket runs surface the share.
+        let r = ContentionReport {
+            remote_hitm_share: 0.625,
+            ..sample_report()
+        };
+        assert!(r.render().contains("cross-socket HITM share: 62.5%"));
     }
 
     #[test]

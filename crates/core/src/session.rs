@@ -244,13 +244,32 @@ impl SessionBuilder {
     /// Construct the session for `image`. Pure setup: nothing runs until
     /// [`LaserSession::advance`] or [`LaserSession::run`] (a pipelined
     /// session's worker thread spawns here, but idles on an empty channel).
+    ///
+    /// A non-flat [`LaserConfig::topology`] deploys the machine on that
+    /// preset (its socket topology and 4-cores-per-socket count) unless the
+    /// caller supplied a machine configuration with its own non-default
+    /// topology, which then wins.
+    ///
+    /// # Panics
+    /// Panics if the machine configuration fails validation — a zero clock
+    /// frequency, a non-monotone latency ladder, or cross-socket latencies
+    /// cheaper than local ones — so nonsense cost models are rejected here
+    /// instead of producing corrupt HITM rates downstream.
     pub fn build(self, image: &WorkloadImage) -> LaserSession {
         let SessionBuilder {
             config,
-            machine: machine_config,
+            machine: mut machine_config,
             observer,
             pipeline,
         } = self;
+        if config.topology != laser_machine::TopologySpec::Flat
+            && machine_config.topology == laser_machine::Topology::single_socket()
+        {
+            machine_config.topology = config.topology.topology();
+            if machine_config.num_cores == MachineConfig::default().num_cores {
+                machine_config.num_cores = config.topology.num_cores();
+            }
+        }
         let max_steps = machine_config.max_steps;
         let num_cores = machine_config.num_cores;
         let machine = Machine::new(machine_config, image);
@@ -373,6 +392,9 @@ struct PipeStage {
     /// The `RecordBatch` event of the batch in flight, deferred until its
     /// reply arrives (observed streaming mode only).
     pending: Option<LaserEvent>,
+    /// The remote-HITM share as of the in-flight batch's charge point, for
+    /// its deferred `DetectionUpdate`.
+    pending_share: f64,
     /// Whether a reply is owed for the batch in flight.
     awaiting_reply: bool,
     lossy: bool,
@@ -396,6 +418,7 @@ impl PipeStage {
             replies,
             worker,
             pending: None,
+            pending_share: 0.0,
             awaiting_reply: false,
             lossy: config.lossy,
         }
@@ -486,6 +509,36 @@ impl LaserSession {
     /// Send one event to the observer.
     fn emit(&mut self, event: LaserEvent) -> ControlFlow<StopReason> {
         self.observer.on_event(&event)
+    }
+
+    /// The mean cost of this run's HITM events relative to a local one.
+    ///
+    /// The paper's repair trigger is a threshold on the false-sharing *event
+    /// rate*, calibrated to a single socket where every HITM costs the same.
+    /// On a multi-socket part each cross-socket HITM is 2–3× dearer — and
+    /// therefore *rarer per second*, because the contended line ping-pongs
+    /// more slowly — so a raw event-rate trigger under-fires exactly where
+    /// repair pays most. Weighting the trigger by this factor makes it a
+    /// threshold on the *cost* of the false sharing, which is what repair
+    /// recovers. On a single-socket topology the factor is exactly 1.0, so
+    /// flat runs are byte-identical to the pre-topology trigger.
+    fn hitm_cost_factor(&self) -> f64 {
+        let stats = self.machine.stats();
+        let share = stats.remote_hitm_share();
+        if share == 0.0 {
+            return 1.0;
+        }
+        let local = self.machine.latency().hitm.max(1) as f64;
+        let remote = self.machine.topology().remote_latency().remote_hitm as f64;
+        1.0 + share * (remote / local - 1.0)
+    }
+
+    /// The repair trigger threshold with the topology cost weighting applied
+    /// (see [`LaserSession::hitm_cost_factor`]). Evaluated on the machine
+    /// thread at the batch's charge point, so inline and pipelined runs use
+    /// the same value.
+    fn effective_repair_threshold(&self) -> f64 {
+        self.config.repair_rate_threshold / self.hitm_cost_factor()
     }
 
     /// Charge `cycles` of detector work to the machine, spread over the
@@ -586,6 +639,7 @@ impl LaserSession {
                         .as_ref()
                         .expect("inline stage owns detector")
                         .line_rates(self.machine.elapsed_benchmark_seconds()),
+                    remote_hitm_share: self.machine.stats().remote_hitm_share(),
                 };
                 self.emit(update)?;
             }
@@ -593,11 +647,12 @@ impl LaserSession {
 
         if self.config.enable_repair && self.repair.is_none() {
             let elapsed = self.machine.elapsed_benchmark_seconds();
+            let threshold = self.effective_repair_threshold();
             let pcs = self
                 .detector
                 .as_ref()
                 .expect("inline stage owns detector")
-                .repair_trigger_pcs(elapsed, self.config.repair_rate_threshold);
+                .repair_trigger_pcs(elapsed, threshold);
             if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
                 if self.observed {
                     self.emit(attached)?;
@@ -633,12 +688,16 @@ impl LaserSession {
             let cycles = detect::batch_processing_cycles(self.config.detector_cycles_per_record, n);
             self.charge_detector_cycles(cycles);
             let elapsed = self.machine.elapsed_benchmark_seconds();
+            // Captured at the inline charge point: a deferred DetectionUpdate
+            // must report the share as of *its* batch, not of the overlapped
+            // quantum that runs before the event is delivered.
+            let remote_share = self.machine.stats().remote_hitm_share();
             let batch_event = self.observed.then(|| self.record_batch_event(n));
             let job = DetectorJob::Batch {
                 records,
                 elapsed,
                 want_lines: self.observed,
-                trigger_threshold: lockstep.then_some(self.config.repair_rate_threshold),
+                trigger_threshold: lockstep.then(|| self.effective_repair_threshold()),
             };
             let expects_reply = self.observed || lockstep;
             let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
@@ -650,7 +709,10 @@ impl LaserSession {
                     self.emit(event)?;
                 }
                 if let Some(lines) = reply.lines {
-                    self.emit(LaserEvent::DetectionUpdate { lines })?;
+                    self.emit(LaserEvent::DetectionUpdate {
+                        lines,
+                        remote_hitm_share: remote_share,
+                    })?;
                 }
                 if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
                     if self.observed {
@@ -660,6 +722,7 @@ impl LaserSession {
             } else if expects_reply {
                 let pipe = self.pipe.as_mut().expect("piped stage");
                 pipe.pending = batch_event;
+                pipe.pending_share = remote_share;
                 pipe.awaiting_reply = true;
             }
         } else if lockstep {
@@ -667,7 +730,7 @@ impl LaserSession {
             // quantum, exactly as the inline stage does.
             let job = DetectorJob::Check {
                 elapsed: self.machine.elapsed_benchmark_seconds(),
-                threshold: self.config.repair_rate_threshold,
+                threshold: self.effective_repair_threshold(),
             };
             let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
             debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
@@ -713,16 +776,19 @@ impl LaserSession {
             return ControlFlow::Continue(());
         }
         let reply = self.recv_reply();
-        let pending = {
+        let (pending, share) = {
             let pipe = self.pipe.as_mut().expect("piped stage");
             pipe.awaiting_reply = false;
-            pipe.pending.take()
+            (pipe.pending.take(), pipe.pending_share)
         };
         if let Some(event) = pending {
             self.emit(event)?;
         }
         if let Some(lines) = reply.lines {
-            self.emit(LaserEvent::DetectionUpdate { lines })?;
+            self.emit(LaserEvent::DetectionUpdate {
+                lines,
+                remote_hitm_share: share,
+            })?;
         }
         ControlFlow::Continue(())
     }
@@ -856,12 +922,15 @@ impl LaserSession {
         }
 
         let elapsed = self.machine.elapsed_benchmark_seconds();
-        let report = self.detector.as_ref().expect("detector reclaimed").report(
+        let mut report = self.detector.as_ref().expect("detector reclaimed").report(
             &self.workload,
             elapsed,
             self.config.rate_threshold_hitm_per_sec,
             self.repair.is_some(),
         );
+        // The detector only sees sampled records; the ground-truth socket
+        // split comes from the machine.
+        report.remote_hitm_share = self.machine.stats().remote_hitm_share();
         LaserOutcome {
             report,
             run: self.machine.result(),
@@ -1055,7 +1124,7 @@ mod tests {
         // the run ended, and repair attached exactly once.
         assert!(events.iter().any(|e| matches!(
             e,
-            LaserEvent::DetectionUpdate { lines } if !lines.is_empty()
+            LaserEvent::DetectionUpdate { lines, .. } if !lines.is_empty()
         )));
         assert!(observed.repair.is_some(), "repair should trigger");
         assert_eq!(
@@ -1126,6 +1195,71 @@ mod tests {
         // The partial run is still inspectable.
         assert!(session.machine().steps() > 0);
         assert!(!session.repair_triggered());
+    }
+
+    #[test]
+    fn config_topology_deploys_the_machine_on_the_preset() {
+        use laser_machine::{ThreadPlacement, TopologySpec};
+        // Two threads false-sharing one line, pinned to different sockets:
+        // the session must surface the cross-socket share in its live
+        // DetectionUpdate events and in the final report.
+        let mut image = contended_image("xsock", 4000);
+        image.set_thread_placement(ThreadPlacement::RoundRobin);
+        let log = EventLog::new();
+        let mut session = Laser::builder()
+            .config(LaserConfig::detection_only().with_topology(TopologySpec::DualSocket))
+            .observer(log.clone())
+            .build(&image);
+        assert_eq!(session.machine().num_cores(), 8);
+        assert_eq!(session.machine().topology().num_sockets(), 2);
+        loop {
+            match session.advance().unwrap() {
+                SessionStatus::Running => {}
+                SessionStatus::Done => break,
+                SessionStatus::Stopped(r) => panic!("unexpected stop: {r}"),
+            }
+        }
+        let outcome = session.finish();
+        let stats = &outcome.run.stats;
+        assert!(stats.hitm_remote > 0, "threads sit on different sockets");
+        assert_eq!(stats.hitm_remote, stats.hitm_events);
+        assert!((outcome.report.remote_hitm_share - 1.0).abs() < 1e-12);
+        assert!(log.events().iter().any(|e| matches!(
+            e,
+            LaserEvent::DetectionUpdate { remote_hitm_share, .. } if *remote_hitm_share > 0.99
+        )));
+    }
+
+    #[test]
+    fn explicit_machine_topology_wins_over_the_config_preset() {
+        use laser_machine::{MachineConfig, Topology, TopologySpec};
+        let image = contended_image("topoprec", 500);
+        let session = Laser::builder()
+            .config(LaserConfig::detection_only().with_topology(TopologySpec::DualSocket))
+            .machine(MachineConfig {
+                num_cores: 16,
+                topology: Topology::quad_socket(),
+                ..MachineConfig::default()
+            })
+            .build(&image);
+        assert_eq!(session.machine().topology().num_sockets(), 4);
+        assert_eq!(session.machine().num_cores(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine configuration")]
+    fn build_rejects_a_nonsense_latency_model() {
+        use laser_machine::{LatencyModel, MachineConfig};
+        let image = contended_image("badlat", 100);
+        let _ = Laser::builder()
+            .machine(MachineConfig {
+                latency: LatencyModel {
+                    freq_hz: 0,
+                    ..LatencyModel::default()
+                },
+                ..MachineConfig::default()
+            })
+            .build(&image);
     }
 
     // ------------------------------------------------------------------

@@ -34,6 +34,11 @@ pub struct AccessOutcome {
     pub class: AccessClass,
     /// For HITM outcomes, the core that previously held the line Modified.
     pub previous_owner: Option<usize>,
+    /// Bitmask of the cores that held the line *before* this access (the
+    /// sharer set, or the Modified owner's bit; zero for a cold miss). The
+    /// topology layer uses it to decide whether an LLC hit was serviced
+    /// on-socket or across the interconnect.
+    pub sharers: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +101,7 @@ impl CoherenceDirectory {
                     AccessOutcome {
                         class: AccessClass::Dram,
                         previous_owner: None,
+                        sharers: 0,
                     },
                     ns,
                 )
@@ -104,6 +110,7 @@ impl CoherenceDirectory {
                 AccessOutcome {
                     class: AccessClass::L1Hit,
                     previous_owner: None,
+                    sharers: bit,
                 },
                 state.unwrap(),
             ),
@@ -119,6 +126,7 @@ impl CoherenceDirectory {
                     AccessOutcome {
                         class: AccessClass::Hitm,
                         previous_owner: Some(owner),
+                        sharers: 1u64 << owner,
                     },
                     ns,
                 )
@@ -135,6 +143,7 @@ impl CoherenceDirectory {
                         AccessOutcome {
                             class,
                             previous_owner: None,
+                            sharers,
                         },
                         LineState::Modified(core),
                     )
@@ -143,6 +152,7 @@ impl CoherenceDirectory {
                         AccessOutcome {
                             class: AccessClass::L1Hit,
                             previous_owner: None,
+                            sharers,
                         },
                         LineState::Shared(sharers),
                     )
@@ -151,6 +161,7 @@ impl CoherenceDirectory {
                         AccessOutcome {
                             class: AccessClass::LlcHit,
                             previous_owner: None,
+                            sharers,
                         },
                         LineState::Shared(sharers | bit),
                     )
@@ -253,6 +264,21 @@ mod tests {
         assert_eq!(d.tracked_lines(), 2);
         d.clear();
         assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn outcomes_carry_the_prior_holder_set() {
+        let mut d = CoherenceDirectory::new(4);
+        let o = d.access(0, 0x100, false);
+        assert_eq!(o.sharers, 0, "cold miss: nobody held the line");
+        d.access(1, 0x100, false);
+        let o = d.access(2, 0x100, false);
+        assert_eq!(o.sharers, 0b011, "cores 0 and 1 held it before core 2");
+        let o = d.access(3, 0x100, true); // upgrade over three sharers
+        assert_eq!(o.sharers, 0b111);
+        let o = d.access(0, 0x100, true); // HITM: owner 3's bit
+        assert_eq!(o.class, AccessClass::Hitm);
+        assert_eq!(o.sharers, 0b1000);
     }
 
     #[test]

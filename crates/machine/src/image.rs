@@ -12,6 +12,7 @@ use laser_isa::program::Program;
 use crate::addr::Addr;
 use crate::alloc::{AllocError, HeapAllocator, DEFAULT_ALIGN};
 use crate::memmap::{MemoryMap, Region, RegionKind};
+use crate::topology::ThreadPlacement;
 
 /// Start of the globals (static data) region.
 pub const GLOBALS_START: Addr = 0x0060_0000;
@@ -191,6 +192,7 @@ pub struct WorkloadImage {
     threads: Vec<ThreadSpec>,
     stack_tops: Vec<Addr>,
     time_dilation: f64,
+    thread_placement: ThreadPlacement,
 }
 
 impl WorkloadImage {
@@ -204,6 +206,7 @@ impl WorkloadImage {
             threads: Vec::new(),
             stack_tops: Vec::new(),
             time_dilation: 1.0,
+            thread_placement: ThreadPlacement::default(),
         }
     }
 
@@ -262,6 +265,17 @@ impl WorkloadImage {
     /// The time-dilation factor (1.0 if the workload runs at natural scale).
     pub fn time_dilation(&self) -> f64 {
         self.time_dilation
+    }
+
+    /// Set how the machine lays the image's threads out over the sockets
+    /// (default: [`ThreadPlacement::Packed`], the pre-topology mapping).
+    pub fn set_thread_placement(&mut self, placement: ThreadPlacement) {
+        self.thread_placement = placement;
+    }
+
+    /// The thread placement the machine will honour.
+    pub fn thread_placement(&self) -> ThreadPlacement {
+        self.thread_placement
     }
 }
 

@@ -72,6 +72,7 @@ pub mod mem;
 pub mod memmap;
 pub mod stats;
 pub mod timing;
+pub mod topology;
 
 pub use addr::{line_of, line_offset, Addr, CACHE_LINE_SIZE};
 pub use coherence::CoherenceDirectory;
@@ -81,4 +82,7 @@ pub use image::{ThreadSpec, WorkloadImage};
 pub use machine::{CoreId, Machine, MachineConfig, QuantumYield, RunResult, RunStatus};
 pub use memmap::{MemoryMap, PcClass, Region, RegionKind};
 pub use stats::MachineStats;
-pub use timing::LatencyModel;
+pub use timing::{LatencyError, LatencyModel};
+pub use topology::{
+    ResolvedClass, SocketLatency, ThreadPlacement, Topology, TopologyError, TopologySpec,
+};

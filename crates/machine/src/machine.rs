@@ -38,6 +38,7 @@ use crate::mem::SparseMemory;
 use crate::memmap::MemoryMap;
 use crate::stats::MachineStats;
 use crate::timing::LatencyModel;
+use crate::topology::Topology;
 
 mod dispatch;
 mod exec;
@@ -66,6 +67,10 @@ pub struct MachineConfig {
     pub num_cores: usize,
     /// The latency model.
     pub latency: LatencyModel,
+    /// The socket topology: core-to-socket mapping and cross-socket costs.
+    /// The default single-socket topology reproduces the pre-topology flat
+    /// cost model byte-identically.
+    pub topology: Topology,
     /// Upper bound on executed instructions before
     /// [`Machine::run_to_completion`] gives up.
     pub max_steps: u64,
@@ -76,7 +81,20 @@ impl Default for MachineConfig {
         MachineConfig {
             num_cores: 4,
             latency: LatencyModel::default(),
+            topology: Topology::single_socket(),
             max_steps: 400_000_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The machine a [`crate::topology::TopologySpec`] preset describes: 4
+    /// cores per socket with the preset's topology, everything else default.
+    pub fn for_topology(spec: crate::topology::TopologySpec) -> Self {
+        MachineConfig {
+            num_cores: spec.num_cores(),
+            topology: spec.topology(),
+            ..Default::default()
         }
     }
 }
@@ -174,13 +192,20 @@ impl Machine {
     /// Load a workload image onto a fresh machine.
     ///
     /// # Panics
-    /// Panics if a thread's entry label does not exist in the program or if
-    /// the image declares no threads.
+    /// Panics if a thread's entry label does not exist in the program, if the
+    /// image declares no threads, or if the configuration's latency model or
+    /// topology fail validation (zero clock frequency, non-monotone latency
+    /// ladder, remote transfers cheaper than local ones) — rejecting nonsense
+    /// cost models at construction time instead of producing corrupt rates
+    /// downstream.
     pub fn new(config: MachineConfig, image: &WorkloadImage) -> Self {
         assert!(
             !image.threads().is_empty(),
             "workload image declares no threads"
         );
+        if let Err(e) = config.topology.validate(&config.latency) {
+            panic!("invalid machine configuration: {e}");
+        }
         let program = image.program().clone();
         let mut mem = SparseMemory::new();
         for (addr, bytes) in image.layout().initial_contents() {
@@ -198,7 +223,9 @@ impl Machine {
             regs[STACK_POINTER_REG.0 as usize] = image.stack_top(tid);
             threads.push(ThreadCtx {
                 name: spec.name.clone(),
-                core: tid % config.num_cores,
+                core: config
+                    .topology
+                    .place_thread(tid, config.num_cores, image.thread_placement()),
                 block: entry,
                 idx: 0,
                 regs,
@@ -211,6 +238,7 @@ impl Machine {
             stats: MachineStats::default(),
             pending_hitms: Vec::new(),
             latency: config.latency.clone(),
+            topology: config.topology.clone(),
         };
         Machine {
             core_cycles: vec![0; config.num_cores],
@@ -238,6 +266,16 @@ impl Machine {
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
         self.config.num_cores
+    }
+
+    /// The socket topology the machine runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// The latency model charging the machine's accesses.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.config.latency
     }
 
     /// Instructions executed so far.

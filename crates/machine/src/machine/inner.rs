@@ -8,13 +8,14 @@
 use laser_isa::program::Pc;
 
 use crate::addr::{lines_touched, Addr};
-use crate::coherence::{AccessClass, CoherenceDirectory};
+use crate::coherence::CoherenceDirectory;
 use crate::event::{HitmEvent, MemAccessKind};
 use crate::htm::{fits_in_transaction, HtmOutcome};
 use crate::machine::CoreId;
 use crate::mem::SparseMemory;
 use crate::stats::MachineStats;
 use crate::timing::LatencyModel;
+use crate::topology::{ResolvedClass, Topology};
 
 /// Shared mutable machine state that both normal execution and attached hooks
 /// operate on.
@@ -24,6 +25,7 @@ pub(crate) struct MachineInner {
     pub(crate) stats: MachineStats,
     pub(crate) pending_hitms: Vec<HitmEvent>,
     pub(crate) latency: LatencyModel,
+    pub(crate) topology: Topology,
 }
 
 impl MachineInner {
@@ -43,23 +45,33 @@ impl MachineInner {
         now: u64,
     ) -> (u64, u64) {
         let mut worst = 0u64;
+        let num_cores = self.coh.num_cores();
         for line in lines_touched(addr, size) {
             let outcome = self.coh.access(core, line, is_write);
-            let cost = match outcome.class {
-                AccessClass::L1Hit => {
-                    self.stats.l1_hits += 1;
-                    self.latency.l1_hit
-                }
-                AccessClass::LlcHit => {
+            // The directory decides *what* happened; the topology decides
+            // *where* it was serviced and what that costs. On the default
+            // single-socket topology every class resolves local and is priced
+            // straight from the base latency model.
+            let class = self.topology.resolve(&outcome, core, num_cores, line);
+            match class {
+                ResolvedClass::L1Hit => self.stats.l1_hits += 1,
+                ResolvedClass::LlcLocal => self.stats.llc_hits += 1,
+                ResolvedClass::LlcRemote => {
                     self.stats.llc_hits += 1;
-                    self.latency.llc_hit
+                    self.stats.llc_remote_hits += 1;
                 }
-                AccessClass::Dram => {
+                ResolvedClass::DramLocal => self.stats.dram_accesses += 1,
+                ResolvedClass::DramRemote => {
                     self.stats.dram_accesses += 1;
-                    self.latency.dram
+                    self.stats.dram_remote_accesses += 1;
                 }
-                AccessClass::Hitm => {
+                ResolvedClass::HitmLocal | ResolvedClass::HitmRemote => {
                     self.stats.hitm_events += 1;
+                    if class == ResolvedClass::HitmRemote {
+                        self.stats.hitm_remote += 1;
+                    } else {
+                        self.stats.hitm_local += 1;
+                    }
                     match event_kind {
                         MemAccessKind::Load => self.stats.hitm_loads += 1,
                         MemAccessKind::Store => self.stats.hitm_stores += 1,
@@ -72,10 +84,9 @@ impl MachineInner {
                         kind: event_kind,
                         cycle: now,
                     });
-                    self.latency.hitm
                 }
-            };
-            worst = worst.max(cost);
+            }
+            worst = worst.max(self.topology.cost(class, &self.latency));
         }
         let value = if is_write {
             if let Some(v) = store_value {

@@ -292,3 +292,89 @@ fn hook_can_intercept_and_service_ops() {
     assert!(hook.is_some());
     assert!(!m.has_hook());
 }
+
+// ---------------------------------------------------------------------------
+// Socket topology
+// ---------------------------------------------------------------------------
+
+#[test]
+fn default_topology_splits_no_hitms_off_socket() {
+    let image = sharing_image(0, 400);
+    let mut m = Machine::new(MachineConfig::default(), &image);
+    let r = m.run_to_completion().unwrap();
+    assert!(r.stats.hitm_events > 0);
+    assert_eq!(r.stats.hitm_remote, 0, "one socket: every HITM is local");
+    assert_eq!(r.stats.hitm_local, r.stats.hitm_events);
+    assert_eq!(r.stats.llc_remote_hits, 0);
+    assert_eq!(r.stats.dram_remote_accesses, 0);
+}
+
+#[test]
+fn dual_socket_round_robin_placement_makes_contention_cross_socket() {
+    use crate::topology::{ThreadPlacement, TopologySpec};
+    // Two threads hammer one line. Packed placement puts them on cores 0 and
+    // 1 (same socket); round-robin puts them on cores 0 and 4 (different
+    // sockets), so the same HITMs become remote and the run gets slower.
+    let config = MachineConfig::for_topology(TopologySpec::DualSocket);
+
+    let packed = {
+        let image = sharing_image(0, 400);
+        let mut m = Machine::new(config.clone(), &image);
+        m.run_to_completion().unwrap()
+    };
+    assert!(packed.stats.hitm_events > 0);
+    assert_eq!(packed.stats.hitm_remote, 0, "same socket: local HITMs");
+
+    let spread = {
+        let mut image = sharing_image(0, 400);
+        image.set_thread_placement(ThreadPlacement::RoundRobin);
+        let mut m = Machine::new(config, &image);
+        m.run_to_completion().unwrap()
+    };
+    // Dearer transfers re-time the interleaving, so the two runs see
+    // different HITM *counts* — what is pinned is where they are serviced.
+    assert!(spread.stats.hitm_events > 0);
+    assert_eq!(
+        spread.stats.hitm_remote, spread.stats.hitm_events,
+        "different sockets: every HITM crosses the interconnect"
+    );
+    assert!((spread.stats.remote_hitm_share() - 1.0).abs() < 1e-12);
+    assert!(
+        spread.cycles > packed.cycles,
+        "remote HITMs are dearer: {} vs {}",
+        spread.cycles,
+        packed.cycles
+    );
+}
+
+#[test]
+fn dual_socket_dram_interleaves_homes() {
+    use crate::topology::TopologySpec;
+    // A single thread streaming over many lines: about half the cold misses
+    // land on the remote socket's DRAM.
+    let (image, _) = store_loop_image(64);
+    let config = MachineConfig::for_topology(TopologySpec::DualSocket);
+    let mut m = Machine::new(config, &image);
+    let r = m.run_to_completion().unwrap();
+    assert!(r.stats.dram_accesses >= 8);
+    assert!(
+        r.stats.dram_remote_accesses > 0 && r.stats.dram_remote_accesses < r.stats.dram_accesses,
+        "line-interleaved homes: some local, some remote ({}/{})",
+        r.stats.dram_remote_accesses,
+        r.stats.dram_accesses
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid machine configuration")]
+fn invalid_latency_model_is_rejected_at_construction() {
+    let (image, _) = store_loop_image(4);
+    let config = MachineConfig {
+        latency: crate::timing::LatencyModel {
+            freq_hz: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Machine::new(config, &image);
+}

@@ -6,6 +6,8 @@
 //! hit and a HITM transfer, because that ratio is what contention repair
 //! recovers.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 /// Latencies (in cycles) charged by the simulator.
@@ -59,10 +61,85 @@ impl Default for LatencyModel {
     }
 }
 
+/// Why a [`LatencyModel`] was rejected by [`LatencyModel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyError {
+    /// `freq_hz` is zero: every cycles-to-seconds conversion would divide by
+    /// zero and the detector's HITM-rate thresholds become meaningless.
+    ZeroFrequency,
+    /// The memory hierarchy is priced out of order (e.g. a DRAM access
+    /// cheaper than an LLC hit), which inverts every ratio the figures rest
+    /// on.
+    NonMonotone {
+        /// The faster level that should be the slower one.
+        slower: &'static str,
+        /// Its cost in cycles.
+        slower_cycles: u64,
+        /// The level it undercuts.
+        faster: &'static str,
+        /// That level's cost in cycles.
+        faster_cycles: u64,
+    },
+}
+
+impl fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyError::ZeroFrequency => write!(f, "freq_hz must be non-zero"),
+            LatencyError::NonMonotone {
+                slower,
+                slower_cycles,
+                faster,
+                faster_cycles,
+            } => write!(
+                f,
+                "non-monotone latencies: {slower} ({slower_cycles} cycles) must cost at least \
+                 {faster} ({faster_cycles} cycles)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
+
 impl LatencyModel {
     /// Convert a cycle count to seconds at this model's clock frequency.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / self.freq_hz as f64
+    }
+
+    /// Reject configurations that would produce nonsense downstream: a zero
+    /// clock frequency (the detector's HITM-per-second rates divide by it)
+    /// or a memory hierarchy priced out of order
+    /// (`l1_hit ≤ llc_hit ≤ hitm ≤ dram` must hold). Called by
+    /// `Machine::new` — and therefore by `SessionBuilder::build` — so bad
+    /// models are rejected at construction time, not discovered as corrupt
+    /// rates at report time.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), LatencyError> {
+        if self.freq_hz == 0 {
+            return Err(LatencyError::ZeroFrequency);
+        }
+        let ladder = [
+            ("l1_hit", self.l1_hit),
+            ("llc_hit", self.llc_hit),
+            ("hitm", self.hitm),
+            ("dram", self.dram),
+        ];
+        for pair in ladder.windows(2) {
+            let ((faster, fc), (slower, sc)) = (pair[0], pair[1]);
+            if sc < fc {
+                return Err(LatencyError::NonMonotone {
+                    slower,
+                    slower_cycles: sc,
+                    faster,
+                    faster_cycles: fc,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The ratio between a HITM transfer and a local L1 hit; the headroom that
@@ -83,6 +160,55 @@ mod tests {
         assert!(m.llc_hit < m.hitm);
         assert!(m.hitm < m.dram);
         assert!(m.hitm_penalty_ratio() > 10.0);
+    }
+
+    #[test]
+    fn validate_accepts_the_default_and_rejects_nonsense() {
+        LatencyModel::default().validate().unwrap();
+        let zero = LatencyModel {
+            freq_hz: 0,
+            ..LatencyModel::default()
+        };
+        assert_eq!(zero.validate(), Err(LatencyError::ZeroFrequency));
+        let inverted = LatencyModel {
+            dram: 10, // < hitm (90)
+            ..LatencyModel::default()
+        };
+        assert_eq!(
+            inverted.validate(),
+            Err(LatencyError::NonMonotone {
+                slower: "dram",
+                slower_cycles: 10,
+                faster: "hitm",
+                faster_cycles: 90,
+            })
+        );
+        // Equal levels are allowed (degenerate but not nonsense).
+        let flat = LatencyModel {
+            l1_hit: 40,
+            llc_hit: 40,
+            hitm: 90,
+            ..LatencyModel::default()
+        };
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn latency_error_display_is_stable() {
+        assert_eq!(
+            LatencyError::ZeroFrequency.to_string(),
+            "freq_hz must be non-zero"
+        );
+        assert_eq!(
+            LatencyError::NonMonotone {
+                slower: "dram",
+                slower_cycles: 10,
+                faster: "hitm",
+                faster_cycles: 90,
+            }
+            .to_string(),
+            "non-monotone latencies: dram (10 cycles) must cost at least hitm (90 cycles)"
+        );
     }
 
     #[test]

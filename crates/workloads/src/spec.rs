@@ -1,7 +1,7 @@
 //! Workload specifications, the known-performance-bug database, and the
 //! registry of all 35 evaluated configurations.
 
-use laser_machine::WorkloadImage;
+use laser_machine::{ThreadPlacement, TopologySpec, WorkloadImage};
 
 /// Benchmark suite a workload belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +80,10 @@ pub struct BuildOptions {
     /// Extra bytes added before every heap allocation, modelling the
     /// incidental layout shift some tools cause (the paper's `lu_ncb` case).
     pub layout_perturbation: u64,
+    /// How the machine lays the workload's threads out over the sockets
+    /// (default: packed, the pre-topology mapping; irrelevant on a
+    /// single-socket topology).
+    pub placement: ThreadPlacement,
 }
 
 impl Default for BuildOptions {
@@ -89,6 +93,7 @@ impl Default for BuildOptions {
             scale: 1.0,
             fixed: false,
             layout_perturbation: 0,
+            placement: ThreadPlacement::default(),
         }
     }
 }
@@ -108,6 +113,35 @@ impl BuildOptions {
         BuildOptions {
             scale,
             ..Default::default()
+        }
+    }
+
+    /// Override the worker-thread count (builder-style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the thread placement (builder-style).
+    pub fn with_placement(mut self, placement: ThreadPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The options a topology preset runs at: the thread count scales with
+    /// the socket count (4 threads/socket, matching the preset's 4
+    /// cores/socket) and multi-socket presets place threads round-robin
+    /// across sockets so contended lines actually cross the interconnect.
+    /// The flat preset returns the options unchanged — byte-identical to the
+    /// pre-topology behaviour.
+    pub fn for_topology(self, spec: TopologySpec) -> Self {
+        if spec == TopologySpec::Flat {
+            return self;
+        }
+        BuildOptions {
+            threads: self.threads * spec.sockets(),
+            placement: ThreadPlacement::RoundRobin,
+            ..self
         }
     }
 }
@@ -140,9 +174,13 @@ impl std::fmt::Debug for WorkloadSpec {
 }
 
 impl WorkloadSpec {
-    /// Build the workload image with the given options.
+    /// Build the workload image with the given options. The options'
+    /// thread placement is stamped onto the image here, so every workload
+    /// honours it without each builder having to thread it through.
     pub fn build(&self, opts: &BuildOptions) -> WorkloadImage {
-        (self.build_fn)(opts)
+        let mut image = (self.build_fn)(opts);
+        image.set_thread_placement(opts.placement);
+        image
     }
 
     /// Build with default options (4 threads, native-style input, unfixed).
@@ -239,6 +277,35 @@ mod tests {
         assert!(find("kmeans").is_some());
         assert!(find("histogram'").is_some());
         assert!(find("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn topology_options_scale_threads_and_spread_placement() {
+        let base = BuildOptions::scaled(0.1);
+        let flat = base.clone().for_topology(TopologySpec::Flat);
+        assert_eq!(flat, base, "flat preset leaves the options untouched");
+        let dual = base.clone().for_topology(TopologySpec::DualSocket);
+        assert_eq!(dual.threads, 8);
+        assert_eq!(dual.placement, ThreadPlacement::RoundRobin);
+        assert_eq!(dual.scale, base.scale);
+        let quad = base.clone().for_topology(TopologySpec::QuadSocket);
+        assert_eq!(quad.threads, 16);
+        // Builder helpers.
+        let o = BuildOptions::default()
+            .with_threads(0)
+            .with_placement(ThreadPlacement::RoundRobin);
+        assert_eq!(o.threads, 1, "thread count clamps to at least one");
+        assert_eq!(o.placement, ThreadPlacement::RoundRobin);
+    }
+
+    #[test]
+    fn build_stamps_the_placement_onto_the_image() {
+        let spec = find("histogram'").unwrap();
+        let image =
+            spec.build(&BuildOptions::scaled(0.05).with_placement(ThreadPlacement::RoundRobin));
+        assert_eq!(image.thread_placement(), ThreadPlacement::RoundRobin);
+        let image = spec.build(&BuildOptions::scaled(0.05));
+        assert_eq!(image.thread_placement(), ThreadPlacement::Packed);
     }
 
     #[test]

@@ -52,4 +52,6 @@ pub use laser_core::{
     LaserEvent, LaserOutcome, LaserSession, Observer, PipelineConfig, SessionBuilder,
     SessionStatus, StopReason,
 };
-pub use laser_machine::{Machine, MachineConfig, WorkloadImage};
+pub use laser_machine::{
+    Machine, MachineConfig, ThreadPlacement, Topology, TopologySpec, WorkloadImage,
+};

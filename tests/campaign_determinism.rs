@@ -6,7 +6,8 @@
 //! which is identical whether a session runs inline or on a worker thread.
 
 use laser_bench::{
-    Campaign, CellBudget, Emit, LaserTool, NativeTool, PipelineConfig, SheriffTool, Tool, VtuneTool,
+    Campaign, CellBudget, Emit, LaserTool, NativeTool, PipelineConfig, SheriffTool, Tool,
+    TopologySpec, VtuneTool,
 };
 use laser_core::{EventLog, Laser, LaserConfig};
 use laser_workloads::{find, registry, BuildOptions};
@@ -150,6 +151,40 @@ fn pipelined_observer_event_stream_is_identical_to_inline() {
             format!("{:?}", piped_log.events())
         );
     }
+}
+
+#[test]
+fn topology_campaigns_are_byte_identical_across_thread_counts_and_pipelining() {
+    // The topology axis composes with everything the campaign runner
+    // guarantees: a 2-socket campaign aggregates and renders byte-identically
+    // whatever the thread count, pipelined or inline, in all three formats.
+    let reference = campaign(1).with_topology(TopologySpec::DualSocket).run();
+    let parallel = campaign(8).with_topology(TopologySpec::DualSocket).run();
+    let piped = campaign(8)
+        .with_topology(TopologySpec::DualSocket)
+        .with_pipeline(PipelineConfig::pipelined())
+        .run();
+
+    assert_eq!(reference.cells, parallel.cells);
+    assert_eq!(reference.cells, piped.cells);
+    assert_eq!(reference.render(), piped.render());
+    assert_eq!(reference.to_json().render(), piped.to_json().render());
+    assert_eq!(reference.to_csv(), piped.to_csv());
+
+    // The axis is real, not a relabel: cells carry the @2s key, and the
+    // contended workloads show cross-socket traffic a flat campaign cannot.
+    assert!(reference.cells.iter().all(|c| c.tool.ends_with("@2s")));
+    let flat = campaign(1).run();
+    let (hot_2s, hot_flat) = (
+        reference.cell("histogram'", "native@2s").unwrap(),
+        flat.cell("histogram'", "native").unwrap(),
+    );
+    assert!(hot_2s.outcome.as_ref().unwrap().hitm_remote > 0);
+    assert_eq!(hot_flat.outcome.as_ref().unwrap().hitm_remote, 0);
+    assert_ne!(
+        hot_2s.outcome.as_ref().unwrap().cycles,
+        hot_flat.outcome.as_ref().unwrap().cycles
+    );
 }
 
 #[test]

@@ -11,7 +11,8 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig14_from_grid,
     plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
-use laser_bench::{CellBudget, ExperimentScale, Grid, GridResult, PipelineConfig};
+use laser_bench::xsocket::{plan_xsocket, xsocket_from_grid};
+use laser_bench::{CellBudget, ExperimentScale, Grid, GridResult, PipelineConfig, TopologySpec};
 use serde::json::Value;
 
 const SAVS: &[u32] = &[1, 19];
@@ -149,6 +150,61 @@ fn pipelined_budgeted_grids_emit_byte_identically_to_inline() {
         piped.campaign().to_json().render()
     );
     assert_eq!(inline.campaign().to_csv(), piped.campaign().to_csv());
+}
+
+#[test]
+fn topology_grids_emit_byte_identically_across_threads_and_pipelining() {
+    // A grid carrying the topology axis — figure cells shifted to the
+    // 2-socket preset by the grid default, plus the cross-socket sweep's
+    // explicit per-topology cells — must derive and emit byte-identically
+    // whatever the thread count, pipelined or inline, in all three formats.
+    let build = |threads, pipeline| {
+        let mut grid = Grid::new(ExperimentScale {
+            workload_scale: 0.08,
+            only: Some(&["histogram'", "swaptions"]),
+        })
+        .with_threads(threads)
+        .with_pipeline(pipeline)
+        .with_topology(TopologySpec::DualSocket);
+        plan_fig10(&mut grid);
+        plan_xsocket(&mut grid);
+        grid.run()
+    };
+    let reference = build(1, PipelineConfig::default());
+    let parallel = build(8, PipelineConfig::default());
+    let piped = build(8, PipelineConfig::pipelined());
+    assert_eq!(reference.campaign().cells, parallel.campaign().cells);
+    assert_eq!(reference.campaign().cells, piped.campaign().cells);
+
+    for grid in [&reference, &parallel, &piped] {
+        // fig10 derives from the 2-socket cells through the grid default...
+        let fig10 = fig10_from_grid(grid).unwrap();
+        let xsocket = xsocket_from_grid(grid).unwrap();
+        for (name, a, b) in [
+            (
+                "fig10",
+                fig10.render(),
+                fig10_from_grid(&reference).unwrap().render(),
+            ),
+            (
+                "xsocket",
+                xsocket.render(),
+                xsocket_from_grid(&reference).unwrap().render(),
+            ),
+            ("fig10-json", fig10.to_json().render(), {
+                fig10_from_grid(&reference).unwrap().to_json().render()
+            }),
+            ("xsocket-csv", xsocket.to_csv(), {
+                xsocket_from_grid(&reference).unwrap().to_csv()
+            }),
+        ] {
+            assert_eq!(a, b, "{name} differs between grid executions");
+            assert!(!a.is_empty());
+        }
+    }
+    // ...and the sweep's own JSON parses with its discriminator.
+    let doc = Value::parse(&xsocket_from_grid(&reference).unwrap().to_json().render()).unwrap();
+    assert_eq!(doc.get("kind"), Some(&Value::Str("xsocket".to_string())));
 }
 
 #[test]

@@ -1,0 +1,81 @@
+//! Regression pin: the default (single-socket) topology's per-access charges
+//! equal the pre-topology flat cost model **exactly**.
+//!
+//! The topology refactor routed every memory access through
+//! `Topology::resolve` + `Topology::cost` instead of pricing the directory's
+//! `AccessClass` straight from the `LatencyModel`. On the default topology
+//! that indirection must be invisible: these tests pin end-to-end cycle
+//! counts captured from the pre-refactor tree (commit `3aaf9e9`, `campaign
+//! --threads 1 --scale 0.08`), so any drift in the flat cost path — a
+//! misrouted class, an off-by-one in a latency table — fails loudly rather
+//! than silently skewing every figure.
+
+use laser_bench::{LaserTool, NativeTool, Tool, ToolSpec, TopologySpec};
+use laser_core::LaserConfig;
+use laser_machine::{LatencyModel, ResolvedClass, Topology};
+use laser_workloads::{find, BuildOptions};
+
+fn opts() -> BuildOptions {
+    BuildOptions::scaled(0.08)
+}
+
+/// Cycle counts recorded from the pre-topology tree at scale 0.08.
+const PINNED_NATIVE: &[(&str, u64)] = &[
+    ("histogram'", 21_351),
+    ("linear_regression", 42_975),
+    ("swaptions", 5_383),
+];
+
+#[test]
+fn default_topology_native_cycles_match_the_pre_refactor_flat_model() {
+    for &(name, cycles) in PINNED_NATIVE {
+        let spec = find(name).expect("known workload");
+        let run = NativeTool.run(&spec, &opts()).unwrap();
+        assert_eq!(
+            run.cycles, cycles,
+            "{name}: default-topology charges drifted from the flat model"
+        );
+        assert_eq!(
+            run.hitm_remote, 0,
+            "{name}: nothing is remote on one socket"
+        );
+    }
+}
+
+#[test]
+fn default_topology_laser_cycles_match_the_pre_refactor_flat_model() {
+    // The LASER path exercises driver + detector charging on top of the
+    // machine's access costs; its end-to-end count pins both.
+    let spec = find("histogram'").expect("known workload");
+    let run = LaserTool::new(LaserConfig::detection_only())
+        .run(&spec, &opts())
+        .unwrap();
+    assert_eq!(run.cycles, 21_826, "laser-detect charges drifted");
+}
+
+#[test]
+fn flat_topology_prices_every_class_from_the_base_model() {
+    let base = LatencyModel::default();
+    let flat = Topology::single_socket();
+    assert_eq!(flat.cost(ResolvedClass::L1Hit, &base), base.l1_hit);
+    assert_eq!(flat.cost(ResolvedClass::LlcLocal, &base), base.llc_hit);
+    assert_eq!(flat.cost(ResolvedClass::HitmLocal, &base), base.hitm);
+    assert_eq!(flat.cost(ResolvedClass::DramLocal, &base), base.dram);
+}
+
+#[test]
+fn explicit_flat_topology_equals_the_default_cell_for_cell() {
+    // Running a cell "at" the flat preset must be the same computation as
+    // running it with no topology at all — key, options and outcome.
+    let spec = find("histogram'").expect("known workload");
+    let default_run = NativeTool.run(&spec, &opts()).unwrap();
+    let flat_run = NativeTool
+        .run_at(&spec, &opts(), TopologySpec::Flat)
+        .unwrap();
+    assert_eq!(default_run, flat_run);
+    assert_eq!(ToolSpec::Native.key_at(TopologySpec::Flat), "native");
+    assert_eq!(
+        ToolSpec::Native.key_at(TopologySpec::DualSocket),
+        "native@2s"
+    );
+}
