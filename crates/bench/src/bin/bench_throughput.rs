@@ -1,43 +1,54 @@
-//! Throughput harness for the pipelined session: inline vs pipelined
-//! steps-per-second, as a machine-readable CI gate.
+//! Throughput harness for the simulator hot loop: the per-commit perf
+//! trajectory and its two CI gates.
 //!
 //! ```text
 //! bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N]
 //!                  [--sav V] [--capacity C] [--min-ratio R] [--output PATH]
+//!                  [--topologies t1,t2,...] [--hotloop-output PATH]
+//!                  [--hotloop-baseline PATH] [--min-speedup R]
 //! ```
 //!
-//! For each workload the harness runs the same LASERDETECT session twice per
-//! repeat — once inline, once with the detector stage pipelined onto a worker
-//! thread — interleaved so machine-load drift hits both modes equally, and
-//! scores each mode by its **best** observed steps/second (robust against
-//! scheduling noise). It also asserts the tentpole invariant on every pair:
-//! the pipelined outcome must be byte-identical to the inline one (cycles,
-//! report, driver statistics), so the perf gate doubles as a determinism
-//! check.
+//! For each workload × topology the harness runs the same LASERDETECT session
+//! twice per repeat — once inline, once with the detector stage pipelined onto
+//! a worker thread — interleaved so machine-load drift hits both modes
+//! equally, and scores each mode by its **best** observed steps/second (robust
+//! against scheduling noise). It also asserts the tentpole invariant on every
+//! pair: the pipelined outcome must be byte-identical to the inline one
+//! (cycles, report, driver statistics), so the perf gates double as a
+//! determinism check.
 //!
-//! The result is written to `BENCH_pipeline.json` (override with `--output`)
-//! and echoed to stdout:
+//! Two reports come out of one measurement sweep:
+//!
+//! * **`BENCH_pipeline.json`** (override with `--output`) — the flat-topology
+//!   rows, scored as pipelined/inline ratios. The process exits non-zero when
+//!   `geomean_ratio < --min-ratio` (default 1.0: pipelining must not be slower
+//!   than inline).
+//! * **`BENCH_hotloop.json`** (override with `--hotloop-output`) — the perf
+//!   *trajectory*: absolute steps/second for every workload × topology × mode,
+//!   plus a headline number (geomean of the flat inline steps/sec across
+//!   workloads). When `--hotloop-baseline PATH` names a previously committed
+//!   trajectory, the harness computes `speedup = headline / baseline headline`
+//!   and exits non-zero if it falls below `--min-speedup`. That is the
+//!   hot-loop regression gate: every PR that touches `Machine::step`, the
+//!   scheduler or the dispatch path is judged against the recorded baseline.
 //!
 //! ```json
-//! {"kind":"bench_pipeline", "workloads":[{"workload":"histogram'",
-//!  "inline_steps_per_sec":..., "pipelined_steps_per_sec":..., "ratio":...}],
-//!  "geomean_ratio":..., "min_ratio":..., "pass":true}
+//! {"kind":"bench_hotloop", "rows":[{"workload":"histogram'",
+//!  "topology":"flat", "steps":..., "inline_steps_per_sec":...,
+//!  "pipelined_steps_per_sec":...}], "headline_steps_per_sec":...,
+//!  "baseline_headline_steps_per_sec":..., "speedup":..., "pass":true}
 //! ```
-//!
-//! The process exits non-zero when `geomean_ratio < --min-ratio` (default
-//! 1.0: pipelining must not be slower than inline) or when any pipelined
-//! outcome diverges from its inline twin — the CI `perf` job runs exactly
-//! this at small scale and fails the build on a regression.
 //!
 //! One environmental caveat: on a host with a **single hardware thread**
 //! the pipeline cannot overlap anything — the detector stage timeslices
 //! against the machine stage — so `pipelined ≥ inline` is physically out of
 //! reach and the measured ratio is pure scheduler noise around 1.0. The
 //! harness reports the host's `parallelism` in the JSON and, when it is 1,
-//! relaxes the effective gate to `min(min_ratio, 0.85)`: single-core hosts
-//! still catch gross regressions (a pipeline suddenly costing 15 %+), while
-//! every multi-core host — including every hosted CI runner — holds the
-//! strict line.
+//! relaxes the effective pipeline gate to `min(min_ratio, 0.85)`: single-core
+//! hosts still catch gross regressions (a pipeline suddenly costing 15 %+),
+//! while every multi-core host — including every hosted CI runner — holds the
+//! strict line. The hot-loop gate needs no such relaxation: it compares
+//! absolute inline throughput, which a single-core host measures fine.
 //!
 //! The default `--sav 1` samples every HITM event, the detector-heaviest
 //! configuration the hardware allows; it is where the paper's concurrency
@@ -50,27 +61,44 @@ use std::time::Instant;
 use laser_bench::runner::build_under_tool;
 use laser_bench::{geomean, validate_workload_names, PipelineConfig};
 use laser_core::{Laser, LaserConfig, LaserOutcome};
-use laser_machine::WorkloadImage;
+use laser_machine::{TopologySpec, WorkloadImage};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 use serde::json::Value;
 
 const USAGE: &str = "usage: bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N] \
-                     [--sav V] [--capacity C] [--min-ratio R] [--output PATH]\n\
+                     [--sav V] [--capacity C] [--min-ratio R] [--output PATH] \
+                     [--topologies t1,t2,...] [--hotloop-output PATH] \
+                     [--hotloop-baseline PATH] [--min-speedup R]\n\
                      \n\
-                     --scale S        workload input-size multiplier (default 2.0; below ~0.5\n\
-                     \x20                 runs are too short for the pipeline to amortize)\n\
-                     --workloads ...  comma-separated workload names (default: a contended trio)\n\
-                     --repeats N      timed repeats per mode, best-of scoring (default 5)\n\
-                     --sav V          PEBS sample-after-value (default 1: detector-heaviest)\n\
-                     --capacity C     record-channel capacity in batches (default 2)\n\
-                     --min-ratio R    fail unless geomean(pipelined/inline) >= R (default 1.0;\n\
-                     \x20                 relaxed to 0.85 on single-core hosts, where the\n\
-                     \x20                 pipeline has nothing to overlap against)\n\
-                     --output PATH    where to write the JSON report (default BENCH_pipeline.json)";
+                     --scale S            workload input-size multiplier (default 2.0; below ~0.5\n\
+                     \x20                     runs are too short for the pipeline to amortize)\n\
+                     --workloads ...      comma-separated workload names (default: a contended trio)\n\
+                     --repeats N          timed repeats per mode, best-of scoring (default 5)\n\
+                     --sav V              PEBS sample-after-value (default 1: detector-heaviest)\n\
+                     --capacity C         record-channel capacity in batches (default 2)\n\
+                     --min-ratio R        fail unless geomean(pipelined/inline) >= R on the flat\n\
+                     \x20                     rows (default 1.0; relaxed to 0.85 on single-core\n\
+                     \x20                     hosts, where the pipeline has nothing to overlap)\n\
+                     --output PATH        pipeline JSON report (default BENCH_pipeline.json)\n\
+                     --topologies ...     comma-separated topology presets to sweep in the\n\
+                     \x20                     trajectory (default flat,2s,4s)\n\
+                     --hotloop-output P   trajectory JSON report (default BENCH_hotloop.json)\n\
+                     --hotloop-baseline P committed trajectory to gate against (default: none)\n\
+                     --min-speedup R      with a baseline: fail unless headline steps/sec is at\n\
+                     \x20                     least R x the baseline headline (default 1.0)";
 
 /// Workloads whose contention keeps the detector busy enough for the
 /// pipeline overlap to matter.
 const DEFAULT_WORKLOADS: &[&str] = &["histogram'", "linear_regression", "reverse_index"];
+
+/// Topology presets the trajectory sweeps by default: the paper's flat
+/// machine plus both NUMA presets, so scheduler work at 8 and 16 cores is on
+/// the record.
+const DEFAULT_TOPOLOGIES: &[TopologySpec] = &[
+    TopologySpec::Flat,
+    TopologySpec::DualSocket,
+    TopologySpec::QuadSocket,
+];
 
 #[derive(Debug)]
 struct Cli {
@@ -81,6 +109,10 @@ struct Cli {
     capacity: usize,
     min_ratio: f64,
     output: String,
+    topologies: Vec<TopologySpec>,
+    hotloop_output: String,
+    hotloop_baseline: Option<String>,
+    min_speedup: f64,
 }
 
 impl Cli {
@@ -93,6 +125,10 @@ impl Cli {
             capacity: 2,
             min_ratio: 1.0,
             output: "BENCH_pipeline.json".to_string(),
+            topologies: DEFAULT_TOPOLOGIES.to_vec(),
+            hotloop_output: "BENCH_hotloop.json".to_string(),
+            hotloop_baseline: None,
+            min_speedup: 1.0,
         };
         let mut i = 0;
         let value = |args: &[String], i: usize| -> Result<String, String> {
@@ -118,10 +154,31 @@ impl Cli {
                     cli.min_ratio = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
                 }
                 "--output" => cli.output = value(args, i)?,
+                "--topologies" => {
+                    cli.topologies = value(args, i)?
+                        .split(',')
+                        .map(|t| {
+                            TopologySpec::parse(t)
+                                .ok_or_else(|| format!("unknown topology '{t}' (flat, 2s, 4s)"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "--hotloop-output" => cli.hotloop_output = value(args, i)?,
+                "--hotloop-baseline" => cli.hotloop_baseline = Some(value(args, i)?),
+                "--min-speedup" => {
+                    cli.min_speedup = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
             }
             i += 2;
+        }
+        if cli.topologies.is_empty() || !cli.topologies.contains(&TopologySpec::Flat) {
+            return Err(
+                "--topologies must include 'flat' (the pipeline gate and the headline \
+                        are scored on the flat rows)"
+                    .to_string(),
+            );
         }
         let names: Vec<&str> = cli.workloads.iter().map(String::as_str).collect();
         validate_workload_names(&names, &registry()).map_err(|e| e.to_string())?;
@@ -149,31 +206,40 @@ fn fingerprint(outcome: &LaserOutcome) -> String {
     )
 }
 
-struct WorkloadScore {
-    name: String,
+/// Best-of-N steps/sec for one workload on one topology, inline and pipelined.
+struct Score {
+    workload: String,
+    topology: TopologySpec,
     steps: u64,
     inline_best: f64,
     piped_best: f64,
 }
 
-impl WorkloadScore {
+impl Score {
     fn ratio(&self) -> f64 {
         self.piped_best / self.inline_best
     }
 }
 
-fn bench_workload(
+fn bench_cell(
     spec: &WorkloadSpec,
     opts: &BuildOptions,
     config: &LaserConfig,
     pipeline: PipelineConfig,
+    topo: TopologySpec,
     repeats: usize,
-) -> Result<WorkloadScore, String> {
+) -> Result<Score, String> {
     // Image construction is mode-independent setup; build it once outside
     // the timed window so the measured ratio reflects only session
     // execution (the pipelined leg still pays its own worker spawn — that
     // genuinely is part of the pipelined deployment).
-    let image: WorkloadImage = build_under_tool(spec, opts);
+    let opts = opts.clone().for_topology(topo);
+    let image: WorkloadImage = build_under_tool(spec, &opts);
+    let config = if topo == TopologySpec::Flat {
+        config.clone()
+    } else {
+        config.clone().with_topology(topo)
+    };
     let run_session = |pipelined: bool| -> Result<LaserOutcome, String> {
         Laser::builder()
             .config(config.clone())
@@ -184,7 +250,7 @@ fn bench_workload(
             })
             .build(&image)
             .run()
-            .map_err(|e| format!("{}: {e}", spec.name))
+            .map_err(|e| format!("{}@{}: {e}", spec.name, topo.key()))
     };
     let mut inline_best = 0f64;
     let mut piped_best = 0f64;
@@ -196,26 +262,28 @@ fn bench_workload(
         let (a, b) = (fingerprint(&inline_outcome), fingerprint(&piped_outcome));
         if a != b {
             return Err(format!(
-                "{}: pipelined outcome diverged from inline\n inline: {a}\n piped:  {b}",
-                spec.name
+                "{}@{}: pipelined outcome diverged from inline\n inline: {a}\n piped:  {b}",
+                spec.name,
+                topo.key()
             ));
         }
         steps = inline_outcome.run.steps;
         inline_best = inline_best.max(steps as f64 / inline_secs.max(1e-9));
         piped_best = piped_best.max(steps as f64 / piped_secs.max(1e-9));
     }
-    Ok(WorkloadScore {
-        name: spec.name.to_string(),
+    Ok(Score {
+        workload: spec.name.to_string(),
+        topology: topo,
         steps,
         inline_best,
         piped_best,
     })
 }
 
-/// The gate actually applied: the configured `--min-ratio` on any host with
-/// two or more hardware threads; relaxed on a single-core host, where the
-/// detector stage timeslices against the machine stage and `>= 1.0` would be
-/// a coin flip on scheduler noise.
+/// The pipeline gate actually applied: the configured `--min-ratio` on any
+/// host with two or more hardware threads; relaxed on a single-core host,
+/// where the detector stage timeslices against the machine stage and
+/// `>= 1.0` would be a coin flip on scheduler noise.
 fn effective_min_ratio(min_ratio: f64, parallelism: usize) -> f64 {
     if parallelism >= 2 {
         min_ratio
@@ -224,19 +292,48 @@ fn effective_min_ratio(min_ratio: f64, parallelism: usize) -> f64 {
     }
 }
 
-fn report_json(
+/// The headline number of the trajectory: geomean over workloads of the
+/// *inline flat* steps/sec — the raw hot-loop speed, independent of pipeline
+/// overlap and topology pricing.
+fn headline(scores: &[Score]) -> f64 {
+    let flat: Vec<f64> = scores
+        .iter()
+        .filter(|s| s.topology == TopologySpec::Flat)
+        .map(|s| s.inline_best)
+        .collect();
+    geomean(&flat)
+}
+
+/// Extract the headline steps/sec from a committed trajectory report.
+fn baseline_headline(path: &str) -> Result<f64, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read hotloop baseline {path}: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("parse hotloop baseline {path}: {e:?}"))?;
+    match doc.get("headline_steps_per_sec") {
+        Some(Value::Float(f)) if *f > 0.0 => Ok(*f),
+        Some(Value::Int(i)) if *i > 0 => Ok(*i as f64),
+        _ => Err(format!(
+            "hotloop baseline {path} has no positive headline_steps_per_sec"
+        )),
+    }
+}
+
+/// The flat-topology report (`BENCH_pipeline.json`): pipelined/inline ratios
+/// behind the `--min-ratio` gate. Schema unchanged from when it was the only
+/// report, so existing consumers keep parsing it.
+fn pipeline_json(
     cli: &Cli,
     parallelism: usize,
-    scores: &[WorkloadScore],
+    flat: &[&Score],
     geomean_ratio: f64,
     gate: f64,
     pass: bool,
 ) -> Value {
-    let workloads: Vec<Value> = scores
+    let workloads: Vec<Value> = flat
         .iter()
         .map(|s| {
             Value::object()
-                .set("workload", s.name.as_str())
+                .set("workload", s.workload.as_str())
                 .set("steps", s.steps as i64)
                 .set("inline_steps_per_sec", s.inline_best)
                 .set("pipelined_steps_per_sec", s.piped_best)
@@ -257,7 +354,68 @@ fn report_json(
         .set("pass", pass)
 }
 
+/// The trajectory report (`BENCH_hotloop.json`): absolute steps/sec for every
+/// workload × topology × mode plus the headline, gated against a committed
+/// baseline when one is named.
+fn hotloop_json(
+    cli: &Cli,
+    parallelism: usize,
+    scores: &[Score],
+    headline_sps: f64,
+    baseline: Option<(&str, f64)>,
+    pass: bool,
+) -> Value {
+    let rows: Vec<Value> = scores
+        .iter()
+        .map(|s| {
+            Value::object()
+                .set("workload", s.workload.as_str())
+                .set("topology", s.topology.key())
+                .set("steps", s.steps as i64)
+                .set("inline_steps_per_sec", s.inline_best)
+                .set("pipelined_steps_per_sec", s.piped_best)
+        })
+        .collect();
+    let (baseline_path, baseline_sps, speedup) = match baseline {
+        Some((path, sps)) => (
+            Value::Str(path.to_string()),
+            Value::Float(sps),
+            Value::Float(headline_sps / sps),
+        ),
+        None => (Value::Null, Value::Null, Value::Null),
+    };
+    Value::object()
+        .set("kind", "bench_hotloop")
+        .set("scale", cli.scale)
+        .set("repeats", cli.repeats as i64)
+        .set("sav", cli.sav as i64)
+        .set("capacity", cli.capacity as i64)
+        .set("parallelism", parallelism as i64)
+        .set(
+            "topologies",
+            Value::Array(
+                cli.topologies
+                    .iter()
+                    .map(|t| Value::Str(t.key().to_string()))
+                    .collect(),
+            ),
+        )
+        .set("rows", Value::Array(rows))
+        .set("headline_steps_per_sec", headline_sps)
+        .set("baseline", baseline_path)
+        .set("baseline_headline_steps_per_sec", baseline_sps)
+        .set("speedup", speedup)
+        .set("min_speedup", cli.min_speedup)
+        .set("pass", pass)
+}
+
 fn run(cli: &Cli) -> Result<bool, String> {
+    // Resolve the baseline before anything simulates: a bad path or a
+    // malformed file should fail the invocation immediately.
+    let baseline = match &cli.hotloop_baseline {
+        Some(path) => Some((path.as_str(), baseline_headline(path)?)),
+        None => None,
+    };
     let config = LaserConfig::detection_only().with_sav(cli.sav);
     let pipeline = PipelineConfig::pipelined().with_capacity(cli.capacity);
     let opts = BuildOptions {
@@ -271,7 +429,7 @@ fn run(cli: &Cli) -> Result<bool, String> {
     if parallelism < 2 {
         eprintln!(
             "note: single hardware thread available; the pipeline has nothing to overlap \
-             against, so the gate is relaxed to {gate:.2}"
+             against, so the pipeline gate is relaxed to {gate:.2}"
         );
     }
     let all = registry();
@@ -281,30 +439,75 @@ fn run(cli: &Cli) -> Result<bool, String> {
             .iter()
             .find(|s| s.name == name.as_str())
             .expect("names validated at parse time");
-        eprintln!("benching {name} ({} repeats x 2 modes)...", cli.repeats);
-        let score = bench_workload(spec, &opts, &config, pipeline, cli.repeats)?;
-        eprintln!(
-            "  inline {:>12.0} steps/s | pipelined {:>12.0} steps/s | ratio {:.3}",
-            score.inline_best,
-            score.piped_best,
-            score.ratio()
-        );
-        scores.push(score);
+        for topo in &cli.topologies {
+            eprintln!(
+                "benching {name}@{} ({} repeats x 2 modes)...",
+                topo.key(),
+                cli.repeats
+            );
+            let score = bench_cell(spec, &opts, &config, pipeline, *topo, cli.repeats)?;
+            eprintln!(
+                "  inline {:>12.0} steps/s | pipelined {:>12.0} steps/s | ratio {:.3}",
+                score.inline_best,
+                score.piped_best,
+                score.ratio()
+            );
+            scores.push(score);
+        }
     }
 
-    let ratios: Vec<f64> = scores.iter().map(WorkloadScore::ratio).collect();
+    // Pipeline gate: flat rows only.
+    let flat: Vec<&Score> = scores
+        .iter()
+        .filter(|s| s.topology == TopologySpec::Flat)
+        .collect();
+    let ratios: Vec<f64> = flat.iter().map(|s| s.ratio()).collect();
     let geomean_ratio = geomean(&ratios);
-    let pass = geomean_ratio >= gate;
-    let json = report_json(cli, parallelism, &scores, geomean_ratio, gate, pass).render();
+    let pipeline_pass = geomean_ratio >= gate;
+    let json = pipeline_json(cli, parallelism, &flat, geomean_ratio, gate, pipeline_pass).render();
     std::fs::write(&cli.output, format!("{json}\n"))
         .map_err(|e| format!("write {}: {e}", cli.output))?;
     println!("{json}");
     eprintln!(
         "geomean pipelined/inline = {geomean_ratio:.3} (gate: >= {gate:.3}) -> {}; wrote {}",
-        if pass { "pass" } else { "FAIL" },
+        if pipeline_pass { "pass" } else { "FAIL" },
         cli.output
     );
-    Ok(pass)
+
+    // Hot-loop gate: headline vs the committed baseline, when one is named.
+    let headline_sps = headline(&scores);
+    let hotloop_pass = match baseline {
+        Some((_, sps)) => headline_sps / sps >= cli.min_speedup,
+        None => true,
+    };
+    let json = hotloop_json(
+        cli,
+        parallelism,
+        &scores,
+        headline_sps,
+        baseline,
+        hotloop_pass,
+    );
+    let json = json.render();
+    std::fs::write(&cli.hotloop_output, format!("{json}\n"))
+        .map_err(|e| format!("write {}: {e}", cli.hotloop_output))?;
+    println!("{json}");
+    match baseline {
+        Some((path, sps)) => eprintln!(
+            "headline {headline_sps:.0} steps/s vs baseline {sps:.0} ({path}): speedup {:.3} \
+             (gate: >= {:.3}) -> {}; wrote {}",
+            headline_sps / sps,
+            cli.min_speedup,
+            if hotloop_pass { "pass" } else { "FAIL" },
+            cli.hotloop_output
+        ),
+        None => eprintln!(
+            "headline {headline_sps:.0} steps/s (no baseline named; trajectory recorded, not \
+             gated); wrote {}",
+            cli.hotloop_output
+        ),
+    }
+    Ok(pipeline_pass && hotloop_pass)
 }
 
 fn main() -> ExitCode {
@@ -334,6 +537,16 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn score(workload: &str, topo: TopologySpec, inline: f64, piped: f64) -> Score {
+        Score {
+            workload: workload.to_string(),
+            topology: topo,
+            steps: 1000,
+            inline_best: inline,
+            piped_best: piped,
+        }
+    }
+
     #[test]
     fn defaults_are_the_gate_configuration() {
         let cli = Cli::parse(&[]).unwrap();
@@ -343,6 +556,10 @@ mod tests {
         assert_eq!(cli.min_ratio, 1.0);
         assert_eq!(cli.output, "BENCH_pipeline.json");
         assert_eq!(cli.workloads, DEFAULT_WORKLOADS);
+        assert_eq!(cli.topologies, DEFAULT_TOPOLOGIES);
+        assert_eq!(cli.hotloop_output, "BENCH_hotloop.json");
+        assert_eq!(cli.hotloop_baseline, None);
+        assert_eq!(cli.min_speedup, 1.0);
     }
 
     #[test]
@@ -367,6 +584,21 @@ mod tests {
     }
 
     #[test]
+    fn topology_names_are_validated_up_front() {
+        let err = Cli::parse(&args(&["--topologies", "flat,8s"])).unwrap_err();
+        assert!(err.contains("unknown topology '8s'"), "{err}");
+        // The flat rows feed both the pipeline gate and the headline, so a
+        // sweep without them is rejected before anything simulates.
+        let err = Cli::parse(&args(&["--topologies", "2s,4s"])).unwrap_err();
+        assert!(err.contains("must include 'flat'"), "{err}");
+        let ok = Cli::parse(&args(&["--topologies", "flat,4s"])).unwrap();
+        assert_eq!(
+            ok.topologies,
+            vec![TopologySpec::Flat, TopologySpec::QuadSocket]
+        );
+    }
+
+    #[test]
     fn flags_override_defaults() {
         let cli = Cli::parse(&args(&[
             "--scale",
@@ -379,6 +611,12 @@ mod tests {
             "4",
             "--output",
             "out.json",
+            "--hotloop-output",
+            "hot.json",
+            "--hotloop-baseline",
+            "base.json",
+            "--min-speedup",
+            "1.5",
         ]))
         .unwrap();
         assert_eq!(cli.scale, 0.1);
@@ -386,18 +624,17 @@ mod tests {
         assert_eq!(cli.min_ratio, 0.9);
         assert_eq!(cli.capacity, 4);
         assert_eq!(cli.output, "out.json");
+        assert_eq!(cli.hotloop_output, "hot.json");
+        assert_eq!(cli.hotloop_baseline.as_deref(), Some("base.json"));
+        assert_eq!(cli.min_speedup, 1.5);
     }
 
     #[test]
-    fn report_shape_is_stable_and_parses() {
+    fn pipeline_report_shape_is_stable_and_parses() {
         let cli = Cli::parse(&[]).unwrap();
-        let scores = vec![WorkloadScore {
-            name: "histogram'".to_string(),
-            steps: 1000,
-            inline_best: 1.0e6,
-            piped_best: 1.1e6,
-        }];
-        let json = report_json(&cli, 4, &scores, 1.1, 1.0, true).render();
+        let s = score("histogram'", TopologySpec::Flat, 1.0e6, 1.1e6);
+        let flat = vec![&s];
+        let json = pipeline_json(&cli, 4, &flat, 1.1, 1.0, true).render();
         let doc = Value::parse(&json).unwrap();
         assert_eq!(doc.get("kind"), Some(&Value::Str("bench_pipeline".into())));
         assert_eq!(doc.get("pass"), Some(&Value::Bool(true)));
@@ -411,5 +648,73 @@ mod tests {
             rows[0].get("workload"),
             Some(&Value::Str("histogram'".into()))
         );
+    }
+
+    #[test]
+    fn headline_is_the_geomean_of_flat_inline_rows() {
+        let scores = vec![
+            score("a", TopologySpec::Flat, 4.0, 5.0),
+            score("b", TopologySpec::Flat, 9.0, 8.0),
+            // Multi-socket rows are on the record but not in the headline.
+            score("a", TopologySpec::DualSocket, 100.0, 100.0),
+        ];
+        assert!((headline(&scores) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotloop_report_round_trips_with_and_without_a_baseline() {
+        let cli = Cli::parse(&[]).unwrap();
+        let scores = vec![
+            score("histogram'", TopologySpec::Flat, 2.0e6, 2.1e6),
+            score("histogram'", TopologySpec::DualSocket, 1.5e6, 1.6e6),
+        ];
+        // Ungated: baseline fields are null, pass stands on its own.
+        let json = hotloop_json(&cli, 1, &scores, 2.0e6, None, true).render();
+        let doc = Value::parse(&json).unwrap();
+        assert_eq!(doc.get("kind"), Some(&Value::Str("bench_hotloop".into())));
+        assert_eq!(doc.get("baseline"), Some(&Value::Null));
+        assert_eq!(doc.get("speedup"), Some(&Value::Null));
+        assert_eq!(
+            doc.get("headline_steps_per_sec"),
+            Some(&Value::Float(2.0e6))
+        );
+        let Some(Value::Array(rows)) = doc.get("rows") else {
+            panic!("rows must be an array: {json}");
+        };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("topology"), Some(&Value::Str("2s".into())));
+        // Gated: the speedup against the named baseline is recorded.
+        let json = hotloop_json(&cli, 1, &scores, 3.0e6, Some(("base.json", 2.0e6)), true).render();
+        let doc = Value::parse(&json).unwrap();
+        assert_eq!(doc.get("baseline"), Some(&Value::Str("base.json".into())));
+        assert_eq!(doc.get("speedup"), Some(&Value::Float(1.5)));
+        assert_eq!(
+            doc.get("baseline_headline_steps_per_sec"),
+            Some(&Value::Float(2.0e6))
+        );
+    }
+
+    #[test]
+    fn baseline_headline_reads_committed_reports_and_rejects_junk() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("bench_hotloop_baseline_good.json");
+        std::fs::write(
+            &good,
+            Value::object()
+                .set("kind", "bench_hotloop")
+                .set("headline_steps_per_sec", 1.25e7)
+                .render(),
+        )
+        .unwrap();
+        assert_eq!(
+            baseline_headline(good.to_str().unwrap()).unwrap(),
+            1.25e7_f64
+        );
+        let bad = dir.join("bench_hotloop_baseline_bad.json");
+        std::fs::write(&bad, "{\"kind\":\"bench_hotloop\"}").unwrap();
+        let err = baseline_headline(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("headline_steps_per_sec"), "{err}");
+        let err = baseline_headline("/nonexistent/baseline.json").unwrap_err();
+        assert!(err.contains("read hotloop baseline"), "{err}");
     }
 }
