@@ -37,7 +37,7 @@ use crate::image::{WorkloadImage, STACK_POINTER_REG};
 use crate::mem::SparseMemory;
 use crate::memmap::MemoryMap;
 use crate::stats::MachineStats;
-use crate::timing::LatencyModel;
+use crate::timing::{HotLatency, LatencyModel};
 use crate::topology::Topology;
 
 mod dispatch;
@@ -175,6 +175,9 @@ pub struct Machine {
     hook: Option<Box<dyn ExecHook>>,
     steps: u64,
     time_dilation: f64,
+    /// The latencies `step()` charges directly, hoisted out of the hot loop
+    /// at construction time (`Copy` — no per-instruction clone).
+    hot: HotLatency,
 }
 
 impl fmt::Debug for Machine {
@@ -244,6 +247,7 @@ impl Machine {
             core_cycles: vec![0; config.num_cores],
             map: image.memory_map().clone(),
             time_dilation: image.time_dilation(),
+            hot: HotLatency::from(&config.latency),
             program,
             threads,
             inner,

@@ -77,7 +77,7 @@ impl Machine {
         let idx = self.threads[ti].idx;
         let pc = self.program.pc_of(block_id, idx);
         let now = self.core_cycles[core];
-        let lat = self.config.latency.clone();
+        let lat = self.hot;
 
         let num_insts = self.program.block(block_id).insts.len();
         if idx < num_insts {

@@ -102,6 +102,31 @@ impl fmt::Display for LatencyError {
 
 impl std::error::Error for LatencyError {}
 
+/// The latencies the fetch/execute loop charges directly, copied out of the
+/// [`LatencyModel`] once at machine construction. `Copy`, so `Machine::step`
+/// reads them as plain locals instead of cloning the full model (or fighting
+/// the borrow checker for a reference into `self`) on every instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HotLatency {
+    pub(crate) alu: u64,
+    pub(crate) branch: u64,
+    pub(crate) fence: u64,
+    pub(crate) pause: u64,
+    pub(crate) atomic_extra: u64,
+}
+
+impl From<&LatencyModel> for HotLatency {
+    fn from(m: &LatencyModel) -> Self {
+        HotLatency {
+            alu: m.alu,
+            branch: m.branch,
+            fence: m.fence,
+            pause: m.pause,
+            atomic_extra: m.atomic_extra,
+        }
+    }
+}
+
 impl LatencyModel {
     /// Convert a cycle count to seconds at this model's clock frequency.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
