@@ -184,7 +184,12 @@ pub enum RmwOp {
 }
 
 /// A non-terminator instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every field is plain old data, so instructions are `Copy`: the simulator's
+/// fetch/execute loop copies them out of the pre-decoded program instead of
+/// borrowing into it (which would conflict with the `&mut` machine state the
+/// executing instruction mutates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Inst {
     /// `dst <- zero-extended load of `size` bytes from `addr``.
     Load { dst: Reg, addr: MemAddr, size: u8 },
@@ -318,7 +323,7 @@ impl fmt::Display for Inst {
 }
 
 /// A basic-block terminator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

@@ -45,6 +45,7 @@
 pub mod alias;
 pub mod builder;
 pub mod cfg;
+pub mod decoded;
 pub mod dom;
 pub mod inst;
 pub mod memsets;
@@ -52,6 +53,7 @@ pub mod program;
 
 pub use builder::ProgramBuilder;
 pub use cfg::Cfg;
+pub use decoded::{DecodedBlock, DecodedInst, DecodedProgram};
 pub use inst::{AluOp, CmpOp, Inst, MemAddr, Operand, Reg, RmwOp, Terminator};
 pub use memsets::MemAccessSets;
 pub use program::{BasicBlock, BlockId, Pc, Program, SourceLoc};

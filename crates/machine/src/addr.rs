@@ -22,20 +22,22 @@ pub fn crosses_line(addr: Addr, size: u8) -> bool {
     size > 0 && line_of(addr) != line_of(addr + size as u64 - 1)
 }
 
+/// Iterate over the cache lines touched by an access of `size` bytes at
+/// `addr`, in address order, without allocating. This is what the machine's
+/// access path uses; [`lines_touched`] is the collecting convenience wrapper.
+pub fn iter_lines_touched(addr: Addr, size: u8) -> impl Iterator<Item = Addr> {
+    let first = line_of(addr);
+    let last = if size == 0 {
+        first
+    } else {
+        line_of(addr + size as u64 - 1)
+    };
+    (first..=last).step_by(CACHE_LINE_SIZE as usize)
+}
+
 /// The set of cache lines touched by an access of `size` bytes at `addr`.
 pub fn lines_touched(addr: Addr, size: u8) -> Vec<Addr> {
-    if size == 0 {
-        return vec![line_of(addr)];
-    }
-    let first = line_of(addr);
-    let last = line_of(addr + size as u64 - 1);
-    let mut v = Vec::new();
-    let mut l = first;
-    while l <= last {
-        v.push(l);
-        l += CACHE_LINE_SIZE;
-    }
-    v
+    iter_lines_touched(addr, size).collect()
 }
 
 #[cfg(test)]

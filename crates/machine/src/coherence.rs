@@ -7,11 +7,13 @@
 //! PEBS facility can sample and that LASER is built around (paper Sections 2
 //! and 3).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
 use crate::addr::Addr;
+use crate::fasthash::FastBuildHasher;
 
 /// Outcome classification of a single line access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,10 +50,15 @@ enum LineState {
 }
 
 /// The coherence directory for all cores.
+///
+/// Lines are keyed by a fast deterministic hasher: the directory sits on the
+/// simulator's hot path (one lookup per line per memory access) and its map
+/// is never iterated, so hashing cost is the only thing the hasher choice
+/// can change.
 #[derive(Debug, Clone)]
 pub struct CoherenceDirectory {
     num_cores: usize,
-    lines: HashMap<Addr, LineState>,
+    lines: HashMap<Addr, LineState, FastBuildHasher>,
 }
 
 impl CoherenceDirectory {
@@ -66,7 +73,7 @@ impl CoherenceDirectory {
         );
         CoherenceDirectory {
             num_cores,
-            lines: HashMap::new(),
+            lines: HashMap::default(),
         }
     }
 
@@ -88,88 +95,72 @@ impl CoherenceDirectory {
     pub fn access(&mut self, core: usize, line_addr: Addr, is_write: bool) -> AccessOutcome {
         assert!(core < self.num_cores, "core {core} out of range");
         let bit = 1u64 << core;
-        let state = self.lines.get(&line_addr).copied();
-        let (outcome, new_state) = match state {
-            None => {
+        // One map probe for both the state read and the in-place update.
+        let slot = match self.lines.entry(line_addr) {
+            Entry::Vacant(e) => {
                 // Cold miss.
-                let ns = if is_write {
+                e.insert(if is_write {
                     LineState::Modified(core)
                 } else {
                     LineState::Shared(bit)
-                };
-                (
-                    AccessOutcome {
-                        class: AccessClass::Dram,
-                        previous_owner: None,
-                        sharers: 0,
-                    },
-                    ns,
-                )
-            }
-            Some(LineState::Modified(owner)) if owner == core => (
-                AccessOutcome {
-                    class: AccessClass::L1Hit,
+                });
+                return AccessOutcome {
+                    class: AccessClass::Dram,
                     previous_owner: None,
-                    sharers: bit,
-                },
-                state.unwrap(),
-            ),
-            Some(LineState::Modified(owner)) => {
+                    sharers: 0,
+                };
+            }
+            Entry::Occupied(e) => e.into_mut(),
+        };
+        match *slot {
+            LineState::Modified(owner) if owner == core => AccessOutcome {
+                class: AccessClass::L1Hit,
+                previous_owner: None,
+                sharers: bit,
+            },
+            LineState::Modified(owner) => {
                 // Remote modified: HITM. A read leaves the line shared by
                 // both; a write transfers ownership.
-                let ns = if is_write {
+                *slot = if is_write {
                     LineState::Modified(core)
                 } else {
                     LineState::Shared(bit | (1u64 << owner))
                 };
-                (
-                    AccessOutcome {
-                        class: AccessClass::Hitm,
-                        previous_owner: Some(owner),
-                        sharers: 1u64 << owner,
-                    },
-                    ns,
-                )
-            }
-            Some(LineState::Shared(sharers)) => {
-                if is_write {
-                    // Upgrade / invalidate others.
-                    let class = if sharers == bit {
-                        AccessClass::L1Hit
-                    } else {
-                        AccessClass::LlcHit
-                    };
-                    (
-                        AccessOutcome {
-                            class,
-                            previous_owner: None,
-                            sharers,
-                        },
-                        LineState::Modified(core),
-                    )
-                } else if sharers & bit != 0 {
-                    (
-                        AccessOutcome {
-                            class: AccessClass::L1Hit,
-                            previous_owner: None,
-                            sharers,
-                        },
-                        LineState::Shared(sharers),
-                    )
-                } else {
-                    (
-                        AccessOutcome {
-                            class: AccessClass::LlcHit,
-                            previous_owner: None,
-                            sharers,
-                        },
-                        LineState::Shared(sharers | bit),
-                    )
+                AccessOutcome {
+                    class: AccessClass::Hitm,
+                    previous_owner: Some(owner),
+                    sharers: 1u64 << owner,
                 }
             }
-        };
-        self.lines.insert(line_addr, new_state);
-        outcome
+            LineState::Shared(sharers) => {
+                if is_write {
+                    // Upgrade / invalidate others.
+                    *slot = LineState::Modified(core);
+                    AccessOutcome {
+                        class: if sharers == bit {
+                            AccessClass::L1Hit
+                        } else {
+                            AccessClass::LlcHit
+                        },
+                        previous_owner: None,
+                        sharers,
+                    }
+                } else if sharers & bit != 0 {
+                    AccessOutcome {
+                        class: AccessClass::L1Hit,
+                        previous_owner: None,
+                        sharers,
+                    }
+                } else {
+                    *slot = LineState::Shared(sharers | bit);
+                    AccessOutcome {
+                        class: AccessClass::LlcHit,
+                        previous_owner: None,
+                        sharers,
+                    }
+                }
+            }
+        }
     }
 
     /// True if `core` currently holds `line_addr` in Modified state.

@@ -1,0 +1,112 @@
+//! A fast, deterministic hasher for the simulator's address-keyed maps.
+//!
+//! The coherence directory and sparse memory key their maps by line address
+//! and page number — small integers on the machine's hottest path. The
+//! standard library's default SipHash is DoS-resistant but costs tens of
+//! cycles per lookup, which the hot loop pays several times per simulated
+//! memory access. These maps are never exposed to untrusted keys and are
+//! never iterated (only counted), so a cheap multiply-rotate hash is both
+//! safe and behavior-preserving: every observable output of the machine is
+//! independent of map iteration order.
+//!
+//! The mixing function is the classic Fx hash (one wrapping multiply by a
+//! golden-ratio-derived odd constant per word, with a rotate to spread low
+//! bits), seeded identically on every run so simulations stay deterministic.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: 2^64 / phi, forced odd — the classic Fibonacci hashing
+/// constant.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A non-cryptographic word-at-a-time hasher (Fx-style).
+#[derive(Default)]
+pub(crate) struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`]: zero-sized, identical on every run.
+pub(crate) type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let b1 = FastBuildHasher::default();
+        let b2 = FastBuildHasher::default();
+        for k in [0u64, 1, 64, 4096, u64::MAX] {
+            assert_eq!(b1.hash_one(k), b2.hash_one(k));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        // Line addresses are 64-byte aligned; make sure aligned keys spread.
+        let b = FastBuildHasher::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(b.hash_one(i * 64));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut m: HashMap<u64, u32, FastBuildHasher> = HashMap::default();
+        for i in 0..1000 {
+            m.insert(i * 4096, i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&(i * 4096)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_aligned_input() {
+        // HashMap<u64, _> hashes via write_u64; the generic write() path only
+        // needs to be self-consistent, not identical — but check it mixes.
+        let mut h = FastHasher::default();
+        h.write(&[1, 2, 3]);
+        let a = h.finish();
+        let mut h = FastHasher::default();
+        h.write(&[3, 2, 1]);
+        assert_ne!(a, h.finish());
+    }
+}

@@ -64,6 +64,7 @@ pub mod addr;
 pub mod alloc;
 pub mod coherence;
 pub mod event;
+pub(crate) mod fasthash;
 pub mod hook;
 pub mod htm;
 pub mod image;

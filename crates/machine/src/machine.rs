@@ -26,13 +26,13 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use laser_isa::decoded::DecodedProgram;
 use laser_isa::inst::NUM_REGS;
 use laser_isa::program::Program;
 
 use crate::addr::Addr;
 use crate::coherence::CoherenceDirectory;
 use crate::event::HitmEvent;
-use crate::hook::ExecHook;
 use crate::image::{WorkloadImage, STACK_POINTER_REG};
 use crate::mem::SparseMemory;
 use crate::memmap::MemoryMap;
@@ -47,8 +47,9 @@ mod sched;
 #[cfg(test)]
 mod tests;
 
+use dispatch::HookSlot;
 pub(crate) use inner::MachineInner;
-use sched::ThreadCtx;
+use sched::{CoreSched, ThreadCtx};
 
 /// Identifier of a simulated core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -168,11 +169,17 @@ impl std::error::Error for MachineError {}
 pub struct Machine {
     config: MachineConfig,
     program: Program,
+    /// The program in execution form: flat per-block `(Inst, Pc)` arrays,
+    /// decoded once at construction. `step()` fetches exclusively from this.
+    decoded: DecodedProgram,
     map: MemoryMap,
     threads: Vec<ThreadCtx>,
     core_cycles: Vec<u64>,
+    /// The incremental scheduling structure (see [`sched`]); keeps the
+    /// smallest-clock decision O(1) per step.
+    sched: CoreSched,
     inner: MachineInner,
-    hook: Option<Box<dyn ExecHook>>,
+    hook: HookSlot,
     steps: u64,
     time_dilation: f64,
     /// The latencies `step()` charges directly, hoisted out of the hot loop
@@ -243,15 +250,18 @@ impl Machine {
             latency: config.latency.clone(),
             topology: config.topology.clone(),
         };
+        let thread_cores: Vec<usize> = threads.iter().map(|t| t.core).collect();
         Machine {
             core_cycles: vec![0; config.num_cores],
             map: image.memory_map().clone(),
             time_dilation: image.time_dilation(),
             hot: HotLatency::from(&config.latency),
+            decoded: DecodedProgram::decode(&program),
+            sched: CoreSched::new(&thread_cores, config.num_cores),
             program,
             threads,
             inner,
-            hook: None,
+            hook: HookSlot::default(),
             steps: 0,
             config,
         }
@@ -339,12 +349,16 @@ impl Machine {
     pub fn charge_cycles(&mut self, core: CoreId, cycles: u64) {
         self.core_cycles[core.0] += cycles;
         self.inner.stats.injected_overhead_cycles += cycles;
+        self.sched.reposition(&self.core_cycles, core.0);
     }
 
     /// Inject externally-caused cycles onto every core.
     pub fn charge_all_cores(&mut self, cycles: u64) {
-        for c in 0..self.core_cycles.len() {
-            self.charge_cycles(CoreId(c), cycles);
+        // A uniform charge shifts every scheduler key equally, so the heap's
+        // relative order is untouched — no per-core maintenance needed.
+        for c in self.core_cycles.iter_mut() {
+            *c += cycles;
+            self.inner.stats.injected_overhead_cycles += cycles;
         }
     }
 

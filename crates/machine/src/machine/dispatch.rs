@@ -1,104 +1,99 @@
 //! Hook attachment and dispatch — the machine side of the Pin substitute.
 //!
-//! The hook is temporarily taken out of the machine while it runs so it can
-//! be handed a [`HookCtx`] borrowing the machine's inner state without
-//! aliasing; every dispatch helper restores it afterwards.
+//! The hook lives in its own [`HookSlot`] field of the machine, disjoint from
+//! the [`MachineInner`](crate::machine::MachineInner) state a running hook
+//! mutates. Field-level borrow splitting then lets a dispatcher hand the hook
+//! a [`HookCtx`] without moving the hook out of the machine first: the
+//! no-hook path is a single `None` branch, and the hooked path pays no
+//! `Option::take`/restore round-trip per call.
 
 use laser_isa::program::{BlockId, Pc};
 
 use crate::hook::{ExecHook, HookAction, HookCtx, MemOp};
 use crate::machine::Machine;
 
+/// The machine's hook attachment point. A dedicated single-field struct (not
+/// a bare `Option` inside the machine) so the dispatchers below borrow it
+/// independently of the inner state both lexically and in intent: everything
+/// the hook may touch lives on the other side of the split.
+#[derive(Default)]
+pub(crate) struct HookSlot(pub(crate) Option<Box<dyn ExecHook>>);
+
+impl HookSlot {
+    /// True if a hook is attached — the hot loop's one-branch fast-path
+    /// check, used to skip argument marshalling entirely when unhooked.
+    #[inline]
+    pub(crate) fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
 impl Machine {
     /// Attach a dynamic-instrumentation hook (the Pin substitute). Replaces
     /// any previously attached hook.
     pub fn attach_hook(&mut self, hook: Box<dyn ExecHook>) {
-        self.hook = Some(hook);
+        self.hook.0 = Some(hook);
     }
 
     /// Detach and return the current hook, if any.
     pub fn detach_hook(&mut self) -> Option<Box<dyn ExecHook>> {
-        self.hook.take()
+        self.hook.0.take()
     }
 
     /// The currently attached hook, if any (e.g. to read tool statistics via
     /// [`ExecHook::as_any`] while the machine still owns the hook).
     pub fn hook(&self) -> Option<&dyn ExecHook> {
-        self.hook.as_deref()
+        self.hook.0.as_deref()
     }
 
     /// True if a hook is currently attached.
     pub fn has_hook(&self) -> bool {
-        self.hook.is_some()
+        self.hook.is_attached()
     }
 
-    pub(crate) fn hook_mem_op(&mut self, ti: usize, op: &MemOp) -> Option<HookAction> {
-        let mut hook = self.hook.take()?;
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let action = {
-            let mut ctx = HookCtx {
-                inner: &mut self.inner,
-                core,
-                now,
-            };
-            hook.on_mem_op(&mut ctx, op)
+    pub(crate) fn hook_mem_op(&mut self, core: usize, now: u64, op: &MemOp) -> Option<HookAction> {
+        let hook = self.hook.0.as_deref_mut()?;
+        let mut ctx = HookCtx {
+            inner: &mut self.inner,
+            core,
+            now,
         };
-        self.hook = Some(hook);
-        Some(action)
+        Some(hook.on_mem_op(&mut ctx, op))
     }
 
-    pub(crate) fn hook_fence(&mut self, ti: usize, pc: Pc) -> u64 {
-        let Some(mut hook) = self.hook.take() else {
+    pub(crate) fn hook_fence(&mut self, core: usize, now: u64, pc: Pc) -> u64 {
+        let Some(hook) = self.hook.0.as_deref_mut() else {
             return 0;
         };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx {
-                inner: &mut self.inner,
-                core,
-                now,
-            };
-            hook.on_fence(&mut ctx, pc)
+        let mut ctx = HookCtx {
+            inner: &mut self.inner,
+            core,
+            now,
         };
-        self.hook = Some(hook);
-        cycles
+        hook.on_fence(&mut ctx, pc)
     }
 
-    pub(crate) fn hook_block_entry(&mut self, ti: usize, block: BlockId) -> u64 {
-        let Some(mut hook) = self.hook.take() else {
+    pub(crate) fn hook_block_entry(&mut self, core: usize, now: u64, block: BlockId) -> u64 {
+        let Some(hook) = self.hook.0.as_deref_mut() else {
             return 0;
         };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx {
-                inner: &mut self.inner,
-                core,
-                now,
-            };
-            hook.on_block_entry(&mut ctx, block)
+        let mut ctx = HookCtx {
+            inner: &mut self.inner,
+            core,
+            now,
         };
-        self.hook = Some(hook);
-        cycles
+        hook.on_block_entry(&mut ctx, block)
     }
 
-    pub(crate) fn hook_thread_exit(&mut self, ti: usize) -> u64 {
-        let Some(mut hook) = self.hook.take() else {
+    pub(crate) fn hook_thread_exit(&mut self, core: usize, now: u64) -> u64 {
+        let Some(hook) = self.hook.0.as_deref_mut() else {
             return 0;
         };
-        let core = self.threads[ti].core;
-        let now = self.core_cycles[core];
-        let cycles = {
-            let mut ctx = HookCtx {
-                inner: &mut self.inner,
-                core,
-                now,
-            };
-            hook.on_thread_exit(&mut ctx)
+        let mut ctx = HookCtx {
+            inner: &mut self.inner,
+            core,
+            now,
         };
-        self.hook = Some(hook);
-        cycles
+        hook.on_thread_exit(&mut ctx)
     }
 }

@@ -1,4 +1,15 @@
 //! Instruction execution: the fetch/execute loop and operand evaluation.
+//!
+//! `step()` is the simulator's hot loop. Its structure is deliberate:
+//!
+//! * Fetch copies one pre-decoded `(instruction, PC)` pair out of the flat
+//!   [`DecodedProgram`](laser_isa::decoded::DecodedProgram) arrays — no PC
+//!   arithmetic, no borrow held into the program while executing.
+//! * Scheduling reads the [`CoreSched`](super::sched::CoreSched) heap root in
+//!   O(1) and repositions it in O(log cores) after the cost is charged.
+//! * The no-hook path is a single branch per dispatch site
+//!   (`self.hook.is_attached()`); hook argument marshalling only happens on
+//!   the hooked path.
 
 use laser_isa::inst::{Inst, MemAddr, Operand, RmwOp, Terminator, NUM_REGS};
 
@@ -66,7 +77,7 @@ impl Machine {
     /// Execute one instruction on the thread whose core clock is lowest.
     /// Returns false when every thread has halted.
     pub(crate) fn step(&mut self) -> bool {
-        let Some(ti) = self.pick_thread() else {
+        let Some(ti) = self.sched.pick() else {
             return false;
         };
         self.steps += 1;
@@ -75,26 +86,37 @@ impl Machine {
         let core = self.threads[ti].core;
         let block_id = self.threads[ti].block;
         let idx = self.threads[ti].idx;
-        let pc = self.program.pc_of(block_id, idx);
         let now = self.core_cycles[core];
         let lat = self.hot;
 
-        let num_insts = self.program.block(block_id).insts.len();
-        if idx < num_insts {
-            let inst = self.program.block(block_id).insts[idx].clone();
+        // Everything decoded is `Copy`: fetch copies one entry out of the
+        // flat block array, releasing the borrow on the program before
+        // execution mutates the machine.
+        let fetched = {
+            let blk = self.decoded.block(block_id);
+            blk.insts().get(idx).copied().ok_or_else(|| blk.term())
+        };
+        if let Ok(fetched) = fetched {
+            let inst = fetched.inst;
+            let pc = fetched.pc;
             let mut cost = 0u64;
             match inst {
                 Inst::Load { dst, addr, size } => {
                     self.inner.stats.loads += 1;
                     let a = Self::eval_addr(&self.threads[ti].regs, &addr);
-                    let op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Load,
-                        store_value: None,
+                    let action = if self.hook.is_attached() {
+                        let op = MemOp {
+                            pc,
+                            addr: a,
+                            size,
+                            kind: MemAccessKind::Load,
+                            store_value: None,
+                        };
+                        self.hook_mem_op(core, now, &op)
+                            .unwrap_or(HookAction::Passthrough)
+                    } else {
+                        HookAction::Passthrough
                     };
-                    let action = self.hook_mem_op(ti, &op).unwrap_or(HookAction::Passthrough);
                     match action {
                         HookAction::Handled {
                             load_value,
@@ -124,14 +146,19 @@ impl Machine {
                     self.inner.stats.stores += 1;
                     let a = Self::eval_addr(&self.threads[ti].regs, &addr);
                     let v = Self::mask(Self::eval_operand(&self.threads[ti].regs, src), size);
-                    let op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Store,
-                        store_value: Some(v),
+                    let action = if self.hook.is_attached() {
+                        let op = MemOp {
+                            pc,
+                            addr: a,
+                            size,
+                            kind: MemAccessKind::Store,
+                            store_value: Some(v),
+                        };
+                        self.hook_mem_op(core, now, &op)
+                            .unwrap_or(HookAction::Passthrough)
+                    } else {
+                        HookAction::Passthrough
                     };
-                    let action = self.hook_mem_op(ti, &op).unwrap_or(HookAction::Passthrough);
                     match action {
                         HookAction::Handled { extra_cycles, .. } => {
                             self.inner.stats.hook_handled_ops += 1;
@@ -162,7 +189,7 @@ impl Machine {
                 } => {
                     self.inner.stats.atomics += 1;
                     // Atomics are fences: give the hook a chance to flush.
-                    cost += self.hook_fence(ti, pc);
+                    cost += self.hook_fence(core, now, pc);
                     let a = Self::eval_addr(&self.threads[ti].regs, &addr);
                     let operand_v =
                         Self::mask(Self::eval_operand(&self.threads[ti].regs, operand), size);
@@ -213,17 +240,20 @@ impl Machine {
                     let rhs = Self::mask(Self::eval_operand(&self.threads[ti].regs, operand), size);
                     // Load half (this is the uop Haswell's precise HITM event
                     // samples, so a remote-Modified hit is recorded as a load).
-                    let load_op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Load,
-                        store_value: None,
+                    let load_action = if self.hook.is_attached() {
+                        let load_op = MemOp {
+                            pc,
+                            addr: a,
+                            size,
+                            kind: MemAccessKind::Load,
+                            store_value: None,
+                        };
+                        self.hook_mem_op(core, now, &load_op)
+                            .unwrap_or(HookAction::Passthrough)
+                    } else {
+                        HookAction::Passthrough
                     };
-                    let current = match self
-                        .hook_mem_op(ti, &load_op)
-                        .unwrap_or(HookAction::Passthrough)
-                    {
+                    let current = match load_action {
                         HookAction::Handled {
                             load_value,
                             extra_cycles,
@@ -248,17 +278,20 @@ impl Machine {
                         }
                     };
                     let new = Self::mask(op.apply(current, rhs), size);
-                    let store_op = MemOp {
-                        pc,
-                        addr: a,
-                        size,
-                        kind: MemAccessKind::Store,
-                        store_value: Some(new),
+                    let store_action = if self.hook.is_attached() {
+                        let store_op = MemOp {
+                            pc,
+                            addr: a,
+                            size,
+                            kind: MemAccessKind::Store,
+                            store_value: Some(new),
+                        };
+                        self.hook_mem_op(core, now, &store_op)
+                            .unwrap_or(HookAction::Passthrough)
+                    } else {
+                        HookAction::Passthrough
                     };
-                    match self
-                        .hook_mem_op(ti, &store_op)
-                        .unwrap_or(HookAction::Passthrough)
-                    {
+                    match store_action {
                         HookAction::Handled { extra_cycles, .. } => {
                             self.inner.stats.hook_handled_ops += 1;
                             cost += extra_cycles;
@@ -297,7 +330,7 @@ impl Machine {
                 }
                 Inst::Fence => {
                     self.inner.stats.fences += 1;
-                    cost += self.hook_fence(ti, pc);
+                    cost += self.hook_fence(core, now, pc);
                     cost += lat.fence;
                 }
                 Inst::Pause => {
@@ -309,15 +342,17 @@ impl Machine {
             }
             self.threads[ti].idx += 1;
             self.core_cycles[core] += cost;
+            self.sched.reposition(&self.core_cycles, core);
         } else {
-            // Terminator.
-            let term = self.program.block(block_id).term.clone();
+            let term = fetched.unwrap_err();
             let mut cost = lat.branch;
             match term {
                 Terminator::Jump(target) => {
                     self.threads[ti].block = target;
                     self.threads[ti].idx = 0;
-                    cost += self.hook_block_entry(ti, target);
+                    cost += self.hook_block_entry(core, now, target);
+                    self.core_cycles[core] += cost;
+                    self.sched.reposition(&self.core_cycles, core);
                 }
                 Terminator::Branch {
                     cond,
@@ -328,14 +363,17 @@ impl Machine {
                     let target = if c != 0 { if_true } else { if_false };
                     self.threads[ti].block = target;
                     self.threads[ti].idx = 0;
-                    cost += self.hook_block_entry(ti, target);
+                    cost += self.hook_block_entry(core, now, target);
+                    self.core_cycles[core] += cost;
+                    self.sched.reposition(&self.core_cycles, core);
                 }
                 Terminator::Halt => {
-                    cost += self.hook_thread_exit(ti);
+                    cost += self.hook_thread_exit(core, now);
                     self.threads[ti].halted = true;
+                    self.core_cycles[core] += cost;
+                    self.sched.on_halt(&self.core_cycles, core);
                 }
             }
-            self.core_cycles[core] += cost;
         }
         !self.is_done()
     }

@@ -7,7 +7,7 @@
 
 use laser_isa::program::Pc;
 
-use crate::addr::{lines_touched, Addr};
+use crate::addr::{iter_lines_touched, Addr};
 use crate::coherence::CoherenceDirectory;
 use crate::event::{HitmEvent, MemAccessKind};
 use crate::htm::{fits_in_transaction, HtmOutcome};
@@ -46,7 +46,7 @@ impl MachineInner {
     ) -> (u64, u64) {
         let mut worst = 0u64;
         let num_cores = self.coh.num_cores();
-        for line in lines_touched(addr, size) {
+        for line in iter_lines_touched(addr, size) {
             let outcome = self.coh.access(core, line, is_write);
             // The directory decides *what* happened; the topology decides
             // *where* it was serviced and what that costs. On the default
@@ -109,7 +109,7 @@ impl MachineInner {
     ) -> HtmOutcome {
         let mut lines: Vec<Addr> = Vec::new();
         for (addr, size, _) in writes {
-            for l in lines_touched(*addr, *size) {
+            for l in iter_lines_touched(*addr, *size) {
                 if !lines.contains(&l) {
                     lines.push(l);
                 }

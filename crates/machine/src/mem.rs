@@ -3,21 +3,27 @@
 use std::collections::HashMap;
 
 use crate::addr::Addr;
+use crate::fasthash::FastBuildHasher;
 
 const PAGE_SIZE: u64 = 4096;
 
 /// Sparse simulated memory. Untouched bytes read as zero, like freshly mapped
 /// anonymous pages.
+///
+/// Pages are keyed by a fast deterministic hasher and multi-byte accesses
+/// that stay within one page (the overwhelmingly common case) touch the map
+/// once, not once per byte — the simulator's load/store path funnels every
+/// access through [`SparseMemory::read`] and [`SparseMemory::write`].
 #[derive(Debug, Clone, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: HashMap<u64, Box<[u8]>, FastBuildHasher>,
 }
 
 impl SparseMemory {
     /// An empty memory image.
     pub fn new() -> Self {
         SparseMemory {
-            pages: HashMap::new(),
+            pages: HashMap::default(),
         }
     }
 
@@ -50,6 +56,18 @@ impl SparseMemory {
             (1..=8).contains(&size),
             "access size must be 1..=8, got {size}"
         );
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + size as usize <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page — one map lookup.
+            let Some(page) = self.pages.get(&(addr / PAGE_SIZE)) else {
+                return 0;
+            };
+            let mut v: u64 = 0;
+            for (i, b) in page[off..off + size as usize].iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            return v;
+        }
         let mut v: u64 = 0;
         for i in 0..size as u64 {
             v |= (self.read_u8(addr + i) as u64) << (8 * i);
@@ -66,6 +84,15 @@ impl SparseMemory {
             (1..=8).contains(&size),
             "access size must be 1..=8, got {size}"
         );
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + size as usize <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page — one map lookup.
+            let page = self.page_mut(addr / PAGE_SIZE);
+            for (i, b) in page[off..off + size as usize].iter_mut().enumerate() {
+                *b = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..size as u64 {
             self.write_u8(addr + i, (value >> (8 * i)) as u8);
         }

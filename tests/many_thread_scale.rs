@@ -1,0 +1,68 @@
+//! Many-thread scale pin: a 16-thread workload on the quad-socket preset
+//! completes through `run_to_completion` with exact cycle counts.
+//!
+//! The scheduler rework replaced the per-instruction linear min-scan with an
+//! incrementally maintained core heap. Small flat runs barely exercise its
+//! maintenance paths (one thread per core, no cursor movement); a 4-socket /
+//! 16-core / 16-thread run drives core removal, cursor advance and deep
+//! sift-downs at the scale the structure exists for. The pinned counts were
+//! captured from the naive-scan scheduler, so they also pin schedule
+//! equivalence end to end: any divergence in pick order changes the
+//! interleaving and with it every cycle number below.
+
+use laser_bench::TopologySpec;
+use laser_machine::{Machine, MachineConfig};
+use laser_workloads::{find, BuildOptions};
+
+/// `(workload, steps, cycles)` at scale 0.08 on the quad-socket preset
+/// (16 threads, round-robin placement). Captured when the heap scheduler
+/// landed, after verifying its full `experiments` output byte-matches the
+/// naive-scan tree; the `identical_to_naive_min_scan` property test in
+/// `laser-machine` pins the pick-order equivalence these counts rest on.
+const PINNED_4S: &[(&str, u64, u64)] = &[
+    ("histogram'", 32_304, 87_441),
+    ("linear_regression", 32_048, 112_651),
+];
+
+fn machine_at_4s(workload: &str) -> Machine {
+    let spec = find(workload).expect("known workload");
+    let opts = BuildOptions::scaled(0.08).for_topology(TopologySpec::QuadSocket);
+    let image = spec.build(&opts);
+    Machine::new(
+        MachineConfig::for_topology(TopologySpec::QuadSocket),
+        &image,
+    )
+}
+
+#[test]
+fn sixteen_thread_quad_socket_runs_complete_with_pinned_counts() {
+    for &(workload, steps, cycles) in PINNED_4S {
+        let mut m = machine_at_4s(workload);
+        assert!(
+            m.thread_names().len() >= 16,
+            "{workload}: expected a 16+ thread run, got {}",
+            m.thread_names().len()
+        );
+        assert_eq!(m.num_cores(), 16);
+        let result = m.run_to_completion().expect("run completes within budget");
+        assert!(m.is_done());
+        assert_eq!(result.steps, steps, "{workload}: step count drifted");
+        assert_eq!(result.cycles, cycles, "{workload}: cycle count drifted");
+        assert_eq!(result.per_core_cycles.len(), 16);
+        assert!(
+            result.per_core_cycles.iter().all(|&c| c > 0),
+            "{workload}: every core should have executed work"
+        );
+    }
+}
+
+#[test]
+fn quad_socket_run_is_deterministic_across_repeats() {
+    let mut a = machine_at_4s("histogram'");
+    let mut b = machine_at_4s("histogram'");
+    let ra = a.run_to_completion().unwrap();
+    let rb = b.run_to_completion().unwrap();
+    assert_eq!(ra.steps, rb.steps);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.per_core_cycles, rb.per_core_cycles);
+}
