@@ -24,7 +24,7 @@
 //! events for heap lines written by multiple threads — but only if the
 //! program synchronizes at all during its parallel phase.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -209,7 +209,8 @@ impl Sheriff {
         let mut reported_lines = Vec::new();
         if mode == SheriffMode::Detect && sync_ops > 0 {
             let heap = image.memory_map();
-            let mut writers: HashMap<Addr, (HashSet<usize>, u64, HashSet<u64>)> = HashMap::new();
+            let mut writers: BTreeMap<Addr, (BTreeSet<usize>, u64, BTreeSet<u64>)> =
+                BTreeMap::new();
             for e in &events {
                 if e.kind != MemAccessKind::Store && !memsets.is_store(e.pc) {
                     continue;

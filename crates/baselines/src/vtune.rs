@@ -11,7 +11,7 @@
 //!   spurious-record filtering, no stack filtering, and no true-vs-false
 //!   sharing classification — hence more false positives.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -149,7 +149,7 @@ impl Vtune {
         );
         let mut driver = Driver::new(pmu, self.config.driver);
 
-        let mut per_line: HashMap<SourceLoc, u64> = HashMap::new();
+        let mut per_line: BTreeMap<SourceLoc, u64> = BTreeMap::new();
         let mut total_records = 0u64;
         let mut last_steps = 0u64;
         loop {

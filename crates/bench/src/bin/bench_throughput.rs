@@ -467,7 +467,9 @@ fn run(cli: &Cli) -> Result<bool, String> {
     let json = pipeline_json(cli, parallelism, &flat, geomean_ratio, gate, pipeline_pass).render();
     std::fs::write(&cli.output, format!("{json}\n"))
         .map_err(|e| format!("write {}: {e}", cli.output))?;
-    println!("{json}");
+    // Reports live in the named output files; the console copy is a
+    // diagnostic and must not pollute stdout (CI pipes it).
+    eprintln!("{json}");
     eprintln!(
         "geomean pipelined/inline = {geomean_ratio:.3} (gate: >= {gate:.3}) -> {}; wrote {}",
         if pipeline_pass { "pass" } else { "FAIL" },
@@ -491,7 +493,7 @@ fn run(cli: &Cli) -> Result<bool, String> {
     let json = json.render();
     std::fs::write(&cli.hotloop_output, format!("{json}\n"))
         .map_err(|e| format!("write {}: {e}", cli.hotloop_output))?;
-    println!("{json}");
+    eprintln!("{json}");
     match baseline {
         Some((path, sps)) => eprintln!(
             "headline {headline_sps:.0} steps/s vs baseline {sps:.0} ({path}): speedup {:.3} \

@@ -41,7 +41,7 @@ impl Fig3Report {
         if vals.is_empty() {
             0.0
         } else {
-            vals.iter().sum::<f64>() / vals.len() as f64
+            vals.iter().sum::<f64>() / vals.len() as f64 // lint:allow(float-accum) — vals is a Vec summed in index order, which is fixed across runs
         }
     }
 
@@ -120,7 +120,7 @@ fn fig3_case(case: &CharacterizationCase) -> Fig3Case {
     let mut machine = Machine::new(MachineConfig::default(), &built.image);
     let _ = machine
         .run_to_completion()
-        .expect("characterization cases terminate");
+        .expect("characterization cases terminate"); // lint:allow(panic) — characterization cells run under an instruction budget; non-termination is a bench bug
     let events = machine.take_hitm_events();
     let program = built.image.program();
     let mut model = ImprecisionModel::new(
@@ -169,7 +169,7 @@ pub fn fig2_layout() -> String {
         ("default malloc layout (buggy)", BuildOptions::default()),
         ("cache-line aligned (manual fix)", BuildOptions::fixed()),
     ] {
-        let spec = find("linear_regression").expect("workload exists");
+        let spec = find("linear_regression").expect("workload exists"); // lint:allow(panic) — a missing built-in workload is a bench-table bug, not a runtime condition
         let image = spec.build(&opts);
         let _ = writeln!(out, "{title}:");
         for (t, thread) in image.threads().iter().enumerate() {

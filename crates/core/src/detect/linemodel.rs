@@ -7,9 +7,8 @@
 //! least one write mean they touched different data in the same line — false
 //! sharing.
 
-use std::collections::HashMap;
-
 use laser_isa::program::Pc;
+use laser_machine::fasthash::FastHashMap;
 use laser_machine::{line_of, line_offset, Addr, CACHE_LINE_SIZE};
 
 /// Classification of one observed sharing event.
@@ -35,7 +34,8 @@ struct LastAccess {
 /// a hash table so only the handful of contended lines consume space.
 #[derive(Debug, Default)]
 pub struct CacheLineModel {
-    lines: HashMap<Addr, LastAccess>,
+    // Hot per-record path: deterministic fast hashing, never iterated.
+    lines: FastHashMap<Addr, LastAccess>,
 }
 
 impl CacheLineModel {

@@ -17,7 +17,7 @@
 
 pub mod linemodel;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use laser_isa::program::{Pc, Program, SourceLoc};
 use laser_isa::MemAccessSets;
@@ -51,8 +51,8 @@ struct PcCounters {
 pub struct Detector {
     map: MemoryMap,
     memsets: MemAccessSets,
-    source_of: HashMap<Pc, SourceLoc>,
-    per_pc: HashMap<Pc, PcCounters>,
+    source_of: BTreeMap<Pc, SourceLoc>,
+    per_pc: BTreeMap<Pc, PcCounters>,
     model: CacheLineModel,
     total_records: u64,
     dropped_non_code: u64,
@@ -66,7 +66,7 @@ impl Detector {
     /// load/store sets.
     pub fn new(config: &LaserConfig, program: &Program, map: &MemoryMap) -> Self {
         let memsets = MemAccessSets::analyze(program);
-        let mut source_of = HashMap::new();
+        let mut source_of = BTreeMap::new();
         for (pc, _) in program.iter_pcs() {
             if let Some(loc) = program.source_of(pc) {
                 source_of.insert(pc, loc.clone());
@@ -76,7 +76,7 @@ impl Detector {
             map: map.clone(),
             memsets,
             source_of,
-            per_pc: HashMap::new(),
+            per_pc: BTreeMap::new(),
             model: CacheLineModel::new(),
             total_records: 0,
             dropped_non_code: 0,
@@ -174,7 +174,7 @@ impl Detector {
     /// end-of-run [`Detector::report`] applies the threshold.
     pub fn line_rates(&self, elapsed_seconds: f64) -> Vec<LineRate> {
         let elapsed = elapsed_seconds.max(1e-9);
-        let mut per_line: HashMap<SourceLoc, u64> = HashMap::new();
+        let mut per_line: BTreeMap<SourceLoc, u64> = BTreeMap::new();
         for (&pc, c) in &self.per_pc {
             let loc = self
                 .source_of
@@ -227,7 +227,7 @@ impl Detector {
     /// which the system hands control to LASERREPAIR (Section 4.4).
     pub fn repair_trigger_pcs(&self, elapsed_seconds: f64, min_line_rate: f64) -> Vec<Pc> {
         let elapsed = elapsed_seconds.max(1e-9);
-        let mut per_line: HashMap<&SourceLoc, (u64, u64, u64, Vec<Pc>)> = HashMap::new();
+        let mut per_line: BTreeMap<&SourceLoc, (u64, u64, u64, Vec<Pc>)> = BTreeMap::new();
         for (&pc, c) in &self.per_pc {
             if let Some(loc) = self.source_of.get(&pc) {
                 let e = per_line.entry(loc).or_insert_with(|| (0, 0, 0, Vec::new()));
@@ -275,7 +275,7 @@ impl Detector {
         rate_threshold: f64,
         repair_invoked: bool,
     ) -> ContentionReport {
-        let mut per_line: HashMap<SourceLoc, (u64, u64, u64, Vec<Pc>)> = HashMap::new();
+        let mut per_line: BTreeMap<SourceLoc, (u64, u64, u64, Vec<Pc>)> = BTreeMap::new();
         for (&pc, c) in &self.per_pc {
             let loc = self
                 .source_of

@@ -16,7 +16,7 @@
 //!    or when the region is too complex to analyse precisely (the `lu_ncb`
 //!    case).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -32,15 +32,15 @@ const ASSUMED_LOOP_ITERATIONS: f64 = 100.0;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RepairPlan {
     /// Basic blocks whose memory operations are instrumented.
-    pub instrumented_blocks: HashSet<BlockId>,
+    pub instrumented_blocks: BTreeSet<BlockId>,
     /// Blocks on whose entry the SSB is flushed.
-    pub flush_blocks: HashSet<BlockId>,
+    pub flush_blocks: BTreeSet<BlockId>,
     /// Store PCs redirected into the SSB.
-    pub ssb_stores: HashSet<Pc>,
+    pub ssb_stores: BTreeSet<Pc>,
     /// Load PCs that must consult the SSB.
-    pub ssb_loads: HashSet<Pc>,
+    pub ssb_loads: BTreeSet<Pc>,
     /// Load PCs that may skip the SSB after a runtime aliasing check.
-    pub speculative_loads: HashSet<Pc>,
+    pub speculative_loads: BTreeSet<Pc>,
     /// Fence-like instructions (fences, atomics) inside the region; each one
     /// forces a flush when executed.
     pub fences_in_region: usize,
@@ -100,14 +100,14 @@ impl RepairPlan {
         // point (exclusive). All their memory operations are instrumented.
         let forward = cfg.reachable_from(&contending_blocks);
         let backward = cfg.reaching(&[flush_block]);
-        let mut region: HashSet<BlockId> = forward.intersection(&backward).copied().collect();
+        let mut region: BTreeSet<BlockId> = forward.intersection(&backward).copied().collect();
         region.remove(&flush_block);
         for b in &contending_blocks {
             region.insert(*b);
         }
 
         // Collect instrumented memory operations and fences.
-        let mut ssb_stores = HashSet::new();
+        let mut ssb_stores = BTreeSet::new();
         let mut fences_in_region = 0usize;
         let mut store_count = 0usize;
         for &bid in &region {

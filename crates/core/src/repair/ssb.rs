@@ -8,8 +8,7 @@
 //! reorder stores, the flush must be made visible atomically (the hook does it
 //! inside a hardware transaction) to preserve TSO.
 
-use std::collections::HashMap;
-
+use laser_machine::fasthash::FastHashMap;
 use laser_machine::{line_of, Addr};
 
 /// Result of a buffer lookup for a load.
@@ -33,7 +32,9 @@ struct WordEntry {
 /// A thread-private coalescing software store buffer.
 #[derive(Debug, Default)]
 pub struct SoftwareStoreBuffer {
-    words: HashMap<Addr, WordEntry>,
+    // Hot per-store path: deterministic fast hashing, never iterated (drains
+    // walk the separate first-touch `order` list).
+    words: FastHashMap<Addr, WordEntry>,
     order: Vec<Addr>,
     total_buffered_stores: u64,
 }

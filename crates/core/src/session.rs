@@ -412,7 +412,7 @@ impl PipeStage {
         let worker = std::thread::Builder::new()
             .name("laser-detector".to_string())
             .spawn(move || detector_worker(detector, jobs_rx, replies_tx))
-            .expect("spawn detector stage worker");
+            .expect("spawn detector stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
         PipeStage {
             jobs,
             replies,
@@ -624,7 +624,7 @@ impl LaserSession {
     /// it, and run the repair trigger — all on the calling thread.
     fn dispatch_inline(&mut self, records: Vec<HitmRecord>) -> ControlFlow<StopReason> {
         if !records.is_empty() {
-            let detector = self.detector.as_mut().expect("inline stage owns detector");
+            let detector = self.detector.as_mut().expect("inline stage owns detector"); // lint:allow(panic) — stage mode is fixed at construction; inline mode always owns the detector
             detector.process(&records);
             let cycles = detector.processing_cycles(records.len());
             self.charge_detector_cycles(cycles);
@@ -637,7 +637,7 @@ impl LaserSession {
                     lines: self
                         .detector
                         .as_ref()
-                        .expect("inline stage owns detector")
+                        .expect("inline stage owns detector") // lint:allow(panic) — stage mode is fixed at construction; inline mode always owns the detector
                         .line_rates(self.machine.elapsed_benchmark_seconds()),
                     remote_hitm_share: self.machine.stats().remote_hitm_share(),
                 };
@@ -651,7 +651,7 @@ impl LaserSession {
             let pcs = self
                 .detector
                 .as_ref()
-                .expect("inline stage owns detector")
+                .expect("inline stage owns detector") // lint:allow(panic) — stage mode is fixed at construction; inline mode always owns the detector
                 .repair_trigger_pcs(elapsed, threshold);
             if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
                 if self.observed {
@@ -671,7 +671,7 @@ impl LaserSession {
         let lockstep = self.config.enable_repair && self.repair.is_none();
         if !records.is_empty() {
             let n = records.len();
-            let pipe = self.pipe.as_ref().expect("piped stage");
+            let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             if pipe.lossy && pipe.jobs.is_full() {
                 // The consumer has lagged a full channel behind: model a PEBS
                 // overflow. The detector never sees the batch, so its cost is
@@ -700,7 +700,7 @@ impl LaserSession {
                 trigger_threshold: lockstep.then(|| self.effective_repair_threshold()),
             };
             let expects_reply = self.observed || lockstep;
-            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
+            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
 
             if lockstep {
@@ -720,7 +720,7 @@ impl LaserSession {
                     }
                 }
             } else if expects_reply {
-                let pipe = self.pipe.as_mut().expect("piped stage");
+                let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
                 pipe.pending = batch_event;
                 pipe.pending_share = remote_share;
                 pipe.awaiting_reply = true;
@@ -732,7 +732,7 @@ impl LaserSession {
                 elapsed: self.machine.elapsed_benchmark_seconds(),
                 threshold: self.effective_repair_threshold(),
             };
-            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job);
+            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
             let reply = self.recv_reply();
             if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
@@ -752,17 +752,17 @@ impl LaserSession {
     /// `catch_unwind` then records the true message).
     fn recv_reply(&mut self) -> DetectorReply {
         let received = {
-            let pipe = self.pipe.as_ref().expect("piped stage");
+            let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             pipe.replies.recv()
         };
         match received {
             Ok(reply) => reply,
             Err(_) => {
-                let pipe = self.pipe.take().expect("piped stage");
+                let pipe = self.pipe.take().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
                 drop(pipe.jobs);
                 match pipe.worker.join() {
                     Err(payload) => std::panic::resume_unwind(payload),
-                    Ok(_) => panic!("detector stage worker exited before its channel closed"),
+                    Ok(_) => panic!("detector stage worker exited before its channel closed"), // lint:allow(panic) — a worker exiting with its channel open is a protocol bug worth crashing the cell
                 }
             }
         }
@@ -777,7 +777,7 @@ impl LaserSession {
         }
         let reply = self.recv_reply();
         let (pending, share) = {
-            let pipe = self.pipe.as_mut().expect("piped stage");
+            let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             pipe.awaiting_reply = false;
             (pipe.pending.take(), pipe.pending_share)
         };
@@ -889,7 +889,7 @@ impl LaserSession {
         self.driver.flush();
         let records = self.driver.read_records();
         if !records.is_empty() {
-            let detector = self.detector.as_mut().expect("detector reclaimed");
+            let detector = self.detector.as_mut().expect("detector reclaimed"); // lint:allow(panic) — shutdown() reclaims the detector before any caller can reach this point
             detector.process(&records);
             let cycles = detector.processing_cycles(records.len());
             self.charge_detector_cycles(cycles);
@@ -922,6 +922,7 @@ impl LaserSession {
         }
 
         let elapsed = self.machine.elapsed_benchmark_seconds();
+        // lint:allow(panic) — shutdown() reclaims the detector before any caller can reach this point
         let mut report = self.detector.as_ref().expect("detector reclaimed").report(
             &self.workload,
             elapsed,

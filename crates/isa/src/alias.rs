@@ -8,7 +8,7 @@
 //! partitions the loads of an instrumented region into those that must use the
 //! SSB and those that may speculatively skip it (subject to a runtime check).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::program::{BlockId, Pc, Program};
 use crate::Reg;
@@ -17,15 +17,15 @@ use crate::Reg;
 #[derive(Debug, Clone, Default)]
 pub struct AliasSpeculation {
     /// Loads that may skip the SSB, pending a runtime aliasing check.
-    pub speculative_loads: HashSet<Pc>,
+    pub speculative_loads: BTreeSet<Pc>,
     /// Loads that must always go through the SSB.
-    pub ssb_loads: HashSet<Pc>,
+    pub ssb_loads: BTreeSet<Pc>,
     /// Base registers used by stores in the region; a runtime check compares a
     /// speculative load's address against addresses formed from these.
-    pub store_base_regs: HashSet<Reg>,
+    pub store_base_regs: BTreeSet<Reg>,
     /// For each speculative load, the number of uses sharing its address
     /// definition (multiple uses of one def need only one check).
-    pub checks_required: HashMap<Pc, usize>,
+    pub checks_required: BTreeMap<Pc, usize>,
 }
 
 impl AliasSpeculation {
@@ -35,8 +35,8 @@ impl AliasSpeculation {
     /// A load is *speculative* (may skip the SSB) when its base register is
     /// not used as the base register of any store in the region; otherwise it
     /// must consult the SSB.
-    pub fn analyze(program: &Program, region: &HashSet<BlockId>) -> Self {
-        let mut store_base_regs: HashSet<Reg> = HashSet::new();
+    pub fn analyze(program: &Program, region: &BTreeSet<BlockId>) -> Self {
+        let mut store_base_regs: BTreeSet<Reg> = BTreeSet::new();
         // First pass: collect store address registers.
         for &bid in region {
             let block = program.block(bid);
@@ -51,10 +51,10 @@ impl AliasSpeculation {
             }
         }
         // Second pass: classify loads and count checks per base register def.
-        let mut speculative_loads = HashSet::new();
-        let mut ssb_loads = HashSet::new();
-        let mut checks_required = HashMap::new();
-        let mut uses_per_base: HashMap<(BlockId, Reg), usize> = HashMap::new();
+        let mut speculative_loads = BTreeSet::new();
+        let mut ssb_loads = BTreeSet::new();
+        let mut checks_required = BTreeMap::new();
+        let mut uses_per_base: BTreeMap<(BlockId, Reg), usize> = BTreeMap::new();
         for &bid in region {
             let block = program.block(bid);
             for (i, inst) in block.insts.iter().enumerate() {
@@ -67,7 +67,7 @@ impl AliasSpeculation {
                     ssb_loads.insert(pc);
                     continue;
                 }
-                let addr = inst.mem_addr().expect("loads have addresses");
+                let addr = inst.mem_addr().expect("loads have addresses"); // lint:allow(panic) — guarded by is_load() just above; every load carries an address
                 let aliases_store = addr.regs().iter().any(|r| store_base_regs.contains(r));
                 if aliases_store {
                     ssb_loads.insert(pc);
@@ -90,7 +90,7 @@ impl AliasSpeculation {
                 if !speculative_loads.contains(&pc) {
                     continue;
                 }
-                let addr = inst.mem_addr().expect("loads have addresses");
+                let addr = inst.mem_addr().expect("loads have addresses"); // lint:allow(panic) — guarded by is_load() just above; every load carries an address
                 let uses = uses_per_base.get(&(bid, addr.base)).copied().unwrap_or(1);
                 checks_required.insert(pc, usize::max(1, uses));
             }
@@ -108,7 +108,7 @@ impl AliasSpeculation {
     pub fn num_checks(&self) -> usize {
         // one check per (block, base reg) group == number of distinct values
         // in checks_required divided by uses; approximate as number of groups.
-        let mut groups: HashSet<usize> = HashSet::new();
+        let mut groups: BTreeSet<usize> = BTreeSet::new();
         let mut count = 0usize;
         for &uses in self.checks_required.values() {
             // Each group of `uses` loads contributes exactly one check; we
@@ -151,7 +151,7 @@ mod tests {
         b.load(Reg(3), Reg(5), 8, 8);
         b.halt();
         let p = b.finish();
-        let region: HashSet<BlockId> = [blk].into_iter().collect();
+        let region: BTreeSet<BlockId> = [blk].into_iter().collect();
         let spec = AliasSpeculation::analyze(&p, &region);
         let base = p.base_pc();
         assert!(spec.ssb_loads.contains(&(base + 4)));
@@ -171,7 +171,7 @@ mod tests {
         b.atomic_fetch_add(Reg(1), Reg(7), 0, Operand::Imm(1), 8);
         b.halt();
         let p = b.finish();
-        let region: HashSet<BlockId> = [blk].into_iter().collect();
+        let region: BTreeSet<BlockId> = [blk].into_iter().collect();
         let spec = AliasSpeculation::analyze(&p, &region);
         assert_eq!(spec.ssb_loads.len(), 1);
         assert!(spec.speculative_loads.is_empty());
@@ -185,7 +185,7 @@ mod tests {
         b.halt();
         let p = b.finish();
         let _ = p;
-        let spec = AliasSpeculation::analyze(&p, &HashSet::new());
+        let spec = AliasSpeculation::analyze(&p, &BTreeSet::new());
         assert!(spec.speculative_loads.is_empty());
         assert!(spec.ssb_loads.is_empty());
         assert_eq!(spec.num_checks(), 0);

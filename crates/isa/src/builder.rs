@@ -120,7 +120,7 @@ impl ProgramBuilder {
     fn cur(&mut self) -> &mut PendingBlock {
         let idx = self
             .current
-            .expect("switch_to must be called before emitting instructions");
+            .expect("switch_to must be called before emitting instructions"); // lint:allow(panic) — builder misuse is a workload-definition bug; fail fast at build time
         &mut self.blocks[idx]
     }
 
@@ -367,7 +367,7 @@ impl ProgramBuilder {
         for (i, pending) in self.blocks.into_iter().enumerate() {
             let term = pending
                 .term
-                .unwrap_or_else(|| panic!("block '{}' was never sealed", pending.label));
+                .unwrap_or_else(|| panic!("block '{}' was never sealed", pending.label)); // lint:allow(panic) — builder misuse is a workload-definition bug; fail fast at build time
             let mut block_srcs = pending.srcs;
             block_srcs.push(pending.term_src);
             blocks.push(BasicBlock {

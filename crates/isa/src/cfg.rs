@@ -4,7 +4,7 @@
 //! successors/predecessors, reachability from the contending blocks, and
 //! dominator information (see [`crate::dom`]).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::inst::Terminator;
 use crate::program::{BlockId, Program};
@@ -64,8 +64,8 @@ impl Cfg {
 
     /// The set of blocks reachable from any block in `from` (including the
     /// starting blocks themselves).
-    pub fn reachable_from(&self, from: &[BlockId]) -> HashSet<BlockId> {
-        let mut seen: HashSet<BlockId> = HashSet::new();
+    pub fn reachable_from(&self, from: &[BlockId]) -> BTreeSet<BlockId> {
+        let mut seen: BTreeSet<BlockId> = BTreeSet::new();
         let mut stack: Vec<BlockId> = from.to_vec();
         while let Some(b) = stack.pop() {
             if seen.insert(b) {
@@ -81,8 +81,8 @@ impl Cfg {
 
     /// The set of blocks from which some block in `to` is reachable
     /// (including the target blocks themselves). This walks predecessor edges.
-    pub fn reaching(&self, to: &[BlockId]) -> HashSet<BlockId> {
-        let mut seen: HashSet<BlockId> = HashSet::new();
+    pub fn reaching(&self, to: &[BlockId]) -> BTreeSet<BlockId> {
+        let mut seen: BTreeSet<BlockId> = BTreeSet::new();
         let mut stack: Vec<BlockId> = to.to_vec();
         while let Some(b) = stack.pop() {
             if seen.insert(b) {

@@ -7,12 +7,12 @@
 //! iterative data-flow formulation of dominators; programs in this
 //! reproduction have tens of blocks so the simple algorithm is plenty.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::cfg::Cfg;
 use crate::program::BlockId;
 
-fn intersect_all(sets: &[HashSet<usize>], preds: &[usize], universe: usize) -> HashSet<usize> {
+fn intersect_all(sets: &[BTreeSet<usize>], preds: &[usize], universe: usize) -> BTreeSet<usize> {
     let mut iter = preds.iter();
     let first = match iter.next() {
         Some(&p) => p,
@@ -31,7 +31,7 @@ fn intersect_all(sets: &[HashSet<usize>], preds: &[usize], universe: usize) -> H
 /// `a`. Every block dominates itself.
 #[derive(Debug, Clone)]
 pub struct Dominators {
-    dom: Vec<HashSet<usize>>,
+    dom: Vec<BTreeSet<usize>>,
     entry: BlockId,
 }
 
@@ -39,9 +39,9 @@ impl Dominators {
     /// Compute dominators of every block reachable from `entry`.
     pub fn compute(cfg: &Cfg, entry: BlockId) -> Self {
         let n = cfg.num_blocks();
-        let universe: HashSet<usize> = (0..n).collect();
-        let mut dom: Vec<HashSet<usize>> = vec![universe; n];
-        dom[entry.0 as usize] = HashSet::from([entry.0 as usize]);
+        let universe: BTreeSet<usize> = (0..n).collect();
+        let mut dom: Vec<BTreeSet<usize>> = vec![universe; n];
+        dom[entry.0 as usize] = BTreeSet::from([entry.0 as usize]);
         let mut changed = true;
         while changed {
             changed = false;
@@ -94,7 +94,7 @@ impl Dominators {
 #[derive(Debug, Clone)]
 pub struct PostDominators {
     // pdom[b] over indices 0..n (real blocks) plus n = virtual exit.
-    pdom: Vec<HashSet<usize>>,
+    pdom: Vec<BTreeSet<usize>>,
     n: usize,
 }
 
@@ -105,10 +105,10 @@ impl PostDominators {
         let virtual_exit = n;
         // successors in the reverse problem = CFG successors, with Halt blocks
         // additionally flowing to the virtual exit.
-        let exit_set: HashSet<usize> = cfg.exit_blocks().iter().map(|b| b.0 as usize).collect();
-        let universe: HashSet<usize> = (0..=n).collect();
-        let mut pdom: Vec<HashSet<usize>> = vec![universe; n + 1];
-        pdom[virtual_exit] = HashSet::from([virtual_exit]);
+        let exit_set: BTreeSet<usize> = cfg.exit_blocks().iter().map(|b| b.0 as usize).collect();
+        let universe: BTreeSet<usize> = (0..=n).collect();
+        let mut pdom: Vec<BTreeSet<usize>> = vec![universe; n + 1];
+        pdom[virtual_exit] = BTreeSet::from([virtual_exit]);
         let mut changed = true;
         while changed {
             changed = false;

@@ -42,6 +42,8 @@
 //! assert_eq!(program.num_insts(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alias;
 pub mod builder;
 pub mod cfg;

@@ -6,7 +6,7 @@
 //! as a load or a store of a known width, which feeds the cache-line model
 //! that classifies true vs false sharing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::program::{Pc, Program};
 
@@ -17,15 +17,15 @@ use crate::program::{Pc, Program};
 /// notes as a potential source of detector inaccuracy.
 #[derive(Debug, Clone, Default)]
 pub struct MemAccessSets {
-    loads: HashMap<Pc, u8>,
-    stores: HashMap<Pc, u8>,
+    loads: BTreeMap<Pc, u8>,
+    stores: BTreeMap<Pc, u8>,
 }
 
 impl MemAccessSets {
     /// Analyse `program` and build its load/store sets.
     pub fn analyze(program: &Program) -> Self {
-        let mut loads = HashMap::new();
-        let mut stores = HashMap::new();
+        let mut loads = BTreeMap::new();
+        let mut stores = BTreeMap::new();
         for (pc, _slot) in program.iter_pcs() {
             if let Some(inst) = program.inst_at(pc) {
                 if let Some(size) = inst.access_size() {
@@ -71,12 +71,12 @@ impl MemAccessSets {
         self.stores.len()
     }
 
-    /// Iterate over all load PCs and sizes.
+    /// Iterate over all load PCs and sizes, in ascending PC order.
     pub fn loads(&self) -> impl Iterator<Item = (Pc, u8)> + '_ {
         self.loads.iter().map(|(&pc, &s)| (pc, s))
     }
 
-    /// Iterate over all store PCs and sizes.
+    /// Iterate over all store PCs and sizes, in ascending PC order.
     pub fn stores(&self) -> impl Iterator<Item = (Pc, u8)> + '_ {
         self.stores.iter().map(|(&pc, &s)| (pc, s))
     }
@@ -113,5 +113,29 @@ mod tests {
         assert_eq!(sets.num_stores(), 2);
         assert_eq!(sets.loads().count(), 2);
         assert_eq!(sets.stores().count(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_pc() {
+        // Pin the deterministic iteration order: the sets are BTree-backed so
+        // any consumer that walks them sees ascending PCs on every run.
+        let mut b = ProgramBuilder::new("memsets-order");
+        let blk = b.block("b");
+        b.switch_to(blk);
+        for i in 0..8 {
+            b.load(Reg(1), Reg(0), i * 8, 8);
+            b.store(Operand::Imm(i as u64), Reg(0), i * 8, 8);
+        }
+        b.halt();
+        let p = b.finish();
+        let sets = MemAccessSets::analyze(&p);
+        let load_pcs: Vec<Pc> = sets.loads().map(|(pc, _)| pc).collect();
+        let store_pcs: Vec<Pc> = sets.stores().map(|(pc, _)| pc).collect();
+        let mut sorted = load_pcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(load_pcs, sorted);
+        let mut sorted = store_pcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(store_pcs, sorted);
     }
 }

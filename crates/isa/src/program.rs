@@ -1,6 +1,6 @@
 //! Programs, basic blocks, program counters and source maps.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -115,7 +115,7 @@ pub struct Program {
     block_start: Vec<Pc>,
     /// Source location per flattened instruction index.
     src: Vec<Option<SourceLoc>>,
-    label_index: HashMap<String, BlockId>,
+    label_index: BTreeMap<String, BlockId>,
 }
 
 impl Program {
@@ -130,7 +130,7 @@ impl Program {
         let mut layout = Vec::new();
         let mut block_start = Vec::with_capacity(blocks.len());
         let mut src = Vec::new();
-        let mut label_index = HashMap::new();
+        let mut label_index = BTreeMap::new();
         for (bi, block) in blocks.iter().enumerate() {
             block_start.push(base_pc + layout.len() as u64 * INST_BYTES);
             label_index.insert(block.label.clone(), block.id);

@@ -1,0 +1,13 @@
+//! Bad fixture: malformed allow annotations.
+//! Expected findings: `bad-allow` (two) — one missing reason, one unknown
+//! rule id. A reason-less allow still suppresses its rule (the annotation is
+//! itself the finding); an unknown rule id suppresses nothing, so the second
+//! `unwrap` additionally surfaces as `panic`.
+
+pub fn missing_reason(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(panic)
+}
+
+pub fn unknown_rule(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(no-such-rule) — the id above does not exist
+}

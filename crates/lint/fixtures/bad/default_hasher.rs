@@ -1,0 +1,17 @@
+//! Bad fixture: default-hasher map construction in library code.
+//! Expected findings: `default-hasher` (several).
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Directory {
+    by_pc: HashMap<u64, u32>,
+}
+
+pub fn build() -> Directory {
+    let mut by_pc = HashMap::new();
+    by_pc.insert(0u64, 1u32);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(16);
+    seen.insert(7);
+    let _typed = HashMap::<String, u64>::new();
+    Directory { by_pc }
+}

@@ -1,0 +1,14 @@
+//! Bad fixture: order-sensitive float reductions in library code.
+//! Expected findings: `float-accum` (three).
+
+pub fn mean(vals: &[f64]) -> f64 {
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+pub fn product(vals: &[f32]) -> f32 {
+    vals.iter().product::<f32>()
+}
+
+pub fn folded(vals: &[f64]) -> f64 {
+    vals.iter().fold(0.0, |acc, v| acc + v)
+}

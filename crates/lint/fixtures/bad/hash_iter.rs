@@ -1,0 +1,19 @@
+//! Bad fixture: iterating a hash-ordered container in library code.
+//! Expected findings: `hash-iter` (several), plus `default-hasher` for the
+//! default-hashed constructions.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(counts: &mut HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_pc, n) in counts.iter() {
+        total += n;
+    }
+    counts.retain(|_, n| *n > 0);
+    total
+}
+
+pub fn first_line(lines: HashSet<u64>) -> Vec<u64> {
+    let lines: HashSet<u64> = lines;
+    lines.into_iter().collect()
+}

@@ -1,0 +1,22 @@
+//! Bad fixture: panicking constructs in library code.
+//! Expected findings: `panic` (five).
+
+pub fn take(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn need(v: Option<u64>) -> u64 {
+    v.expect("value must be present")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn never() {
+    unreachable!()
+}

@@ -1,0 +1,20 @@
+//! Bad fixture: unsafe code and mutable statics.
+//! Expected findings: `unsafe-code` — this rule applies even in test code.
+
+static mut COUNTER: u64 = 0;
+
+pub fn bump() -> u64 {
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_use_unsafe() {
+        let x = [1u8, 2, 3];
+        let _first = unsafe { *x.as_ptr() };
+    }
+}

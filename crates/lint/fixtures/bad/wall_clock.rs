@@ -1,0 +1,14 @@
+//! Bad fixture: host wall-clock reads in library code.
+//! Expected findings: `wall-clock` (three).
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    (a, b)
+}
+
+pub fn whoami() -> std::thread::Thread {
+    std::thread::current()
+}

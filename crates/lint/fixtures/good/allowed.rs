@@ -1,0 +1,14 @@
+//! Good fixture: well-formed allow annotations suppress their findings.
+//! Expected findings: none.
+
+use std::collections::HashMap;
+
+// lint:allow(default-hasher) — the signature below demonstrates a reasoned allowance
+pub fn hot_map() -> HashMap<u64, u64> {
+    // lint:allow(default-hasher) — this fixture demonstrates a reasoned allowance
+    HashMap::new()
+}
+
+pub fn locked(v: &std::sync::Mutex<u64>) -> u64 {
+    *v.lock().unwrap() // lint:allow(panic) — poisoning only follows an earlier panic
+}

@@ -1,0 +1,24 @@
+//! Good fixture: the idioms this workspace uses instead of the flagged ones.
+//! Expected findings: none.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic order: BTree containers may be iterated freely.
+pub fn totals(counts: &BTreeMap<u64, u64>) -> u64 {
+    counts.values().sum()
+}
+
+/// Integer accumulation is exact, so order cannot change the result.
+pub fn count_lines(lines: &BTreeSet<u64>) -> usize {
+    lines.iter().count()
+}
+
+/// Errors are returned, not panicked.
+pub fn take(v: Option<u64>) -> Result<u64, &'static str> {
+    v.ok_or("value missing")
+}
+
+/// A custom hasher is explicit: three generic parameters, not two.
+pub fn explicit_hasher() -> std::collections::HashMap<u64, u64, std::hash::RandomState> {
+    std::collections::HashMap::with_hasher(std::hash::RandomState::new())
+}

@@ -1,0 +1,24 @@
+//! Good fixture: test-only code is exempt from every rule but `unsafe-code`.
+//! Expected findings: none.
+
+pub fn library_code() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_use_default_hashers_and_unwrap() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        for (k, v) in m.iter() {
+            assert!(*k < *v);
+        }
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

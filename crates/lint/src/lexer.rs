@@ -1,0 +1,525 @@
+//! A hand-rolled Rust lexer with just enough fidelity for the lint rules.
+//!
+//! The rules operate on identifiers and punctuation, so the lexer's job is
+//! mostly *subtraction*: string literals (plain, raw, byte, raw-byte), char
+//! literals and numbers must not leak identifier-looking text into the token
+//! stream, block comments nest, and lifetimes must not be confused with char
+//! literals. Comments are tokenized rather than discarded because the
+//! `// lint:allow(...)` escape hatch lives inside them.
+//!
+//! Every token carries a 1-based line/column span so findings are clickable.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `r#async`).
+    Ident,
+    /// Numeric literal (`42`, `0x9e37`, `1.0f64`, `1e-9`).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Char or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// `// …` to end of line.
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::str::Chars<'a>,
+    /// Lookahead buffer (we never need more than 3 chars).
+    peeked: Vec<char>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars(),
+            peeked: Vec::new(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek_at(&mut self, n: usize) -> Option<char> {
+        while self.peeked.len() <= n {
+            let c = self.chars.next()?;
+            self.peeked.push(c);
+        }
+        self.peeked.get(n).copied()
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.peek_at(0)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = if self.peeked.is_empty() {
+            self.chars.next()?
+        } else {
+            self.peeked.remove(0)
+        };
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals simply
+/// swallow the rest of the file, which is the useful behavior for a linter
+/// (the parse error will be reported by rustc, not by us).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek() {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let tok = match c {
+            '/' if lx.peek_at(1) == Some('/') => lex_line_comment(&mut lx),
+            '/' if lx.peek_at(1) == Some('*') => lex_block_comment(&mut lx),
+            '"' => lex_string(&mut lx),
+            '\'' => lex_quote(&mut lx),
+            'r' if raw_string_follows(&mut lx, 1) => lex_raw_string(&mut lx),
+            'b' => lex_b_prefixed(&mut lx),
+            _ if is_ident_start(c) => lex_ident(&mut lx),
+            _ if c.is_ascii_digit() => lex_number(&mut lx),
+            _ => {
+                lx.bump();
+                (TokenKind::Punct, c.to_string())
+            }
+        };
+        out.push(Token {
+            kind: tok.0,
+            text: tok.1,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// At offset `from` past an `r` (or `br`): does `#*"` follow?
+fn raw_string_follows(lx: &mut Lexer, from: usize) -> bool {
+    let mut i = from;
+    while lx.peek_at(i) == Some('#') {
+        i += 1;
+    }
+    lx.peek_at(i) == Some('"')
+}
+
+fn lex_line_comment(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = lx.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        lx.bump();
+    }
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    while let Some(c) = lx.peek() {
+        if c == '/' && lx.peek_at(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            lx.bump();
+            lx.bump();
+        } else if c == '*' && lx.peek_at(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            lx.bump();
+            lx.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            lx.bump();
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+fn lex_string(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push('"');
+    lx.bump(); // opening quote
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = lx.bump() {
+                text.push(e);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+fn lex_raw_string(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push('r');
+    lx.bump(); // 'r'
+    let mut hashes = 0usize;
+    while lx.peek() == Some('#') {
+        hashes += 1;
+        text.push('#');
+        lx.bump();
+    }
+    text.push('"');
+    lx.bump(); // opening quote
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '"' {
+            // Need `hashes` consecutive '#' to close.
+            let mut matched = 0usize;
+            while matched < hashes && lx.peek() == Some('#') {
+                matched += 1;
+                text.push('#');
+                lx.bump();
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+/// `'…`: lifetime or char literal.
+fn lex_quote(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push('\'');
+    lx.bump(); // opening quote
+    match lx.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape, then everything to the
+            // closing quote.
+            while let Some(c) = lx.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = lx.bump() {
+                        text.push(e);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            (TokenKind::Char, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            if lx.peek_at(1) == Some('\'') && !is_ident_continue(lx.peek_at(2).unwrap_or(' ')) {
+                // 'a' — single ident-char literal. The lookahead at offset 2
+                // guards 'a'b style ambiguity (never valid Rust anyway).
+                text.push(c);
+                lx.bump();
+                text.push('\'');
+                lx.bump();
+                (TokenKind::Char, text)
+            } else {
+                // 'abc — a lifetime: consume the identifier, no closing quote.
+                while let Some(c) = lx.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    lx.bump();
+                }
+                (TokenKind::Lifetime, text)
+            }
+        }
+        Some(_) => {
+            // Non-ident char literal like '(' or '0'.
+            if let Some(c) = lx.bump() {
+                text.push(c);
+            }
+            if lx.peek() == Some('\'') {
+                text.push('\'');
+                lx.bump();
+            }
+            (TokenKind::Char, text)
+        }
+        None => (TokenKind::Punct, text),
+    }
+}
+
+/// `b`-prefixed literal (b'…', b"…", br"…") or just an identifier.
+fn lex_b_prefixed(lx: &mut Lexer) -> (TokenKind, String) {
+    match lx.peek_at(1) {
+        Some('\'') => {
+            lx.bump(); // 'b'
+            let (kind, text) = lex_quote(lx);
+            (kind, format!("b{text}"))
+        }
+        Some('"') => {
+            lx.bump(); // 'b'
+            let (kind, text) = lex_string(lx);
+            (kind, format!("b{text}"))
+        }
+        Some('r') if raw_string_follows(lx, 2) => {
+            lx.bump(); // 'b'
+            let (kind, text) = lex_raw_string(lx);
+            (kind, format!("b{text}"))
+        }
+        _ => lex_ident(lx),
+    }
+}
+
+fn lex_ident(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    // Raw identifier prefix r#ident.
+    if lx.peek() == Some('r') && lx.peek_at(1) == Some('#') {
+        if let Some(c) = lx.peek_at(2) {
+            if is_ident_start(c) {
+                lx.bump();
+                lx.bump();
+            }
+        }
+    }
+    while let Some(c) = lx.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        lx.bump();
+    }
+    (TokenKind::Ident, text)
+}
+
+fn lex_number(lx: &mut Lexer) -> (TokenKind, String) {
+    let mut text = String::new();
+    // Radix-prefixed literals take everything alphanumeric (0x9e37_79b9).
+    if lx.peek() == Some('0') && matches!(lx.peek_at(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+        while let Some(c) = lx.peek() {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            lx.bump();
+        }
+        return (TokenKind::Number, text);
+    }
+    let digits = |lx: &mut Lexer, text: &mut String| {
+        while let Some(c) = lx.peek() {
+            if !c.is_ascii_digit() && c != '_' {
+                break;
+            }
+            text.push(c);
+            lx.bump();
+        }
+    };
+    digits(lx, &mut text);
+    // Fraction — but not `1..10` ranges and not method calls `1.max(x)`.
+    if lx.peek() == Some('.') && lx.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        lx.bump();
+        digits(lx, &mut text);
+    }
+    // Exponent.
+    if matches!(lx.peek(), Some('e' | 'E'))
+        && (lx.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(lx.peek_at(1), Some('+' | '-'))
+                && lx.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        text.push(lx.bump().unwrap_or('e'));
+        if matches!(lx.peek(), Some('+' | '-')) {
+            text.push(lx.bump().unwrap_or('+'));
+        }
+        digits(lx, &mut text);
+    }
+    // Type suffix (f64, u32, usize…).
+    while let Some(c) = lx.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        lx.bump();
+    }
+    (TokenKind::Number, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".to_string()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".to_string()));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Punct && t.1 == ";"));
+    }
+
+    #[test]
+    fn line_and_column_spans() {
+        let toks = lex("a\n  bc");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn line_comment_stops_at_newline() {
+        let toks = kinds("a // HashMap::new()\nb");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"f("HashMap::new() /* not a comment */")"#);
+        assert!(toks
+            .iter()
+            .all(|t| t.0 != TokenKind::Ident || t.1 != "HashMap"));
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Str));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].1, "c");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"r#"quote " inside"# x"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.contains("quote"));
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_keeps_scanning() {
+        let toks = kinds(r####"r##"a"# still"## y"####);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert!(toks[0].1.contains("still"));
+        assert_eq!(toks[1].1, "y");
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r##"b"bytes" b'x' br#"raw"# ident"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Char);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3], (TokenKind::Ident, "ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.1 == "'a"));
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = kinds("&'static str");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Lifetime && t.1 == "'static"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..10 1.max(2) 1.5e-3f64 0x9e37_79b9");
+        assert_eq!(toks[0], (TokenKind::Number, "0".to_string()));
+        assert_eq!(toks[1].1, ".");
+        assert_eq!(toks[2].1, ".");
+        assert_eq!(toks[3], (TokenKind::Number, "10".to_string()));
+        assert!(toks.iter().any(|t| t.1 == "max"));
+        assert!(toks.iter().any(|t| t.1 == "1.5e-3f64"));
+        assert!(toks.iter().any(|t| t.1 == "0x9e37_79b9"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#async r#type normal");
+        assert_eq!(toks[0], (TokenKind::Ident, "async".to_string()));
+        assert_eq!(toks[1], (TokenKind::Ident, "type".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "normal".to_string()));
+    }
+
+    #[test]
+    fn unterminated_string_swallows_rest() {
+        let toks = kinds("a \"unterminated...");
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks.len(), 2);
+    }
+}

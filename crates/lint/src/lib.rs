@@ -1,0 +1,290 @@
+//! # laser-lint
+//!
+//! A workspace-wide determinism & concurrency static analyzer for the LASER
+//! reproduction.
+//!
+//! Every layer of this workspace stakes its correctness on one invariant:
+//! **simulation output is byte-identical across thread counts, pipelining and
+//! topologies**. The tier-1 suites (`campaign_determinism`,
+//! `figure_equivalence`, `topology_pin`) enforce that *dynamically*; this
+//! crate enforces the hazard classes *statically*, per commit, before a
+//! violation ever reaches a determinism test:
+//!
+//! | rule id          | hazard                                                   |
+//! |------------------|----------------------------------------------------------|
+//! | `default-hasher` | `HashMap`/`HashSet` with the randomly-seeded default hasher |
+//! | `hash-iter`      | iteration over a hash-ordered map/set                    |
+//! | `wall-clock`     | `Instant::now` / `SystemTime::now` / `thread::current` in engine code |
+//! | `float-accum`    | order-sensitive float reduction (`sum::<f64>`, float `fold`) |
+//! | `panic`          | `unwrap`/`expect`/`panic!` in library code               |
+//! | `unsafe-code`    | `unsafe` / `static mut` anywhere                         |
+//!
+//! The analysis is a hand-rolled lexer ([`lexer`]) plus an item-context
+//! tracker ([`context`]) that strips test code (`#[cfg(test)]`, `#[test]`,
+//! `mod tests`), classifies each file's role (engine library vs binary vs
+//! bench/test vs shim) and honors the inline escape hatch:
+//!
+//! ```text
+//! // lint:allow(wall-clock) — opt-in wall-time budget, not on any emit path
+//! ```
+//!
+//! An allow annotation **must** carry a written reason after the rule list;
+//! a bare `lint:allow(rule)` is itself reported (`bad-allow`), so every
+//! suppression in the tree documents why it is safe.
+//!
+//! Run it as `cargo run -p laser-lint -- --check` (exits 2 on findings), or
+//! with `--format json` for the machine-readable report CI archives.
+
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use context::FileCtx;
+
+/// One lint finding: a rule violation at a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (see [`rules::RULES`]), or `bad-allow` for a malformed
+    /// allow annotation.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of the hazard.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Render the machine-readable JSON document (hand-rolled: this crate is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": \"{}\", ", json_escape(f.rule)));
+            out.push_str(&format!("\"path\": \"{}\", ", json_escape(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"message\": \"{}\"", json_escape(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Render the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} finding(s) in {} file(s) scanned\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint a single file's source text. `rel_path` decides the file's role.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let ctx = FileCtx::new(rel_path, source);
+    rules::run_rules(&ctx)
+}
+
+/// Directories never descended into during a tree walk. `fixtures` holds the
+/// deliberately-bad rule corpora; pass a fixture path explicitly to lint one.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    // Sorted walk: findings order (and JSON bytes) are independent of
+    // filesystem enumeration order.
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_to(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    // Normalize to '/' so role detection and reports are OS-independent.
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/`, `.git/` and
+/// `fixtures/`), or — when `paths` is non-empty — exactly the named files
+/// and directories (which may include fixtures).
+pub fn lint_tree(root: &Path, paths: &[PathBuf]) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    if paths.is_empty() {
+        walk(root, &mut files)?;
+    } else {
+        for p in paths {
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
+            if abs.is_dir() {
+                // An explicitly named directory is walked as-is, including a
+                // fixtures directory named on purpose.
+                walk_all(&abs, &mut files)?;
+            } else {
+                files.push(abs);
+            }
+        }
+    }
+    let mut report = LintReport::default();
+    for file in &files {
+        let source = fs::read_to_string(file)?;
+        let rel = rel_to(root, file);
+        report.findings.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+/// Like [`walk`] but only skips VCS/build dirs, not `fixtures/` — used for
+/// explicitly named directories.
+fn walk_all(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk_all(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_is_clickable() {
+        let f = Finding {
+            rule: "panic",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "boom".to_string(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:3:7: [panic] boom");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_report_renders_valid_json() {
+        let r = LintReport::default();
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": []"));
+        assert!(j.contains("\"finding_count\": 0"));
+    }
+
+    #[test]
+    fn report_json_contains_findings() {
+        let mut r = LintReport::default();
+        r.findings.push(Finding {
+            rule: "unsafe-code",
+            path: "a.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: "no".to_string(),
+        });
+        r.files_scanned = 1;
+        let j = r.to_json();
+        assert!(j.contains("\"rule\": \"unsafe-code\""));
+        assert!(j.contains("\"files_scanned\": 1"));
+    }
+}

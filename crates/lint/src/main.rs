@@ -1,0 +1,153 @@
+//! `laser-lint` CLI: lint the workspace (or named paths) against the
+//! determinism & concurrency rules.
+//!
+//! ```text
+//! cargo run -p laser-lint -- [--check] [--format text|json] [--root DIR] [PATH…]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--check`), `2` findings under
+//! `--check` or a usage error, `1` an I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use laser_lint::{lint_tree, rules::RULES};
+
+const USAGE: &str = "\
+laser-lint: determinism & concurrency static analyzer for the LASER workspace
+
+USAGE:
+    laser-lint [OPTIONS] [PATH...]
+
+OPTIONS:
+    --check           exit 2 when any finding is reported
+    --format FMT      text (default) or json
+    --root DIR        workspace root to scan and to relativize paths against
+                      (default: current directory)
+    --list-rules      print the rule table and exit
+    -h, --help        show this help
+
+With no PATH arguments the whole tree under --root is scanned, skipping
+target/, .git/ and fixtures/ directories. Named paths are linted as given
+(fixtures included), with roles derived from their --root-relative path.
+
+Suppress a finding inline, with a written reason (enforced):
+    // lint:allow(<rule>[, <rule>...]) — <why this is safe>
+";
+
+struct Cli {
+    check: bool,
+    json: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        check: false,
+        json: false,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => cli.check = true,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value: text|json")?;
+                match v.as_str() {
+                    "json" => cli.json = true,
+                    "text" => cli.json = false,
+                    other => return Err(format!("unknown format '{other}' (want text|json)")),
+                }
+            }
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                cli.root = PathBuf::from(v);
+            }
+            "--list-rules" => cli.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            path => cli.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_rules {
+        for r in RULES {
+            println!("{:<16} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match lint_tree(&cli.root, &cli.paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if cli.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if cli.check && !report.findings.is_empty() {
+        eprintln!(
+            "laser-lint: {} finding(s) — failing --check",
+            report.findings.len()
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.check);
+        assert!(!cli.json);
+        assert_eq!(cli.root, PathBuf::from("."));
+        assert!(cli.paths.is_empty());
+    }
+
+    #[test]
+    fn flags_and_paths() {
+        let cli = parse(&s(&[
+            "--check", "--format", "json", "--root", "/w", "a.rs", "b",
+        ]))
+        .unwrap();
+        assert!(cli.check && cli.json);
+        assert_eq!(cli.root, PathBuf::from("/w"));
+        assert_eq!(cli.paths.len(), 2);
+    }
+
+    #[test]
+    fn bad_flag_and_bad_format_rejected() {
+        assert!(parse(&s(&["--bogus"])).is_err());
+        assert!(parse(&s(&["--format", "xml"])).is_err());
+        assert!(parse(&s(&["--format"])).is_err());
+    }
+}

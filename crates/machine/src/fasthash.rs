@@ -20,8 +20,8 @@ use std::hash::{BuildHasherDefault, Hasher};
 const K: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// A non-cryptographic word-at-a-time hasher (Fx-style).
-#[derive(Default)]
-pub(crate) struct FastHasher {
+#[derive(Debug, Default)]
+pub struct FastHasher {
     hash: u64,
 }
 
@@ -59,7 +59,18 @@ impl Hasher for FastHasher {
 }
 
 /// `BuildHasher` for [`FastHasher`]: zero-sized, identical on every run.
-pub(crate) type FastBuildHasher = BuildHasherDefault<FastHasher>;
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed through [`FastHasher`]: deterministic hashing, O(1)
+/// lookups for the hot per-access paths. Its iteration order still depends
+/// on insertion history and capacity, so — like any hash map in this
+/// workspace — it must never be *iterated* on a path that reaches simulated
+/// state or emitted bytes (the `hash-iter` lint rule enforces this).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` hashed through [`FastHasher`]; same determinism caveats as
+/// [`FastHashMap`].
+pub type FastHashSet<T> = std::collections::HashSet<T, FastBuildHasher>;
 
 #[cfg(test)]
 mod tests {

@@ -60,11 +60,13 @@
 //! assert!(result.stats.hitm_events > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod alloc;
 pub mod coherence;
 pub mod event;
-pub(crate) mod fasthash;
+pub mod fasthash;
 pub mod hook;
 pub mod htm;
 pub mod image;

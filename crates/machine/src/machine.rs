@@ -214,7 +214,7 @@ impl Machine {
             "workload image declares no threads"
         );
         if let Err(e) = config.topology.validate(&config.latency) {
-            panic!("invalid machine configuration: {e}");
+            panic!("invalid machine configuration: {e}"); // lint:allow(panic) — configuration is validated before any simulation starts; a bad config must abort the run
         }
         let program = image.program().clone();
         let mut mem = SparseMemory::new();
@@ -225,7 +225,7 @@ impl Machine {
         for (tid, spec) in image.threads().iter().enumerate() {
             let entry = program
                 .block_by_label(&spec.entry_label)
-                .unwrap_or_else(|| panic!("unknown thread entry label '{}'", spec.entry_label));
+                .unwrap_or_else(|| panic!("unknown thread entry label '{}'", spec.entry_label)); // lint:allow(panic) — an unknown entry label is a workload-definition bug; fail fast at machine construction
             let mut regs = [0u64; NUM_REGS];
             for (r, v) in &spec.regs {
                 regs[r.0 as usize] = *v;

@@ -312,7 +312,7 @@ impl Topology {
             AccessClass::Hitm => {
                 let owner = outcome
                     .previous_owner
-                    .expect("HITM outcomes carry their previous owner");
+                    .expect("HITM outcomes carry their previous owner"); // lint:allow(panic) — the coherence directory only reports HITM when a previous owner exists
                 if self.socket_of(owner, num_cores) == socket {
                     ResolvedClass::HitmLocal
                 } else {

@@ -109,7 +109,7 @@ impl<T> Sender<T> {
     /// while the channel is full; under [`OverflowPolicy::DropNewest`] a full
     /// channel discards the batch and returns [`SendOutcome::Dropped`].
     pub fn send(&self, item: T) -> SendOutcome {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         loop {
             if !state.receiver_alive {
                 return SendOutcome::Closed;
@@ -124,7 +124,7 @@ impl<T> Sender<T> {
                     return SendOutcome::Dropped;
                 }
                 OverflowPolicy::Backpressure => {
-                    state = self.shared.not_full.wait(state).unwrap();
+                    state = self.shared.not_full.wait(state).unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
                 }
             }
         }
@@ -134,14 +134,14 @@ impl<T> Sender<T> {
     /// lagged a full `capacity` behind. A lossy producer can use this to
     /// account a drop *before* constructing the batch it would discard.
     pub fn is_full(&self) -> bool {
-        let state = self.shared.state.lock().unwrap();
+        let state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         state.queue.len() >= self.shared.capacity
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().unwrap().senders += 1;
+        self.shared.state.lock().unwrap().senders += 1; // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         Sender {
             shared: Arc::clone(&self.shared),
         }
@@ -150,7 +150,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         state.senders -= 1;
         if state.senders == 0 {
             // Wake a consumer blocked on an empty queue so it can observe the
@@ -164,7 +164,7 @@ impl<T> Receiver<T> {
     /// Receive the next batch, blocking while the channel is empty. Returns
     /// `None` once every sender is gone and the queue is drained.
     pub fn recv(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         loop {
             if let Some(item) = state.queue.pop_front() {
                 self.shared.not_full.notify_one();
@@ -173,14 +173,14 @@ impl<T> Receiver<T> {
             if state.senders == 0 {
                 return None;
             }
-            state = self.shared.not_empty.wait(state).unwrap();
+            state = self.shared.not_empty.wait(state).unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         }
     }
 
     /// Receive without blocking: `None` when the queue is currently empty
     /// (whether or not senders remain).
     pub fn try_recv(&self) -> Option<T> {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         let item = state.queue.pop_front();
         if item.is_some() {
             self.shared.not_full.notify_one();
@@ -191,7 +191,7 @@ impl<T> Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         state.receiver_alive = false;
         state.queue.clear();
         // Wake producers blocked on a full queue so they observe the close.
@@ -201,7 +201,7 @@ impl<T> Drop for Receiver<T> {
 
 impl<T> std::fmt::Debug for Sender<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.shared.state.lock().unwrap();
+        let state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         f.debug_struct("Sender")
             .field("queued", &state.queue.len())
             .field("capacity", &self.shared.capacity)
@@ -212,7 +212,7 @@ impl<T> std::fmt::Debug for Sender<T> {
 
 impl<T> std::fmt::Debug for Receiver<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.shared.state.lock().unwrap();
+        let state = self.shared.state.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
         f.debug_struct("Receiver")
             .field("queued", &state.queue.len())
             .finish()

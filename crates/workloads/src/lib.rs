@@ -26,6 +26,8 @@
 //! assert!(!image.threads().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod microbench;
 pub mod parsec;

@@ -125,7 +125,7 @@ impl CharacterizationCase {
         let peer_mem_pc = program.pc_of(p_body, 0);
 
         let mut image = WorkloadImage::new(format!("chara_{}", self.id), program);
-        let line = image.layout_mut().heap_alloc(64, 64).expect("shared line");
+        let line = image.layout_mut().heap_alloc(64, 64).expect("shared line"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         image.push_thread(
             ThreadSpec::new("writer", "writer")
                 .with_reg(regs::DATA, line)

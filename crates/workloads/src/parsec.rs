@@ -181,7 +181,7 @@ fn bodytrack(opts: &BuildOptions) -> WorkloadImage {
         let buf = image
             .layout_mut()
             .heap_alloc(64, 64)
-            .expect("particle buffer");
+            .expect("particle buffer"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         image.push_thread(
             ThreadSpec::new(format!("body{t}"), "entry")
                 .with_reg(regs::DATA, buf)
@@ -295,7 +295,7 @@ fn dedup(opts: &BuildOptions) -> WorkloadImage {
     let slots = image
         .layout_mut()
         .heap_alloc(16 * 8, 64)
-        .expect("queue slots");
+        .expect("queue slots"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
     for t in 0..opts.threads {
         let entry = if t % 2 == 0 { "producer" } else { "consumer" };
         image.push_thread(
@@ -356,9 +356,9 @@ fn streamcluster(opts: &BuildOptions) -> WorkloadImage {
     let work_mem = image
         .layout_mut()
         .heap_alloc(stride * opts.threads as u64 + 64, 64)
-        .expect("work_mem");
+        .expect("work_mem"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
     for t in 0..opts.threads {
-        let private = image.layout_mut().heap_alloc(64, 64).expect("private");
+        let private = image.layout_mut().heap_alloc(64, 64).expect("private"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         image.push_thread(
             ThreadSpec::new(format!("sc{t}"), "entry")
                 .with_reg(regs::DATA, work_mem + stride * t as u64)
@@ -412,7 +412,7 @@ fn x264(opts: &BuildOptions) -> WorkloadImage {
     }
     let row_counter = image.layout_mut().global_alloc(64, 64);
     for t in 0..opts.threads {
-        let buf = image.layout_mut().heap_alloc(64, 64).expect("frame buffer");
+        let buf = image.layout_mut().heap_alloc(64, 64).expect("frame buffer"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         image.push_thread(
             ThreadSpec::new(format!("frame{t}"), "entry")
                 .with_reg(regs::DATA, buf)

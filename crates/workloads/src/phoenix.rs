@@ -164,9 +164,9 @@ fn linear_regression(opts: &BuildOptions) -> WorkloadImage {
     let args_array = image
         .layout_mut()
         .heap_alloc(struct_size * opts.threads as u64, align)
-        .expect("args array");
+        .expect("args array"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
     for t in 0..opts.threads {
-        let points = image.layout_mut().heap_alloc(512, 64).expect("points");
+        let points = image.layout_mut().heap_alloc(512, 64).expect("points"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         image.push_thread(
             ThreadSpec::new(format!("lreg{t}"), "entry")
                 .with_reg(regs::DATA, args_array + t as u64 * struct_size)
@@ -236,7 +236,7 @@ fn histogram(opts: &BuildOptions, alternative_input: bool) -> WorkloadImage {
         let packed = image
             .layout_mut()
             .heap_alloc(per_thread_bytes * opts.threads as u64, 1)
-            .expect("packed counters");
+            .expect("packed counters"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         for t in 0..opts.threads {
             image.push_thread(
                 ThreadSpec::new(format!("hist{t}"), "entry")
@@ -248,7 +248,7 @@ fn histogram(opts: &BuildOptions, alternative_input: bool) -> WorkloadImage {
         // Default input / fixed variant: each thread's counters on their own
         // cache line.
         for t in 0..opts.threads {
-            let buf = image.layout_mut().heap_alloc(64, 64).expect("counters");
+            let buf = image.layout_mut().heap_alloc(64, 64).expect("counters"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
             image.push_thread(
                 ThreadSpec::new(format!("hist{t}"), "entry")
                     .with_reg(regs::DATA, buf)
@@ -334,12 +334,12 @@ fn kmeans(opts: &BuildOptions) -> WorkloadImage {
             image
                 .layout_mut()
                 .heap_alloc(clusters * 64, 64)
-                .expect("sums")
+                .expect("sums") // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         } else {
             image
                 .layout_mut()
                 .heap_alloc(clusters * 32, 1)
-                .expect("sums")
+                .expect("sums") // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         };
         image.push_thread(
             ThreadSpec::new(format!("kmeans{t}"), "entry")
@@ -410,8 +410,8 @@ fn packed_counter_kernel(
     if opts.fixed {
         // Manual fix: pad each counter to its own cache line.
         for t in 0..opts.threads {
-            let slot = image.layout_mut().heap_alloc(64, 64).expect("use_len");
-            let private = image.layout_mut().heap_alloc(64, 64).expect("private");
+            let slot = image.layout_mut().heap_alloc(64, 64).expect("use_len"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
+            let private = image.layout_mut().heap_alloc(64, 64).expect("private"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
             image.push_thread(
                 ThreadSpec::new(format!("{name}{t}"), "entry")
                     .with_reg(regs::DATA, slot)
@@ -424,9 +424,9 @@ fn packed_counter_kernel(
         let use_len = image
             .layout_mut()
             .heap_alloc(8 * opts.threads as u64, 1)
-            .expect("use_len array");
+            .expect("use_len array"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
         for t in 0..opts.threads {
-            let private = image.layout_mut().heap_alloc(64, 64).expect("private");
+            let private = image.layout_mut().heap_alloc(64, 64).expect("private"); // lint:allow(panic) — workload images size their heaps to fit; allocation failure is a builder bug
             image.push_thread(
                 ThreadSpec::new(format!("{name}{t}"), "entry")
                     .with_reg(regs::DATA, use_len + 8 * t as u64)

@@ -40,6 +40,8 @@
 //! (The paper's alternative-input variant is registered as `histogram'` —
 //! apostrophe included — and is the one that false-shares.)
 
+#![forbid(unsafe_code)]
+
 pub use laser_baselines as baselines;
 pub use laser_core as core;
 pub use laser_isa as isa;
