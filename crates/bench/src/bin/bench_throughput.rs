@@ -159,7 +159,7 @@ impl Cli {
                         .split(',')
                         .map(|t| {
                             TopologySpec::parse(t)
-                                .ok_or_else(|| format!("unknown topology '{t}' (flat, 2s, 4s)"))
+                                .ok_or_else(|| format!("unknown topology '{t}' (flat, 2s, 4s, 8s)"))
                         })
                         .collect::<Result<Vec<_>, _>>()?;
                 }
@@ -587,8 +587,13 @@ mod tests {
 
     #[test]
     fn topology_names_are_validated_up_front() {
-        let err = Cli::parse(&args(&["--topologies", "flat,8s"])).unwrap_err();
-        assert!(err.contains("unknown topology '8s'"), "{err}");
+        let err = Cli::parse(&args(&["--topologies", "flat,16s"])).unwrap_err();
+        assert!(err.contains("unknown topology '16s'"), "{err}");
+        let ok = Cli::parse(&args(&["--topologies", "flat,8s"])).unwrap();
+        assert_eq!(
+            ok.topologies,
+            vec![TopologySpec::Flat, TopologySpec::OctoSocket]
+        );
         // The flat rows feed both the pipeline gate and the headline, so a
         // sweep without them is rejected before anything simulates.
         let err = Cli::parse(&args(&["--topologies", "2s,4s"])).unwrap_err();

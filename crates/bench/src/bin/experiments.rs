@@ -54,9 +54,21 @@
 //! exact — the alternative-input histogram really is called `histogram'`,
 //! apostrophe included. Unknown `--topology` names are rejected the same
 //! way.
+//!
+//! `--cache DIR` opens a persistent cell cache (`laser_bench::CellCache`):
+//! every cell's full configuration is fingerprinted, previously-computed
+//! cells are loaded instead of simulated, and new cells are written back for
+//! the next invocation. Simulation is deterministic and the fingerprint
+//! covers everything that feeds a cell, so a warm-cache rerun is
+//! **byte-identical** to a cold one in every output format while simulating
+//! zero cells — CI diffs the two to prove it. Cache statistics go to stderr
+//! (never stdout), and `--cache-stats FILE` additionally writes them as JSON
+//! to FILE.
 
 use std::env;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use laser_bench::accuracy::{
     fig9_from_grid, fig9_thresholds, plan_fig9, plan_table1, plan_table2, table1_from_grid,
@@ -70,8 +82,8 @@ use laser_bench::performance::{
 };
 use laser_bench::xsocket::{plan_xsocket, xsocket_from_grid};
 use laser_bench::{
-    validate_workload_names, Campaign, CampaignProgress, CellBudget, ExperimentScale, Grid,
-    GridResult, PipelineConfig, TopologySpec,
+    validate_workload_names, Campaign, CampaignProgress, CellBudget, CellCache, ExperimentScale,
+    Grid, GridResult, PipelineConfig, TopologySpec,
 };
 use laser_workloads::registry;
 use serde::json::Value;
@@ -119,9 +131,15 @@ const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|t
                      \x20                     thread, overlapped with the simulated quantum\n\
                      \x20                     (byte-identical output, higher throughput)\n\
                      --topology T          deploy every cell on a socket-topology preset:\n\
-                     \x20                     flat (default, single socket), 2s or 4s\n\
+                     \x20                     flat (default, single socket), 2s, 4s or 8s\n\
                      \x20                     (4 cores/socket, threads scaled to match);\n\
-                     \x20                     xsocket always sweeps all three presets";
+                     \x20                     xsocket always sweeps every preset\n\
+                     --cache DIR           persistent cell cache: load previously-computed\n\
+                     \x20                     cells instead of simulating, write new ones\n\
+                     \x20                     back (warm reruns are byte-identical and\n\
+                     \x20                     simulate nothing)\n\
+                     --cache-stats FILE    write cache hit/miss statistics as JSON to FILE\n\
+                     \x20                     (requires --cache; stderr always gets them)";
 
 fn usage() -> ExitCode {
     eprintln!("{USAGE}");
@@ -135,21 +153,38 @@ fn announce(progress: CampaignProgress) {
         CampaignProgress::Started { workload, tool, .. } => {
             eprintln!("        ... {workload} × {tool}");
         }
-        CampaignProgress::Finished { done, total, cell } => match &cell.outcome {
-            Ok(run) => eprintln!(
-                "[{done}/{total}] {} × {}: ok ({} cycles, {} reported{})",
-                cell.workload,
-                cell.tool,
-                run.cycles,
-                run.reported.len(),
-                if run.repair_invoked { ", repaired" } else { "" }
-            ),
-            Err(failure) => eprintln!(
-                "[{done}/{total}] {} × {}: {failure}",
-                cell.workload, cell.tool
-            ),
-        },
+        CampaignProgress::Finished {
+            done,
+            total,
+            cell,
+            cached,
+        } => {
+            let origin = if cached { " [cached]" } else { "" };
+            match &cell.outcome {
+                Ok(run) => eprintln!(
+                    "[{done}/{total}] {} × {}: ok ({} cycles, {} reported{}){origin}",
+                    cell.workload,
+                    cell.tool,
+                    run.cycles,
+                    run.reported.len(),
+                    if run.repair_invoked { ", repaired" } else { "" }
+                ),
+                Err(failure) => eprintln!(
+                    "[{done}/{total}] {} × {}: {failure}{origin}",
+                    cell.workload, cell.tool
+                ),
+            }
+        }
     }
+}
+
+/// Write an aggregated payload to stdout, surfacing write failures (a full
+/// disk, a closed pipe) as a clean error instead of a `print!` panic.
+fn write_stdout(payload: &str) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    out.write_all(payload.as_bytes())
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("failed to write to stdout: {e}"))
 }
 
 fn run_campaign(
@@ -160,6 +195,7 @@ fn run_campaign(
     pipeline: PipelineConfig,
     topology: TopologySpec,
     format: Format,
+    cache: &Option<Arc<CellCache>>,
 ) -> Result<(), String> {
     let mut campaign = Campaign::default()
         .with_options(scale.options())
@@ -177,6 +213,9 @@ fn run_campaign(
     if let Some(n) = threads {
         campaign = campaign.with_threads(n);
     }
+    if let Some(cache) = cache {
+        campaign = campaign.with_cache(Arc::clone(cache));
+    }
     eprintln!(
         "running {} cells on {} worker threads...",
         campaign.cells(),
@@ -184,11 +223,10 @@ fn run_campaign(
     );
     let result = campaign.run_with_progress(announce);
     match format {
-        Format::Text => print!("{}", result.render()),
-        Format::Json => println!("{}", result.to_json().render()),
-        Format::Csv => print!("{}", result.to_csv()),
+        Format::Text => write_stdout(&result.render()),
+        Format::Json => write_stdout(&format!("{}\n", result.to_json().render())),
+        Format::Csv => write_stdout(&result.to_csv()),
     }
-    Ok(())
 }
 
 /// Experiments that do not run workloads through the grid, so a topology
@@ -328,6 +366,7 @@ fn run_figures(
     pipeline: PipelineConfig,
     topology: TopologySpec,
     format: Format,
+    cache: &Option<Arc<CellCache>>,
 ) -> Result<(), String> {
     // Resolve format incompatibilities before any cell is simulated: fig2
     // has no csv form, so an `all --format csv` run skips it (with a note)
@@ -379,6 +418,9 @@ fn run_figures(
     if let Some(n) = threads {
         grid = grid.with_threads(n);
     }
+    if let Some(cache) = cache {
+        grid = grid.with_cache(Arc::clone(cache));
+    }
     let grid_threads = grid.threads();
     for which in &selected {
         plan_one(which, &mut grid);
@@ -394,23 +436,27 @@ fn run_figures(
     let many = selected.len() > 1;
     for which in &selected {
         let payload = derive_one(which, &grid_result, scale, grid_threads, format)?;
+        let mut block = String::new();
         match format {
             Format::Text => {
-                println!("==================== {which} ====================");
-                print!("{payload}");
-                println!();
+                block.push_str(&format!(
+                    "==================== {which} ====================\n"
+                ));
+                block.push_str(&payload);
+                block.push('\n');
             }
-            Format::Json => print!("{payload}"),
+            Format::Json => block.push_str(&payload),
             Format::Csv => {
                 if many {
-                    println!("# {which}");
+                    block.push_str(&format!("# {which}\n"));
                 }
-                print!("{payload}");
+                block.push_str(&payload);
                 if many {
-                    println!();
+                    block.push('\n');
                 }
             }
         }
+        write_stdout(&block)?;
     }
     Ok(())
 }
@@ -429,6 +475,10 @@ struct Cli {
     budget: CellBudget,
     pipeline: PipelineConfig,
     topology: TopologySpec,
+    /// `--cache DIR`: persistent cell-cache directory.
+    cache: Option<String>,
+    /// `--cache-stats FILE`: where to write cache statistics as JSON.
+    cache_stats: Option<String>,
 }
 
 /// Why the command line was rejected.
@@ -460,6 +510,8 @@ impl Cli {
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
             topology: TopologySpec::Flat,
+            cache: None,
+            cache_stats: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -509,9 +561,23 @@ impl Cli {
                     };
                     cli.topology = TopologySpec::parse(v).ok_or_else(|| {
                         CliError::Invalid(format!(
-                            "unknown topology '{v}' (expected flat, 2s or 4s)"
+                            "unknown topology '{v}' (expected flat, 2s, 4s or 8s)"
                         ))
                     })?;
+                    i += 2;
+                }
+                "--cache" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.cache = Some(v.clone());
+                    i += 2;
+                }
+                "--cache-stats" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.cache_stats = Some(v.clone());
                     i += 2;
                 }
                 "--help" | "-h" => return Err(CliError::Usage),
@@ -522,6 +588,11 @@ impl Cli {
             }
         }
 
+        if cli.cache_stats.is_some() && cli.cache.is_none() {
+            return Err(CliError::Invalid(
+                "--cache-stats requires --cache".to_string(),
+            ));
+        }
         if let Some(names) = &cli.only {
             if cli.which != "campaign" {
                 return Err(CliError::Invalid(
@@ -543,6 +614,26 @@ impl Cli {
     }
 }
 
+/// After a cached run: report statistics to stderr (never stdout — the
+/// aggregated output must stay byte-identical, cold or warm), optionally
+/// write them as JSON to the `--cache-stats` file, and surface any cache
+/// write failure as a clean error.
+fn finish_cache(cache: &Option<Arc<CellCache>>, stats_file: &Option<String>) -> Result<(), String> {
+    let Some(cache) = cache else {
+        return Ok(());
+    };
+    let stats = cache.stats();
+    eprintln!("{}", stats.render());
+    if let Some(path) = stats_file {
+        std::fs::write(path, format!("{}\n", stats.to_json().render()))
+            .map_err(|e| format!("failed to write cache stats to {path}: {e}"))?;
+    }
+    if let Some(message) = cache.write_error() {
+        return Err(format!("cell cache write failed: {message}"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let cli = match Cli::parse(&args) {
@@ -552,6 +643,16 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             return usage();
         }
+    };
+    let cache = match &cli.cache {
+        Some(dir) => match CellCache::open(dir) {
+            Ok(cache) => Some(Arc::new(cache)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
     let scale = ExperimentScale {
         workload_scale: cli.scale.unwrap_or(if cli.which == "xsocket" {
@@ -571,7 +672,10 @@ fn main() -> ExitCode {
             cli.pipeline,
             cli.topology,
             cli.format,
-        ) {
+            &cache,
+        )
+        .and_then(|()| finish_cache(&cache, &cli.cache_stats))
+        {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -593,7 +697,10 @@ fn main() -> ExitCode {
         cli.pipeline,
         cli.topology,
         cli.format,
-    ) {
+        &cache,
+    )
+    .and_then(|()| finish_cache(&cache, &cli.cache_stats))
+    {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");
@@ -628,17 +735,18 @@ mod tests {
             ("flat", TopologySpec::Flat),
             ("2s", TopologySpec::DualSocket),
             ("4s", TopologySpec::QuadSocket),
+            ("8s", TopologySpec::OctoSocket),
         ] {
             let cli = Cli::parse(&args(&["campaign", "--topology", name])).unwrap();
             assert_eq!(cli.topology, spec);
         }
         // ...an unknown name is rejected before anything simulates, with the
         // valid set in the message...
-        let err = Cli::parse(&args(&["campaign", "--topology", "8s"])).unwrap_err();
+        let err = Cli::parse(&args(&["campaign", "--topology", "16s"])).unwrap_err();
         match err {
             CliError::Invalid(msg) => {
-                assert!(msg.contains("unknown topology '8s'"), "{msg}");
-                assert!(msg.contains("flat, 2s or 4s"), "{msg}");
+                assert!(msg.contains("unknown topology '16s'"), "{msg}");
+                assert!(msg.contains("flat, 2s, 4s or 8s"), "{msg}");
             }
             other => panic!("expected Invalid, got {other:?}"),
         }
@@ -698,6 +806,34 @@ mod tests {
         assert_eq!(
             Cli::parse(&args(&["fig10", "--only", "swaptions"])).unwrap_err(),
             CliError::Invalid("--only only applies to the campaign subcommand".to_string())
+        );
+    }
+
+    #[test]
+    fn cache_flags_parse_and_validate() {
+        let cli = Cli::parse(&args(&[
+            "all",
+            "--cache",
+            "cells",
+            "--cache-stats",
+            "stats.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.cache, Some("cells".to_string()));
+        assert_eq!(cli.cache_stats, Some("stats.json".to_string()));
+        // Stats without a cache make no sense and are rejected up front...
+        assert_eq!(
+            Cli::parse(&args(&["all", "--cache-stats", "stats.json"])).unwrap_err(),
+            CliError::Invalid("--cache-stats requires --cache".to_string())
+        );
+        // ...and dangling flags are usage errors.
+        assert_eq!(
+            Cli::parse(&args(&["--cache"])).unwrap_err(),
+            CliError::Usage
+        );
+        assert_eq!(
+            Cli::parse(&args(&["--cache-stats"])).unwrap_err(),
+            CliError::Usage
         );
     }
 

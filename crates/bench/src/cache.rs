@@ -1,0 +1,978 @@
+//! Persistent, content-addressed cell-result cache.
+//!
+//! `experiments all` recomputes every `(workload, tool, topology)` cell from
+//! scratch on every invocation. This module makes campaigns *incremental*: a
+//! [`CellCache`] keys each cell by a stable fingerprint of its full
+//! configuration — workload name, build options, tool key, topology preset,
+//! per-cell budget and pipeline deployment — and stores the finished
+//! [`CellResult`] on disk as compact JSON (via the `serde::json` shim). A
+//! [`Campaign`](crate::campaign::Campaign) holding a cache consults it before
+//! simulating a cell and writes the result back after, so a repeated or
+//! incrementally-changed campaign only pays for the cells that changed.
+//!
+//! Determinism is the load-bearing property. Every cell simulation is
+//! deterministic, so a cache hit returns *exactly* the bytes a fresh
+//! simulation would have produced, and a warm-cache rerun of any experiment
+//! is byte-identical to its cold run in every output format
+//! (`tests/cache_service.rs` pins this). To keep that true:
+//!
+//! * the fingerprint is a hand-rolled FNV-1a over a canonical key/value
+//!   rendering of the config — no [`std::collections::HashMap`] iteration,
+//!   no pointer hashing, no process-seeded state — so identical configs
+//!   fingerprint identically across processes and hosts;
+//! * the canonical config string is stored *inside* the cache file and
+//!   verified on load, so a fingerprint collision degrades to a miss, never
+//!   to a wrong result;
+//! * only deterministic outcomes are cached: successful runs, Sheriff
+//!   compatibility verdicts and step-budget exhaustion. Errors, panics and
+//!   anything involving a wall-clock budget always re-simulate.
+//!
+//! Simulation-semantics changes are handled by [`CACHE_SALT`]: the salt is
+//! written into every cache file and checked on load, so bumping it (one
+//! constant, whenever a change makes old cycle counts stale) invalidates
+//! every stored cell at once. Salt mismatches are counted separately from
+//! plain misses in [`CacheStats`], which campaigns surface on stderr and in
+//! the cache-stats JSON report — never on stdout, which must stay
+//! byte-identical between cold and warm runs.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use laser_baselines::SheriffFailure;
+use laser_core::{CellBudget, ContentionKind, PipelineConfig, StopReason, TopologySpec};
+use laser_workloads::BuildOptions;
+use serde::json::Value;
+
+use crate::campaign::CellResult;
+use crate::tool::{cell_key, ReportedLine, ToolFailure, ToolRun};
+
+/// Version salt baked into every cache file.
+///
+/// Bump this whenever a change alters simulation semantics (cost model,
+/// scheduler, detector, repair policy, …) so that previously stored cycle
+/// counts no longer reflect what a fresh run would produce. Every stored
+/// cell carries the salt it was written under; a mismatch on load counts as
+/// `invalidated` and the cell is re-simulated and re-stored.
+pub const CACHE_SALT: u32 = 1;
+
+/// The full configuration of one campaign cell, as fingerprinted by the
+/// cache. Everything that can change a cell's result must appear here.
+#[derive(Debug, Clone, Copy)]
+pub struct CellConfig<'a> {
+    /// Workload name (unique in the registry).
+    pub workload: &'a str,
+    /// Bare tool key (`ToolSpec::key()` / `Tool::name()`), without any
+    /// topology suffix.
+    pub tool: &'a str,
+    /// Topology preset the cell deploys on.
+    pub topology: TopologySpec,
+    /// Build options before topology adaptation (the tool applies
+    /// `BuildOptions::for_topology` itself, deterministically).
+    pub opts: &'a BuildOptions,
+    /// Per-cell budget.
+    pub budget: CellBudget,
+    /// Pipeline deployment of the cell's session.
+    pub pipeline: PipelineConfig,
+}
+
+impl CellConfig<'_> {
+    /// The canonical rendering the fingerprint hashes: one `key=value` line
+    /// per config field, in a fixed order. Floats render with `{:?}` so the
+    /// exact bit pattern round-trips; every other field has one stable
+    /// spelling. This string is also stored in the cache file and compared
+    /// on load, so a fingerprint collision can never alias two configs.
+    pub fn canonical(&self) -> String {
+        let steps = match self.budget.max_steps {
+            Some(n) => n.to_string(),
+            None => "none".to_string(),
+        };
+        let wall_ms = match self.budget.max_wall {
+            Some(d) => d.as_millis().to_string(),
+            None => "none".to_string(),
+        };
+        format!(
+            "workload={}\ntool={}\ntopology={}\nthreads={}\nscale={:?}\nfixed={}\n\
+             layout_perturbation={}\nplacement={}\nbudget_steps={}\nbudget_wall_ms={}\n\
+             pipeline={}\npipeline_capacity={}\npipeline_lossy={}\n",
+            self.workload,
+            self.tool,
+            self.topology.key(),
+            self.opts.threads,
+            self.opts.scale,
+            self.opts.fixed,
+            self.opts.layout_perturbation,
+            self.opts.placement,
+            steps,
+            wall_ms,
+            self.pipeline.enabled,
+            self.pipeline.capacity,
+            self.pipeline.lossy,
+        )
+    }
+
+    /// Whether results under this config are deterministic enough to cache
+    /// at all: wall-clock budgets depend on real time and machine load, and
+    /// lossy pipelining forfeits the byte-identity guarantee, so neither is
+    /// ever cached.
+    pub fn cacheable(&self) -> bool {
+        self.budget.max_wall.is_none() && !self.pipeline.lossy
+    }
+}
+
+/// Compute the cache fingerprint of a cell config: 32 lowercase hex digits
+/// from two independent FNV-1a passes over [`CellConfig::canonical`].
+///
+/// Hand-rolled with fixed constants (no `std` hasher involvement) so the
+/// fingerprint is identical across processes, builds and platforms.
+pub fn fingerprint(config: &CellConfig) -> String {
+    let canonical = config.canonical();
+    let a = fnv1a(canonical.as_bytes(), 0xcbf2_9ce4_8422_2325);
+    // Second pass from a different basis: 128 bits total makes accidental
+    // collisions implausible, and the stored canonical string catches the
+    // implausible ones.
+    let b = fnv1a(
+        canonical.as_bytes(),
+        0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15,
+    );
+    format!("{a:016x}{b:016x}")
+}
+
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a cache directory could not be opened.
+#[derive(Debug)]
+pub struct CacheError {
+    /// The offending directory.
+    pub dir: PathBuf,
+    /// The underlying I/O error, as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot open cell cache at {}: {}",
+            self.dir.display(),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Hit/miss accounting for one cache over one process lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Cells answered from the store (not simulated).
+    pub hits: u64,
+    /// Cells simulated because no usable entry existed (absent, corrupt, or
+    /// fingerprint-collision mismatch).
+    pub misses: u64,
+    /// Cells simulated because the stored entry carried a stale
+    /// [`CACHE_SALT`].
+    pub invalidated: u64,
+    /// Cells written back to the store after simulating.
+    pub stored: u64,
+}
+
+impl CacheStats {
+    /// Cells that had to be simulated this run.
+    pub fn simulated(&self) -> u64 {
+        self.misses + self.invalidated
+    }
+
+    /// The stats as a JSON object (for `--cache-stats` reports and the
+    /// service summary line).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .set("hits", self.hits)
+            .set("misses", self.misses)
+            .set("invalidated", self.invalidated)
+            .set("stored", self.stored)
+            .set("simulated", self.simulated())
+    }
+
+    /// One-line human summary for stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "{} hit{}, {} simulated ({} miss{}, {} invalidated), {} stored",
+            self.hits,
+            if self.hits == 1 { "" } else { "s" },
+            self.simulated(),
+            self.misses,
+            if self.misses == 1 { "" } else { "es" },
+            self.invalidated,
+            self.stored,
+        )
+    }
+}
+
+/// A persistent, content-addressed store of finished campaign cells.
+///
+/// One file per cell under the cache directory, named by the config
+/// fingerprint. Shared across campaign worker threads behind an `Arc`;
+/// loads and stores are lock-free except for the write-error slot. Write
+/// failures never panic: the first failure is recorded and surfaced through
+/// [`CellCache::write_error`], which the binaries turn into a clean nonzero
+/// exit after the run.
+#[derive(Debug)]
+pub struct CellCache {
+    dir: PathBuf,
+    salt: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+    stored: AtomicU64,
+    write_error: Mutex<Option<String>>,
+}
+
+impl CellCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    /// [`CacheError`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CellCache, CacheError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| CacheError {
+            dir: dir.clone(),
+            message: e.to_string(),
+        })?;
+        Ok(CellCache {
+            dir,
+            salt: CACHE_SALT,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+            write_error: Mutex::new(None),
+        })
+    }
+
+    /// Override the version salt (tests use this to prove a bump invalidates
+    /// the whole store).
+    pub fn with_salt(mut self, salt: u32) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, fp: &str) -> PathBuf {
+        self.dir.join(format!("{fp}.json"))
+    }
+
+    /// Look up a cell. `Some` is a hit: the returned result is byte-for-byte
+    /// what the original simulation produced. `None` bumps the miss (or
+    /// `invalidated`, on a salt mismatch) counter and the caller simulates.
+    pub fn load(&self, config: &CellConfig) -> Option<CellResult> {
+        if !config.cacheable() {
+            // Never served from the store, and not a "miss" — the cell was
+            // never eligible.
+            return None;
+        }
+        let text = match fs::read_to_string(self.path_of(&fingerprint(config))) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&text, self.salt, config) {
+            Ok(cell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            Err(EntryRejected::StaleSalt) => {
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(EntryRejected::Unusable) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a finished cell, if its outcome is deterministic (see module
+    /// docs). Failures to write are recorded — first one wins — and surfaced
+    /// through [`CellCache::write_error`]; they never panic and never affect
+    /// the in-memory result.
+    pub fn store(&self, config: &CellConfig, cell: &CellResult) {
+        if !config.cacheable() || !outcome_is_cacheable(&cell.outcome) {
+            return;
+        }
+        let entry = encode_entry(self.salt, config, cell).render();
+        let fp = fingerprint(config);
+        let path = self.path_of(&fp);
+        // Write-then-rename so a concurrent reader (or a second service
+        // process sharing the directory) never observes a half-written file.
+        let tmp = self.dir.join(format!("{fp}.tmp.{}", std::process::id()));
+        let result = fs::write(&tmp, entry.as_bytes())
+            .and_then(|()| fs::rename(&tmp, &path))
+            .map_err(|e| format!("cache write {}: {e}", path.display()));
+        match result {
+            Ok(()) => {
+                self.stored.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                let _ = fs::remove_file(&tmp);
+                let mut slot = self.write_error.lock().unwrap(); // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
+                slot.get_or_insert(message);
+            }
+        }
+    }
+
+    /// The accumulated stats of this process's loads and stores.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            stored: self.stored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The first write failure, if any store failed. Binaries check this
+    /// after a run and exit nonzero with the message.
+    pub fn write_error(&self) -> Option<String> {
+        self.write_error.lock().unwrap().clone() // lint:allow(panic) — lock poisoning only follows a panic already unwinding this run
+    }
+}
+
+/// Outcomes that are deterministic replays of the simulation: successful
+/// runs, Sheriff's static compatibility verdicts, and step-budget trips
+/// (steps are counted in simulated instructions, not real time). Errors and
+/// panics are transient; wall-clock trips depend on machine load.
+fn outcome_is_cacheable(outcome: &Result<ToolRun, ToolFailure>) -> bool {
+    match outcome {
+        Ok(_) => true,
+        Err(ToolFailure::Unsupported(_)) => true,
+        Err(ToolFailure::BudgetExceeded {
+            reason: StopReason::StepBudget { .. },
+        }) => true,
+        Err(_) => false,
+    }
+}
+
+/// Why a present cache file was not used.
+enum EntryRejected {
+    /// Written under a different [`CACHE_SALT`].
+    StaleSalt,
+    /// Corrupt, truncated, wrong shape, or a config/fingerprint mismatch.
+    Unusable,
+}
+
+const ENTRY_KIND: &str = "laser-cell";
+
+fn encode_entry(salt: u32, config: &CellConfig, cell: &CellResult) -> Value {
+    Value::object()
+        .set("kind", ENTRY_KIND)
+        .set("salt", salt)
+        .set("config", config.canonical())
+        .set("cell", encode_cell(cell))
+}
+
+fn decode_entry(text: &str, salt: u32, config: &CellConfig) -> Result<CellResult, EntryRejected> {
+    let value = Value::parse(text).map_err(|_| EntryRejected::Unusable)?;
+    if value.get("kind").and_then(as_str) != Some(ENTRY_KIND) {
+        return Err(EntryRejected::Unusable);
+    }
+    match value.get("salt") {
+        Some(Value::Int(stored)) if *stored == i64::from(salt) => {}
+        Some(Value::Int(_)) => return Err(EntryRejected::StaleSalt),
+        _ => return Err(EntryRejected::Unusable),
+    }
+    if value.get("config").and_then(as_str) != Some(config.canonical().as_str()) {
+        return Err(EntryRejected::Unusable);
+    }
+    let cell = value.get("cell").ok_or(EntryRejected::Unusable)?;
+    let cell = decode_cell(cell).ok_or(EntryRejected::Unusable)?;
+    // Belt and braces: the stored identity must match what the campaign
+    // would label a fresh simulation of this config.
+    if cell.workload != config.workload || cell.tool != cell_key(config.tool, config.topology) {
+        return Err(EntryRejected::Unusable);
+    }
+    Ok(cell)
+}
+
+fn encode_cell(cell: &CellResult) -> Value {
+    let (run, failure) = match &cell.outcome {
+        Ok(run) => (encode_run(run), Value::Null),
+        Err(f) => (Value::Null, encode_failure(f)),
+    };
+    Value::object()
+        .set("workload", cell.workload.as_str())
+        .set("tool", cell.tool.as_str())
+        .set("run", run)
+        .set("failure", failure)
+}
+
+fn decode_cell(value: &Value) -> Option<CellResult> {
+    let workload = as_str(value.get("workload")?)?.to_string();
+    let tool = as_str(value.get("tool")?)?.to_string();
+    let outcome = match (value.get("run")?, value.get("failure")?) {
+        (run, Value::Null) => Ok(decode_run(run)?),
+        (Value::Null, failure) => Err(decode_failure(failure)?),
+        _ => return None,
+    };
+    Some(CellResult {
+        workload,
+        tool,
+        outcome,
+    })
+}
+
+fn encode_run(run: &ToolRun) -> Value {
+    Value::object()
+        .set("cycles", run.cycles)
+        .set("repair_invoked", run.repair_invoked)
+        .set("driver_overhead_cycles", run.driver_overhead_cycles)
+        .set("detector_cycles", run.detector_cycles)
+        .set("hitm_events", run.hitm_events)
+        .set("hitm_remote", run.hitm_remote)
+        .set(
+            "reported",
+            Value::Array(run.reported.iter().map(encode_line).collect()),
+        )
+}
+
+fn decode_run(value: &Value) -> Option<ToolRun> {
+    let reported = match value.get("reported")? {
+        Value::Array(items) => items
+            .iter()
+            .map(decode_line)
+            .collect::<Option<Vec<ReportedLine>>>()?,
+        _ => return None,
+    };
+    Some(ToolRun {
+        cycles: as_u64(value.get("cycles")?)?,
+        reported,
+        repair_invoked: as_bool(value.get("repair_invoked")?)?,
+        driver_overhead_cycles: as_u64(value.get("driver_overhead_cycles")?)?,
+        detector_cycles: as_u64(value.get("detector_cycles")?)?,
+        hitm_events: as_u64(value.get("hitm_events")?)?,
+        hitm_remote: as_u64(value.get("hitm_remote")?)?,
+    })
+}
+
+fn encode_line(line: &ReportedLine) -> Value {
+    Value::object()
+        .set("label", line.label.as_str())
+        .set("file", line.file.clone())
+        .set("line", line.line)
+        .set(
+            "kind",
+            match line.kind {
+                Some(ContentionKind::FalseSharing) => Value::Str("false-sharing".to_string()),
+                Some(ContentionKind::TrueSharing) => Value::Str("true-sharing".to_string()),
+                Some(ContentionKind::Unknown) => Value::Str("unknown".to_string()),
+                None => Value::Null,
+            },
+        )
+        .set("hitm_records", line.hitm_records)
+        .set("rate_per_sec", line.rate_per_sec)
+}
+
+fn decode_line(value: &Value) -> Option<ReportedLine> {
+    let file = match value.get("file")? {
+        Value::Null => None,
+        Value::Str(s) => Some(s.clone()),
+        _ => return None,
+    };
+    let line = match value.get("line")? {
+        Value::Null => None,
+        Value::Int(i) => Some(u32::try_from(*i).ok()?),
+        _ => return None,
+    };
+    let kind = match value.get("kind")? {
+        Value::Null => None,
+        Value::Str(s) => Some(match s.as_str() {
+            "false-sharing" => ContentionKind::FalseSharing,
+            "true-sharing" => ContentionKind::TrueSharing,
+            "unknown" => ContentionKind::Unknown,
+            _ => return None,
+        }),
+        _ => return None,
+    };
+    let rate_per_sec = match value.get("rate_per_sec")? {
+        Value::Float(f) => *f,
+        Value::Int(i) => *i as f64,
+        _ => return None,
+    };
+    Some(ReportedLine {
+        label: as_str(value.get("label")?)?.to_string(),
+        file,
+        line,
+        kind,
+        hitm_records: as_u64(value.get("hitm_records")?)?,
+        rate_per_sec,
+    })
+}
+
+fn encode_failure(failure: &ToolFailure) -> Value {
+    match failure {
+        ToolFailure::Unsupported(SheriffFailure::Crash) => {
+            Value::object().set("unsupported", "crash")
+        }
+        ToolFailure::Unsupported(SheriffFailure::Incompatible) => {
+            Value::object().set("unsupported", "incompatible")
+        }
+        ToolFailure::BudgetExceeded {
+            reason: StopReason::StepBudget { limit, used },
+        } => Value::object().set(
+            "step_budget",
+            Value::object().set("limit", *limit).set("used", *used),
+        ),
+        // Uncacheable failures never reach the encoder (see
+        // `outcome_is_cacheable`); encode to a shape the decoder rejects.
+        _ => Value::object(),
+    }
+}
+
+fn decode_failure(value: &Value) -> Option<ToolFailure> {
+    if let Some(which) = value.get("unsupported") {
+        return match as_str(which)? {
+            "crash" => Some(ToolFailure::Unsupported(SheriffFailure::Crash)),
+            "incompatible" => Some(ToolFailure::Unsupported(SheriffFailure::Incompatible)),
+            _ => None,
+        };
+    }
+    if let Some(budget) = value.get("step_budget") {
+        return Some(ToolFailure::BudgetExceeded {
+            reason: StopReason::StepBudget {
+                limit: as_u64(budget.get("limit")?)?,
+                used: as_u64(budget.get("used")?)?,
+            },
+        });
+    }
+    None
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn as_bool(value: &Value) -> Option<bool> {
+    match value {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laser_machine::ThreadPlacement;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("laser-cache-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn base_opts() -> BuildOptions {
+        BuildOptions::default()
+    }
+
+    fn config<'a>(opts: &'a BuildOptions) -> CellConfig<'a> {
+        CellConfig {
+            workload: "histogram'",
+            tool: "laser-detect",
+            topology: TopologySpec::Flat,
+            opts,
+            budget: CellBudget::default(),
+            pipeline: PipelineConfig::default(),
+        }
+    }
+
+    fn sample_run() -> ToolRun {
+        ToolRun {
+            cycles: 123_456_789,
+            reported: vec![
+                ReportedLine {
+                    label: "histogram.c:hist_update".to_string(),
+                    file: Some("histogram.c".to_string()),
+                    line: Some(77),
+                    kind: Some(ContentionKind::FalseSharing),
+                    hitm_records: 4821,
+                    rate_per_sec: 1234.5625,
+                },
+                ReportedLine {
+                    label: "anon".to_string(),
+                    file: None,
+                    line: None,
+                    kind: None,
+                    hitm_records: 3,
+                    rate_per_sec: 0.125,
+                },
+            ],
+            repair_invoked: true,
+            driver_overhead_cycles: 4_200,
+            detector_cycles: 1_900,
+            hitm_events: 5_000,
+            hitm_remote: 120,
+        }
+    }
+
+    fn sample_cell(outcome: Result<ToolRun, ToolFailure>) -> CellResult {
+        CellResult {
+            workload: "histogram'".to_string(),
+            tool: "laser-detect".to_string(),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_pinned_across_processes_and_builds() {
+        // The exact fingerprint of a fixed config is part of the on-disk
+        // format: if this literal changes, every existing cache directory
+        // silently stops hitting. Bump CACHE_SALT instead of editing this
+        // pin unless the canonical rendering itself deliberately changed.
+        let opts = base_opts();
+        let fp = fingerprint(&config(&opts));
+        assert_eq!(fp.len(), 32);
+        assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(fp, fingerprint(&config(&opts)), "pure function");
+        assert_eq!(fp, "8ddfbee8facceb5b4bba6ae26f6f3ac0");
+    }
+
+    #[test]
+    fn every_config_field_perturbs_the_fingerprint() {
+        let opts = base_opts();
+        let base = fingerprint(&config(&opts));
+
+        let mut threads = base_opts();
+        threads.threads = 8;
+        let mut scale = base_opts();
+        scale.scale = 0.400_000_000_000_000_1;
+        let mut fixed = base_opts();
+        fixed.fixed = true;
+        let mut layout = base_opts();
+        layout.layout_perturbation = 8;
+        let mut placement = base_opts();
+        placement.placement = ThreadPlacement::RoundRobin;
+
+        let mut variants: Vec<(&str, String)> = vec![
+            (
+                "threads",
+                fingerprint(&CellConfig {
+                    opts: &threads,
+                    ..config(&threads)
+                }),
+            ),
+            (
+                "scale",
+                fingerprint(&CellConfig {
+                    opts: &scale,
+                    ..config(&scale)
+                }),
+            ),
+            (
+                "fixed",
+                fingerprint(&CellConfig {
+                    opts: &fixed,
+                    ..config(&fixed)
+                }),
+            ),
+            (
+                "layout",
+                fingerprint(&CellConfig {
+                    opts: &layout,
+                    ..config(&layout)
+                }),
+            ),
+            (
+                "placement",
+                fingerprint(&CellConfig {
+                    opts: &placement,
+                    ..config(&placement)
+                }),
+            ),
+        ];
+        let opts = base_opts();
+        variants.extend([
+            (
+                "workload",
+                fingerprint(&CellConfig {
+                    workload: "histogram",
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "tool",
+                fingerprint(&CellConfig {
+                    tool: "laser",
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "topology",
+                fingerprint(&CellConfig {
+                    topology: TopologySpec::OctoSocket,
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "budget_steps",
+                fingerprint(&CellConfig {
+                    budget: CellBudget::steps(1_000_000),
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "budget_wall",
+                fingerprint(&CellConfig {
+                    budget: CellBudget::wall(Duration::from_millis(500)),
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "pipeline",
+                fingerprint(&CellConfig {
+                    pipeline: PipelineConfig::pipelined(),
+                    ..config(&opts)
+                }),
+            ),
+        ]);
+
+        for (field, fp) in &variants {
+            assert_ne!(fp, &base, "perturbing {field} must change the fingerprint");
+        }
+        // And the perturbations are pairwise distinct from each other too.
+        let mut all: Vec<&String> = variants.iter().map(|(_, fp)| fp).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), variants.len());
+    }
+
+    #[test]
+    fn store_and_load_round_trips_through_a_fresh_handle() {
+        let dir = scratch_dir("roundtrip");
+        let opts = base_opts();
+        let cfg = config(&opts);
+        let cell = sample_cell(Ok(sample_run()));
+
+        let writer = CellCache::open(&dir).unwrap();
+        assert_eq!(writer.load(&cfg), None, "cold store misses");
+        writer.store(&cfg, &cell);
+        assert_eq!(writer.write_error(), None);
+        assert_eq!(
+            writer.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                invalidated: 0,
+                stored: 1
+            }
+        );
+
+        // A different process would open its own handle: same directory,
+        // fresh stats — and the loaded cell is exactly what was stored,
+        // including the float report rates.
+        let reader = CellCache::open(&dir).unwrap();
+        assert_eq!(reader.load(&cfg), Some(cell));
+        assert_eq!(reader.stats().hits, 1);
+        assert_eq!(reader.stats().simulated(), 0);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deterministic_failures_round_trip_too() {
+        let dir = scratch_dir("failures");
+        let opts = base_opts();
+        let cfg = config(&opts);
+        for failure in [
+            ToolFailure::Unsupported(SheriffFailure::Crash),
+            ToolFailure::Unsupported(SheriffFailure::Incompatible),
+            ToolFailure::BudgetExceeded {
+                reason: StopReason::StepBudget {
+                    limit: 1_000,
+                    used: 1_001,
+                },
+            },
+        ] {
+            let cache = CellCache::open(&dir).unwrap();
+            let cell = sample_cell(Err(failure.clone()));
+            cache.store(&cfg, &cell);
+            assert_eq!(cache.load(&cfg), Some(cell), "{failure:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salt_bump_invalidates_every_stored_cell() {
+        let dir = scratch_dir("salt");
+        let opts = base_opts();
+        let cfg = config(&opts);
+        let cell = sample_cell(Ok(sample_run()));
+
+        let old = CellCache::open(&dir).unwrap();
+        old.store(&cfg, &cell);
+        assert_eq!(old.load(&cfg), Some(cell.clone()));
+
+        // The same store under a bumped salt: the entry is stale, counted as
+        // invalidated (not a plain miss), and re-storing repairs it.
+        let new = CellCache::open(&dir).unwrap().with_salt(CACHE_SALT + 1);
+        assert_eq!(new.load(&cfg), None);
+        assert_eq!(new.stats().invalidated, 1);
+        assert_eq!(new.stats().misses, 0);
+        new.store(&cfg, &cell);
+        assert_eq!(new.load(&cfg), Some(cell.clone()));
+
+        // And the old-salt handle now sees a stale entry in turn.
+        let old = CellCache::open(&dir).unwrap();
+        assert_eq!(old.load(&cfg), None);
+        assert_eq!(old.stats().invalidated, 1);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nondeterministic_configs_and_outcomes_are_never_cached() {
+        let dir = scratch_dir("nondet");
+        let cache = CellCache::open(&dir).unwrap();
+        let opts = base_opts();
+
+        // A wall-clock budget depends on machine load: not cacheable, and
+        // not counted as a miss — the cell was never eligible.
+        let walled = CellConfig {
+            budget: CellBudget::wall(Duration::from_secs(5)),
+            ..config(&opts)
+        };
+        assert!(!walled.cacheable());
+        cache.store(&walled, &sample_cell(Ok(sample_run())));
+        assert_eq!(cache.load(&walled), None);
+        assert_eq!(cache.stats(), CacheStats::default());
+
+        // Lossy pipelining forfeits byte-identity: same policy.
+        let lossy = CellConfig {
+            pipeline: PipelineConfig {
+                lossy: true,
+                ..PipelineConfig::pipelined()
+            },
+            ..config(&opts)
+        };
+        assert!(!lossy.cacheable());
+
+        // Transient outcomes (errors, panics, wall-clock trips) are never
+        // stored even under a cacheable config.
+        let cfg = config(&opts);
+        for failure in [
+            ToolFailure::Error("io".to_string()),
+            ToolFailure::Panicked {
+                message: "boom".to_string(),
+            },
+            ToolFailure::BudgetExceeded {
+                reason: StopReason::WallClock {
+                    limit_ms: 10,
+                    elapsed_ms: 11,
+                },
+            },
+        ] {
+            cache.store(&cfg, &sample_cell(Err(failure)));
+        }
+        assert_eq!(cache.stats().stored, 0);
+        assert_eq!(cache.load(&cfg), None, "nothing was written");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_degrade_to_misses() {
+        let dir = scratch_dir("corrupt");
+        let opts = base_opts();
+        let cfg = config(&opts);
+        let cache = CellCache::open(&dir).unwrap();
+
+        // Corrupt JSON at the right path: a miss, never an error.
+        let path = dir.join(format!("{}.json", fingerprint(&cfg)));
+        fs::write(&path, b"{\"kind\": \"laser-cell\", \"salt\":").unwrap();
+        assert_eq!(cache.load(&cfg), None);
+        assert_eq!(cache.stats().misses, 1);
+
+        // A fingerprint collision (simulated by copying another config's
+        // entry into this config's slot) is caught by the stored canonical
+        // config string: again a miss, never a wrong result.
+        let other_opts = BuildOptions {
+            threads: 16,
+            ..base_opts()
+        };
+        let other = CellConfig {
+            opts: &other_opts,
+            ..config(&other_opts)
+        };
+        cache.store(&other, &sample_cell(Ok(sample_run())));
+        fs::copy(dir.join(format!("{}.json", fingerprint(&other))), &path).unwrap();
+        assert_eq!(cache.load(&cfg), None);
+        assert_eq!(cache.stats().misses, 2);
+        assert!(cache.load(&other).is_some(), "the real entry still hits");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_failures_are_recorded_not_panicked() {
+        let dir = scratch_dir("failwrite");
+        let cache = CellCache::open(&dir).unwrap();
+        // Remove the directory out from under the cache: the tmp-file write
+        // fails, the error lands in the slot, and nothing panics.
+        fs::remove_dir_all(&dir).unwrap();
+        let opts = base_opts();
+        cache.store(&config(&opts), &sample_cell(Ok(sample_run())));
+        let error = cache.write_error().expect("the failed write is recorded");
+        assert!(error.contains("cache write"), "{error}");
+        assert_eq!(cache.stats().stored, 0);
+    }
+
+    #[test]
+    fn canonical_rendering_is_line_per_field() {
+        let opts = base_opts();
+        let canonical = config(&opts).canonical();
+        for key in [
+            "workload=histogram'",
+            "tool=laser-detect",
+            "topology=flat",
+            "threads=4",
+            "scale=1.0",
+            "fixed=false",
+            "layout_perturbation=0",
+            "placement=packed",
+            "budget_steps=none",
+            "budget_wall_ms=none",
+            "pipeline=false",
+            "pipeline_capacity=2",
+            "pipeline_lossy=false",
+        ] {
+            assert!(
+                canonical.lines().any(|l| l == key),
+                "canonical rendering misses {key:?}:\n{canonical}"
+            );
+        }
+    }
+}

@@ -27,11 +27,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use laser_core::{BudgetObserver, CellBudget, PipelineConfig, TopologySpec};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
+use crate::cache::{CellCache, CellConfig};
 use crate::tool::{cell_key, default_tools, Tool, ToolFailure, ToolRun};
 
 /// One `workload × tool` cell of a finished campaign.
@@ -85,6 +86,9 @@ pub enum CampaignProgress<'a> {
         total: usize,
         /// The completed cell, including its outcome.
         cell: &'a CellResult,
+        /// Whether the cell was answered from the campaign's [`CellCache`]
+        /// instead of being simulated. Always `false` without a cache.
+        cached: bool,
     },
 }
 
@@ -141,6 +145,7 @@ pub struct Campaign {
     threads: usize,
     budget: CellBudget,
     pipeline: PipelineConfig,
+    cache: Option<Arc<CellCache>>,
 }
 
 impl Default for Campaign {
@@ -199,6 +204,7 @@ impl Campaign {
             threads,
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
+            cache: None,
         }
     }
 
@@ -260,6 +266,17 @@ impl Campaign {
         self
     }
 
+    /// Consult `cache` before simulating any cell and write finished cells
+    /// back to it. Hits return byte-for-byte what a fresh simulation would
+    /// have produced (simulation is deterministic and the fingerprint covers
+    /// the full cell config), so a cached campaign's aggregated output is
+    /// identical to an uncached one — only faster. Share one `Arc` across
+    /// campaigns to reuse results between runs and processes.
+    pub fn with_cache(mut self, cache: Arc<CellCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Number of cells the campaign will run.
     pub fn cells(&self) -> usize {
         self.cells.len()
@@ -306,30 +323,49 @@ impl Campaign {
                 workload: workload.name,
                 tool: tool.name(),
             });
-            // A panicking tool must cost one cell, not the campaign: the
-            // scoped worker would otherwise unwind and poison the whole grid.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if self.budget.is_unlimited() {
-                    tool.run_at(workload, &self.opts, topo)
-                } else {
-                    let observer = Box::new(BudgetObserver::new(self.budget));
-                    tool.run_observed_at(workload, &self.opts, topo, observer)
+            let config = CellConfig {
+                workload: workload.name,
+                tool: tool.name(),
+                topology: topo,
+                opts: &self.opts,
+                budget: self.budget,
+                pipeline: self.pipeline,
+            };
+            let (cell, cached) = match self.cache.as_ref().and_then(|c| c.load(&config)) {
+                Some(cell) => (cell, true),
+                None => {
+                    // A panicking tool must cost one cell, not the campaign:
+                    // the scoped worker would otherwise unwind and poison the
+                    // whole grid.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if self.budget.is_unlimited() {
+                            tool.run_at(workload, &self.opts, topo)
+                        } else {
+                            let observer = Box::new(BudgetObserver::new(self.budget));
+                            tool.run_observed_at(workload, &self.opts, topo, observer)
+                        }
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(ToolFailure::Panicked {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    });
+                    let cell = CellResult {
+                        workload: workload.name.to_string(),
+                        tool: cell_key(tool.name(), topo),
+                        outcome,
+                    };
+                    if let Some(cache) = &self.cache {
+                        cache.store(&config, &cell);
+                    }
+                    (cell, false)
                 }
-            }))
-            .unwrap_or_else(|payload| {
-                Err(ToolFailure::Panicked {
-                    message: panic_message(payload.as_ref()),
-                })
-            });
-            let cell = CellResult {
-                workload: workload.name.to_string(),
-                tool: cell_key(tool.name(), topo),
-                outcome,
             };
             progress(CampaignProgress::Finished {
                 done: done.fetch_add(1, Ordering::Relaxed) + 1,
                 total,
                 cell: &cell,
+                cached,
             });
             cell
         });
@@ -539,24 +575,27 @@ mod tests {
         let campaign = small_campaign(3);
         let starts = Mutex::new(Vec::new());
         let finishes = Mutex::new(Vec::new());
-        let result =
-            campaign.run_with_progress(|p| match p {
-                CampaignProgress::Started {
-                    index,
-                    total,
-                    workload,
-                    tool,
-                } => starts.lock().unwrap().push((
-                    index,
-                    total,
-                    workload.to_string(),
-                    tool.to_string(),
-                )),
-                CampaignProgress::Finished { done, total, cell } => finishes
+        let result = campaign.run_with_progress(|p| match p {
+            CampaignProgress::Started {
+                index,
+                total,
+                workload,
+                tool,
+            } => {
+                starts
                     .lock()
                     .unwrap()
-                    .push((done, total, cell.workload.clone(), cell.tool.clone())),
-            });
+                    .push((index, total, workload.to_string(), tool.to_string()))
+            }
+            CampaignProgress::Finished {
+                done, total, cell, ..
+            } => finishes.lock().unwrap().push((
+                done,
+                total,
+                cell.workload.clone(),
+                cell.tool.clone(),
+            )),
+        });
         let mut starts = starts.into_inner().unwrap();
         let mut finishes = finishes.into_inner().unwrap();
         let n = result.cells.len();

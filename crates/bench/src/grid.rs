@@ -16,11 +16,13 @@
 //! planning order.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use laser_baselines::SheriffFailure;
 use laser_core::{CellBudget, PipelineConfig, TopologySpec};
 use laser_workloads::WorkloadSpec;
 
+use crate::cache::CellCache;
 use crate::campaign::{Campaign, CampaignProgress, CampaignResult, CellResult};
 use crate::runner::ExperimentScale;
 use crate::tool::{Tool, ToolFailure, ToolRun, ToolSpec};
@@ -72,6 +74,7 @@ pub struct Grid {
     budget: CellBudget,
     pipeline: PipelineConfig,
     topology: TopologySpec,
+    cache: Option<Arc<CellCache>>,
     requests: BTreeSet<(String, ToolSpec, TopologySpec)>,
     specs: BTreeMap<String, WorkloadSpec>,
 }
@@ -88,6 +91,7 @@ impl Grid {
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
             topology: TopologySpec::Flat,
+            cache: None,
             requests: BTreeSet::new(),
             specs: BTreeMap::new(),
         }
@@ -123,6 +127,14 @@ impl Grid {
     /// this one knob.
     pub fn with_topology(mut self, topology: TopologySpec) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Consult `cache` before simulating any cell and write finished cells
+    /// back (see [`Campaign::with_cache`]). Figures derived from a cached
+    /// grid are byte-identical to a cold one.
+    pub fn with_cache(mut self, cache: Arc<CellCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -194,11 +206,14 @@ impl Grid {
             cells.push((w, t, *topo));
         }
 
-        let campaign = Campaign::from_cells_at(workloads, tools, cells)
+        let mut campaign = Campaign::from_cells_at(workloads, tools, cells)
             .with_options(self.scale.options())
             .with_threads(self.threads)
             .with_cell_budget(self.budget)
             .with_pipeline(self.pipeline);
+        if let Some(cache) = self.cache {
+            campaign = campaign.with_cache(cache);
+        }
         let result = campaign.run_with_progress(progress);
         let index = result
             .cells

@@ -33,15 +33,19 @@
 #![forbid(unsafe_code)]
 
 pub mod accuracy;
+pub mod cache;
 pub mod campaign;
 pub mod characterization;
 pub mod emit;
 pub mod grid;
 pub mod performance;
 pub mod runner;
+pub mod scenario;
+pub mod service;
 pub mod tool;
 pub mod xsocket;
 
+pub use cache::{fingerprint, CacheError, CacheStats, CellCache, CellConfig, CACHE_SALT};
 pub use campaign::{
     ordered_parallel, validate_workload_names, Campaign, CampaignProgress, CampaignResult,
     CellResult, UnknownWorkload,
@@ -50,6 +54,8 @@ pub use emit::Emit;
 pub use grid::{ExperimentError, Grid, GridResult};
 pub use laser_core::{CellBudget, PipelineConfig, StopReason, TopologySpec};
 pub use runner::{geomean, ExperimentScale};
+pub use scenario::{AggregateFormat, Scenario, ScenarioCell, ScenarioError, Sweep};
+pub use service::{run_scenario, ServiceError, ServiceOptions, ServiceSummary};
 pub use tool::{
     cell_key, default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool,
     Tool, ToolFailure, ToolRun, ToolSpec, VtuneTool,

@@ -587,6 +587,33 @@ impl ToolSpec {
         }
     }
 
+    /// Parse a stable cell key back into its spec — the exact inverse of
+    /// [`ToolSpec::key`], including the parameterized
+    /// `laser-detect-sav{N}` family. Scenario files name tools with these
+    /// keys.
+    pub fn parse(key: &str) -> Option<ToolSpec> {
+        match key {
+            "native" => Some(ToolSpec::Native),
+            "native-fixed" => Some(ToolSpec::NativeFixed),
+            "laser" => Some(ToolSpec::Laser),
+            "laser-detect" => Some(ToolSpec::LaserDetect),
+            "laser-detect-raw" => Some(ToolSpec::LaserDetectRaw),
+            "vtune" => Some(ToolSpec::Vtune),
+            "sheriff-detect" => Some(ToolSpec::SheriffDetect),
+            "sheriff-protect" => Some(ToolSpec::SheriffProtect),
+            _ => {
+                let sav = key.strip_prefix("laser-detect-sav")?;
+                // Reject non-canonical spellings ("sav007") so parse(key())
+                // round-trips exactly and nothing else is accepted.
+                let value: u32 = sav.parse().ok()?;
+                if value.to_string() != sav {
+                    return None;
+                }
+                Some(ToolSpec::LaserDetectSav(value))
+            }
+        }
+    }
+
     /// Instantiate the tool this spec describes.
     pub fn build(&self) -> Box<dyn Tool> {
         match self {
@@ -628,6 +655,38 @@ mod tests {
 
     fn opts() -> BuildOptions {
         BuildOptions::scaled(0.08)
+    }
+
+    #[test]
+    fn tool_spec_parse_round_trips_every_key() {
+        let specs = [
+            ToolSpec::Native,
+            ToolSpec::NativeFixed,
+            ToolSpec::Laser,
+            ToolSpec::LaserDetect,
+            ToolSpec::LaserDetectRaw,
+            ToolSpec::LaserDetectSav(0),
+            ToolSpec::LaserDetectSav(97),
+            ToolSpec::LaserDetectSav(20011),
+            ToolSpec::Vtune,
+            ToolSpec::SheriffDetect,
+            ToolSpec::SheriffProtect,
+        ];
+        for spec in specs {
+            assert_eq!(ToolSpec::parse(&spec.key()), Some(spec), "{}", spec.key());
+        }
+        for bad in [
+            "natve",
+            "NATIVE",
+            "laser-detect-sav",
+            "laser-detect-sav007",
+            "laser-detect-sav-3",
+            "laser-detect-savx",
+            "",
+            "native@2s",
+        ] {
+            assert_eq!(ToolSpec::parse(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]

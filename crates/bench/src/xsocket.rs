@@ -5,7 +5,7 @@
 //! same. Its premise — HITM transfers are the dominant, repairable cost of
 //! sharing — gets *stronger* on multi-socket parts, where a cross-socket
 //! HITM costs 2–3× a local one. This sweep runs the headline false-sharing
-//! workloads on every topology preset (`flat`, `2s`, `4s`), threads placed
+//! workloads on every topology preset (`flat`, `2s`, `4s`, `8s`), threads placed
 //! round-robin across sockets so the contended lines actually cross the
 //! interconnect, and reports per topology:
 //!
@@ -185,8 +185,8 @@ mod tests {
     #[test]
     fn sweep_shows_remote_hitms_and_repair_reducing_them() {
         let report = xsocket_sweep(&scale()).unwrap();
-        // One workload on three topologies.
-        assert_eq!(report.rows.len(), 3);
+        // One workload on every preset topology.
+        assert_eq!(report.rows.len(), TopologySpec::ALL.len());
         let flat = &report.topology_rows(TopologySpec::Flat)[0];
         assert_eq!(flat.native_remote_hitms, 0, "one socket: nothing remote");
         assert!(flat.native_hitms > 0, "histogram' contends");
@@ -219,6 +219,14 @@ mod tests {
             flat.repair_norm,
             dual.repair_norm,
             quad.repair_norm
+        );
+        let octo = &report.topology_rows(TopologySpec::OctoSocket)[0];
+        assert!(octo.repair_invoked);
+        assert!(
+            octo.native_remote_share() >= quad.native_remote_share(),
+            "more sockets leave a larger share of HITMs remote: 4s {:.3} vs 8s {:.3}",
+            quad.native_remote_share(),
+            octo.native_remote_share()
         );
     }
 

@@ -1,0 +1,26 @@
+//! Bad fixture: iterating a raw directory listing in library code.
+//! Expected findings: `fs-iter` (two call forms). The enumeration order of
+//! `read_dir` depends on the platform and filesystem, so a cache scan or
+//! merge path built on it would emit different bytes on different hosts.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub fn cache_entries(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            out.push(entry.path());
+        }
+    }
+    out
+}
+
+pub fn merge_shards(dir: &Path) -> std::io::Result<usize> {
+    let mut merged = 0;
+    for entry in dir.read_dir()? {
+        let _ = entry?;
+        merged += 1;
+    }
+    Ok(merged)
+}

@@ -17,3 +17,17 @@ pub fn first_line(lines: HashSet<u64>) -> Vec<u64> {
     let lines: HashSet<u64> = lines;
     lines.into_iter().collect()
 }
+
+// The deterministic-hash and insertion-order aliases are hash-ordered too:
+// their iteration order depends on insertion history, which must not reach
+// any output either.
+pub fn alias_orders(fast: &FxHashMap<u64, u64>, index: &IndexMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in fast.iter() {
+        total += v;
+    }
+    for v in index.values() {
+        total += v;
+    }
+    total
+}

@@ -12,3 +12,12 @@ pub fn hot_map() -> HashMap<u64, u64> {
 pub fn locked(v: &std::sync::Mutex<u64>) -> u64 {
     *v.lock().unwrap() // lint:allow(panic) — poisoning only follows an earlier panic
 }
+
+pub fn sorted_listing(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    // lint:allow(fs-iter) — entries are collected and sorted before use
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries)
+}

@@ -14,6 +14,7 @@
 //! |------------------|----------------------------------------------------------|
 //! | `default-hasher` | `HashMap`/`HashSet` with the randomly-seeded default hasher |
 //! | `hash-iter`      | iteration over a hash-ordered map/set                    |
+//! | `fs-iter`        | raw `read_dir` enumeration in library code (platform-ordered) |
 //! | `wall-clock`     | `Instant::now` / `SystemTime::now` / `thread::current` in engine code |
 //! | `float-accum`    | order-sensitive float reduction (`sum::<f64>`, float `fold`) |
 //! | `panic`          | `unwrap`/`expect`/`panic!` in library code               |
@@ -154,6 +155,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    // lint:allow(fs-iter) — entries are collected and sorted two lines below
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -222,6 +224,7 @@ pub fn lint_tree(root: &Path, paths: &[PathBuf]) -> io::Result<LintReport> {
 /// Like [`walk`] but only skips VCS/build dirs, not `fixtures/` — used for
 /// explicitly named directories.
 fn walk_all(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    // lint:allow(fs-iter) — entries are collected and sorted two lines below
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();

@@ -31,6 +31,12 @@ pub const RULES: &[RuleInfo] = &[
                   (or with insertion history), so it must not reach any output",
     },
     RuleInfo {
+        id: "fs-iter",
+        summary: "directory enumeration (read_dir) in library code: entry order is \
+                  platform/filesystem-dependent, so cache and merge paths must \
+                  collect and sort before iterating",
+    },
+    RuleInfo {
         id: "wall-clock",
         summary: "wall-clock or thread-identity read (Instant::now, SystemTime::now, \
                   thread::current) reachable from simulation or emit paths",
@@ -59,6 +65,7 @@ pub fn run_rules(ctx: &FileCtx) -> Vec<Finding> {
     findings.extend(ctx.allow_findings.iter().cloned());
     default_hasher(ctx, &mut findings);
     hash_iter(ctx, &mut findings);
+    fs_iter(ctx, &mut findings);
     wall_clock(ctx, &mut findings);
     float_accum(ctx, &mut findings);
     panic_rule(ctx, &mut findings);
@@ -241,8 +248,19 @@ const ITER_METHODS: &[&str] = &[
 /// Type names that mark a binding as hash-ordered. Includes the workspace's
 /// own deterministic-hash aliases: a FastHashMap hashes deterministically,
 /// but its iteration order still depends on insertion history and capacity,
-/// which is exactly what must not reach an output.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FastHashMap", "FastHashSet"];
+/// which is exactly what must not reach an output. The common third-party
+/// aliases (`FxHashMap`, and `IndexMap`'s insertion-history order) are listed
+/// too so a future vendored shim does not reopen the hole.
+const HASH_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FastHashMap",
+    "FastHashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "IndexMap",
+    "IndexSet",
+];
 
 fn is_hash_type_name(t: &Token) -> bool {
     t.kind == TokenKind::Ident && HASH_TYPES.iter().any(|h| t.text == *h)
@@ -422,6 +440,42 @@ fn hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                 j += 1;
                 budget -= 1;
             }
+        }
+    }
+}
+
+/// Rule `fs-iter`: library code must not iterate raw directory listings.
+/// `read_dir` yields entries in whatever order the filesystem reports them —
+/// which differs across platforms, filesystems and even reruns — so any
+/// cache-store scan or merge path built on it must collect and sort first
+/// (and annotate the call site saying so).
+fn fs_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if ctx.role != FileRole::Lib {
+        return;
+    }
+    let code = &ctx.code;
+    for i in 0..code.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let t = &code[i];
+        // `fs::read_dir(dir)` / `path.read_dir()` — but not a local
+        // `fn read_dir(…)` definition.
+        if t.is_ident("read_dir")
+            && code.get(i + 1).is_some_and(|p| p.is_punct('('))
+            && !code
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_ident("fn"))
+        {
+            push(
+                ctx,
+                findings,
+                "fs-iter",
+                t,
+                "`read_dir` enumerates entries in a platform/filesystem-dependent order; \
+                 collect the paths and sort before iterating, then annotate this site"
+                    .to_string(),
+            );
         }
     }
 }
@@ -706,6 +760,50 @@ mod tests {
         let f = lint_lib(
             "struct S { m: HashMap<u64, u32, H> }\n\
                           impl S { fn g(&self) -> Option<&u32> { self.m.get(&1) } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fx_and_index_aliases_iteration_flagged() {
+        let f = lint_lib(
+            "fn f() { let m = FxHashMap::default(); m.insert(1, 2); for k in m.keys() { g(k); } }",
+        );
+        assert_eq!(rule_ids(&f), ["hash-iter"]);
+        let f = lint_lib("fn f(s: &IndexSet<u32>) { for b in s { g(b); } }");
+        assert_eq!(rule_ids(&f), ["hash-iter"]);
+        let f = lint_lib(
+            "struct S { m: IndexMap<u64, u32> }\n\
+                          impl S { fn f(&self) { for v in self.m.values() { g(v); } } }",
+        );
+        assert_eq!(rule_ids(&f), ["hash-iter"]);
+    }
+
+    #[test]
+    fn read_dir_in_lib_flagged_but_bin_exempt() {
+        let src = "fn f(d: &Path) { for e in fs::read_dir(d).unwrap() { g(e); } }";
+        let ids = rule_ids(&lint_lib(src));
+        assert!(ids.contains(&"fs-iter"), "{ids:?}");
+        let f = run_rules(&FileCtx::new("crates/x/src/bin/tool.rs", src));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn read_dir_method_form_flagged() {
+        let f = lint_lib("fn f(d: &Path) -> io::Result<ReadDir> { d.read_dir() }");
+        assert_eq!(rule_ids(&f), ["fs-iter"]);
+    }
+
+    #[test]
+    fn read_dir_fn_definition_is_clean() {
+        let f = lint_lib("fn read_dir(d: &Path) -> Vec<PathBuf> { Vec::new() }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn allowed_read_dir_is_clean() {
+        let f = lint_lib(
+            "fn f(d: &Path) {\n    let e = fs::read_dir(d); // lint:allow(fs-iter) — sorted below\n}",
         );
         assert!(f.is_empty(), "{f:?}");
     }

@@ -43,6 +43,7 @@ fn bad_fixtures_trigger_exactly_their_rules() {
     let cases: &[(&str, &[&str])] = &[
         ("default_hasher.rs", &["default-hasher"]),
         ("hash_iter.rs", &["default-hasher", "hash-iter"]),
+        ("fs_iter.rs", &["fs-iter"]),
         ("wall_clock.rs", &["wall-clock"]),
         ("float_accum.rs", &["float-accum"]),
         ("panic.rs", &["panic"]),
@@ -62,6 +63,8 @@ fn bad_fixtures_trigger_exactly_their_rules() {
 
 #[test]
 fn bad_fixture_finding_counts_are_pinned() {
+    // One `fs::read_dir(…)` call plus one `path.read_dir()` method form.
+    assert_eq!(lint_as_lib(&fixture("bad", "fs_iter.rs")).len(), 2);
     assert_eq!(lint_as_lib(&fixture("bad", "wall_clock.rs")).len(), 3);
     assert_eq!(lint_as_lib(&fixture("bad", "float_accum.rs")).len(), 3);
     assert_eq!(lint_as_lib(&fixture("bad", "panic.rs")).len(), 5);
@@ -157,6 +160,7 @@ fn list_rules_names_every_rule() {
     for rule in [
         "default-hasher",
         "hash-iter",
+        "fs-iter",
         "wall-clock",
         "float-accum",
         "panic",

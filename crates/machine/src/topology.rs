@@ -16,7 +16,7 @@
 //! pre-topology flat cost model.
 //!
 //! [`TopologySpec`] names the preset topologies the bench layer sweeps
-//! (`flat`, `2s`, `4s`); it is `Copy + Ord + Hash` so it can serve as a grid
+//! (`flat`, `2s`, `4s`, `8s`); it is `Copy + Ord + Hash` so it can serve as a grid
 //! axis and a CLI flag, and resolves to a full [`Topology`] on demand.
 
 use std::fmt;
@@ -183,6 +183,21 @@ impl Topology {
                 remote_hitm: 260,
                 remote_llc: 130,
                 remote_dram: 360,
+            },
+        )
+    }
+
+    /// An eight-socket part (32 cores): glueless interconnects top out around
+    /// four sockets, so these parts route through a node controller and every
+    /// remote class pays another hop over the quad-socket table.
+    pub fn octo_socket() -> Self {
+        Topology::new(
+            "8s",
+            8,
+            SocketLatency {
+                remote_hitm: 300,
+                remote_llc: 160,
+                remote_dram: 410,
             },
         )
     }
@@ -376,22 +391,27 @@ pub enum TopologySpec {
     DualSocket,
     /// Four sockets, 4 cores each.
     QuadSocket,
+    /// Eight sockets, 4 cores each (32 cores).
+    OctoSocket,
 }
 
 impl TopologySpec {
     /// Every preset, in sweep order.
-    pub const ALL: [TopologySpec; 3] = [
+    pub const ALL: [TopologySpec; 4] = [
         TopologySpec::Flat,
         TopologySpec::DualSocket,
         TopologySpec::QuadSocket,
+        TopologySpec::OctoSocket,
     ];
 
-    /// The stable key (`flat`, `2s`, `4s`) used in CLI flags and cell names.
+    /// The stable key (`flat`, `2s`, `4s`, `8s`) used in CLI flags and cell
+    /// names.
     pub fn key(&self) -> &'static str {
         match self {
             TopologySpec::Flat => "flat",
             TopologySpec::DualSocket => "2s",
             TopologySpec::QuadSocket => "4s",
+            TopologySpec::OctoSocket => "8s",
         }
     }
 
@@ -401,6 +421,7 @@ impl TopologySpec {
             "flat" => Some(TopologySpec::Flat),
             "2s" => Some(TopologySpec::DualSocket),
             "4s" => Some(TopologySpec::QuadSocket),
+            "8s" => Some(TopologySpec::OctoSocket),
             _ => None,
         }
     }
@@ -411,6 +432,7 @@ impl TopologySpec {
             TopologySpec::Flat => 1,
             TopologySpec::DualSocket => 2,
             TopologySpec::QuadSocket => 4,
+            TopologySpec::OctoSocket => 8,
         }
     }
 
@@ -420,6 +442,7 @@ impl TopologySpec {
             TopologySpec::Flat => Topology::single_socket(),
             TopologySpec::DualSocket => Topology::dual_socket(),
             TopologySpec::QuadSocket => Topology::quad_socket(),
+            TopologySpec::OctoSocket => Topology::octo_socket(),
         }
     }
 
@@ -594,7 +617,21 @@ mod tests {
             assert_eq!(spec.num_cores(), 4 * spec.sockets());
             assert_eq!(spec.to_string(), spec.key());
         }
-        assert_eq!(TopologySpec::parse("8s"), None);
+        assert_eq!(TopologySpec::parse("16s"), None);
         assert_eq!(TopologySpec::default(), TopologySpec::Flat);
+    }
+
+    #[test]
+    fn octo_socket_preset_has_eight_sockets_and_dearer_remote_classes() {
+        let t = Topology::octo_socket();
+        assert_eq!(t.num_sockets(), 8);
+        assert_eq!(TopologySpec::OctoSocket.num_cores(), 32);
+        t.validate(&LatencyModel::default()).unwrap();
+        // Each hop up the preset ladder makes every remote class dearer.
+        let quad = Topology::quad_socket().remote_latency();
+        let octo = t.remote_latency();
+        assert!(octo.remote_hitm > quad.remote_hitm);
+        assert!(octo.remote_llc > quad.remote_llc);
+        assert!(octo.remote_dram > quad.remote_dram);
     }
 }

@@ -290,6 +290,9 @@ mod tests {
         assert_eq!(dual.scale, base.scale);
         let quad = base.clone().for_topology(TopologySpec::QuadSocket);
         assert_eq!(quad.threads, 16);
+        let octo = base.clone().for_topology(TopologySpec::OctoSocket);
+        assert_eq!(octo.threads, 32);
+        assert_eq!(octo.placement, ThreadPlacement::RoundRobin);
         // Builder helpers.
         let o = BuildOptions::default()
             .with_threads(0)
