@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N]
-//!                  [--sav V] [--capacity C] [--min-ratio R] [--output PATH]
-//!                  [--topologies t1,t2,...] [--hotloop-output PATH]
-//!                  [--hotloop-baseline PATH] [--min-speedup R]
+//!                  [--sav V] [--capacity C] [--shards N] [--min-ratio R]
+//!                  [--output PATH] [--topologies t1,t2,...]
+//!                  [--hotloop-output PATH] [--hotloop-baseline PATH]
+//!                  [--min-speedup R]
 //! ```
 //!
 //! For each workload × topology the harness runs the same LASERDETECT session
@@ -66,7 +67,7 @@ use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 use serde::json::Value;
 
 const USAGE: &str = "usage: bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N] \
-                     [--sav V] [--capacity C] [--min-ratio R] [--output PATH] \
+                     [--sav V] [--capacity C] [--shards N] [--min-ratio R] [--output PATH] \
                      [--topologies t1,t2,...] [--hotloop-output PATH] \
                      [--hotloop-baseline PATH] [--min-speedup R]\n\
                      \n\
@@ -76,6 +77,9 @@ const USAGE: &str = "usage: bench_throughput [--scale S] [--workloads w1,w2,...]
                      --repeats N          timed repeats per mode, best-of scoring (default 5)\n\
                      --sav V              PEBS sample-after-value (default 1: detector-heaviest)\n\
                      --capacity C         record-channel capacity in batches (default 2)\n\
+                     --shards N           detector worker shards on the pipelined leg\n\
+                     \x20                     (default 1; line-hash routing keeps the output\n\
+                     \x20                     byte-identical, so the equality assert still holds)\n\
                      --min-ratio R        fail unless geomean(pipelined/inline) >= R on the flat\n\
                      \x20                     rows (default 1.0; relaxed to 0.85 on single-core\n\
                      \x20                     hosts, where the pipeline has nothing to overlap)\n\
@@ -107,6 +111,7 @@ struct Cli {
     repeats: usize,
     sav: u32,
     capacity: usize,
+    shards: usize,
     min_ratio: f64,
     output: String,
     topologies: Vec<TopologySpec>,
@@ -123,6 +128,7 @@ impl Cli {
             repeats: 5,
             sav: 1,
             capacity: 2,
+            shards: 1,
             min_ratio: 1.0,
             output: "BENCH_pipeline.json".to_string(),
             topologies: DEFAULT_TOPOLOGIES.to_vec(),
@@ -150,6 +156,10 @@ impl Cli {
                 "--capacity" => {
                     cli.capacity = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
                 }
+                "--shards" => {
+                    let n: usize = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
+                    cli.shards = n.max(1);
+                }
                 "--min-ratio" => {
                     cli.min_ratio = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
                 }
@@ -158,8 +168,9 @@ impl Cli {
                     cli.topologies = value(args, i)?
                         .split(',')
                         .map(|t| {
-                            TopologySpec::parse(t)
-                                .ok_or_else(|| format!("unknown topology '{t}' (flat, 2s, 4s, 8s)"))
+                            TopologySpec::parse(t).ok_or_else(|| {
+                                format!("unknown topology '{t}' (flat, 2s, 4s, 8s, 32s)")
+                            })
                         })
                         .collect::<Result<Vec<_>, _>>()?;
                 }
@@ -346,6 +357,7 @@ fn pipeline_json(
         .set("repeats", cli.repeats as i64)
         .set("sav", cli.sav as i64)
         .set("capacity", cli.capacity as i64)
+        .set("shards", cli.shards as i64)
         .set("parallelism", parallelism as i64)
         .set("min_ratio", cli.min_ratio)
         .set("effective_min_ratio", gate)
@@ -390,6 +402,7 @@ fn hotloop_json(
         .set("repeats", cli.repeats as i64)
         .set("sav", cli.sav as i64)
         .set("capacity", cli.capacity as i64)
+        .set("shards", cli.shards as i64)
         .set("parallelism", parallelism as i64)
         .set(
             "topologies",
@@ -417,7 +430,9 @@ fn run(cli: &Cli) -> Result<bool, String> {
         None => None,
     };
     let config = LaserConfig::detection_only().with_sav(cli.sav);
-    let pipeline = PipelineConfig::pipelined().with_capacity(cli.capacity);
+    let pipeline = PipelineConfig::pipelined()
+        .with_capacity(cli.capacity)
+        .with_shards(cli.shards);
     let opts = BuildOptions {
         scale: cli.scale,
         ..Default::default()
@@ -556,6 +571,7 @@ mod tests {
         assert_eq!(cli.repeats, 5);
         assert_eq!(cli.scale, 2.0);
         assert_eq!(cli.min_ratio, 1.0);
+        assert_eq!(cli.shards, 1);
         assert_eq!(cli.output, "BENCH_pipeline.json");
         assert_eq!(cli.workloads, DEFAULT_WORKLOADS);
         assert_eq!(cli.topologies, DEFAULT_TOPOLOGIES);
@@ -616,6 +632,8 @@ mod tests {
             "0.9",
             "--capacity",
             "4",
+            "--shards",
+            "0",
             "--output",
             "out.json",
             "--hotloop-output",
@@ -630,6 +648,7 @@ mod tests {
         assert_eq!(cli.repeats, 1, "repeats clamp to at least one");
         assert_eq!(cli.min_ratio, 0.9);
         assert_eq!(cli.capacity, 4);
+        assert_eq!(cli.shards, 1, "shard count clamps to at least one");
         assert_eq!(cli.output, "out.json");
         assert_eq!(cli.hotloop_output, "hot.json");
         assert_eq!(cli.hotloop_baseline.as_deref(), Some("base.json"));

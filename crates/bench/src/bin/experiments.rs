@@ -37,6 +37,15 @@
 //! throughput when cells are fewer than worker threads; the output is
 //! **byte-identical** to a non-pipelined run — CI diffs the two to prove it.
 //!
+//! `--shards N` shards the pipelined detector stage over `N` worker threads
+//! (and implies `--pipeline`). Records route to shards by cache-line hash, so
+//! every line's observation sequence is preserved and the merged output stays
+//! **byte-identical** to inline and single-worker runs for every shard count —
+//! CI diffs `--shards 4` against `--shards 1` to prove it. `--shard-routing
+//! socket` instead routes each record by the socket of its sampling core
+//! (deterministic, but not inline-identical: it models one detector core per
+//! socket, where a contended line's records can split across shards).
+//!
 //! `--topology flat|2s|4s` deploys every cell's machine on a socket-topology
 //! preset (4 cores per socket, threads scaled to match, multi-socket
 //! placement round-robin across sockets); `flat` is the default and is
@@ -83,7 +92,7 @@ use laser_bench::performance::{
 use laser_bench::xsocket::{plan_xsocket, xsocket_from_grid};
 use laser_bench::{
     validate_workload_names, Campaign, CampaignProgress, CellBudget, CellCache, ExperimentScale,
-    Grid, GridResult, PipelineConfig, TopologySpec,
+    Grid, GridResult, PipelineConfig, ShardRouting, TopologySpec,
 };
 use laser_workloads::registry;
 use serde::json::Value;
@@ -118,7 +127,7 @@ impl Format {
 const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|table2|fig9|fig10|\
                      fig11|fig12|fig13|fig14] [--scale S] [--threads N] [--only w1,w2,...] \
                      [--format text|json|csv] [--cell-budget-steps N] [--pipeline] \
-                     [--topology flat|2s|4s]\n\
+                     [--shards N] [--shard-routing line|socket] [--topology flat|2s|4s]\n\
                      \n\
                      --scale S             workload input-size multiplier (default 0.4;\n\
                      \x20                     xsocket defaults to 1.0)\n\
@@ -130,10 +139,17 @@ const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|t
                      --pipeline            run each LASER cell's detector stage on a worker\n\
                      \x20                     thread, overlapped with the simulated quantum\n\
                      \x20                     (byte-identical output, higher throughput)\n\
+                     --shards N            shard the pipelined detector over N workers\n\
+                     \x20                     (implies --pipeline; line-hash routing keeps\n\
+                     \x20                     the output byte-identical for every N)\n\
+                     --shard-routing R     route records to shards by cache line (line,\n\
+                     \x20                     the default) or by the sampling core's socket\n\
+                     \x20                     (socket; deterministic but not inline-identical;\n\
+                     \x20                     implies --pipeline)\n\
                      --topology T          deploy every cell on a socket-topology preset:\n\
-                     \x20                     flat (default, single socket), 2s, 4s or 8s\n\
-                     \x20                     (4 cores/socket, threads scaled to match);\n\
-                     \x20                     xsocket always sweeps every preset\n\
+                     \x20                     flat (default, single socket), 2s, 4s, 8s or\n\
+                     \x20                     32s (4 cores/socket, threads scaled to match);\n\
+                     \x20                     xsocket always sweeps flat/2s/4s/8s\n\
                      --cache DIR           persistent cell cache: load previously-computed\n\
                      \x20                     cells instead of simulating, write new ones\n\
                      \x20                     back (warm reruns are byte-identical and\n\
@@ -552,8 +568,34 @@ impl Cli {
                     i += 2;
                 }
                 "--pipeline" => {
-                    cli.pipeline = PipelineConfig::pipelined();
+                    // Set the flag in place so `--pipeline` composes with
+                    // `--shards`/`--shard-routing` in either order.
+                    cli.pipeline.enabled = true;
                     i += 1;
+                }
+                "--shards" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                        return Err(CliError::Usage);
+                    };
+                    if v == 0 {
+                        return Err(CliError::Invalid("--shards must be at least 1".to_string()));
+                    }
+                    cli.pipeline = cli.pipeline.with_shards(v);
+                    cli.pipeline.enabled = true;
+                    i += 2;
+                }
+                "--shard-routing" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    let routing = ShardRouting::parse(v).ok_or_else(|| {
+                        CliError::Invalid(format!(
+                            "unknown shard routing '{v}' (expected line or socket)"
+                        ))
+                    })?;
+                    cli.pipeline = cli.pipeline.with_routing(routing);
+                    cli.pipeline.enabled = true;
+                    i += 2;
                 }
                 "--topology" => {
                     let Some(v) = args.get(i + 1) else {
@@ -561,7 +603,7 @@ impl Cli {
                     };
                     cli.topology = TopologySpec::parse(v).ok_or_else(|| {
                         CliError::Invalid(format!(
-                            "unknown topology '{v}' (expected flat, 2s, 4s or 8s)"
+                            "unknown topology '{v}' (expected flat, 2s, 4s, 8s or 32s)"
                         ))
                     })?;
                     i += 2;
@@ -736,6 +778,7 @@ mod tests {
             ("2s", TopologySpec::DualSocket),
             ("4s", TopologySpec::QuadSocket),
             ("8s", TopologySpec::OctoSocket),
+            ("32s", TopologySpec::ThirtyTwoSocket),
         ] {
             let cli = Cli::parse(&args(&["campaign", "--topology", name])).unwrap();
             assert_eq!(cli.topology, spec);
@@ -746,7 +789,7 @@ mod tests {
         match err {
             CliError::Invalid(msg) => {
                 assert!(msg.contains("unknown topology '16s'"), "{msg}");
-                assert!(msg.contains("flat, 2s, 4s or 8s"), "{msg}");
+                assert!(msg.contains("flat, 2s, 4s, 8s or 32s"), "{msg}");
             }
             other => panic!("expected Invalid, got {other:?}"),
         }
@@ -774,6 +817,68 @@ mod tests {
         assert!(cli.pipeline.enabled);
         assert_eq!(cli.pipeline, PipelineConfig::pipelined());
         assert_eq!(cli.threads, Some(2));
+    }
+
+    #[test]
+    fn shards_flag_implies_the_pipelined_deployment() {
+        // `--shards` alone pipelines with the requested worker count...
+        let cli = Cli::parse(&args(&["campaign", "--shards", "4"])).unwrap();
+        assert_eq!(cli.pipeline, PipelineConfig::pipelined().with_shards(4));
+        // ...even for 1, so CI can diff two pipelined runs that differ only
+        // in shard count.
+        let cli = Cli::parse(&args(&["campaign", "--shards", "1"])).unwrap();
+        assert_eq!(cli.pipeline, PipelineConfig::pipelined());
+        // Flag order must not matter.
+        let ab = Cli::parse(&args(&["campaign", "--pipeline", "--shards", "8"])).unwrap();
+        let ba = Cli::parse(&args(&["campaign", "--shards", "8", "--pipeline"])).unwrap();
+        assert_eq!(ab.pipeline, ba.pipeline);
+        assert_eq!(ab.pipeline, PipelineConfig::pipelined().with_shards(8));
+        // Zero shards and malformed counts are rejected up front.
+        assert_eq!(
+            Cli::parse(&args(&["campaign", "--shards", "0"])).unwrap_err(),
+            CliError::Invalid("--shards must be at least 1".to_string())
+        );
+        assert_eq!(
+            Cli::parse(&args(&["--shards"])).unwrap_err(),
+            CliError::Usage
+        );
+        assert_eq!(
+            Cli::parse(&args(&["--shards", "many"])).unwrap_err(),
+            CliError::Usage
+        );
+    }
+
+    #[test]
+    fn shard_routing_flag_parses_and_validates() {
+        let cli = Cli::parse(&args(&[
+            "campaign",
+            "--shards",
+            "2",
+            "--shard-routing",
+            "socket",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.pipeline,
+            PipelineConfig::pipelined()
+                .with_shards(2)
+                .with_routing(ShardRouting::Socket)
+        );
+        let cli = Cli::parse(&args(&["campaign", "--shard-routing", "line"])).unwrap();
+        assert_eq!(cli.pipeline.routing, ShardRouting::LineHash);
+        assert!(cli.pipeline.enabled, "--shard-routing implies --pipeline");
+        let err = Cli::parse(&args(&["campaign", "--shard-routing", "pc"])).unwrap_err();
+        match err {
+            CliError::Invalid(msg) => {
+                assert!(msg.contains("unknown shard routing 'pc'"), "{msg}");
+                assert!(msg.contains("line or socket"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert_eq!(
+            Cli::parse(&args(&["--shard-routing"])).unwrap_err(),
+            CliError::Usage
+        );
     }
 
     #[test]

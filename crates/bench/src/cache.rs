@@ -95,7 +95,8 @@ impl CellConfig<'_> {
         format!(
             "workload={}\ntool={}\ntopology={}\nthreads={}\nscale={:?}\nfixed={}\n\
              layout_perturbation={}\nplacement={}\nbudget_steps={}\nbudget_wall_ms={}\n\
-             pipeline={}\npipeline_capacity={}\npipeline_lossy={}\n",
+             pipeline={}\npipeline_capacity={}\npipeline_lossy={}\npipeline_shards={}\n\
+             pipeline_routing={}\n",
             self.workload,
             self.tool,
             self.topology.key(),
@@ -109,6 +110,8 @@ impl CellConfig<'_> {
             self.pipeline.enabled,
             self.pipeline.capacity,
             self.pipeline.lossy,
+            self.pipeline.shards,
+            self.pipeline.routing.key(),
         )
     }
 
@@ -585,6 +588,7 @@ fn as_bool(value: &Value) -> Option<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laser_core::ShardRouting;
     use laser_machine::ThreadPlacement;
     use std::sync::atomic::AtomicU32;
     use std::time::Duration;
@@ -658,7 +662,7 @@ mod tests {
         assert_eq!(fp.len(), 32);
         assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()));
         assert_eq!(fp, fingerprint(&config(&opts)), "pure function");
-        assert_eq!(fp, "8ddfbee8facceb5b4bba6ae26f6f3ac0");
+        assert_eq!(fp, "fafaee511cd40013d203a438fef18fc0");
     }
 
     #[test]
@@ -755,6 +759,20 @@ mod tests {
                 "pipeline",
                 fingerprint(&CellConfig {
                     pipeline: PipelineConfig::pipelined(),
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "pipeline_shards",
+                fingerprint(&CellConfig {
+                    pipeline: PipelineConfig::pipelined().with_shards(4),
+                    ..config(&opts)
+                }),
+            ),
+            (
+                "pipeline_routing",
+                fingerprint(&CellConfig {
+                    pipeline: PipelineConfig::pipelined().with_routing(ShardRouting::Socket),
                     ..config(&opts)
                 }),
             ),
@@ -968,6 +986,8 @@ mod tests {
             "pipeline=false",
             "pipeline_capacity=2",
             "pipeline_lossy=false",
+            "pipeline_shards=1",
+            "pipeline_routing=line",
         ] {
             assert!(
                 canonical.lines().any(|l| l == key),

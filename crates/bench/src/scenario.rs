@@ -15,6 +15,7 @@
 //!   "threads": 4,
 //!   "budget_steps": 40000000,
 //!   "pipeline": true,
+//!   "shards": 4,
 //!   "format": "json",
 //!   "cells": [
 //!     {"workload": "histogram'", "tool": "laser", "topology": "8s"}
@@ -38,7 +39,7 @@
 
 use std::collections::BTreeSet;
 
-use laser_core::TopologySpec;
+use laser_core::{PipelineConfig, TopologySpec};
 use laser_workloads::find;
 use serde::json::Value;
 
@@ -140,6 +141,10 @@ pub struct Scenario {
     pub budget_steps: Option<u64>,
     /// Whether cells deploy the pipelined (detector-on-a-worker) session.
     pub pipeline: bool,
+    /// Detector worker shards for pipelined cells; `Some(n)` implies
+    /// `pipeline` (mirroring the CLI, where `--shards` implies `--pipeline`).
+    /// Line-hash routing keeps sharded output byte-identical to inline.
+    pub shards: Option<usize>,
     /// Aggregate document to append after the per-cell stream, if any.
     pub format: Option<AggregateFormat>,
     /// Explicit cells.
@@ -177,6 +182,7 @@ impl Scenario {
             threads: None,
             budget_steps: None,
             pipeline: false,
+            shards: None,
             format: None,
             cells: Vec::new(),
             sweeps: Vec::new(),
@@ -222,6 +228,13 @@ impl Scenario {
                         _ => return err("\"pipeline\" must be true or false"),
                     };
                 }
+                "shards" => {
+                    let shards = req_u64(field, "shards")?;
+                    if shards == 0 {
+                        return err("\"shards\" must be at least 1");
+                    }
+                    scenario.shards = Some(shards as usize);
+                }
                 "format" => {
                     let name = req_str(field, "format")?;
                     scenario.format = Some(AggregateFormat::parse(name).ok_or_else(|| {
@@ -252,6 +265,18 @@ impl Scenario {
             return err("scenario plans no cells (give \"cells\" and/or \"sweeps\")");
         }
         Ok(scenario)
+    }
+
+    /// The pipeline deployment the scenario requests: `"pipeline": true`
+    /// enables the single-worker pipeline, a `"shards"` key shards it (and
+    /// implies pipelining, mirroring the CLI's `--shards`). Line-hash routing
+    /// keeps every shard count byte-identical to an inline run.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            enabled: self.pipeline || self.shards.is_some(),
+            ..PipelineConfig::default()
+        }
+        .with_shards(self.shards.unwrap_or(1))
     }
 
     /// The resolved `(workload, tool, topology)` cells, deduplicated in
@@ -337,7 +362,7 @@ fn parse_tool(key: &str) -> Result<ToolSpec, ScenarioError> {
 
 fn parse_topology(key: &str) -> Result<TopologySpec, ScenarioError> {
     TopologySpec::parse(key)
-        .ok_or_else(|| ScenarioError(format!("unknown topology '{key}' (flat, 2s, 4s, 8s)")))
+        .ok_or_else(|| ScenarioError(format!("unknown topology '{key}' (flat, 2s, 4s, 8s, 32s)")))
 }
 
 fn parse_cell(value: &Value) -> Result<ScenarioCell, ScenarioError> {
@@ -455,6 +480,7 @@ mod tests {
               "threads": 3,
               "budget_steps": 500000,
               "pipeline": true,
+              "shards": 2,
               "format": "csv",
               "cells": [
                 {"workload": "histogram'", "tool": "laser", "topology": "8s"},
@@ -471,6 +497,11 @@ mod tests {
         assert_eq!(s.threads, Some(3));
         assert_eq!(s.budget_steps, Some(500000));
         assert!(s.pipeline);
+        assert_eq!(s.shards, Some(2));
+        assert_eq!(
+            s.pipeline_config(),
+            PipelineConfig::pipelined().with_shards(2)
+        );
         assert_eq!(s.format, Some(AggregateFormat::Csv));
         assert_eq!(s.cells.len(), 2);
         assert_eq!(s.cells[1].topology, TopologySpec::Flat, "topology defaults");
@@ -510,7 +541,25 @@ mod tests {
         assert_eq!(s.threads, None);
         assert_eq!(s.budget_steps, None);
         assert!(!s.pipeline);
+        assert_eq!(s.shards, None);
+        assert_eq!(s.pipeline_config(), PipelineConfig::default());
         assert_eq!(s.format, None);
+    }
+
+    #[test]
+    fn shards_key_implies_the_pipelined_deployment() {
+        // Mirrors the CLI: `"shards"` without `"pipeline"` still pipelines,
+        // so a scenario can ask for a sharded detector in one key.
+        let s = Scenario::parse(
+            r#"{"name": "s", "shards": 8,
+                "cells": [{"workload": "swaptions", "tool": "laser-detect"}]}"#,
+        )
+        .unwrap();
+        assert!(!s.pipeline, "the boolean key itself stays untouched");
+        assert_eq!(
+            s.pipeline_config(),
+            PipelineConfig::pipelined().with_shards(8)
+        );
     }
 
     #[test]
@@ -570,6 +619,12 @@ mod tests {
             (r#"{"name": "x", "threads": 0}"#, "at least 1"),
             (r#"{"name": "x", "threads": -2}"#, "non-negative integer"),
             (r#"{"name": "x", "budget_steps": 0}"#, "at least 1"),
+            (
+                r#"{"name": "x", "shards": 0}"#,
+                "\"shards\" must be at least 1",
+            ),
+            (r#"{"name": "x", "shards": -4}"#, "non-negative integer"),
+            (r#"{"name": "x", "shards": "many"}"#, "non-negative integer"),
             (r#"{"name": "x", "pipeline": 1}"#, "true or false"),
             (
                 r#"{"name": "x", "format": "yaml"}"#,

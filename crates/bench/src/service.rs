@@ -25,7 +25,7 @@ use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use laser_core::{CellBudget, PipelineConfig, TopologySpec};
+use laser_core::{CellBudget, TopologySpec};
 use laser_workloads::{find, WorkloadSpec};
 use serde::json::Value;
 
@@ -245,8 +245,9 @@ fn plan_campaign(scenario: &Scenario, options: &ServiceOptions) -> Result<Campai
     if let Some(steps) = scenario.budget_steps {
         campaign = campaign.with_cell_budget(CellBudget::steps(steps));
     }
-    if scenario.pipeline {
-        campaign = campaign.with_pipeline(PipelineConfig::pipelined());
+    let pipeline = scenario.pipeline_config();
+    if pipeline.enabled {
+        campaign = campaign.with_pipeline(pipeline);
     }
     if let Some(cache) = &options.cache {
         campaign = campaign.with_cache(Arc::clone(cache));

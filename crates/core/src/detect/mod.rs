@@ -46,6 +46,135 @@ struct PcCounters {
     false_sharing: u64,
 }
 
+/// One source line's aggregated detector state: the unit a sharded detector
+/// stage ships from its workers to the session, and the *single* shape every
+/// report derivation ([`line_rates_from`], [`trigger_pcs_from`],
+/// [`report_lines_from`]) consumes — inline, single-worker and N-shard
+/// sessions all reduce to a `Vec<LineAgg>` before anything user-visible is
+/// computed, which is what makes their outputs byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LineAgg {
+    /// The source line (the `<unknown>:0` sentinel for PCs with no debug
+    /// info).
+    pub(crate) loc: SourceLoc,
+    /// Whether `loc` is a real source location. The repair trigger only
+    /// considers known lines, mirroring the inline path which skips PCs
+    /// without `source_of` entries.
+    pub(crate) known: bool,
+    pub(crate) records: u64,
+    pub(crate) true_sharing: u64,
+    pub(crate) false_sharing: u64,
+    /// PCs contributing to this line, ascending and deduplicated.
+    pub(crate) pcs: Vec<Pc>,
+}
+
+/// Merge per-shard aggregate lists into one, via a sorted (`BTreeMap`) merge
+/// keyed on the source location: counters sum, PC lists union (sorted,
+/// deduplicated). Because every derivation is a pure function of the merged
+/// aggregates and this merge is order-independent, N shards produce the same
+/// bytes as one — the determinism contract `laser-lint`'s `shard-merge` rule
+/// polices for every cross-shard reduction in the tree.
+pub(crate) fn merge_line_aggregates(per_shard: Vec<Vec<LineAgg>>) -> Vec<LineAgg> {
+    let mut merged: BTreeMap<SourceLoc, LineAgg> = BTreeMap::new();
+    for aggs in per_shard {
+        for agg in aggs {
+            match merged.entry(agg.loc.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(agg);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let e = slot.get_mut();
+                    e.records += agg.records;
+                    e.true_sharing += agg.true_sharing;
+                    e.false_sharing += agg.false_sharing;
+                    e.pcs.extend(agg.pcs);
+                }
+            }
+        }
+    }
+    let mut lines: Vec<LineAgg> = merged.into_values().collect();
+    for agg in &mut lines {
+        agg.pcs.sort_unstable();
+        agg.pcs.dedup();
+    }
+    lines
+}
+
+/// The live per-line HITM rates derived from aggregates: hottest line first,
+/// ties broken by source location, no rate threshold applied.
+pub(crate) fn line_rates_from(aggs: &[LineAgg], elapsed_seconds: f64) -> Vec<LineRate> {
+    let elapsed = elapsed_seconds.max(1e-9);
+    let mut lines: Vec<LineRate> = aggs
+        .iter()
+        .map(|agg| LineRate {
+            file: agg.loc.file.clone(),
+            line: agg.loc.line,
+            hitm_records: agg.records,
+            rate_per_sec: agg.records as f64 / elapsed,
+        })
+        .collect();
+    lines.sort_by(|a, b| {
+        b.hitm_records
+            .cmp(&a.hitm_records)
+            .then_with(|| a.file.cmp(&b.file))
+            .then(a.line.cmp(&b.line))
+    });
+    lines
+}
+
+/// The repair-trigger PC set derived from aggregates: PCs of known source
+/// lines whose contention is dominated by false sharing and whose HITM-record
+/// rate exceeds `min_line_rate` (Section 4.4).
+pub(crate) fn trigger_pcs_from(
+    aggs: &[LineAgg],
+    elapsed_seconds: f64,
+    min_line_rate: f64,
+) -> Vec<Pc> {
+    let elapsed = elapsed_seconds.max(1e-9);
+    let mut pcs = Vec::new();
+    for agg in aggs {
+        if !agg.known {
+            continue;
+        }
+        let rate = agg.records as f64 / elapsed;
+        if rate >= min_line_rate && agg.false_sharing > agg.true_sharing && agg.false_sharing >= 2 {
+            pcs.extend(agg.pcs.iter().copied());
+        }
+    }
+    pcs.sort_unstable();
+    pcs.dedup();
+    pcs
+}
+
+/// The end-of-run report lines derived from aggregates, with the rate
+/// threshold applied.
+pub(crate) fn report_lines_from(
+    aggs: &[LineAgg],
+    elapsed_seconds: f64,
+    rate_threshold: f64,
+) -> Vec<LineReport> {
+    let elapsed = elapsed_seconds.max(1e-9);
+    let mut lines: Vec<LineReport> = aggs
+        .iter()
+        .map(|agg| LineReport {
+            location: agg.loc.clone(),
+            hitm_records: agg.records,
+            rate_per_sec: agg.records as f64 / elapsed,
+            true_sharing_events: agg.true_sharing,
+            false_sharing_events: agg.false_sharing,
+            kind: Detector::classify(agg.records, agg.true_sharing, agg.false_sharing),
+            pcs: agg.pcs.clone(),
+        })
+        .filter(|l| l.rate_per_sec >= rate_threshold)
+        .collect();
+    lines.sort_by(|a, b| {
+        b.hitm_records
+            .cmp(&a.hitm_records)
+            .then(a.location.cmp(&b.location))
+    });
+    lines
+}
+
 /// The online contention detector.
 #[derive(Debug)]
 pub struct Detector {
@@ -173,32 +302,59 @@ impl Detector {
     /// observers can watch contention build while the run advances; the
     /// end-of-run [`Detector::report`] applies the threshold.
     pub fn line_rates(&self, elapsed_seconds: f64) -> Vec<LineRate> {
-        let elapsed = elapsed_seconds.max(1e-9);
-        let mut per_line: BTreeMap<SourceLoc, u64> = BTreeMap::new();
+        line_rates_from(&self.line_aggregates(), elapsed_seconds)
+    }
+
+    /// This detector's per-line aggregates, sorted by source location. The
+    /// shardable core of every report derivation: a sharded session collects
+    /// one of these from each worker and reduces them with
+    /// [`merge_line_aggregates`]; an inline session consumes its own
+    /// directly. Both paths feed the same pure derivations, which is what
+    /// keeps shard counts invisible in the output.
+    pub(crate) fn line_aggregates(&self) -> Vec<LineAgg> {
+        let mut per_line: BTreeMap<SourceLoc, LineAgg> = BTreeMap::new();
         for (&pc, c) in &self.per_pc {
-            let loc = self
-                .source_of
-                .get(&pc)
-                .cloned()
-                .unwrap_or_else(|| SourceLoc::new("<unknown>", 0));
-            *per_line.entry(loc).or_default() += c.records;
+            let (loc, known) = match self.source_of.get(&pc) {
+                Some(loc) => (loc.clone(), true),
+                None => (SourceLoc::new("<unknown>", 0), false),
+            };
+            let agg = per_line.entry(loc.clone()).or_insert_with(|| LineAgg {
+                loc,
+                known,
+                records: 0,
+                true_sharing: 0,
+                false_sharing: 0,
+                pcs: Vec::new(),
+            });
+            agg.records += c.records;
+            agg.true_sharing += c.true_sharing;
+            agg.false_sharing += c.false_sharing;
+            // `per_pc` iterates PCs ascending, so each line's list stays
+            // sorted and duplicate-free without a post-pass.
+            agg.pcs.push(pc);
         }
-        let mut lines: Vec<LineRate> = per_line
-            .into_iter()
-            .map(|(loc, records)| LineRate {
-                file: loc.file,
-                line: loc.line,
-                hitm_records: records,
-                rate_per_sec: records as f64 / elapsed,
-            })
-            .collect();
-        lines.sort_by(|a, b| {
-            b.hitm_records
-                .cmp(&a.hitm_records)
-                .then_with(|| a.file.cmp(&b.file))
-                .then(a.line.cmp(&b.line))
-        });
-        lines
+        per_line.into_values().collect()
+    }
+
+    /// Fold another detector's observations into this one (the report-time
+    /// merge of a sharded pipeline, see the session's shard docs).
+    ///
+    /// Per-PC counters and totals sum; the cache-line model merges through a
+    /// sorted insert ([`CacheLineModel::absorb`]). Under line-hash routing
+    /// the shards' state is disjoint — every line and every PC lives in
+    /// exactly one shard — so absorbing all shards into one reconstructs
+    /// precisely the detector an inline run would hold.
+    pub fn absorb(&mut self, other: Detector) {
+        for (pc, c) in other.per_pc {
+            let e = self.per_pc.entry(pc).or_default();
+            e.records += c.records;
+            e.true_sharing += c.true_sharing;
+            e.false_sharing += c.false_sharing;
+        }
+        self.model.absorb(other.model);
+        self.total_records += other.total_records;
+        self.dropped_non_code += other.dropped_non_code;
+        self.dropped_stack += other.dropped_stack;
     }
 
     /// PCs implicated in false sharing, ordered by decreasing false-sharing
@@ -226,27 +382,7 @@ impl Detector {
     /// whose HITM-record rate exceeds `min_line_rate` — the condition under
     /// which the system hands control to LASERREPAIR (Section 4.4).
     pub fn repair_trigger_pcs(&self, elapsed_seconds: f64, min_line_rate: f64) -> Vec<Pc> {
-        let elapsed = elapsed_seconds.max(1e-9);
-        let mut per_line: BTreeMap<&SourceLoc, (u64, u64, u64, Vec<Pc>)> = BTreeMap::new();
-        for (&pc, c) in &self.per_pc {
-            if let Some(loc) = self.source_of.get(&pc) {
-                let e = per_line.entry(loc).or_insert_with(|| (0, 0, 0, Vec::new()));
-                e.0 += c.records;
-                e.1 += c.true_sharing;
-                e.2 += c.false_sharing;
-                e.3.push(pc);
-            }
-        }
-        let mut pcs = Vec::new();
-        for (_loc, (records, ts, fs, line_pcs)) in per_line {
-            let rate = records as f64 / elapsed;
-            if rate >= min_line_rate && fs > ts && fs >= 2 {
-                pcs.extend(line_pcs);
-            }
-        }
-        pcs.sort_unstable();
-        pcs.dedup();
-        pcs
+        trigger_pcs_from(&self.line_aggregates(), elapsed_seconds, min_line_rate)
     }
 
     fn classify(records: u64, ts: u64, fs: u64) -> ContentionKind {
@@ -275,41 +411,7 @@ impl Detector {
         rate_threshold: f64,
         repair_invoked: bool,
     ) -> ContentionReport {
-        let mut per_line: BTreeMap<SourceLoc, (u64, u64, u64, Vec<Pc>)> = BTreeMap::new();
-        for (&pc, c) in &self.per_pc {
-            let loc = self
-                .source_of
-                .get(&pc)
-                .cloned()
-                .unwrap_or_else(|| SourceLoc::new("<unknown>", 0));
-            let entry = per_line.entry(loc).or_insert_with(|| (0, 0, 0, Vec::new()));
-            entry.0 += c.records;
-            entry.1 += c.true_sharing;
-            entry.2 += c.false_sharing;
-            entry.3.push(pc);
-        }
-        let elapsed = elapsed_seconds.max(1e-9);
-        let mut lines: Vec<LineReport> = per_line
-            .into_iter()
-            .map(|(location, (records, ts, fs, mut pcs))| {
-                pcs.sort();
-                LineReport {
-                    location,
-                    hitm_records: records,
-                    rate_per_sec: records as f64 / elapsed,
-                    true_sharing_events: ts,
-                    false_sharing_events: fs,
-                    kind: Self::classify(records, ts, fs),
-                    pcs,
-                }
-            })
-            .filter(|l| l.rate_per_sec >= rate_threshold)
-            .collect();
-        lines.sort_by(|a, b| {
-            b.hitm_records
-                .cmp(&a.hitm_records)
-                .then(a.location.cmp(&b.location))
-        });
+        let lines = report_lines_from(&self.line_aggregates(), elapsed_seconds, rate_threshold);
         ContentionReport {
             workload: workload.to_string(),
             lines,

@@ -59,6 +59,38 @@
 //! overlap. Once repair attaches (or when it is disabled, the
 //! detection-only configurations every accuracy experiment uses), the
 //! stages stream freely.
+//!
+//! # Sharded detection
+//!
+//! On large multi-socket parts a single detector worker becomes the
+//! bottleneck exactly where the paper's always-on claim matters most.
+//! [`PipelineConfig::with_shards`] splits the pipelined detector stage into
+//! N workers, each fed through its own bounded `laser_pebs::channel` and
+//! each holding its own [`Detector`]. Every batch the driver delivers is
+//! routed across the shards by [`ShardRouting`]:
+//!
+//! * [`ShardRouting::LineHash`] (the default) hashes each record's cache
+//!   line, so all records for one line — the unit of every per-line
+//!   aggregate and of the cache-line model's state — land in the same
+//!   shard. Shard states stay pairwise disjoint, and merging them
+//!   reconstructs exactly the state one inline detector would hold: a
+//!   line-hash sharded run is **byte-identical** to the inline and
+//!   single-worker runs for every shard count.
+//! * [`ShardRouting::Socket`] routes by the record's originating socket,
+//!   modelling the realistic deployment of one detector core per socket
+//!   consuming only its socket's PEBS stream. Routing is a pure function of
+//!   the record, so socket-sharded runs are deterministic (repeatable
+//!   byte-for-byte), but a line touched from two sockets splits its record
+//!   sequence across shards, so the classification may legitimately differ
+//!   from the inline path's.
+//!
+//! Reports never expose the sharding: every user-visible derivation goes
+//! through the per-line aggregates each shard returns, reduced by a sorted
+//! merge (`detect::merge_line_aggregates`), and at `finish` the shard
+//! detectors are folded back into one ([`Detector::absorb`]) before the
+//! final flush. Observer events are emitted only after all shards' replies
+//! for a batch are merged, so the event stream, too, is independent of the
+//! shard count.
 
 use std::fmt;
 use std::ops::ControlFlow;
@@ -75,8 +107,8 @@ use laser_pebs::pmu::{Pmu, PmuConfig};
 use laser_pebs::record::HitmRecord;
 
 use crate::config::LaserConfig;
-use crate::detect::{self, Detector};
-use crate::observe::{LaserEvent, LineRate, NullObserver, Observer, StopReason};
+use crate::detect::{self, Detector, LineAgg};
+use crate::observe::{LaserEvent, NullObserver, Observer, StopReason};
 use crate::repair::{RepairPlan, SsbHook};
 use crate::system::{LaserError, LaserOutcome, RepairSummary};
 
@@ -92,38 +124,109 @@ pub enum SessionStatus {
     Stopped(StopReason),
 }
 
+/// How records are distributed over a sharded detector stage (see the
+/// [module docs](self) on sharded detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRouting {
+    /// Route by a hash of the record's cache line (the default). All records
+    /// for one line land in one shard, so shard states are disjoint and the
+    /// merged output is byte-identical to the inline path for every shard
+    /// count.
+    #[default]
+    LineHash,
+    /// Route by the record's originating socket — the paper-realistic
+    /// one-detector-core-per-socket deployment. Deterministic, but a line
+    /// touched from several sockets splits across shards, so classification
+    /// may differ from the inline path.
+    Socket,
+}
+
+impl ShardRouting {
+    /// The stable CLI/scenario key: `line` or `socket`.
+    pub fn key(self) -> &'static str {
+        match self {
+            ShardRouting::LineHash => "line",
+            ShardRouting::Socket => "socket",
+        }
+    }
+
+    /// Parse a CLI/scenario key (the inverse of [`ShardRouting::key`]).
+    pub fn parse(s: &str) -> Option<ShardRouting> {
+        match s {
+            "line" => Some(ShardRouting::LineHash),
+            "socket" => Some(ShardRouting::Socket),
+            _ => None,
+        }
+    }
+}
+
 /// How a session's detector stage is deployed (see the
-/// [module docs](self) on pipelined execution).
+/// [module docs](self) on pipelined execution and sharded detection).
+///
+/// A worked sharded session — four line-hash shards behind lossless
+/// channels, byte-identical to the same run inline:
+///
+/// ```no_run
+/// use laser_core::{Laser, LaserConfig, PipelineConfig, ShardRouting};
+/// # fn image() -> laser_machine::WorkloadImage { unimplemented!() }
+///
+/// let sharded = Laser::builder()
+///     .config(LaserConfig::detection_only())
+///     .pipeline_config(
+///         PipelineConfig::pipelined()
+///             .with_shards(4)
+///             .with_routing(ShardRouting::LineHash),
+///     )
+///     .build(&image())
+///     .run()
+///     .unwrap();
+///
+/// let inline = Laser::builder()
+///     .config(LaserConfig::detection_only())
+///     .build(&image())
+///     .run()
+///     .unwrap();
+/// assert_eq!(sharded.report, inline.report);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
-    /// Run the detector stage on a worker thread, overlapping record
+    /// Run the detector stage on worker threads, overlapping record
     /// processing with the next quantum of application execution.
     pub enabled: bool,
-    /// Capacity of the record channel, in batches (clamped to at least 1).
-    /// The default of 2 is the classic double buffer: one batch in flight at
-    /// the detector, one staged behind it.
+    /// Capacity of each shard's record channel, in batches (clamped to at
+    /// least 1). The default of 2 is the classic double buffer: one batch in
+    /// flight at the detector, one staged behind it.
     pub capacity: usize,
-    /// When the detector lags `capacity` batches behind, drop the offered
-    /// batch — modelling a PEBS buffer overflow, surfaced through
+    /// When a shard lags `capacity` batches behind, drop the offered
+    /// sub-batch — modelling a PEBS buffer overflow, surfaced through
     /// `DriverStats::records_dropped` — instead of blocking the machine
     /// stage. Lossy delivery bounds producer latency but forfeits the
     /// byte-identity guarantee; leave it off where determinism matters.
     ///
     /// Lossy mode only has teeth on *unobserved* sessions. An observed
     /// session settles each batch's deferred events before the next quantum
-    /// is reported, so at most one batch is ever in flight and the channel
-    /// never fills — the run degrades gracefully to lossless, with
+    /// is reported, so at most one batch is ever in flight and the channels
+    /// never fill — the run degrades gracefully to lossless, with
     /// `records_dropped` staying 0.
     pub lossy: bool,
+    /// Number of detector worker shards (clamped to at least 1). Each shard
+    /// is its own thread with its own channel and [`Detector`]; 1 is the
+    /// single-worker pipeline of PR 4.
+    pub shards: usize,
+    /// How records are distributed over the shards.
+    pub routing: ShardRouting,
 }
 
 impl Default for PipelineConfig {
-    /// Pipelining off; capacity 2 (double buffer); lossless.
+    /// Pipelining off; capacity 2 (double buffer); lossless; one shard,
+    /// line-hash routed.
     fn default() -> Self {
         PipelineConfig {
             enabled: false,
             capacity: 2,
             lossy: false,
+            shards: 1,
+            routing: ShardRouting::LineHash,
         }
     }
 }
@@ -138,7 +241,7 @@ impl PipelineConfig {
         }
     }
 
-    /// Override the record-channel capacity (builder-style).
+    /// Override the per-shard record-channel capacity (builder-style).
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
         self
@@ -148,6 +251,20 @@ impl PipelineConfig {
     /// (builder-style).
     pub fn with_lossy(mut self, lossy: bool) -> Self {
         self.lossy = lossy;
+        self
+    }
+
+    /// Set the detector shard count, clamped to at least 1 (builder-style).
+    /// Output is byte-identical across shard counts under the default
+    /// line-hash routing.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the shard routing policy (builder-style).
+    pub fn with_routing(mut self, routing: ShardRouting) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -291,11 +408,16 @@ impl SessionBuilder {
             model,
         );
         let driver = Driver::new(pmu, config.driver);
-        let detector = Detector::new(&config, program, image.memory_map());
         let (detector, pipe) = if pipeline.enabled {
-            (None, Some(PipeStage::spawn(detector, pipeline)))
+            let detectors = (0..pipeline.shards.max(1))
+                .map(|_| Detector::new(&config, program, image.memory_map()))
+                .collect();
+            (None, Some(PipeStage::spawn(detectors, pipeline)))
         } else {
-            (Some(detector), None)
+            (
+                Some(Detector::new(&config, program, image.memory_map())),
+                None,
+            )
         };
 
         LaserSession {
@@ -316,35 +438,23 @@ impl SessionBuilder {
     }
 }
 
-/// A unit of work for the pipelined detector stage.
-enum DetectorJob {
-    /// Process one record batch. `elapsed` is the dilated benchmark time at
-    /// the batch's charge point, so live rates and trigger checks see exactly
-    /// the denominator an inline run would.
-    Batch {
-        records: Vec<HitmRecord>,
-        elapsed: f64,
-        /// Compute the `DetectionUpdate` line rates (observed sessions only).
-        want_lines: bool,
-        /// Run the repair trigger check at this rate threshold (lock-step
-        /// quanta only).
-        trigger_threshold: Option<f64>,
-    },
-    /// A repair-armed quantum delivered no records; the trigger still
-    /// re-evaluates (rates decay as elapsed time grows).
-    Check { elapsed: f64, threshold: f64 },
+/// A unit of work for one detector shard: process a (possibly empty)
+/// sub-batch and, when asked, send back the shard's per-line aggregates.
+struct DetectorJob {
+    records: Vec<HitmRecord>,
+    /// Reply with the shard's [`LineAgg`]s after processing. The session
+    /// merges the per-shard aggregates and derives live rates and repair
+    /// trigger decisions itself, so shards never compute anything that
+    /// depends on global state.
+    want_aggs: bool,
 }
 
-/// What the detector stage sends back for a job that asked for anything.
+/// What a shard sends back for a job with `want_aggs`.
 struct DetectorReply {
-    /// Live per-line rates, when the job asked for them.
-    lines: Option<Vec<LineRate>>,
-    /// PCs whose false-sharing rate crossed the repair threshold (empty when
-    /// the job ran no trigger check).
-    trigger_pcs: Vec<Pc>,
+    aggs: Vec<LineAgg>,
 }
 
-/// The detector stage's worker loop: consume jobs in FIFO order until the
+/// A detector shard's worker loop: consume jobs in FIFO order until the
 /// channel closes, then hand the detector back to the session.
 fn detector_worker(
     mut detector: Detector,
@@ -352,75 +462,84 @@ fn detector_worker(
     replies: mpsc::Sender<DetectorReply>,
 ) -> Detector {
     while let Some(job) = jobs.recv() {
-        match job {
-            DetectorJob::Batch {
-                records,
-                elapsed,
-                want_lines,
-                trigger_threshold,
-            } => {
-                detector.process(&records);
-                if want_lines || trigger_threshold.is_some() {
-                    let reply = DetectorReply {
-                        lines: want_lines.then(|| detector.line_rates(elapsed)),
-                        trigger_pcs: trigger_threshold
-                            .map(|t| detector.repair_trigger_pcs(elapsed, t))
-                            .unwrap_or_default(),
-                    };
-                    // The session may have been dropped mid-run; a dead reply
-                    // channel just means nobody is listening any more.
-                    let _ = replies.send(reply);
-                }
-            }
-            DetectorJob::Check { elapsed, threshold } => {
-                let _ = replies.send(DetectorReply {
-                    lines: None,
-                    trigger_pcs: detector.repair_trigger_pcs(elapsed, threshold),
-                });
-            }
+        detector.process(&job.records);
+        if job.want_aggs {
+            // The session may have been dropped mid-run; a dead reply
+            // channel just means nobody is listening any more.
+            let _ = replies.send(DetectorReply {
+                aggs: detector.line_aggregates(),
+            });
         }
     }
     detector
 }
 
-/// The running half of a pipelined session: the channel endpoints, the
-/// worker handle, and the event bookkeeping for the batch in flight.
-struct PipeStage {
+/// One shard of the pipelined detector stage: its channel endpoints and
+/// worker handle.
+struct ShardStage {
     jobs: channel::Sender<DetectorJob>,
     replies: mpsc::Receiver<DetectorReply>,
     worker: JoinHandle<Detector>,
-    /// The `RecordBatch` event of the batch in flight, deferred until its
-    /// reply arrives (observed streaming mode only).
+}
+
+/// The running half of a pipelined session: the shard workers, the routing
+/// policy, and the event bookkeeping for the batch in flight.
+struct PipeStage {
+    shards: Vec<ShardStage>,
+    routing: ShardRouting,
+    /// The `RecordBatch` event of the batch in flight, deferred until every
+    /// shard's reply arrives (observed streaming mode only).
     pending: Option<LaserEvent>,
     /// The remote-HITM share as of the in-flight batch's charge point, for
     /// its deferred `DetectionUpdate`.
     pending_share: f64,
-    /// Whether a reply is owed for the batch in flight.
+    /// The dilated benchmark time at the in-flight batch's charge point: the
+    /// denominator its deferred `DetectionUpdate` rates must use.
+    pending_elapsed: f64,
+    /// Whether one reply per shard is owed for the batch in flight.
     awaiting_reply: bool,
     lossy: bool,
+    /// The merged aggregates as of the last collected batch. While repair is
+    /// armed, a quantum that delivers no records re-evaluates the trigger
+    /// against these — the shard detectors' state cannot have changed, so
+    /// this local evaluation is exactly what a worker round-trip would
+    /// return, without the round-trip.
+    last_aggs: Vec<LineAgg>,
 }
 
 impl PipeStage {
-    fn spawn(detector: Detector, config: PipelineConfig) -> Self {
+    fn spawn(detectors: Vec<Detector>, config: PipelineConfig) -> Self {
         let policy = if config.lossy {
             OverflowPolicy::DropNewest
         } else {
             OverflowPolicy::Backpressure
         };
-        let (jobs, jobs_rx) = channel::bounded(config.capacity, policy);
-        let (replies_tx, replies) = mpsc::channel();
-        let worker = std::thread::Builder::new()
-            .name("laser-detector".to_string())
-            .spawn(move || detector_worker(detector, jobs_rx, replies_tx))
-            .expect("spawn detector stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
+        let shards = detectors
+            .into_iter()
+            .enumerate()
+            .map(|(i, detector)| {
+                let (jobs, jobs_rx) = channel::bounded(config.capacity, policy);
+                let (replies_tx, replies) = mpsc::channel();
+                let worker = std::thread::Builder::new()
+                    .name(format!("laser-detector-{i}"))
+                    .spawn(move || detector_worker(detector, jobs_rx, replies_tx))
+                    .expect("spawn detector stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
+                ShardStage {
+                    jobs,
+                    replies,
+                    worker,
+                }
+            })
+            .collect();
         PipeStage {
-            jobs,
-            replies,
-            worker,
+            shards,
+            routing: config.routing,
             pending: None,
             pending_share: 0.0,
+            pending_elapsed: 0.0,
             awaiting_reply: false,
             lossy: config.lossy,
+            last_aggs: Vec::new(),
         }
     }
 }
@@ -662,27 +781,55 @@ impl LaserSession {
         ControlFlow::Continue(())
     }
 
+    /// Split a batch into one (possibly empty) sub-batch per shard, in the
+    /// session's routing policy, preserving the driver's delivery order
+    /// within each shard. Line-hash routing keys on the cache line so a
+    /// line's whole record sequence stays in one shard; socket routing keys
+    /// on the originating core's socket. Both are pure functions of the
+    /// record (and the fixed topology), so routing is deterministic.
+    fn route_records(&self, records: Vec<HitmRecord>) -> Vec<Vec<HitmRecord>> {
+        let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+        let shards = pipe.shards.len();
+        if shards == 1 {
+            return vec![records];
+        }
+        let mut parts: Vec<Vec<HitmRecord>> = (0..shards).map(|_| Vec::new()).collect();
+        for r in records {
+            let shard = match pipe.routing {
+                // Fibonacci hashing over the line address: cheap, stable
+                // across platforms, and spreads consecutive lines across
+                // shards.
+                ShardRouting::LineHash => {
+                    (((r.data_addr >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize)
+                        % shards
+                }
+                ShardRouting::Socket => {
+                    self.machine.topology().socket_of(r.core.0, self.num_cores) % shards
+                }
+            };
+            parts[shard].push(r);
+        }
+        parts
+    }
+
     /// The pipelined detector stage: charge the batch's cost (a pure function
-    /// of its size) at the inline charge point, then hand the records to the
-    /// worker. While repair is armed the attach decision gates the next
-    /// quantum, so those quanta round-trip in lock-step; otherwise the batch
-    /// streams and its events are deferred to [`LaserSession::settle_in_flight`].
+    /// of its size) at the inline charge point, then route the records over
+    /// the shard workers. While repair is armed the attach decision gates the
+    /// next quantum, so those quanta round-trip in lock-step; otherwise the
+    /// batch streams and its events are deferred to
+    /// [`LaserSession::settle_in_flight`].
     fn dispatch_piped(&mut self, records: Vec<HitmRecord>) -> ControlFlow<StopReason> {
         let lockstep = self.config.enable_repair && self.repair.is_none();
-        if !records.is_empty() {
+        // Whether this batch's aggregates are needed on the machine thread:
+        // for the observer's DetectionUpdate, for the armed repair trigger,
+        // or both.
+        let need_reply = self.observed || lockstep;
+        if !records.is_empty() && need_reply {
             let n = records.len();
-            let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            if pipe.lossy && pipe.jobs.is_full() {
-                // The consumer has lagged a full channel behind: model a PEBS
-                // overflow. The detector never sees the batch, so its cost is
-                // not charged either.
-                self.driver.note_lagging_drops(n as u64);
-                return ControlFlow::Continue(());
-            }
             // The detector's per-record cost is configuration, not state, so
             // the machine stage charges it at exactly the inline charge
             // point — before the next quantum's scheduling decisions — while
-            // the semantic processing overlaps on the worker. The formula is
+            // the semantic processing overlaps on the workers. The formula is
             // shared with `Detector::processing_cycles`; the two sites must
             // agree exactly for pipelined runs to stay byte-identical.
             let cycles = detect::batch_processing_cycles(self.config.detector_cycles_per_record, n);
@@ -693,49 +840,100 @@ impl LaserSession {
             // quantum that runs before the event is delivered.
             let remote_share = self.machine.stats().remote_hitm_share();
             let batch_event = self.observed.then(|| self.record_batch_event(n));
-            let job = DetectorJob::Batch {
-                records,
-                elapsed,
-                want_lines: self.observed,
-                trigger_threshold: lockstep.then(|| self.effective_repair_threshold()),
-            };
-            let expects_reply = self.observed || lockstep;
-            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
+            // Every shard gets a job — even an empty sub-batch — because the
+            // merge needs one reply per shard to see the full aggregate
+            // state. A reply is always collected before the next dispatch,
+            // so the channels never fill and nothing can drop here, lossy or
+            // not.
+            let parts = self.route_records(records);
+            {
+                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                for (shard, part) in pipe.shards.iter().zip(parts) {
+                    let outcome = shard.jobs.send(DetectorJob {
+                        records: part,
+                        want_aggs: true,
+                    });
+                    debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
+                }
+            }
 
             if lockstep {
-                let reply = self.recv_reply();
+                let merged = self.collect_merged_aggs();
                 if let Some(event) = batch_event {
                     self.emit(event)?;
                 }
-                if let Some(lines) = reply.lines {
+                if self.observed {
                     self.emit(LaserEvent::DetectionUpdate {
-                        lines,
+                        lines: detect::line_rates_from(&merged, elapsed),
                         remote_hitm_share: remote_share,
                     })?;
                 }
-                if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
+                let pcs =
+                    detect::trigger_pcs_from(&merged, elapsed, self.effective_repair_threshold());
+                self.pipe.as_mut().expect("piped stage").last_aggs = merged; // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
                     if self.observed {
                         self.emit(attached)?;
                     }
                 }
-            } else if expects_reply {
+            } else {
                 let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
                 pipe.pending = batch_event;
                 pipe.pending_share = remote_share;
+                pipe.pending_elapsed = elapsed;
                 pipe.awaiting_reply = true;
+            }
+        } else if !records.is_empty() {
+            // Unobserved streaming: fire-and-forget, no reply owed. This is
+            // the only path where a shard's channel can fill, so it is the
+            // only place the lossy overflow check lives.
+            let parts = self.route_records(records);
+            let mut kept = 0usize;
+            let mut dropped = 0u64;
+            {
+                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                for (shard, part) in pipe.shards.iter().zip(parts) {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    if pipe.lossy && shard.jobs.is_full() {
+                        // The shard has lagged a full channel behind: model a
+                        // PEBS overflow. The detector never sees the
+                        // sub-batch, so its cost is not charged either.
+                        dropped += part.len() as u64;
+                        continue;
+                    }
+                    kept += part.len();
+                    let outcome = shard.jobs.send(DetectorJob {
+                        records: part,
+                        want_aggs: false,
+                    });
+                    debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
+                }
+            }
+            if dropped > 0 {
+                self.driver.note_lagging_drops(dropped);
+            }
+            if kept > 0 {
+                let cycles =
+                    detect::batch_processing_cycles(self.config.detector_cycles_per_record, kept);
+                self.charge_detector_cycles(cycles);
             }
         } else if lockstep {
             // No new records, but the armed trigger still re-evaluates every
-            // quantum, exactly as the inline stage does.
-            let job = DetectorJob::Check {
-                elapsed: self.machine.elapsed_benchmark_seconds(),
-                threshold: self.effective_repair_threshold(),
+            // quantum (rates decay as elapsed time grows), exactly as the
+            // inline stage does. The shard detectors' state cannot have
+            // changed since the last collected batch, so evaluating against
+            // the cached merged aggregates is byte-identical to a worker
+            // round-trip — and at session start, before any batch, both are
+            // empty.
+            let elapsed = self.machine.elapsed_benchmark_seconds();
+            let threshold = self.effective_repair_threshold();
+            let pcs = {
+                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                detect::trigger_pcs_from(&pipe.last_aggs, elapsed, threshold)
             };
-            let outcome = self.pipe.as_ref().expect("piped stage").jobs.send(job); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
-            let reply = self.recv_reply();
-            if let Some(attached) = self.attach_repair_from_pcs(&reply.trigger_pcs) {
+            if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
                 if self.observed {
                     self.emit(attached)?;
                 }
@@ -744,52 +942,80 @@ impl LaserSession {
         ControlFlow::Continue(())
     }
 
-    /// Block for the worker's next reply. The worker holds its reply sender
-    /// for as long as the session holds the job sender, so a disconnect here
-    /// means the worker died mid-run — in that case its own panic is the
-    /// real diagnostic, so join it and re-raise the original payload rather
-    /// than masking it with a channel error (the campaign runner's per-cell
-    /// `catch_unwind` then records the true message).
-    fn recv_reply(&mut self) -> DetectorReply {
+    /// Block for `shard`'s next reply. A shard holds its reply sender for as
+    /// long as the session holds its job sender, so a disconnect here means
+    /// the worker died mid-run — in that case its own panic is the real
+    /// diagnostic, so shut every shard down, join them, and re-raise the
+    /// first panic payload rather than masking it with a channel error (the
+    /// campaign runner's per-cell `catch_unwind` then records the true
+    /// message).
+    fn recv_reply(&mut self, shard: usize) -> DetectorReply {
         let received = {
             let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            pipe.replies.recv()
+            pipe.shards[shard].replies.recv()
         };
         match received {
             Ok(reply) => reply,
             Err(_) => {
                 let pipe = self.pipe.take().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                drop(pipe.jobs);
-                match pipe.worker.join() {
-                    Err(payload) => std::panic::resume_unwind(payload),
-                    Ok(_) => panic!("detector stage worker exited before its channel closed"), // lint:allow(panic) — a worker exiting with its channel open is a protocol bug worth crashing the cell
+                let mut workers = Vec::with_capacity(pipe.shards.len());
+                for stage in pipe.shards {
+                    drop(stage.jobs);
+                    workers.push(stage.worker);
+                }
+                let mut first_panic = None;
+                for worker in workers {
+                    if let Err(payload) = worker.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                match first_panic {
+                    Some(payload) => std::panic::resume_unwind(payload),
+                    None => panic!("detector stage worker exited before its channel closed"), // lint:allow(panic) — a worker exiting with its channel open is a protocol bug worth crashing the cell
                 }
             }
         }
     }
 
-    /// If a streamed batch is in flight, wait for the worker to finish it and
-    /// emit its deferred `RecordBatch`/`DetectionUpdate` events.
+    /// Collect one reply per shard — in shard order, so the wait sequence is
+    /// deterministic — and reduce them with the sorted merge.
+    // lint:allow(shard-merge) — replies drain in fixed shard order and merge_line_aggregates supplies the BTreeMap-sorted merge
+    fn collect_merged_aggs(&mut self) -> Vec<LineAgg> {
+        let shards = self.pipe.as_ref().expect("piped stage").shards.len(); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+        let mut per_shard = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            per_shard.push(self.recv_reply(shard).aggs);
+        }
+        detect::merge_line_aggregates(per_shard)
+    }
+
+    /// If a streamed batch is in flight, wait for every shard to finish it
+    /// and emit its deferred `RecordBatch`/`DetectionUpdate` events from the
+    /// merged aggregates.
     fn settle_in_flight(&mut self) -> ControlFlow<StopReason> {
         let awaiting = self.pipe.as_ref().is_some_and(|p| p.awaiting_reply);
         if !awaiting {
             return ControlFlow::Continue(());
         }
-        let reply = self.recv_reply();
-        let (pending, share) = {
+        let merged = self.collect_merged_aggs();
+        let (pending, share, elapsed) = {
             let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
             pipe.awaiting_reply = false;
-            (pipe.pending.take(), pipe.pending_share)
+            (
+                pipe.pending.take(),
+                pipe.pending_share,
+                pipe.pending_elapsed,
+            )
         };
+        let lines = detect::line_rates_from(&merged, elapsed);
+        self.pipe.as_mut().expect("piped stage").last_aggs = merged; // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
         if let Some(event) = pending {
             self.emit(event)?;
         }
-        if let Some(lines) = reply.lines {
-            self.emit(LaserEvent::DetectionUpdate {
-                lines,
-                remote_hitm_share: share,
-            })?;
-        }
+        self.emit(LaserEvent::DetectionUpdate {
+            lines,
+            remote_hitm_share: share,
+        })?;
         ControlFlow::Continue(())
     }
 
@@ -855,22 +1081,44 @@ impl LaserSession {
     }
 
     /// Wind down the pipelined detector stage: settle the batch in flight,
-    /// close the channel so the worker drains its queue in FIFO order and
-    /// exits, and take the detector back for the final inline flush.
+    /// close every shard's channel so the workers drain their queues in FIFO
+    /// order and exit, then fold the shard detectors back into one
+    /// ([`Detector::absorb`], shard order) for the final inline flush. Under
+    /// line-hash routing the shards' state is disjoint, so the merged
+    /// detector is exactly the one an inline run would hold here.
     fn reclaim_detector(&mut self) {
         // The run is over; a Break during settlement has nothing to cancel.
         let _ = self.settle_in_flight();
         let Some(pipe) = self.pipe.take() else {
             return;
         };
-        drop(pipe.jobs);
-        let detector = match pipe.worker.join() {
-            Ok(detector) => detector,
-            // Re-raise the worker's own panic payload: it is the real
-            // diagnostic, and per-cell panic isolation depends on it.
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        self.detector = Some(detector);
+        // Drop every job sender first so all shards drain concurrently, then
+        // join them in shard order.
+        let mut workers = Vec::with_capacity(pipe.shards.len());
+        for stage in pipe.shards {
+            drop(stage.jobs);
+            workers.push(stage.worker);
+        }
+        let mut detectors: Vec<Detector> = Vec::with_capacity(workers.len());
+        let mut first_panic = None;
+        for worker in workers {
+            match worker.join() {
+                Ok(detector) => detectors.push(detector),
+                // Re-raise the worker's own panic payload: it is the real
+                // diagnostic, and per-cell panic isolation depends on it.
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        let mut merged = detectors.remove(0);
+        for shard in detectors {
+            merged.absorb(shard);
+        }
+        self.detector = Some(merged);
     }
 
     /// Flush what is still buffered in the PEBS hardware, fold the repair
@@ -1273,12 +1521,27 @@ mod tests {
         assert!(!config.enabled);
         assert_eq!(config.capacity, 2);
         assert!(!config.lossy);
+        assert_eq!(config.shards, 1, "single worker unless asked");
+        assert_eq!(config.routing, ShardRouting::LineHash);
         let on = PipelineConfig::pipelined()
             .with_capacity(0)
-            .with_lossy(true);
+            .with_lossy(true)
+            .with_shards(0)
+            .with_routing(ShardRouting::Socket);
         assert!(on.enabled);
         assert_eq!(on.capacity, 1, "capacity clamps to at least one batch");
         assert!(on.lossy);
+        assert_eq!(on.shards, 1, "shard count clamps to at least one");
+        assert_eq!(on.routing, ShardRouting::Socket);
+    }
+
+    #[test]
+    fn shard_routing_keys_round_trip() {
+        for routing in [ShardRouting::LineHash, ShardRouting::Socket] {
+            assert_eq!(ShardRouting::parse(routing.key()), Some(routing));
+        }
+        assert_eq!(ShardRouting::key(ShardRouting::default()), "line");
+        assert_eq!(ShardRouting::parse("hash"), None);
     }
 
     #[test]
@@ -1446,6 +1709,128 @@ mod tests {
             outcome.run.stats.injected_overhead_cycles,
             outcome.driver_stats.overhead_cycles + outcome.detector_cycles
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded detection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn sharded_detection_run_is_byte_identical_to_inline() {
+        let image = contended_image("sharded", 6000);
+        let config = LaserConfig::detection_only();
+        let inline = Laser::builder()
+            .config(config.clone())
+            .build(&image)
+            .run()
+            .unwrap();
+        for shards in [1, 2, 8] {
+            let sharded = Laser::builder()
+                .config(config.clone())
+                .pipeline_config(PipelineConfig::pipelined().with_shards(shards))
+                .build(&image)
+                .run()
+                .unwrap();
+            assert_eq!(inline.cycles(), sharded.cycles(), "shards={shards}");
+            assert_eq!(inline.run.per_core_cycles, sharded.run.per_core_cycles);
+            assert_eq!(inline.report, sharded.report, "shards={shards}");
+            assert_eq!(inline.detector_cycles, sharded.detector_cycles);
+            assert_eq!(inline.driver_stats, sharded.driver_stats);
+            assert_eq!(
+                format!("{:?}", inline.report),
+                format!("{:?}", sharded.report),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_repair_run_attaches_at_the_same_cycle_as_inline() {
+        // Lock-step quanta collect one reply per shard and merge before the
+        // trigger decision, so the attach point must not move with the shard
+        // count.
+        let image = contended_image("shardrep", 6000);
+        let inline = Laser::builder().build(&image).run().unwrap();
+        assert!(inline.repair.is_some(), "workload should trigger repair");
+        for shards in [2, 8] {
+            let sharded = Laser::builder()
+                .pipeline_config(PipelineConfig::pipelined().with_shards(shards))
+                .build(&image)
+                .run()
+                .unwrap();
+            let (a, b) = (
+                inline.repair.as_ref().unwrap(),
+                sharded.repair.as_ref().unwrap(),
+            );
+            assert_eq!(
+                a.triggered_at_cycle, b.triggered_at_cycle,
+                "shards={shards}"
+            );
+            assert_eq!(a.plan.instrumented_blocks, b.plan.instrumented_blocks);
+            assert_eq!(a.plan.flush_blocks, b.plan.flush_blocks);
+            assert_eq!(a.plan.ssb_stores, b.plan.ssb_stores);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(inline.cycles(), sharded.cycles(), "shards={shards}");
+            assert_eq!(inline.report, sharded.report);
+            assert_eq!(inline.detector_cycles, sharded.detector_cycles);
+        }
+    }
+
+    #[test]
+    fn sharded_event_stream_is_byte_identical_to_inline() {
+        for config in [LaserConfig::detection_only(), LaserConfig::default()] {
+            let image = contended_image("shardevents", 6000);
+            let inline_log = EventLog::new();
+            let inline = Laser::builder()
+                .config(config.clone())
+                .observer(inline_log.clone())
+                .build(&image)
+                .run()
+                .unwrap();
+            for shards in [2, 8] {
+                let sharded_log = EventLog::new();
+                let sharded = Laser::builder()
+                    .config(config.clone())
+                    .pipeline_config(PipelineConfig::pipelined().with_shards(shards))
+                    .observer(sharded_log.clone())
+                    .build(&image)
+                    .run()
+                    .unwrap();
+                assert_eq!(inline.cycles(), sharded.cycles());
+                let (ie, se) = (inline_log.events(), sharded_log.events());
+                assert!(!ie.is_empty());
+                assert_eq!(ie, se, "repair={} shards={shards}", config.enable_repair);
+                assert_eq!(format!("{ie:?}"), format!("{se:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn socket_routing_is_deterministic_across_identical_runs() {
+        use laser_machine::{ThreadPlacement, TopologySpec};
+        // Socket routing models one detector core per socket: it does not
+        // promise inline-identity (a line touched from two sockets splits
+        // its record sequence across shards), but it must be a pure function
+        // of the run — two identical deployments produce identical bytes.
+        let mut image = contended_image("shardsock", 6000);
+        image.set_thread_placement(ThreadPlacement::RoundRobin);
+        let run = || {
+            Laser::builder()
+                .config(LaserConfig::detection_only().with_topology(TopologySpec::DualSocket))
+                .pipeline_config(
+                    PipelineConfig::pipelined()
+                        .with_shards(2)
+                        .with_routing(ShardRouting::Socket),
+                )
+                .build(&image)
+                .run()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.detector_cycles, b.detector_cycles);
+        assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
     }
 
     #[test]

@@ -16,11 +16,11 @@ pub fn cache_entries(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-pub fn merge_shards(dir: &Path) -> std::io::Result<usize> {
-    let mut merged = 0;
+pub fn count_entries(dir: &Path) -> std::io::Result<usize> {
+    let mut count = 0;
     for entry in dir.read_dir()? {
         let _ = entry?;
-        merged += 1;
+        count += 1;
     }
-    Ok(merged)
+    Ok(count)
 }

@@ -1,0 +1,32 @@
+//! Bad fixture: combining per-shard detector state with no visible ordering
+//! step. Expected findings: `shard-merge` (two) — the free merge function and
+//! the method-form absorb both fold shard results in arrival order, so their
+//! output is only byte-identical to the single-worker path by accident.
+
+pub struct ShardTotals {
+    lines: Vec<(u64, u64)>,
+}
+
+/// Folds shard outputs in the order the shards happen to finish.
+pub fn merge_shard_reports(shards: Vec<Vec<(u64, u64)>>) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for shard in shards {
+        out.extend(shard);
+    }
+    out
+}
+
+impl ShardTotals {
+    /// Absorbs one shard's lines without re-establishing a total order.
+    pub fn absorb(&mut self, shard: Vec<(u64, u64)>) {
+        self.lines.extend(shard);
+    }
+}
+
+/// A combiner that never touches shard state is out of scope: ordering is
+/// rule territory only once per-shard results are in play.
+pub fn merge_pair(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = a;
+    out.extend(b);
+    out
+}

@@ -40,12 +40,12 @@ pub struct AccessOutcome {
     /// sharer set, or the Modified owner's bit; zero for a cold miss). The
     /// topology layer uses it to decide whether an LLC hit was serviced
     /// on-socket or across the interconnect.
-    pub sharers: u64,
+    pub sharers: u128,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LineState {
-    Shared(u64),
+    Shared(u128),
     Modified(usize),
 }
 
@@ -65,11 +65,11 @@ impl CoherenceDirectory {
     /// Create a directory for `num_cores` cores.
     ///
     /// # Panics
-    /// Panics if `num_cores` is zero or greater than 64.
+    /// Panics if `num_cores` is zero or greater than 128.
     pub fn new(num_cores: usize) -> Self {
         assert!(
-            (1..=64).contains(&num_cores),
-            "1..=64 cores supported, got {num_cores}"
+            (1..=128).contains(&num_cores),
+            "1..=128 cores supported, got {num_cores}"
         );
         CoherenceDirectory {
             num_cores,
@@ -94,7 +94,7 @@ impl CoherenceDirectory {
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, line_addr: Addr, is_write: bool) -> AccessOutcome {
         assert!(core < self.num_cores, "core {core} out of range");
-        let bit = 1u64 << core;
+        let bit = 1u128 << core;
         // One map probe for both the state read and the in-place update.
         let slot = match self.lines.entry(line_addr) {
             Entry::Vacant(e) => {
@@ -124,12 +124,12 @@ impl CoherenceDirectory {
                 *slot = if is_write {
                     LineState::Modified(core)
                 } else {
-                    LineState::Shared(bit | (1u64 << owner))
+                    LineState::Shared(bit | (1u128 << owner))
                 };
                 AccessOutcome {
                     class: AccessClass::Hitm,
                     previous_owner: Some(owner),
-                    sharers: 1u64 << owner,
+                    sharers: 1u128 << owner,
                 }
             }
             LineState::Shared(sharers) => {
@@ -277,5 +277,29 @@ mod tests {
     fn out_of_range_core_panics() {
         let mut d = CoherenceDirectory::new(2);
         d.access(2, 0x0, false);
+    }
+
+    #[test]
+    fn directories_wider_than_64_cores_track_high_core_bits() {
+        // The sharers bitmap is 128 bits wide so many-core topologies (the
+        // 32-socket preset, 128-thread deployments) are constructible; the
+        // high half must behave exactly like the low half.
+        let mut d = CoherenceDirectory::new(128);
+        d.access(127, 0x300, false);
+        let o = d.access(0, 0x300, false);
+        assert_eq!(o.class, AccessClass::LlcHit);
+        assert_eq!(o.sharers, 1u128 << 127, "core 127's bit survives");
+        let o = d.access(127, 0x300, true); // upgrade over two sharers
+        assert_eq!(o.class, AccessClass::LlcHit);
+        assert_eq!(o.sharers, (1u128 << 127) | 1);
+        let o = d.access(0, 0x300, false);
+        assert_eq!(o.class, AccessClass::Hitm);
+        assert_eq!(o.previous_owner, Some(127));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=128 cores supported")]
+    fn directories_cap_at_128_cores() {
+        let _ = CoherenceDirectory::new(129);
     }
 }

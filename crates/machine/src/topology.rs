@@ -16,8 +16,13 @@
 //! pre-topology flat cost model.
 //!
 //! [`TopologySpec`] names the preset topologies the bench layer sweeps
-//! (`flat`, `2s`, `4s`, `8s`); it is `Copy + Ord + Hash` so it can serve as a grid
-//! axis and a CLI flag, and resolves to a full [`Topology`] on demand.
+//! (`flat`, `2s`, `4s`, `8s`) plus the many-core `32s` part (128 cores, kept
+//! out of the default sweep); it is `Copy + Ord + Hash` so it can serve as a
+//! grid axis and a CLI flag, and resolves to a full [`Topology`] on demand.
+//!
+//! Sockets need not be uniform: [`Topology::asymmetric`] takes an explicit
+//! per-socket core-block layout (e.g. a fat socket of accelerator-adjacent
+//! cores next to thin ones), and every socket-mapping query honours it.
 
 use std::fmt;
 
@@ -94,6 +99,11 @@ impl fmt::Display for ThreadPlacement {
 pub enum TopologyError {
     /// The topology declares no sockets.
     NoSockets,
+    /// An asymmetric layout declares a socket with zero cores.
+    EmptySocket {
+        /// The offending socket index.
+        socket: usize,
+    },
     /// A remote latency undercuts its local counterpart, which would make
     /// cross-socket transfers *cheaper* than staying on the socket.
     RemoteFasterThanLocal {
@@ -112,6 +122,9 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::NoSockets => write!(f, "topology declares zero sockets"),
+            TopologyError::EmptySocket { socket } => {
+                write!(f, "socket {socket} declares a zero-core block")
+            }
             TopologyError::RemoteFasterThanLocal {
                 what,
                 remote,
@@ -140,6 +153,10 @@ pub struct Topology {
     name: String,
     num_sockets: usize,
     remote: SocketLatency,
+    /// Explicit per-socket core-block sizes for asymmetric layouts. Empty
+    /// means the symmetric default: cores split into `num_sockets` contiguous
+    /// equal blocks (the last may be short).
+    core_blocks: Vec<usize>,
 }
 
 impl Default for Topology {
@@ -150,12 +167,34 @@ impl Default for Topology {
 }
 
 impl Topology {
-    /// A custom topology. Use the preset constructors for the standard parts.
+    /// A custom symmetric topology (cores split into equal contiguous blocks).
+    /// Use the preset constructors for the standard parts, or
+    /// [`Topology::asymmetric`] for uneven per-socket core blocks.
     pub fn new(name: impl Into<String>, num_sockets: usize, remote: SocketLatency) -> Self {
         Topology {
             name: name.into(),
             num_sockets,
             remote,
+            core_blocks: Vec::new(),
+        }
+    }
+
+    /// A custom topology with an explicit per-socket core-block layout: socket
+    /// `i` owns the contiguous block of `core_blocks[i]` cores that starts
+    /// where socket `i - 1`'s block ends. The socket count is the number of
+    /// blocks. Cores past the declared blocks (when a machine is built with
+    /// more cores than the layout names) spill onto the last socket;
+    /// [`Topology::validate`] rejects zero-core blocks.
+    pub fn asymmetric(
+        name: impl Into<String>,
+        core_blocks: Vec<usize>,
+        remote: SocketLatency,
+    ) -> Self {
+        Topology {
+            name: name.into(),
+            num_sockets: core_blocks.len(),
+            remote,
+            core_blocks,
         }
     }
 
@@ -202,6 +241,23 @@ impl Topology {
         )
     }
 
+    /// A 32-socket rack-scale part (128 cores): node controllers stack up, so
+    /// every remote class pays yet another hop over the eight-socket table.
+    /// This is the largest preset the coherence directory's 128-bit sharer
+    /// bitmap admits; it is deliberately left out of [`TopologySpec::ALL`] so
+    /// the default cross-socket sweep stays four cells wide.
+    pub fn thirty_two_socket() -> Self {
+        Topology::new(
+            "32s",
+            32,
+            SocketLatency {
+                remote_hitm: 340,
+                remote_llc: 190,
+                remote_dram: 460,
+            },
+        )
+    }
+
     fn dual_socket_remote() -> SocketLatency {
         SocketLatency {
             remote_hitm: 220,
@@ -225,6 +281,12 @@ impl Topology {
         self.remote
     }
 
+    /// The explicit per-socket core-block layout, or an empty slice for the
+    /// symmetric default.
+    pub fn core_blocks(&self) -> &[usize] {
+        &self.core_blocks
+    }
+
     /// Check the topology (and its base latency model) for configurations
     /// that would price nonsense: zero sockets, remote transfers cheaper than
     /// local ones, or an invalid base model.
@@ -235,6 +297,9 @@ impl Topology {
         base.validate()?;
         if self.num_sockets == 0 {
             return Err(TopologyError::NoSockets);
+        }
+        if let Some(socket) = self.core_blocks.iter().position(|&b| b == 0) {
+            return Err(TopologyError::EmptySocket { socket });
         }
         let checks = [
             ("remote_hitm", self.remote.remote_hitm, base.hitm),
@@ -253,16 +318,62 @@ impl Topology {
         Ok(())
     }
 
-    /// Cores per socket for a machine with `num_cores` cores (the last socket
-    /// may be short when the counts do not divide evenly).
+    /// Cores per socket for a *symmetric* machine with `num_cores` cores (the
+    /// last socket may be short when the counts do not divide evenly). On an
+    /// asymmetric layout this returns the widest declared block.
     pub fn cores_per_socket(&self, num_cores: usize) -> usize {
-        num_cores.div_ceil(self.num_sockets)
+        if self.core_blocks.is_empty() {
+            num_cores.div_ceil(self.num_sockets)
+        } else {
+            self.core_blocks.iter().copied().max().unwrap_or(1)
+        }
+    }
+
+    /// The contiguous `(first_core, len)` block each socket owns on a machine
+    /// with `num_cores` cores: equal blocks for the symmetric default,
+    /// the declared blocks for an asymmetric layout (clamped to the cores that
+    /// exist, with any spill-over landing on the last socket).
+    fn socket_blocks(&self, num_cores: usize) -> Vec<(usize, usize)> {
+        let mut blocks = Vec::with_capacity(self.num_sockets);
+        if self.core_blocks.is_empty() {
+            let cps = num_cores.div_ceil(self.num_sockets);
+            for socket in 0..self.num_sockets {
+                let start = (socket * cps).min(num_cores);
+                let len = cps.min(num_cores - start);
+                blocks.push((start, len));
+            }
+        } else {
+            let mut start = 0;
+            for (socket, &declared) in self.core_blocks.iter().enumerate() {
+                let last = socket + 1 == self.num_sockets;
+                let len = if last {
+                    num_cores - start.min(num_cores)
+                } else {
+                    declared.min(num_cores - start.min(num_cores))
+                };
+                blocks.push((start.min(num_cores), len));
+                start += declared;
+            }
+        }
+        blocks
     }
 
     /// The socket a core belongs to: cores fill sockets in contiguous blocks
-    /// (cores `0..cps` on socket 0, `cps..2·cps` on socket 1, …).
+    /// (cores `0..cps` on socket 0, `cps..2·cps` on socket 1, … for the
+    /// symmetric default; the declared blocks for an asymmetric layout, with
+    /// cores past the declared layout spilling onto the last socket).
     pub fn socket_of(&self, core: usize, num_cores: usize) -> usize {
-        core / self.cores_per_socket(num_cores)
+        if self.core_blocks.is_empty() {
+            return core / self.cores_per_socket(num_cores);
+        }
+        let mut end = 0;
+        for (socket, &block) in self.core_blocks.iter().enumerate() {
+            end += block;
+            if core < end {
+                return socket;
+            }
+        }
+        self.num_sockets - 1
     }
 
     /// The socket whose DRAM a line is homed on: lines interleave over the
@@ -279,16 +390,17 @@ impl Topology {
         match placement {
             ThreadPlacement::Packed => tid % num_cores,
             ThreadPlacement::RoundRobin => {
-                let cps = self.cores_per_socket(num_cores);
                 // Enumerate cores socket-alternating: position p visits the
                 // (p / sockets)-th core of socket (p % sockets), skipping
-                // positions past a short last socket.
+                // positions past the end of a short (or thin, for asymmetric
+                // layouts) socket's block.
+                let blocks = self.socket_blocks(num_cores);
+                let deepest = blocks.iter().map(|&(_, len)| len).max().unwrap_or(0);
                 let mut order = Vec::with_capacity(num_cores);
-                for pos in 0..cps {
-                    for socket in 0..self.num_sockets {
-                        let core = socket * cps + pos;
-                        if core < num_cores {
-                            order.push(core);
+                for pos in 0..deepest {
+                    for &(start, len) in &blocks {
+                        if pos < len {
+                            order.push(start + pos);
                         }
                     }
                 }
@@ -335,7 +447,7 @@ impl Topology {
                 }
             }
             AccessClass::LlcHit => {
-                let mut holders = outcome.sharers & !(1u64 << core);
+                let mut holders = outcome.sharers & !(1u128 << core);
                 let mut local = false;
                 while holders != 0 {
                     let holder = holders.trailing_zeros() as usize;
@@ -393,10 +505,16 @@ pub enum TopologySpec {
     QuadSocket,
     /// Eight sockets, 4 cores each (32 cores).
     OctoSocket,
+    /// Thirty-two sockets, 4 cores each (128 cores) — the many-core ceiling
+    /// the coherence directory's 128-bit sharer bitmap admits. Deliberately
+    /// excluded from [`TopologySpec::ALL`] so the default cross-socket sweep
+    /// stays four cells wide; name it explicitly (`--topology 32s`) to use it.
+    ThirtyTwoSocket,
 }
 
 impl TopologySpec {
-    /// Every preset, in sweep order.
+    /// Every preset in the default sweep, in sweep order.
+    /// [`TopologySpec::ThirtyTwoSocket`] is opt-in and not listed here.
     pub const ALL: [TopologySpec; 4] = [
         TopologySpec::Flat,
         TopologySpec::DualSocket,
@@ -404,14 +522,15 @@ impl TopologySpec {
         TopologySpec::OctoSocket,
     ];
 
-    /// The stable key (`flat`, `2s`, `4s`, `8s`) used in CLI flags and cell
-    /// names.
+    /// The stable key (`flat`, `2s`, `4s`, `8s`, `32s`) used in CLI flags and
+    /// cell names.
     pub fn key(&self) -> &'static str {
         match self {
             TopologySpec::Flat => "flat",
             TopologySpec::DualSocket => "2s",
             TopologySpec::QuadSocket => "4s",
             TopologySpec::OctoSocket => "8s",
+            TopologySpec::ThirtyTwoSocket => "32s",
         }
     }
 
@@ -422,6 +541,7 @@ impl TopologySpec {
             "2s" => Some(TopologySpec::DualSocket),
             "4s" => Some(TopologySpec::QuadSocket),
             "8s" => Some(TopologySpec::OctoSocket),
+            "32s" => Some(TopologySpec::ThirtyTwoSocket),
             _ => None,
         }
     }
@@ -433,6 +553,7 @@ impl TopologySpec {
             TopologySpec::DualSocket => 2,
             TopologySpec::QuadSocket => 4,
             TopologySpec::OctoSocket => 8,
+            TopologySpec::ThirtyTwoSocket => 32,
         }
     }
 
@@ -443,6 +564,7 @@ impl TopologySpec {
             TopologySpec::DualSocket => Topology::dual_socket(),
             TopologySpec::QuadSocket => Topology::quad_socket(),
             TopologySpec::OctoSocket => Topology::octo_socket(),
+            TopologySpec::ThirtyTwoSocket => Topology::thirty_two_socket(),
         }
     }
 
@@ -619,6 +741,73 @@ mod tests {
         }
         assert_eq!(TopologySpec::parse("16s"), None);
         assert_eq!(TopologySpec::default(), TopologySpec::Flat);
+    }
+
+    #[test]
+    fn thirty_two_socket_preset_is_opt_in_and_reaches_128_cores() {
+        let t = Topology::thirty_two_socket();
+        assert_eq!(t.num_sockets(), 32);
+        t.validate(&LatencyModel::default()).unwrap();
+        let spec = TopologySpec::ThirtyTwoSocket;
+        assert_eq!(spec.num_cores(), 128);
+        assert_eq!(spec.key(), "32s");
+        assert_eq!(TopologySpec::parse("32s"), Some(spec));
+        assert!(
+            !TopologySpec::ALL.contains(&spec),
+            "32s stays out of the default sweep"
+        );
+        // Each hop up the ladder keeps making remote classes dearer.
+        let octo = Topology::octo_socket().remote_latency();
+        let many = t.remote_latency();
+        assert!(many.remote_hitm > octo.remote_hitm);
+        assert!(many.remote_llc > octo.remote_llc);
+        assert!(many.remote_dram > octo.remote_dram);
+        // The highest core maps to the highest socket.
+        assert_eq!(t.socket_of(127, 128), 31);
+        assert_eq!(t.socket_of(0, 128), 0);
+    }
+
+    #[test]
+    fn asymmetric_layouts_map_cores_by_declared_blocks() {
+        let t = Topology::asymmetric("fat0", vec![6, 2], Topology::dual_socket_remote());
+        assert_eq!(t.num_sockets(), 2);
+        assert_eq!(t.core_blocks(), &[6, 2]);
+        t.validate(&LatencyModel::default()).unwrap();
+        for core in 0..6 {
+            assert_eq!(t.socket_of(core, 8), 0);
+        }
+        for core in 6..8 {
+            assert_eq!(t.socket_of(core, 8), 1);
+        }
+        // Spill-over cores land on the last socket.
+        assert_eq!(t.socket_of(11, 12), 1);
+        // Round-robin alternates sockets while both blocks have cores left,
+        // then finishes the fat socket.
+        let cores: Vec<usize> = (0..8)
+            .map(|tid| t.place_thread(tid, 8, ThreadPlacement::RoundRobin))
+            .collect();
+        assert_eq!(cores, vec![0, 6, 1, 7, 2, 3, 4, 5]);
+        // HITM resolution honours the asymmetric split: cores 5 and 6 are
+        // adjacent but on different sockets.
+        let mut d = CoherenceDirectory::new(8);
+        d.access(5, 0x40, true);
+        let o = d.access(6, 0x40, true);
+        assert_eq!(t.resolve(&o, 6, 8, 0x40), ResolvedClass::HitmRemote);
+        let o = d.access(7, 0x40, true);
+        assert_eq!(t.resolve(&o, 7, 8, 0x40), ResolvedClass::HitmLocal);
+    }
+
+    #[test]
+    fn asymmetric_validation_rejects_zero_core_blocks() {
+        let t = Topology::asymmetric("bad", vec![4, 0, 4], Topology::dual_socket_remote());
+        assert_eq!(
+            t.validate(&LatencyModel::default()),
+            Err(TopologyError::EmptySocket { socket: 1 })
+        );
+        assert_eq!(
+            TopologyError::EmptySocket { socket: 1 }.to_string(),
+            "socket 1 declares a zero-core block"
+        );
     }
 
     #[test]

@@ -110,6 +110,31 @@ fn pipelined_campaigns_are_byte_identical_to_inline_for_any_thread_count() {
 }
 
 #[test]
+fn sharded_campaigns_are_byte_identical_to_inline_for_any_shard_count() {
+    // The sharded detector's tentpole guarantee: line-hash routing keeps each
+    // cache line's observation sequence on one shard, so the sorted merge
+    // reassembles exactly the inline aggregates. One shard, eight shards,
+    // serial or fanned across campaign workers — all three formats must come
+    // out byte-identical to the inline reference.
+    let reference = campaign(1).run();
+    for shards in [1, 8] {
+        let config = PipelineConfig::pipelined().with_shards(shards);
+        let serial = campaign(1).with_pipeline(config).run();
+        let parallel = campaign(8).with_pipeline(config).run();
+
+        assert_eq!(reference.cells, serial.cells, "shards={shards}");
+        assert_eq!(reference.cells, parallel.cells, "shards={shards}");
+        assert_eq!(reference.render(), parallel.render(), "shards={shards}");
+        assert_eq!(
+            reference.to_json().render(),
+            parallel.to_json().render(),
+            "shards={shards}"
+        );
+        assert_eq!(reference.to_csv(), parallel.to_csv(), "shards={shards}");
+    }
+}
+
+#[test]
 fn pipelined_observer_event_stream_is_identical_to_inline() {
     // The event sequence — order and payloads — is part of the determinism
     // contract: an observer cannot tell a pipelined session from an inline
