@@ -3,20 +3,29 @@
 //!
 //! ```text
 //! bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N]
-//!                  [--sav V] [--capacity C] [--shards N] [--min-ratio R]
-//!                  [--output PATH] [--topologies t1,t2,...]
+//!                  [--sav V] [--capacity C] [--shards N] [--driver-lag L]
+//!                  [--min-ratio R] [--output PATH] [--topologies t1,t2,...]
 //!                  [--hotloop-output PATH] [--hotloop-baseline PATH]
 //!                  [--min-speedup R]
 //! ```
 //!
 //! For each workload × topology the harness runs the same LASERDETECT session
-//! twice per repeat — once inline, once with the detector stage pipelined onto
-//! a worker thread — interleaved so machine-load drift hits both modes
-//! equally, and scores each mode by its **best** observed steps/second (robust
-//! against scheduling noise). It also asserts the tentpole invariant on every
-//! pair: the pipelined outcome must be byte-identical to the inline one
-//! (cycles, report, driver statistics), so the perf gates double as a
-//! determinism check.
+//! twice per repeat — once inline, once as the three-stage pipeline
+//! (machine | driver | detector shards) — interleaved so machine-load drift
+//! hits both modes equally, and scores each mode by its **best** observed
+//! steps/second (robust against scheduling noise). It also asserts the
+//! tentpole invariant on every pair: at `--driver-lag 0` (the default) the
+//! pipelined outcome must be byte-identical to the inline one (cycles,
+//! report, driver statistics), so the perf gates double as a determinism
+//! check. At `--driver-lag 1+` the charge-back is deferred, so outcomes
+//! legitimately diverge from inline; the harness instead asserts the
+//! pipelined outcome is identical across every repeat (run-to-run
+//! determinism, the lag≥1 contract).
+//!
+//! Each pipelined row also carries **stage occupancy**: the machine, driver
+//! and detector busy times of the best pipelined run divided by its wall
+//! time. On a multi-core host healthy overlap shows all three fractions
+//! high simultaneously; on a single-core host they sum to at most ~1.
 //!
 //! Two reports come out of one measurement sweep:
 //!
@@ -41,15 +50,18 @@
 //! ```
 //!
 //! One environmental caveat: on a host with a **single hardware thread**
-//! the pipeline cannot overlap anything — the detector stage timeslices
-//! against the machine stage — so `pipelined ≥ inline` is physically out of
-//! reach and the measured ratio is pure scheduler noise around 1.0. The
-//! harness reports the host's `parallelism` in the JSON and, when it is 1,
-//! relaxes the effective pipeline gate to `min(min_ratio, 0.85)`: single-core
-//! hosts still catch gross regressions (a pipeline suddenly costing 15 %+),
-//! while every multi-core host — including every hosted CI runner — holds the
-//! strict line. The hot-loop gate needs no such relaxation: it compares
-//! absolute inline throughput, which a single-core host measures fine.
+//! the pipeline cannot overlap anything — the driver and detector stages
+//! timeslice against the machine stage — so `pipelined ≥ inline` is
+//! physically out of reach and the measured ratio is pure scheduler noise
+//! around 1.0. The harness reports the host's `parallelism` in the JSON and,
+//! when it is 1, relaxes the effective pipeline gate to
+//! `min(min_ratio, 0.90)` (tightened from the 0.85 the two-stage pipeline
+//! shipped with — the three-stage charge-back costs at most a couple of
+//! context switches per quantum, and `--driver-lag 1` buys most of it back):
+//! single-core hosts still catch gross regressions, while every multi-core
+//! host — including every hosted CI runner — holds the strict line. The
+//! hot-loop gate needs no such relaxation: it compares absolute inline
+//! throughput, which a single-core host measures fine.
 //!
 //! The default `--sav 1` samples every HITM event, the detector-heaviest
 //! configuration the hardware allows; it is where the paper's concurrency
@@ -67,8 +79,8 @@ use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 use serde::json::Value;
 
 const USAGE: &str = "usage: bench_throughput [--scale S] [--workloads w1,w2,...] [--repeats N] \
-                     [--sav V] [--capacity C] [--shards N] [--min-ratio R] [--output PATH] \
-                     [--topologies t1,t2,...] [--hotloop-output PATH] \
+                     [--sav V] [--capacity C] [--shards N] [--driver-lag L] [--min-ratio R] \
+                     [--output PATH] [--topologies t1,t2,...] [--hotloop-output PATH] \
                      [--hotloop-baseline PATH] [--min-speedup R]\n\
                      \n\
                      --scale S            workload input-size multiplier (default 2.0; below ~0.5\n\
@@ -80,8 +92,12 @@ const USAGE: &str = "usage: bench_throughput [--scale S] [--workloads w1,w2,...]
                      --shards N           detector worker shards on the pipelined leg\n\
                      \x20                     (default 1; line-hash routing keeps the output\n\
                      \x20                     byte-identical, so the equality assert still holds)\n\
+                     --driver-lag L       quanta of charge-back lag on the pipelined leg\n\
+                     \x20                     (default 0: byte-identical to inline and asserted\n\
+                     \x20                     so; 1+ defers charges, asserted run-to-run\n\
+                     \x20                     deterministic instead)\n\
                      --min-ratio R        fail unless geomean(pipelined/inline) >= R on the flat\n\
-                     \x20                     rows (default 1.0; relaxed to 0.85 on single-core\n\
+                     \x20                     rows (default 1.0; relaxed to 0.90 on single-core\n\
                      \x20                     hosts, where the pipeline has nothing to overlap)\n\
                      --output PATH        pipeline JSON report (default BENCH_pipeline.json)\n\
                      --topologies ...     comma-separated topology presets to sweep in the\n\
@@ -112,6 +128,7 @@ struct Cli {
     sav: u32,
     capacity: usize,
     shards: usize,
+    driver_lag: usize,
     min_ratio: f64,
     output: String,
     topologies: Vec<TopologySpec>,
@@ -129,6 +146,7 @@ impl Cli {
             sav: 1,
             capacity: 2,
             shards: 1,
+            driver_lag: 0,
             min_ratio: 1.0,
             output: "BENCH_pipeline.json".to_string(),
             topologies: DEFAULT_TOPOLOGIES.to_vec(),
@@ -159,6 +177,9 @@ impl Cli {
                 "--shards" => {
                     let n: usize = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
                     cli.shards = n.max(1);
+                }
+                "--driver-lag" => {
+                    cli.driver_lag = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
                 }
                 "--min-ratio" => {
                     cli.min_ratio = value(args, i)?.parse().map_err(|e| format!("{e}"))?;
@@ -217,13 +238,36 @@ fn fingerprint(outcome: &LaserOutcome) -> String {
     )
 }
 
-/// Best-of-N steps/sec for one workload on one topology, inline and pipelined.
+/// Machine / driver / detector busy fractions of one pipelined run: each
+/// stage's busy time divided by the run's wall time.
+#[derive(Debug, Clone, Copy, Default)]
+struct Occupancy {
+    machine: f64,
+    driver: f64,
+    detector: f64,
+}
+
+impl Occupancy {
+    fn of(outcome: &LaserOutcome, wall_secs: f64) -> Option<Occupancy> {
+        let busy = outcome.stage_occupancy?;
+        let wall = wall_secs.max(1e-9);
+        Some(Occupancy {
+            machine: busy.machine_busy.as_secs_f64() / wall,
+            driver: busy.driver_busy.as_secs_f64() / wall,
+            detector: busy.detector_busy.as_secs_f64() / wall,
+        })
+    }
+}
+
+/// Best-of-N steps/sec for one workload on one topology, inline and
+/// pipelined, plus the stage occupancy of the best pipelined run.
 struct Score {
     workload: String,
     topology: TopologySpec,
     steps: u64,
     inline_best: f64,
     piped_best: f64,
+    occupancy: Occupancy,
 }
 
 impl Score {
@@ -266,21 +310,46 @@ fn bench_cell(
     let mut inline_best = 0f64;
     let mut piped_best = 0f64;
     let mut steps = 0u64;
+    let mut occupancy = Occupancy::default();
+    let mut first_piped_fp: Option<String> = None;
     for _ in 0..repeats {
         // Interleave the modes so load drift lands on both equally.
         let (inline_secs, inline_outcome) = timed(|| run_session(false))?;
         let (piped_secs, piped_outcome) = timed(|| run_session(true))?;
         let (a, b) = (fingerprint(&inline_outcome), fingerprint(&piped_outcome));
-        if a != b {
-            return Err(format!(
-                "{}@{}: pipelined outcome diverged from inline\n inline: {a}\n piped:  {b}",
-                spec.name,
-                topo.key()
-            ));
+        if pipeline.driver_lag_quanta == 0 {
+            // Lag 0 contract: the pipelined run is byte-identical to inline.
+            if a != b {
+                return Err(format!(
+                    "{}@{}: pipelined outcome diverged from inline\n inline: {a}\n piped:  {b}",
+                    spec.name,
+                    topo.key()
+                ));
+            }
+        } else {
+            // Lag >= 1 contract: deferring charges legitimately changes the
+            // interleaving, so the pipelined run is not inline-identical —
+            // but it must be identical to every other pipelined run.
+            match &first_piped_fp {
+                None => first_piped_fp = Some(b),
+                Some(first) if *first != b => {
+                    return Err(format!(
+                        "{}@{}: lagged pipelined outcome varies across repeats\n first: {first}\n \
+                         later: {b}",
+                        spec.name,
+                        topo.key()
+                    ));
+                }
+                Some(_) => {}
+            }
         }
         steps = inline_outcome.run.steps;
         inline_best = inline_best.max(steps as f64 / inline_secs.max(1e-9));
-        piped_best = piped_best.max(steps as f64 / piped_secs.max(1e-9));
+        let piped_sps = steps as f64 / piped_secs.max(1e-9);
+        if piped_sps > piped_best {
+            piped_best = piped_sps;
+            occupancy = Occupancy::of(&piped_outcome, piped_secs).unwrap_or_default();
+        }
     }
     Ok(Score {
         workload: spec.name.to_string(),
@@ -288,6 +357,7 @@ fn bench_cell(
         steps,
         inline_best,
         piped_best,
+        occupancy,
     })
 }
 
@@ -299,7 +369,7 @@ fn effective_min_ratio(min_ratio: f64, parallelism: usize) -> f64 {
     if parallelism >= 2 {
         min_ratio
     } else {
-        min_ratio.min(0.85)
+        min_ratio.min(0.90)
     }
 }
 
@@ -349,6 +419,9 @@ fn pipeline_json(
                 .set("inline_steps_per_sec", s.inline_best)
                 .set("pipelined_steps_per_sec", s.piped_best)
                 .set("ratio", s.ratio())
+                .set("machine_busy_frac", s.occupancy.machine)
+                .set("driver_busy_frac", s.occupancy.driver)
+                .set("detector_busy_frac", s.occupancy.detector)
         })
         .collect();
     Value::object()
@@ -358,6 +431,7 @@ fn pipeline_json(
         .set("sav", cli.sav as i64)
         .set("capacity", cli.capacity as i64)
         .set("shards", cli.shards as i64)
+        .set("driver_lag", cli.driver_lag as i64)
         .set("parallelism", parallelism as i64)
         .set("min_ratio", cli.min_ratio)
         .set("effective_min_ratio", gate)
@@ -432,7 +506,8 @@ fn run(cli: &Cli) -> Result<bool, String> {
     let config = LaserConfig::detection_only().with_sav(cli.sav);
     let pipeline = PipelineConfig::pipelined()
         .with_capacity(cli.capacity)
-        .with_shards(cli.shards);
+        .with_shards(cli.shards)
+        .with_driver_lag(cli.driver_lag);
     let opts = BuildOptions {
         scale: cli.scale,
         ..Default::default()
@@ -561,6 +636,11 @@ mod tests {
             steps: 1000,
             inline_best: inline,
             piped_best: piped,
+            occupancy: Occupancy {
+                machine: 0.5,
+                driver: 0.25,
+                detector: 0.125,
+            },
         }
     }
 
@@ -572,6 +652,7 @@ mod tests {
         assert_eq!(cli.scale, 2.0);
         assert_eq!(cli.min_ratio, 1.0);
         assert_eq!(cli.shards, 1);
+        assert_eq!(cli.driver_lag, 0, "lag 0 keeps the equality assert armed");
         assert_eq!(cli.output, "BENCH_pipeline.json");
         assert_eq!(cli.workloads, DEFAULT_WORKLOADS);
         assert_eq!(cli.topologies, DEFAULT_TOPOLOGIES);
@@ -587,8 +668,10 @@ mod tests {
         assert_eq!(effective_min_ratio(1.0, 64), 1.0);
         assert_eq!(effective_min_ratio(0.97, 4), 0.97);
         // ...a single-core host (nothing to overlap against) only catches
-        // gross regressions...
-        assert_eq!(effective_min_ratio(1.0, 1), 0.85);
+        // gross regressions — at 0.90, tightened from the two-stage
+        // pipeline's 0.85 now the charge-back round-trip is the only
+        // per-quantum synchronization left...
+        assert_eq!(effective_min_ratio(1.0, 1), 0.90);
         // ...and an operator who asked for an even laxer gate keeps it.
         assert_eq!(effective_min_ratio(0.5, 1), 0.5);
     }
@@ -634,6 +717,8 @@ mod tests {
             "4",
             "--shards",
             "0",
+            "--driver-lag",
+            "2",
             "--output",
             "out.json",
             "--hotloop-output",
@@ -649,6 +734,7 @@ mod tests {
         assert_eq!(cli.min_ratio, 0.9);
         assert_eq!(cli.capacity, 4);
         assert_eq!(cli.shards, 1, "shard count clamps to at least one");
+        assert_eq!(cli.driver_lag, 2);
         assert_eq!(cli.output, "out.json");
         assert_eq!(cli.hotloop_output, "hot.json");
         assert_eq!(cli.hotloop_baseline.as_deref(), Some("base.json"));
@@ -666,6 +752,7 @@ mod tests {
         assert_eq!(doc.get("pass"), Some(&Value::Bool(true)));
         assert_eq!(doc.get("parallelism"), Some(&Value::Int(4)));
         assert_eq!(doc.get("effective_min_ratio"), Some(&Value::Float(1.0)));
+        assert_eq!(doc.get("driver_lag"), Some(&Value::Int(0)));
         let Some(Value::Array(rows)) = doc.get("workloads") else {
             panic!("workloads must be an array: {json}");
         };
@@ -673,6 +760,13 @@ mod tests {
         assert_eq!(
             rows[0].get("workload"),
             Some(&Value::Str("histogram'".into()))
+        );
+        // Stage occupancy of the best pipelined run rides on every row.
+        assert_eq!(rows[0].get("machine_busy_frac"), Some(&Value::Float(0.5)));
+        assert_eq!(rows[0].get("driver_busy_frac"), Some(&Value::Float(0.25)));
+        assert_eq!(
+            rows[0].get("detector_busy_frac"),
+            Some(&Value::Float(0.125))
         );
     }
 

@@ -89,10 +89,11 @@ use laser_bench::performance::{
     fig10_from_grid, fig11_from_grid, fig12_from_grid, fig13_from_grid, fig13_savs,
     fig14_from_grid, plan_fig10, plan_fig11, plan_fig12, plan_fig13, plan_fig14,
 };
+use laser_bench::scenario::MAX_DRIVER_LAG;
 use laser_bench::xsocket::{plan_xsocket, xsocket_from_grid};
 use laser_bench::{
-    validate_workload_names, Campaign, CampaignProgress, CellBudget, CellCache, ExperimentScale,
-    Grid, GridResult, PipelineConfig, ShardRouting, TopologySpec,
+    validate_workload_names, Campaign, CampaignProgress, CellBudget, CellCache, CustomTopology,
+    ExperimentScale, Grid, GridResult, PipelineConfig, ShardRouting, TopologySpec,
 };
 use laser_workloads::registry;
 use serde::json::Value;
@@ -127,7 +128,8 @@ impl Format {
 const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|table2|fig9|fig10|\
                      fig11|fig12|fig13|fig14] [--scale S] [--threads N] [--only w1,w2,...] \
                      [--format text|json|csv] [--cell-budget-steps N] [--pipeline] \
-                     [--shards N] [--shard-routing line|socket] [--topology flat|2s|4s]\n\
+                     [--shards N] [--driver-lag L] [--shard-routing line|socket] \
+                     [--topology flat|2s|4s] [--topology-file FILE]\n\
                      \n\
                      --scale S             workload input-size multiplier (default 0.4;\n\
                      \x20                     xsocket defaults to 1.0)\n\
@@ -142,6 +144,10 @@ const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|t
                      --shards N            shard the pipelined detector over N workers\n\
                      \x20                     (implies --pipeline; line-hash routing keeps\n\
                      \x20                     the output byte-identical for every N)\n\
+                     --driver-lag L        defer each quantum's PMU charge by L quantum\n\
+                     \x20                     boundaries (implies --pipeline; 0, the\n\
+                     \x20                     default, is byte-identical to inline; L >= 1\n\
+                     \x20                     is deterministic and usually faster)\n\
                      --shard-routing R     route records to shards by cache line (line,\n\
                      \x20                     the default) or by the sampling core's socket\n\
                      \x20                     (socket; deterministic but not inline-identical;\n\
@@ -150,6 +156,10 @@ const USAGE: &str = "usage: experiments [all|campaign|xsocket|fig2|fig3|table1|t
                      \x20                     flat (default, single socket), 2s, 4s, 8s or\n\
                      \x20                     32s (4 cores/socket, threads scaled to match);\n\
                      \x20                     xsocket always sweeps flat/2s/4s/8s\n\
+                     --topology-file FILE  campaign only: deploy every cell on a bespoke\n\
+                     \x20                     asymmetric layout loaded from a JSON spec\n\
+                     \x20                     (validated up front; replaces --topology and\n\
+                     \x20                     is fingerprinted into the cell cache)\n\
                      --cache DIR           persistent cell cache: load previously-computed\n\
                      \x20                     cells instead of simulating, write new ones\n\
                      \x20                     back (warm reruns are byte-identical and\n\
@@ -203,6 +213,7 @@ fn write_stdout(payload: &str) -> Result<(), String> {
         .map_err(|e| format!("failed to write to stdout: {e}"))
 }
 
+#[allow(clippy::too_many_arguments)] // straight CLI-flag plumbing
 fn run_campaign(
     scale: &ExperimentScale,
     threads: Option<usize>,
@@ -210,6 +221,7 @@ fn run_campaign(
     budget: CellBudget,
     pipeline: PipelineConfig,
     topology: TopologySpec,
+    custom: Option<Arc<CustomTopology>>,
     format: Format,
     cache: &Option<Arc<CellCache>>,
 ) -> Result<(), String> {
@@ -218,6 +230,9 @@ fn run_campaign(
         .with_cell_budget(budget)
         .with_pipeline(pipeline)
         .with_topology(topology);
+    if let Some(custom) = custom {
+        campaign = campaign.with_custom_topology(custom);
+    }
     if let Some(names) = only {
         // The names were validated at argument-parse time; revalidation here
         // keeps `Campaign::with_workload_names` the single source of truth.
@@ -491,6 +506,10 @@ struct Cli {
     budget: CellBudget,
     pipeline: PipelineConfig,
     topology: TopologySpec,
+    /// `--topology-file FILE`: a bespoke `Topology::asymmetric` layout,
+    /// loaded and validated before anything is simulated. Campaign-only,
+    /// and mutually exclusive with a non-flat `--topology` preset.
+    topology_file: Option<String>,
     /// `--cache DIR`: persistent cell-cache directory.
     cache: Option<String>,
     /// `--cache-stats FILE`: where to write cache statistics as JSON.
@@ -526,6 +545,7 @@ impl Cli {
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
             topology: TopologySpec::Flat,
+            topology_file: None,
             cache: None,
             cache_stats: None,
         };
@@ -584,6 +604,19 @@ impl Cli {
                     cli.pipeline.enabled = true;
                     i += 2;
                 }
+                "--driver-lag" => {
+                    let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                        return Err(CliError::Usage);
+                    };
+                    if v > MAX_DRIVER_LAG {
+                        return Err(CliError::Invalid(format!(
+                            "--driver-lag must be at most {MAX_DRIVER_LAG}"
+                        )));
+                    }
+                    cli.pipeline = cli.pipeline.with_driver_lag(v as usize);
+                    cli.pipeline.enabled = true;
+                    i += 2;
+                }
                 "--shard-routing" => {
                     let Some(v) = args.get(i + 1) else {
                         return Err(CliError::Usage);
@@ -606,6 +639,13 @@ impl Cli {
                             "unknown topology '{v}' (expected flat, 2s, 4s, 8s or 32s)"
                         ))
                     })?;
+                    i += 2;
+                }
+                "--topology-file" => {
+                    let Some(v) = args.get(i + 1) else {
+                        return Err(CliError::Usage);
+                    };
+                    cli.topology_file = Some(v.clone());
                     i += 2;
                 }
                 "--cache" => {
@@ -634,6 +674,18 @@ impl Cli {
             return Err(CliError::Invalid(
                 "--cache-stats requires --cache".to_string(),
             ));
+        }
+        if cli.topology_file.is_some() {
+            if cli.which != "campaign" {
+                return Err(CliError::Invalid(
+                    "--topology-file only applies to the campaign subcommand".to_string(),
+                ));
+            }
+            if cli.topology != TopologySpec::Flat {
+                return Err(CliError::Invalid(
+                    "--topology-file replaces the topology axis; drop --topology".to_string(),
+                ));
+            }
         }
         if let Some(names) = &cli.only {
             if cli.which != "campaign" {
@@ -705,6 +757,19 @@ fn main() -> ExitCode {
         ..ExperimentScale::default()
     };
 
+    // Load and validate a bespoke layout up front: a malformed file is a
+    // usage-class error (exit 2), caught before anything is simulated.
+    let custom = match &cli.topology_file {
+        Some(path) => match CustomTopology::load(path) {
+            Ok(custom) => Some(Arc::new(custom)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     if cli.which == "campaign" {
         return match run_campaign(
             &scale,
@@ -713,6 +778,7 @@ fn main() -> ExitCode {
             cli.budget,
             cli.pipeline,
             cli.topology,
+            custom,
             cli.format,
             &cache,
         )
@@ -844,6 +910,85 @@ mod tests {
         );
         assert_eq!(
             Cli::parse(&args(&["--shards", "many"])).unwrap_err(),
+            CliError::Usage
+        );
+    }
+
+    #[test]
+    fn driver_lag_flag_implies_the_pipelined_deployment() {
+        // A lag of 0 is the inline-identical pipeline default...
+        let cli = Cli::parse(&args(&["campaign", "--driver-lag", "0"])).unwrap();
+        assert_eq!(cli.pipeline, PipelineConfig::pipelined());
+        // ...and lag >= 1 defers the charge-back by that many boundaries.
+        let cli = Cli::parse(&args(&["campaign", "--driver-lag", "2"])).unwrap();
+        assert_eq!(cli.pipeline, PipelineConfig::pipelined().with_driver_lag(2));
+        assert!(cli.pipeline.enabled, "--driver-lag implies --pipeline");
+        // Flag order must not matter, and it composes with --shards.
+        let ab = Cli::parse(&args(&["campaign", "--driver-lag", "1", "--shards", "4"])).unwrap();
+        let ba = Cli::parse(&args(&["campaign", "--shards", "4", "--driver-lag", "1"])).unwrap();
+        assert_eq!(ab.pipeline, ba.pipeline);
+        assert_eq!(
+            ab.pipeline,
+            PipelineConfig::pipelined()
+                .with_shards(4)
+                .with_driver_lag(1)
+        );
+        // Out-of-range and malformed lags are rejected up front.
+        let over = (MAX_DRIVER_LAG + 1).to_string();
+        assert_eq!(
+            Cli::parse(&args(&["campaign", "--driver-lag", &over])).unwrap_err(),
+            CliError::Invalid(format!("--driver-lag must be at most {MAX_DRIVER_LAG}"))
+        );
+        assert_eq!(
+            Cli::parse(&args(&["--driver-lag"])).unwrap_err(),
+            CliError::Usage
+        );
+        assert_eq!(
+            Cli::parse(&args(&["--driver-lag", "soon"])).unwrap_err(),
+            CliError::Usage
+        );
+    }
+
+    #[test]
+    fn topology_file_is_campaign_only_and_replaces_the_preset_axis() {
+        // The flag is stored for main() to load after parsing...
+        let cli = Cli::parse(&args(&["campaign", "--topology-file", "layout.json"])).unwrap();
+        assert_eq!(cli.topology_file, Some("layout.json".to_string()));
+        assert_eq!(cli.topology, TopologySpec::Flat);
+        // ...an explicit flat preset is redundant but harmless...
+        Cli::parse(&args(&[
+            "campaign",
+            "--topology",
+            "flat",
+            "--topology-file",
+            "layout.json",
+        ]))
+        .unwrap();
+        // ...while a non-flat preset would fight the override...
+        assert_eq!(
+            Cli::parse(&args(&[
+                "campaign",
+                "--topology",
+                "2s",
+                "--topology-file",
+                "layout.json",
+            ]))
+            .unwrap_err(),
+            CliError::Invalid(
+                "--topology-file replaces the topology axis; drop --topology".to_string()
+            )
+        );
+        // ...figures and xsocket sweep presets, so the override is
+        // campaign-only...
+        assert_eq!(
+            Cli::parse(&args(&["xsocket", "--topology-file", "layout.json"])).unwrap_err(),
+            CliError::Invalid(
+                "--topology-file only applies to the campaign subcommand".to_string()
+            )
+        );
+        // ...and a dangling flag is a usage error.
+        assert_eq!(
+            Cli::parse(&args(&["--topology-file"])).unwrap_err(),
             CliError::Usage
         );
     }

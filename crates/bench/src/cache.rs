@@ -45,8 +45,10 @@ use laser_core::{CellBudget, ContentionKind, PipelineConfig, StopReason, Topolog
 use laser_workloads::BuildOptions;
 use serde::json::Value;
 
+use crate::topofile::CustomTopology;
+
 use crate::campaign::CellResult;
-use crate::tool::{cell_key, ReportedLine, ToolFailure, ToolRun};
+use crate::tool::{ReportedLine, ToolFailure, ToolRun};
 
 /// Version salt baked into every cache file.
 ///
@@ -66,8 +68,16 @@ pub struct CellConfig<'a> {
     /// Bare tool key (`ToolSpec::key()` / `Tool::name()`), without any
     /// topology suffix.
     pub tool: &'a str,
-    /// Topology preset the cell deploys on.
+    /// Topology preset the cell deploys on (ignored when `custom_topology`
+    /// overrides it).
     pub topology: TopologySpec,
+    /// Bespoke topology the cell deploys on instead of a preset, if any
+    /// (`--topology-file` / a scenario's `"custom_topology"`). Its full
+    /// canonical rendering replaces the preset key in the fingerprint, so
+    /// cells from different layouts never alias — two custom layouts
+    /// collide only if every field (name, core blocks, latency table)
+    /// agrees.
+    pub custom_topology: Option<&'a CustomTopology>,
     /// Build options before topology adaptation (the tool applies
     /// `BuildOptions::for_topology` itself, deterministically).
     pub opts: &'a BuildOptions,
@@ -92,14 +102,22 @@ impl CellConfig<'_> {
             Some(d) => d.as_millis().to_string(),
             None => "none".to_string(),
         };
+        // A custom layout's full canonical rendering takes the preset key's
+        // slot; names cannot shadow preset keys (topofile validation), so
+        // the two families never alias and preset-only fingerprints are
+        // byte-identical to the pre-topology-file scheme.
+        let topology = match self.custom_topology {
+            Some(custom) => custom.canonical(),
+            None => self.topology.key().to_string(),
+        };
         format!(
             "workload={}\ntool={}\ntopology={}\nthreads={}\nscale={:?}\nfixed={}\n\
              layout_perturbation={}\nplacement={}\nbudget_steps={}\nbudget_wall_ms={}\n\
              pipeline={}\npipeline_capacity={}\npipeline_lossy={}\npipeline_shards={}\n\
-             pipeline_routing={}\n",
+             pipeline_routing={}\npipeline_driver_lag={}\n",
             self.workload,
             self.tool,
-            self.topology.key(),
+            topology,
             self.opts.threads,
             self.opts.scale,
             self.opts.fixed,
@@ -112,6 +130,7 @@ impl CellConfig<'_> {
             self.pipeline.lossy,
             self.pipeline.shards,
             self.pipeline.routing.key(),
+            self.pipeline.driver_lag_quanta,
         )
     }
 
@@ -121,6 +140,16 @@ impl CellConfig<'_> {
     /// ever cached.
     pub fn cacheable(&self) -> bool {
         self.budget.max_wall.is_none() && !self.pipeline.lossy
+    }
+
+    /// The cell key a fresh simulation of this config would be labelled
+    /// with: the preset decoration ([`crate::tool::cell_key`]) or the custom
+    /// layout's `tool@name`.
+    pub fn cell_key(&self) -> String {
+        match self.custom_topology {
+            Some(custom) => format!("{}@{}", self.tool, custom.name()),
+            None => crate::tool::cell_key(self.tool, self.topology),
+        }
     }
 }
 
@@ -405,7 +434,7 @@ fn decode_entry(text: &str, salt: u32, config: &CellConfig) -> Result<CellResult
     let cell = decode_cell(cell).ok_or(EntryRejected::Unusable)?;
     // Belt and braces: the stored identity must match what the campaign
     // would label a fresh simulation of this config.
-    if cell.workload != config.workload || cell.tool != cell_key(config.tool, config.topology) {
+    if cell.workload != config.workload || cell.tool != config.cell_key() {
         return Err(EntryRejected::Unusable);
     }
     Ok(cell)
@@ -608,6 +637,7 @@ mod tests {
             workload: "histogram'",
             tool: "laser-detect",
             topology: TopologySpec::Flat,
+            custom_topology: None,
             opts,
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
@@ -657,12 +687,14 @@ mod tests {
         // format: if this literal changes, every existing cache directory
         // silently stops hitting. Bump CACHE_SALT instead of editing this
         // pin unless the canonical rendering itself deliberately changed.
+        // (Last deliberate change: `pipeline_driver_lag` joined the
+        // canonical rendering when the three-stage charge-back landed.)
         let opts = base_opts();
         let fp = fingerprint(&config(&opts));
         assert_eq!(fp.len(), 32);
         assert!(fp.bytes().all(|b| b.is_ascii_hexdigit()));
         assert_eq!(fp, fingerprint(&config(&opts)), "pure function");
-        assert_eq!(fp, "fafaee511cd40013d203a438fef18fc0");
+        assert_eq!(fp, "8f5a794020bcd14449ca73c76a42b7bf");
     }
 
     #[test]
@@ -776,7 +808,26 @@ mod tests {
                     ..config(&opts)
                 }),
             ),
+            (
+                "pipeline_driver_lag",
+                fingerprint(&CellConfig {
+                    pipeline: PipelineConfig::pipelined().with_driver_lag(2),
+                    ..config(&opts)
+                }),
+            ),
         ]);
+        let custom = CustomTopology::from_json(
+            r#"{"name": "fat-thin", "core_blocks": [6, 2],
+                "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}}"#,
+        )
+        .unwrap();
+        variants.push((
+            "custom_topology",
+            fingerprint(&CellConfig {
+                custom_topology: Some(&custom),
+                ..config(&opts)
+            }),
+        ));
 
         for (field, fp) in &variants {
             assert_ne!(fp, &base, "perturbing {field} must change the fingerprint");
@@ -988,11 +1039,30 @@ mod tests {
             "pipeline_lossy=false",
             "pipeline_shards=1",
             "pipeline_routing=line",
+            "pipeline_driver_lag=0",
         ] {
             assert!(
                 canonical.lines().any(|l| l == key),
                 "canonical rendering misses {key:?}:\n{canonical}"
             );
         }
+
+        // A custom layout's full rendering takes the preset key's slot.
+        let custom = CustomTopology::from_json(
+            r#"{"name": "fat-thin", "core_blocks": [6, 2],
+                "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}}"#,
+        )
+        .unwrap();
+        let canonical = CellConfig {
+            custom_topology: Some(&custom),
+            ..config(&opts)
+        }
+        .canonical();
+        assert!(
+            canonical.lines().any(|l| l
+                == "topology=custom:fat-thin;blocks=6,2;remote_hitm=220;remote_llc=100;\
+                    remote_dram=310"),
+            "custom layout missing from canonical:\n{canonical}"
+        );
     }
 }

@@ -33,7 +33,8 @@ use laser_core::{BudgetObserver, CellBudget, PipelineConfig, TopologySpec};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
 
 use crate::cache::{CellCache, CellConfig};
-use crate::tool::{cell_key, default_tools, Tool, ToolFailure, ToolRun};
+use crate::tool::{default_tools, Tool, ToolFailure, ToolRun};
+use crate::topofile::{CustomTopology, Deployment};
 
 /// One `workload × tool` cell of a finished campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,6 +146,9 @@ pub struct Campaign {
     threads: usize,
     budget: CellBudget,
     pipeline: PipelineConfig,
+    /// Bespoke topology overriding every cell's preset, if any (see
+    /// [`Campaign::with_custom_topology`]).
+    custom: Option<Arc<CustomTopology>>,
     cache: Option<Arc<CellCache>>,
 }
 
@@ -204,6 +208,7 @@ impl Campaign {
             threads,
             budget: CellBudget::default(),
             pipeline: PipelineConfig::default(),
+            custom: None,
             cache: None,
         }
     }
@@ -228,6 +233,16 @@ impl Campaign {
         for cell in &mut self.cells {
             cell.2 = topology;
         }
+        self
+    }
+
+    /// Deploy every cell on a bespoke topology instead of its preset
+    /// (`--topology-file` / a scenario's `"custom_topology"`). Cell keys
+    /// gain an `@layout-name` suffix and the cache fingerprints the full
+    /// layout, so custom cells never alias preset ones. The override is
+    /// campaign-wide: the per-cell preset axis is ignored while it is set.
+    pub fn with_custom_topology(mut self, custom: Arc<CustomTopology>) -> Self {
+        self.custom = Some(custom);
         self
     }
 
@@ -323,10 +338,15 @@ impl Campaign {
                 workload: workload.name,
                 tool: tool.name(),
             });
+            let deploy = match &self.custom {
+                Some(custom) => Deployment::Custom(Arc::clone(custom)),
+                None => Deployment::Preset(topo),
+            };
             let config = CellConfig {
                 workload: workload.name,
                 tool: tool.name(),
                 topology: topo,
+                custom_topology: self.custom.as_deref(),
                 opts: &self.opts,
                 budget: self.budget,
                 pipeline: self.pipeline,
@@ -339,10 +359,10 @@ impl Campaign {
                     // whole grid.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if self.budget.is_unlimited() {
-                            tool.run_at(workload, &self.opts, topo)
+                            tool.run_deployed(workload, &self.opts, &deploy)
                         } else {
                             let observer = Box::new(BudgetObserver::new(self.budget));
-                            tool.run_observed_at(workload, &self.opts, topo, observer)
+                            tool.run_observed_deployed(workload, &self.opts, &deploy, observer)
                         }
                     }))
                     .unwrap_or_else(|payload| {
@@ -352,7 +372,7 @@ impl Campaign {
                     });
                     let cell = CellResult {
                         workload: workload.name.to_string(),
-                        tool: cell_key(tool.name(), topo),
+                        tool: deploy.cell_key(tool.name()),
                         outcome,
                     };
                     if let Some(cache) = &self.cache {
@@ -692,17 +712,17 @@ mod tests {
             "panicky"
         }
 
-        fn run_observed_at(
+        fn run_observed_deployed(
             &self,
             spec: &WorkloadSpec,
             opts: &BuildOptions,
-            topo: TopologySpec,
+            deploy: &Deployment,
             observer: Box<dyn laser_core::Observer>,
         ) -> Result<ToolRun, ToolFailure> {
             if spec.name == "swaptions" {
                 panic!("deliberate test panic on {}", spec.name);
             }
-            NativeTool.run_observed_at(spec, opts, topo, observer)
+            NativeTool.run_observed_deployed(spec, opts, deploy, observer)
         }
     }
 

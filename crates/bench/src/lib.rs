@@ -43,6 +43,7 @@ pub mod runner;
 pub mod scenario;
 pub mod service;
 pub mod tool;
+pub mod topofile;
 pub mod xsocket;
 
 pub use cache::{fingerprint, CacheError, CacheStats, CellCache, CellConfig, CACHE_SALT};
@@ -60,4 +61,5 @@ pub use tool::{
     cell_key, default_tools, FixedNativeTool, LaserTool, NativeTool, ReportedLine, SheriffTool,
     Tool, ToolFailure, ToolRun, ToolSpec, VtuneTool,
 };
+pub use topofile::{CustomTopology, Deployment};
 pub use xsocket::{plan_xsocket, xsocket_from_grid, xsocket_sweep, XsocketReport, XsocketRow};

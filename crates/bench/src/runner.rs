@@ -5,8 +5,10 @@ use laser_core::{
     ContentionReport, Laser, LaserConfig, LaserError, LaserOutcome, Observer, PipelineConfig,
     TopologySpec,
 };
-use laser_machine::{MachineConfig, RunResult, WorkloadImage};
+use laser_machine::{RunResult, WorkloadImage};
 use laser_workloads::{registry, BuildOptions, WorkloadSpec};
+
+use crate::topofile::Deployment;
 
 /// How large an experiment to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,8 +110,23 @@ pub fn run_native_at(
     opts: &BuildOptions,
     topo: TopologySpec,
 ) -> Result<RunResult, LaserError> {
-    let opts = opts.clone().for_topology(topo);
-    Laser::run_native_on(&spec.build(&opts), MachineConfig::for_topology(topo))
+    run_native_deployed(spec, opts, &Deployment::Preset(topo))
+}
+
+/// Run a workload natively on an arbitrary [`Deployment`]: a preset behaves
+/// exactly like [`run_native_at`]; a custom layout adapts the build options
+/// ([`crate::topofile::CustomTopology::adapt`]) and deploys the machine on
+/// the loaded topology and core count.
+///
+/// # Errors
+/// Propagates simulator errors (step-budget exhaustion).
+pub fn run_native_deployed(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    deploy: &Deployment,
+) -> Result<RunResult, LaserError> {
+    let opts = deploy.adapt(opts);
+    Laser::run_native_on(&spec.build(&opts), deploy.machine_config())
 }
 
 /// Run a workload under LASER with the given configuration.
@@ -160,20 +177,53 @@ pub fn run_laser_observed_at(
     topo: TopologySpec,
     observer: Box<dyn Observer>,
 ) -> Result<LaserOutcome, LaserError> {
-    let opts = opts.clone().for_topology(topo);
-    // The flat default never clobbers a topology the caller put in their own
-    // LaserConfig.
-    let config = if topo == TopologySpec::Flat {
-        config
-    } else {
-        config.with_topology(topo)
-    };
-    Laser::builder()
-        .config(config)
+    run_laser_observed_deployed(
+        spec,
+        opts,
+        config,
+        pipeline,
+        &Deployment::Preset(topo),
+        observer,
+    )
+}
+
+/// Like [`run_laser_observed_at`], on an arbitrary [`Deployment`]. A preset
+/// takes the exact pre-deployment code path (the session builder deploys the
+/// machine from `LaserConfig::topology`, byte-identical); a custom layout
+/// hands the session an explicit machine configuration built from the loaded
+/// topology, which the builder honours over any config preset.
+///
+/// # Errors
+/// Propagates simulator errors, and [`LaserError::Stopped`] when `observer`
+/// cancelled the run.
+pub fn run_laser_observed_deployed(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    pipeline: PipelineConfig,
+    deploy: &Deployment,
+    observer: Box<dyn Observer>,
+) -> Result<LaserOutcome, LaserError> {
+    let opts = deploy.adapt(opts);
+    laser_builder_deployed(config, deploy)
         .pipeline_config(pipeline)
         .boxed_observer(observer)
         .build(&build_under_tool(spec, &opts))
         .run()
+}
+
+/// Start a session builder for `deploy`: presets ride on
+/// `LaserConfig::topology` (the flat default never clobbers a topology the
+/// caller put in their own config); custom layouts pass an explicit machine
+/// configuration, which wins over any config preset.
+fn laser_builder_deployed(config: LaserConfig, deploy: &Deployment) -> laser_core::SessionBuilder {
+    match deploy {
+        Deployment::Preset(TopologySpec::Flat) => Laser::builder().config(config),
+        Deployment::Preset(topo) => Laser::builder().config(config.with_topology(*topo)),
+        Deployment::Custom(_) => Laser::builder()
+            .config(config)
+            .machine(deploy.machine_config()),
+    }
 }
 
 /// Run a workload under LASER with the detector stage pipelined onto a
@@ -204,14 +254,23 @@ pub fn run_laser_piped_at(
     pipeline: PipelineConfig,
     topo: TopologySpec,
 ) -> Result<LaserOutcome, LaserError> {
-    let opts = opts.clone().for_topology(topo);
-    let config = if topo == TopologySpec::Flat {
-        config
-    } else {
-        config.with_topology(topo)
-    };
-    Laser::builder()
-        .config(config)
+    run_laser_piped_deployed(spec, opts, config, pipeline, &Deployment::Preset(topo))
+}
+
+/// Like [`run_laser_piped_at`], on an arbitrary [`Deployment`] (see
+/// [`run_laser_observed_deployed`] for how each arm deploys the machine).
+///
+/// # Errors
+/// Propagates simulator errors (step-budget exhaustion).
+pub fn run_laser_piped_deployed(
+    spec: &WorkloadSpec,
+    opts: &BuildOptions,
+    config: LaserConfig,
+    pipeline: PipelineConfig,
+    deploy: &Deployment,
+) -> Result<LaserOutcome, LaserError> {
+    let opts = deploy.adapt(opts);
+    laser_builder_deployed(config, deploy)
         .pipeline_config(pipeline)
         .build(&build_under_tool(spec, &opts))
         .run()

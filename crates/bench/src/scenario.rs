@@ -16,6 +16,7 @@
 //!   "budget_steps": 40000000,
 //!   "pipeline": true,
 //!   "shards": 4,
+//!   "driver_lag_quanta": 1,
 //!   "format": "json",
 //!   "cells": [
 //!     {"workload": "histogram'", "tool": "laser", "topology": "8s"}
@@ -44,6 +45,7 @@ use laser_workloads::find;
 use serde::json::Value;
 
 use crate::tool::ToolSpec;
+use crate::topofile::CustomTopology;
 use crate::xsocket::XSOCKET_WORKLOADS;
 
 /// A scenario file could not be parsed or validated. The message names the
@@ -58,6 +60,11 @@ impl std::fmt::Display for ScenarioError {
 }
 
 impl std::error::Error for ScenarioError {}
+
+/// Upper bound on `"driver_lag_quanta"`: the session keeps one in-flight
+/// charge ledger per quantum of lag, so anything past this is almost
+/// certainly a typo rather than a deployment.
+pub const MAX_DRIVER_LAG: u64 = 1024;
 
 fn err<T>(message: impl Into<String>) -> Result<T, ScenarioError> {
     Err(ScenarioError(message.into()))
@@ -145,8 +152,23 @@ pub struct Scenario {
     /// `pipeline` (mirroring the CLI, where `--shards` implies `--pipeline`).
     /// Line-hash routing keeps sharded output byte-identical to inline.
     pub shards: Option<usize>,
+    /// Charge-back lag of the driver stage in quanta; `Some(n)` implies
+    /// `pipeline` (like `shards`). Lag 0 keeps pipelined cells
+    /// byte-identical to inline; lag >= 1 overlaps the machine with the
+    /// driver stage and is run-to-run deterministic but not
+    /// inline-identical — the cell cache keys on the lag, so lagged and
+    /// inline results never alias.
+    pub driver_lag: Option<usize>,
     /// Aggregate document to append after the per-cell stream, if any.
     pub format: Option<AggregateFormat>,
+    /// Bespoke topology every cell deploys on instead of a preset (the
+    /// scenario-file spelling of `experiments --topology-file`): the same
+    /// JSON object a topology file holds, validated at parse time like
+    /// everything else. Mutually exclusive with preset `"topology"` /
+    /// `"topologies"` keys and xsocket sweeps — the override is
+    /// campaign-wide, so a preset axis underneath it would only produce
+    /// colliding cell keys.
+    pub custom_topology: Option<CustomTopology>,
     /// Explicit cells.
     pub cells: Vec<ScenarioCell>,
     /// Named sweeps.
@@ -183,7 +205,9 @@ impl Scenario {
             budget_steps: None,
             pipeline: false,
             shards: None,
+            driver_lag: None,
             format: None,
+            custom_topology: None,
             cells: Vec::new(),
             sweeps: Vec::new(),
         };
@@ -235,6 +259,16 @@ impl Scenario {
                     }
                     scenario.shards = Some(shards as usize);
                 }
+                "driver_lag_quanta" => {
+                    let lag = req_u64(field, "driver_lag_quanta")?;
+                    if lag > MAX_DRIVER_LAG {
+                        // req_u64 already rejected negatives and non-integers.
+                        return err(format!(
+                            "\"driver_lag_quanta\" must be at most {MAX_DRIVER_LAG}, got {lag}"
+                        ));
+                    }
+                    scenario.driver_lag = Some(lag as usize);
+                }
                 "format" => {
                     let name = req_str(field, "format")?;
                     scenario.format = Some(AggregateFormat::parse(name).ok_or_else(|| {
@@ -242,6 +276,12 @@ impl Scenario {
                             "unknown format '{name}' (expected text, json or csv)"
                         ))
                     })?);
+                }
+                "custom_topology" => {
+                    scenario.custom_topology = Some(
+                        CustomTopology::from_value(field)
+                            .map_err(|e| ScenarioError(format!("\"custom_topology\": {e}")))?,
+                    );
                 }
                 "cells" => {
                     let items = req_array(field, "cells")?;
@@ -264,19 +304,33 @@ impl Scenario {
         if scenario.plan().is_empty() {
             return err("scenario plans no cells (give \"cells\" and/or \"sweeps\")");
         }
+        if scenario.custom_topology.is_some()
+            && scenario
+                .plan()
+                .iter()
+                .any(|(_, _, topo)| *topo != TopologySpec::Flat)
+        {
+            return err(
+                "\"custom_topology\" replaces the topology axis; remove \"topology\"/\
+                 \"topologies\" keys and xsocket sweeps",
+            );
+        }
         Ok(scenario)
     }
 
     /// The pipeline deployment the scenario requests: `"pipeline": true`
-    /// enables the single-worker pipeline, a `"shards"` key shards it (and
-    /// implies pipelining, mirroring the CLI's `--shards`). Line-hash routing
-    /// keeps every shard count byte-identical to an inline run.
+    /// enables the three-stage pipeline, a `"shards"` key shards the
+    /// detector stage and a `"driver_lag_quanta"` key sets the charge-back
+    /// lag (each implies pipelining, mirroring the CLI's `--shards` and
+    /// `--driver-lag`). Line-hash routing keeps every shard count
+    /// byte-identical to an inline run; only a non-zero lag diverges.
     pub fn pipeline_config(&self) -> PipelineConfig {
         PipelineConfig {
-            enabled: self.pipeline || self.shards.is_some(),
+            enabled: self.pipeline || self.shards.is_some() || self.driver_lag.is_some(),
             ..PipelineConfig::default()
         }
         .with_shards(self.shards.unwrap_or(1))
+        .with_driver_lag(self.driver_lag.unwrap_or(0))
     }
 
     /// The resolved `(workload, tool, topology)` cells, deduplicated in
@@ -481,6 +535,7 @@ mod tests {
               "budget_steps": 500000,
               "pipeline": true,
               "shards": 2,
+              "driver_lag_quanta": 1,
               "format": "csv",
               "cells": [
                 {"workload": "histogram'", "tool": "laser", "topology": "8s"},
@@ -498,9 +553,12 @@ mod tests {
         assert_eq!(s.budget_steps, Some(500000));
         assert!(s.pipeline);
         assert_eq!(s.shards, Some(2));
+        assert_eq!(s.driver_lag, Some(1));
         assert_eq!(
             s.pipeline_config(),
-            PipelineConfig::pipelined().with_shards(2)
+            PipelineConfig::pipelined()
+                .with_shards(2)
+                .with_driver_lag(1)
         );
         assert_eq!(s.format, Some(AggregateFormat::Csv));
         assert_eq!(s.cells.len(), 2);
@@ -542,6 +600,7 @@ mod tests {
         assert_eq!(s.budget_steps, None);
         assert!(!s.pipeline);
         assert_eq!(s.shards, None);
+        assert_eq!(s.driver_lag, None);
         assert_eq!(s.pipeline_config(), PipelineConfig::default());
         assert_eq!(s.format, None);
     }
@@ -560,6 +619,51 @@ mod tests {
             s.pipeline_config(),
             PipelineConfig::pipelined().with_shards(8)
         );
+    }
+
+    #[test]
+    fn driver_lag_key_implies_the_pipelined_deployment() {
+        // Same convention as `"shards"`: asking for a charge-back lag is
+        // asking for the three-stage pipeline, even at lag 0.
+        let s = Scenario::parse(
+            r#"{"name": "l", "driver_lag_quanta": 3,
+                "cells": [{"workload": "swaptions", "tool": "laser-detect"}]}"#,
+        )
+        .unwrap();
+        assert!(!s.pipeline, "the boolean key itself stays untouched");
+        assert_eq!(
+            s.pipeline_config(),
+            PipelineConfig::pipelined().with_driver_lag(3)
+        );
+        let s = Scenario::parse(
+            r#"{"name": "l0", "driver_lag_quanta": 0,
+                "cells": [{"workload": "swaptions", "tool": "laser-detect"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.driver_lag, Some(0));
+        assert_eq!(s.pipeline_config(), PipelineConfig::pipelined());
+    }
+
+    #[test]
+    fn custom_topology_key_parses_and_validates_inline() {
+        // The spec is the scenario spelling of `--topology-file`: the layout
+        // object rides inline so parsing stays pure, and the same validation
+        // runs at parse time.
+        let s = Scenario::parse(
+            r#"{
+              "name": "fat-thin-sweep",
+              "custom_topology": {
+                "name": "fat-thin",
+                "core_blocks": [6, 2],
+                "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}
+              },
+              "cells": [{"workload": "swaptions", "tool": "laser-detect"}]
+            }"#,
+        )
+        .unwrap();
+        let custom = s.custom_topology.as_ref().unwrap();
+        assert_eq!(custom.name(), "fat-thin");
+        assert_eq!(custom.num_cores(), 8);
     }
 
     #[test]
@@ -625,6 +729,22 @@ mod tests {
             ),
             (r#"{"name": "x", "shards": -4}"#, "non-negative integer"),
             (r#"{"name": "x", "shards": "many"}"#, "non-negative integer"),
+            (
+                r#"{"name": "x", "driver_lag_quanta": -1}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "driver_lag_quanta": "slow"}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "driver_lag_quanta": 1.5}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "driver_lag_quanta": 1025}"#,
+                "at most 1024",
+            ),
             (r#"{"name": "x", "pipeline": 1}"#, "true or false"),
             (
                 r#"{"name": "x", "format": "yaml"}"#,
@@ -685,6 +805,32 @@ mod tests {
             (
                 r#"{"name": "x", "cells": [], "sweeps": []}"#,
                 "plans no cells",
+            ),
+            (
+                r#"{"name": "x", "custom_topology": "fat-thin.json",
+                    "cells": [{"workload": "swaptions", "tool": "native"}]}"#,
+                "\"custom_topology\": topology spec must be an object",
+            ),
+            (
+                r#"{"name": "x",
+                    "custom_topology": {"name": "fat-thin", "core_blocks": [6, 2],
+                        "remote": {"remote_hitm": 1, "remote_llc": 100, "remote_dram": 310}},
+                    "cells": [{"workload": "swaptions", "tool": "native"}]}"#,
+                "\"custom_topology\":",
+            ),
+            (
+                r#"{"name": "x",
+                    "custom_topology": {"name": "fat-thin", "core_blocks": [6, 2],
+                        "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}},
+                    "cells": [{"workload": "swaptions", "tool": "native", "topology": "2s"}]}"#,
+                "\"custom_topology\" replaces the topology axis",
+            ),
+            (
+                r#"{"name": "x",
+                    "custom_topology": {"name": "fat-thin", "core_blocks": [6, 2],
+                        "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}},
+                    "sweeps": [{"kind": "xsocket"}]}"#,
+                "\"custom_topology\" replaces the topology axis",
             ),
         ];
         for (text, needle) in cases {

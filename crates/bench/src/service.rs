@@ -249,6 +249,9 @@ fn plan_campaign(scenario: &Scenario, options: &ServiceOptions) -> Result<Campai
     if pipeline.enabled {
         campaign = campaign.with_pipeline(pipeline);
     }
+    if let Some(custom) = &scenario.custom_topology {
+        campaign = campaign.with_custom_topology(Arc::new(custom.clone()));
+    }
     if let Some(cache) = &options.cache {
         campaign = campaign.with_cache(Arc::clone(cache));
     }
@@ -385,6 +388,7 @@ mod tests {
               "threads": 2,
               "budget_steps": 10,
               "pipeline": true,
+              "driver_lag_quanta": 1,
               "cells": [
                 {"workload": "histogram'", "tool": "native"},
                 {"workload": "histogram'", "tool": "laser-detect", "topology": "2s"}
@@ -409,6 +413,35 @@ mod tests {
         assert!(lines[..2]
             .iter()
             .any(|l| { l.get("tool") == Some(&Value::Str("laser-detect@2s".to_string())) }));
+    }
+
+    #[test]
+    fn custom_topology_reaches_the_campaign_and_decorates_cell_keys() {
+        // Same starvation trick as above: a 10-step budget keeps the run
+        // instant, while the streamed tool key proves the bespoke layout —
+        // not a preset — deployed the cell.
+        let scenario = Scenario::parse(
+            r#"{
+              "name": "bespoke",
+              "scale": 0.06,
+              "budget_steps": 10,
+              "custom_topology": {
+                "name": "fat-thin",
+                "core_blocks": [6, 2],
+                "remote": {"remote_hitm": 220, "remote_llc": 100, "remote_dram": 310}
+              },
+              "cells": [{"workload": "histogram'", "tool": "laser-detect"}]
+            }"#,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let summary = run_scenario(&scenario, &ServiceOptions::default(), &mut out).unwrap();
+        assert_eq!(summary.cells, 1);
+        let lines = lines(&out);
+        assert_eq!(
+            lines[0].get("tool"),
+            Some(&Value::Str("laser-detect@fat-thin".to_string()))
+        );
     }
 
     #[test]

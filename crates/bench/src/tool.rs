@@ -22,10 +22,12 @@ use laser_core::{
     ContentionKind, LaserConfig, LaserError, LaserEvent, NullObserver, Observer, PipelineConfig,
     StopReason, TopologySpec,
 };
-use laser_machine::MachineConfig;
 use laser_workloads::{BuildOptions, WorkloadSpec};
 
-use crate::runner::{build_under_tool, run_laser_observed_at, run_laser_piped_at, run_native_at};
+use crate::runner::{
+    build_under_tool, run_laser_observed_deployed, run_laser_piped_deployed, run_native_deployed,
+};
+use crate::topofile::Deployment;
 
 /// One contention site a tool reported, in a tool-neutral shape.
 ///
@@ -140,20 +142,22 @@ pub fn cell_key(tool_name: &str, topo: TopologySpec) -> String {
 
 /// A contention tool (or the absence of one) that can run a workload.
 ///
-/// The primary entry point is [`Tool::run_observed_at`], which takes the
-/// socket topology the cell runs on; the topology-less methods are
-/// conveniences that run on the flat (single-socket) preset. A tool is
-/// responsible for adapting the build options to the topology
-/// ([`BuildOptions::for_topology`]: threads scale with the socket count,
-/// placement goes round-robin) and for deploying its machine on the preset —
-/// so a caller never has to keep options and machine configuration in sync
-/// by hand.
+/// The primary entry point is [`Tool::run_observed_deployed`], which takes
+/// the [`Deployment`] the cell runs on — a socket-topology preset, or a
+/// custom layout loaded from a topology file; the `_at` methods are preset
+/// conveniences and the topology-less methods run on the flat
+/// (single-socket) preset. A tool is responsible for adapting the build
+/// options to the deployment ([`Deployment::adapt`]: threads scale with the
+/// socket count, multi-socket placement goes round-robin) and for deploying
+/// its machine on it — so a caller never has to keep options and machine
+/// configuration in sync by hand.
 pub trait Tool: Send + Sync {
-    /// Stable display name, used (suffixed with the topology via
-    /// [`cell_key`]) as the cell key in campaign results.
+    /// Stable display name, used (suffixed with the deployment via
+    /// [`cell_key`] / [`Deployment::cell_key`]) as the cell key in campaign
+    /// results.
     fn name(&self) -> &str;
 
-    /// Build and run `spec` at `opts` on topology `topo` under this tool,
+    /// Build and run `spec` at `opts` on `deploy` under this tool,
     /// streaming the run to `observer`. An observer that breaks cancels the
     /// run (where the tool supports it) and the cell fails with
     /// [`ToolFailure::BudgetExceeded`].
@@ -170,26 +174,54 @@ pub trait Tool: Send + Sync {
     /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
     /// workload, [`ToolFailure::Error`] when the simulation fails and
     /// [`ToolFailure::BudgetExceeded`] when `observer` stopped the run.
+    fn run_observed_deployed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        deploy: &Deployment,
+        observer: Box<dyn Observer>,
+    ) -> Result<ToolRun, ToolFailure>;
+
+    /// Build and run `spec` at `opts` on the preset `topo`, streaming the
+    /// run to `observer`.
+    ///
+    /// # Errors
+    /// As for [`Tool::run_observed_deployed`].
     fn run_observed_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
         topo: TopologySpec,
         observer: Box<dyn Observer>,
-    ) -> Result<ToolRun, ToolFailure>;
+    ) -> Result<ToolRun, ToolFailure> {
+        self.run_observed_deployed(spec, opts, &Deployment::Preset(topo), observer)
+    }
 
-    /// Build and run `spec` at `opts` on topology `topo`, unobserved.
+    /// Build and run `spec` at `opts` on `deploy`, unobserved.
     ///
     /// # Errors
     /// Returns [`ToolFailure::Unsupported`] when the tool cannot run the
     /// workload and [`ToolFailure::Error`] when the simulation fails.
+    fn run_deployed(
+        &self,
+        spec: &WorkloadSpec,
+        opts: &BuildOptions,
+        deploy: &Deployment,
+    ) -> Result<ToolRun, ToolFailure> {
+        self.run_observed_deployed(spec, opts, deploy, Box::new(NullObserver))
+    }
+
+    /// Build and run `spec` at `opts` on the preset `topo`, unobserved.
+    ///
+    /// # Errors
+    /// As for [`Tool::run_deployed`].
     fn run_at(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
         topo: TopologySpec,
     ) -> Result<ToolRun, ToolFailure> {
-        self.run_observed_at(spec, opts, topo, Box::new(NullObserver))
+        self.run_deployed(spec, opts, &Deployment::Preset(topo))
     }
 
     /// Build and run `spec` at `opts` under this tool on the flat topology,
@@ -249,15 +281,15 @@ impl Tool for NativeTool {
         "native"
     }
 
-    fn run_observed_at(
+    fn run_observed_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let result =
-            run_native_at(spec, opts, topo).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        let result = run_native_deployed(spec, opts, deploy)
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
@@ -279,19 +311,19 @@ impl Tool for FixedNativeTool {
         "native-fixed"
     }
 
-    fn run_observed_at(
+    fn run_observed_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
         let opts = BuildOptions {
             fixed: true,
             ..opts.clone()
         };
-        let result =
-            run_native_at(spec, &opts, topo).map_err(|e| ToolFailure::Error(e.to_string()))?;
+        let result = run_native_deployed(spec, &opts, deploy)
+            .map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, result.steps, result.cycles)?;
         Ok(ToolRun {
             cycles: result.cycles,
@@ -362,30 +394,31 @@ impl Tool for LaserTool {
     /// are constructed, and a pipelined session's worker never owes a reply
     /// (the machine stage streams without per-batch round-trips). This is
     /// the path ordinary (unbudgeted) campaign and figure cells take.
-    fn run_at(
+    fn run_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
     ) -> Result<ToolRun, ToolFailure> {
-        let outcome = run_laser_piped_at(spec, opts, self.config.clone(), self.pipeline, topo)
-            .map_err(|e| ToolFailure::Error(e.to_string()))?;
+        let outcome =
+            run_laser_piped_deployed(spec, opts, self.config.clone(), self.pipeline, deploy)
+                .map_err(|e| ToolFailure::Error(e.to_string()))?;
         Ok(laser_outcome_to_tool_run(outcome))
     }
 
-    fn run_observed_at(
+    fn run_observed_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let outcome = run_laser_observed_at(
+        let outcome = run_laser_observed_deployed(
             spec,
             opts,
             self.config.clone(),
             self.pipeline,
-            topo,
+            deploy,
             observer,
         )
         .map_err(|e| match e {
@@ -439,17 +472,17 @@ impl Tool for VtuneTool {
         "vtune"
     }
 
-    fn run_observed_at(
+    fn run_observed_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let opts = opts.clone().for_topology(topo);
+        let opts = deploy.adapt(opts);
         let image = build_under_tool(spec, &opts);
         let outcome = Vtune::new(self.config.clone())
-            .run_on(&image, MachineConfig::for_topology(topo))
+            .run_on(&image, deploy.machine_config())
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         finish_observed(observer, outcome.run.steps, outcome.run.cycles)?;
         Ok(ToolRun {
@@ -503,16 +536,16 @@ impl Tool for SheriffTool {
         }
     }
 
-    fn run_observed_at(
+    fn run_observed_deployed(
         &self,
         spec: &WorkloadSpec,
         opts: &BuildOptions,
-        topo: TopologySpec,
+        deploy: &Deployment,
         observer: Box<dyn Observer>,
     ) -> Result<ToolRun, ToolFailure> {
-        let opts = opts.clone().for_topology(topo);
+        let opts = deploy.adapt(opts);
         let outcome = Sheriff::new(self.config)
-            .run_on(spec, &opts, self.mode, MachineConfig::for_topology(topo))
+            .run_on(spec, &opts, self.mode, deploy.machine_config())
             .map_err(|e| ToolFailure::Error(e.to_string()))?;
         match outcome.result {
             Ok(run) => {

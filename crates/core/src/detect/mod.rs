@@ -68,38 +68,6 @@ pub(crate) struct LineAgg {
     pub(crate) pcs: Vec<Pc>,
 }
 
-/// Merge per-shard aggregate lists into one, via a sorted (`BTreeMap`) merge
-/// keyed on the source location: counters sum, PC lists union (sorted,
-/// deduplicated). Because every derivation is a pure function of the merged
-/// aggregates and this merge is order-independent, N shards produce the same
-/// bytes as one — the determinism contract `laser-lint`'s `shard-merge` rule
-/// polices for every cross-shard reduction in the tree.
-pub(crate) fn merge_line_aggregates(per_shard: Vec<Vec<LineAgg>>) -> Vec<LineAgg> {
-    let mut merged: BTreeMap<SourceLoc, LineAgg> = BTreeMap::new();
-    for aggs in per_shard {
-        for agg in aggs {
-            match merged.entry(agg.loc.clone()) {
-                std::collections::btree_map::Entry::Vacant(slot) => {
-                    slot.insert(agg);
-                }
-                std::collections::btree_map::Entry::Occupied(mut slot) => {
-                    let e = slot.get_mut();
-                    e.records += agg.records;
-                    e.true_sharing += agg.true_sharing;
-                    e.false_sharing += agg.false_sharing;
-                    e.pcs.extend(agg.pcs);
-                }
-            }
-        }
-    }
-    let mut lines: Vec<LineAgg> = merged.into_values().collect();
-    for agg in &mut lines {
-        agg.pcs.sort_unstable();
-        agg.pcs.dedup();
-    }
-    lines
-}
-
 /// The live per-line HITM rates derived from aggregates: hottest line first,
 /// ties broken by source location, no rate threshold applied.
 pub(crate) fn line_rates_from(aggs: &[LineAgg], elapsed_seconds: f64) -> Vec<LineRate> {
@@ -306,11 +274,11 @@ impl Detector {
     }
 
     /// This detector's per-line aggregates, sorted by source location. The
-    /// shardable core of every report derivation: a sharded session collects
-    /// one of these from each worker and reduces them with
-    /// [`merge_line_aggregates`]; an inline session consumes its own
-    /// directly. Both paths feed the same pure derivations, which is what
-    /// keeps shard counts invisible in the output.
+    /// shardable core of every report derivation: a pipelined session ships
+    /// these from the driver stage's mirror detector inside each charge
+    /// ledger; an inline session consumes its own directly. Both paths feed
+    /// the same pure derivations, which is what keeps the deployment shape
+    /// invisible in the output.
     pub(crate) fn line_aggregates(&self) -> Vec<LineAgg> {
         let mut per_line: BTreeMap<SourceLoc, LineAgg> = BTreeMap::new();
         for (&pc, c) in &self.per_pc {

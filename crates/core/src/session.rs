@@ -35,30 +35,50 @@
 //! # Pipelined execution
 //!
 //! The paper's central performance claim is that detection runs
-//! *concurrently* with the application: HITM records are processed off-core
-//! while the program keeps executing. [`SessionBuilder::pipeline`] deploys
-//! the session that way — the detector stage moves to a dedicated worker
-//! thread, fed record batches through a bounded double-buffered channel
-//! (`laser_pebs::channel`), so quantum `k + 1` of application execution
-//! overlaps with detection of quantum `k`'s records.
+//! *concurrently* with the application: the PMU/driver/detector work rides
+//! alongside execution instead of interrupting it.
+//! [`SessionBuilder::pipeline`] deploys the session as a **three-stage
+//! pipeline** — machine | driver | detector shards. The machine thread does
+//! nothing but `run_quantum` and enqueue each quantum's raw HITM batch; a
+//! dedicated driver-stage thread services the PMU (sampling, imprecision,
+//! record copy) and routes the sampled records over the detector shard
+//! workers; each shard consumes its sub-batches through a bounded
+//! double-buffered channel (`laser_pebs::channel`).
 //!
-//! Pipelining never changes *what* a session computes, only *when* the host
-//! does the work: the detector's overhead charge is a pure function of the
-//! batch size (charged at the same machine point as an inline run), batches
-//! are consumed in FIFO order, and the observer sees the event sequence in
-//! exactly the inline order. A pipelined run is therefore **byte-identical**
-//! to its inline equivalent — outcome and event stream alike. The one
-//! semantic difference is cancellation latency: a `Break` returned against a
-//! deferred `RecordBatch`/`DetectionUpdate` event stops the session one
-//! quantum later than it would inline (the overlapped quantum has already
-//! executed by the time the event is delivered).
+//! The driver's overhead charge-back is latency-tolerant: the driver stage
+//! computes each quantum's interrupt/copy charge as a pure function of its
+//! batch (a [`laser_pebs::ChargeLedger`]) and sends it back on a second
+//! channel, and the machine applies pending ledgers at fixed quantum
+//! boundaries — a bounded-lag credit scheme controlled by
+//! [`PipelineConfig::driver_lag_quanta`]:
 //!
-//! While LASERREPAIR is armed (`enable_repair` and not yet attached) the
-//! attach decision for quantum `k` gates quantum `k + 1`, so the pipeline
-//! runs those quanta in lock-step — still through the worker, but without
-//! overlap. Once repair attaches (or when it is disabled, the
-//! detection-only configurations every accuracy experiment uses), the
-//! stages stream freely.
+//! * **lag = 0** (the default): the ledger for quantum `k` is applied at
+//!   boundary `k`, before quantum `k + 1` runs — the same machine point an
+//!   inline run charges at. Charges within a ledger commute (the scheduler's
+//!   pick is a pure function of the final per-core clocks), so a lag=0
+//!   pipelined run is **byte-identical** to its inline equivalent — outcome
+//!   and event stream alike — while routing, record copy and detection still
+//!   overlap off the machine thread.
+//! * **lag ≥ 1**: the ledger for quantum `k` is applied at boundary
+//!   `k + lag`, so the machine runs quantum `k + 1` while the driver stage
+//!   is still servicing quantum `k`. Deferring charges moves the cores'
+//!   clocks relative to an inline run, which perturbs the interleaving and
+//!   hence the HITM stream — like socket routing, lag ≥ 1 is
+//!   **deterministic** (byte-for-byte repeatable for a fixed configuration)
+//!   but *not* inline-identical.
+//!
+//! The repair decision is pre-armed off the ledger: while the session is
+//! observed or repair is armed, the driver stage mirrors the full record
+//! stream through its own [`Detector`] and ships the per-line aggregates
+//! inside each ledger, so the machine evaluates the trigger (and the
+//! observer's `DetectionUpdate` rates) straight from the ledger — armed
+//! quanta no longer round-trip to the shard workers.
+//!
+//! The one semantic difference at lag = 0 is cancellation latency: deferred
+//! `RecordBatch`/`DetectionUpdate` events are delivered at the boundary
+//! where their ledger settles, so a `Break` returned against them stops the
+//! session at that boundary — the same boundary as inline, with the same
+//! stream bytes.
 //!
 //! # Sharded detection
 //!
@@ -66,8 +86,8 @@
 //! bottleneck exactly where the paper's always-on claim matters most.
 //! [`PipelineConfig::with_shards`] splits the pipelined detector stage into
 //! N workers, each fed through its own bounded `laser_pebs::channel` and
-//! each holding its own [`Detector`]. Every batch the driver delivers is
-//! routed across the shards by [`ShardRouting`]:
+//! each holding its own [`Detector`]. Every batch the driver stage samples
+//! is routed across the shards by [`ShardRouting`]:
 //!
 //! * [`ShardRouting::LineHash`] (the default) hashes each record's cache
 //!   line, so all records for one line — the unit of every per-line
@@ -84,24 +104,28 @@
 //!   sequence across shards, so the classification may legitimately differ
 //!   from the inline path's.
 //!
-//! Reports never expose the sharding: every user-visible derivation goes
-//! through the per-line aggregates each shard returns, reduced by a sorted
-//! merge (`detect::merge_line_aggregates`), and at `finish` the shard
-//! detectors are folded back into one ([`Detector::absorb`]) before the
-//! final flush. Observer events are emitted only after all shards' replies
-//! for a batch are merged, so the event stream, too, is independent of the
-//! shard count.
+//! Reports never expose the sharding: live rates and trigger decisions come
+//! from the driver stage's mirror detector (which sees the full record
+//! stream in driver order, exactly as an inline detector would), and at
+//! `finish` the shard detectors are folded back into one
+//! ([`Detector::absorb`]) before the final flush and report. Ledgers settle
+//! in quantum order, so the event stream, too, is independent of the shard
+//! count.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use laser_isa::program::Pc;
 use laser_machine::machine::MachineError;
-use laser_machine::{CoreId, Machine, MachineConfig, RunStatus, WorkloadImage};
+use laser_machine::{
+    CoreId, HitmEvent, Machine, MachineConfig, RunStatus, Topology, WorkloadImage,
+};
 use laser_pebs::channel::{self, OverflowPolicy, SendOutcome};
-use laser_pebs::driver::Driver;
+use laser_pebs::driver::{ChargeLedger, Driver};
 use laser_pebs::imprecision::ImprecisionModel;
 use laser_pebs::pmu::{Pmu, PmuConfig};
 use laser_pebs::record::HitmRecord;
@@ -199,15 +223,15 @@ pub struct PipelineConfig {
     pub capacity: usize,
     /// When a shard lags `capacity` batches behind, drop the offered
     /// sub-batch — modelling a PEBS buffer overflow, surfaced through
-    /// `DriverStats::records_dropped` — instead of blocking the machine
-    /// stage. Lossy delivery bounds producer latency but forfeits the
+    /// `DriverStats::records_dropped` — instead of blocking the driver
+    /// stage. Lossy delivery bounds stage latency but forfeits the
     /// byte-identity guarantee; leave it off where determinism matters.
     ///
-    /// Lossy mode only has teeth on *unobserved* sessions. An observed
-    /// session settles each batch's deferred events before the next quantum
-    /// is reported, so at most one batch is ever in flight and the channels
-    /// never fill — the run degrades gracefully to lossless, with
-    /// `records_dropped` staying 0.
+    /// Lossy mode only has teeth while the driver stage's mirror detector is
+    /// retired — i.e. on unobserved sessions once repair has attached or is
+    /// disabled. While the mirror is live its aggregates must see every
+    /// record the shards see, so delivery stays lossless and
+    /// `records_dropped` stays 0.
     pub lossy: bool,
     /// Number of detector worker shards (clamped to at least 1). Each shard
     /// is its own thread with its own channel and [`Detector`]; 1 is the
@@ -215,11 +239,18 @@ pub struct PipelineConfig {
     pub shards: usize,
     /// How records are distributed over the shards.
     pub routing: ShardRouting,
+    /// How many quantum boundaries the driver stage's charge ledger may lag
+    /// behind the batch it accounts for (the bounded-lag credit scheme of
+    /// the [module docs](self)). At the default of 0 the machine blocks on
+    /// each quantum's ledger before running the next quantum, and the run is
+    /// byte-identical to inline; at lag ≥ 1 the machine overlaps execution
+    /// with the driver stage — deterministic, but not inline-identical.
+    pub driver_lag_quanta: usize,
 }
 
 impl Default for PipelineConfig {
     /// Pipelining off; capacity 2 (double buffer); lossless; one shard,
-    /// line-hash routed.
+    /// line-hash routed; charge-back lag 0 (byte-identical to inline).
     fn default() -> Self {
         PipelineConfig {
             enabled: false,
@@ -227,6 +258,7 @@ impl Default for PipelineConfig {
             lossy: false,
             shards: 1,
             routing: ShardRouting::LineHash,
+            driver_lag_quanta: 0,
         }
     }
 }
@@ -265,6 +297,15 @@ impl PipelineConfig {
     /// Set the shard routing policy (builder-style).
     pub fn with_routing(mut self, routing: ShardRouting) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Set the charge-back lag in quanta (builder-style). 0 (the default)
+    /// keeps the run byte-identical to inline; lag ≥ 1 overlaps the machine
+    /// and driver stages, deterministic but not inline-identical (see the
+    /// [module docs](self)).
+    pub fn with_driver_lag(mut self, lag: usize) -> Self {
+        self.driver_lag_quanta = lag;
         self
     }
 }
@@ -408,13 +449,23 @@ impl SessionBuilder {
             model,
         );
         let driver = Driver::new(pmu, config.driver);
-        let (detector, pipe) = if pipeline.enabled {
+        let observed = observer.is_some();
+        let (driver, detector, pipe) = if pipeline.enabled {
             let detectors = (0..pipeline.shards.max(1))
                 .map(|_| Detector::new(&config, program, image.memory_map()))
                 .collect();
-            (None, Some(PipeStage::spawn(detectors, pipeline)))
+            // The mirror detector feeds the machine-side repair trigger and
+            // the observer's DetectionUpdate rates without a shard
+            // round-trip; it is only carried while someone needs its
+            // aggregates.
+            let mirror = (observed || config.enable_repair)
+                .then(|| Detector::new(&config, program, image.memory_map()));
+            let topology = machine.topology().clone();
+            let stage = PipeStage::spawn(driver, mirror, detectors, pipeline, topology, num_cores);
+            (None, None, Some(stage))
         } else {
             (
+                Some(driver),
                 Some(Detector::new(&config, program, image.memory_map())),
                 None,
             )
@@ -426,7 +477,7 @@ impl SessionBuilder {
             driver,
             detector,
             pipe,
-            observed: observer.is_some(),
+            observed,
             observer: observer.unwrap_or_else(|| Box::new(NullObserver)),
             workload: image.name().to_string(),
             num_cores,
@@ -434,111 +485,299 @@ impl SessionBuilder {
             detector_cycles: 0,
             reported_dropped: 0,
             repair: None,
+            machine_busy: Duration::ZERO,
+            occupancy: None,
         }
     }
 }
 
-/// A unit of work for one detector shard: process a (possibly empty)
-/// sub-batch and, when asked, send back the shard's per-line aggregates.
-struct DetectorJob {
-    records: Vec<HitmRecord>,
-    /// Reply with the shard's [`LineAgg`]s after processing. The session
-    /// merges the per-shard aggregates and derives live rates and repair
-    /// trigger decisions itself, so shards never compute anything that
-    /// depends on global state.
-    want_aggs: bool,
+/// Cumulative busy time of each stage of a pipelined session, measured on
+/// the stage threads themselves. Only meaningful relative to the run's wall
+/// clock: `busy / wall` is the stage's occupancy, and the largest fraction
+/// names the pipeline's bottleneck. `detector_busy` is the busiest shard's
+/// time (the bottleneck shard), not the sum over shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageOccupancy {
+    /// Time the machine thread spent inside `run_quantum`.
+    pub machine_busy: Duration,
+    /// Time the driver-stage thread spent servicing batches (PMU sampling,
+    /// record copy, mirror detection, routing).
+    pub driver_busy: Duration,
+    /// Time the busiest detector shard spent processing records.
+    pub detector_busy: Duration,
 }
 
-/// What a shard sends back for a job with `want_aggs`.
-struct DetectorReply {
-    aggs: Vec<LineAgg>,
+/// A unit of work for one detector shard: process one routed sub-batch.
+struct DetectorJob {
+    records: Vec<HitmRecord>,
 }
 
 /// A detector shard's worker loop: consume jobs in FIFO order until the
-/// channel closes, then hand the detector back to the session.
+/// channel closes, then hand the detector (and the shard's busy time) back
+/// to the session.
 fn detector_worker(
     mut detector: Detector,
     jobs: channel::Receiver<DetectorJob>,
-    replies: mpsc::Sender<DetectorReply>,
-) -> Detector {
+) -> (Detector, Duration) {
+    let mut busy = Duration::ZERO;
     while let Some(job) = jobs.recv() {
+        let start = Instant::now(); // lint:allow(wall-clock) — occupancy accounting only; never feeds back into simulated state
         detector.process(&job.records);
-        if job.want_aggs {
-            // The session may have been dropped mid-run; a dead reply
-            // channel just means nobody is listening any more.
-            let _ = replies.send(DetectorReply {
-                aggs: detector.line_aggregates(),
-            });
-        }
+        busy += start.elapsed();
     }
-    detector
+    (detector, busy)
 }
 
-/// One shard of the pipelined detector stage: its channel endpoints and
-/// worker handle.
-struct ShardStage {
-    jobs: channel::Sender<DetectorJob>,
-    replies: mpsc::Receiver<DetectorReply>,
-    worker: JoinHandle<Detector>,
+/// A unit of work for the driver stage.
+enum DriverJob {
+    /// One quantum's raw HITM batch, exactly as `run_quantum` yielded it.
+    Batch(Vec<HitmEvent>),
+    /// Repair attached on the machine thread; an unobserved session no
+    /// longer needs the mirror detector's aggregates, so retire it.
+    RepairAttached,
+    /// End of run: flush the PEBS buffers and reply with the final records.
+    Finish,
 }
 
-/// The running half of a pipelined session: the shard workers, the routing
-/// policy, and the event bookkeeping for the batch in flight.
-struct PipeStage {
-    shards: Vec<ShardStage>,
+/// What the driver stage sends back for each job, on the second channel.
+/// Everything the machine needs at the quantum boundary rides in here, so a
+/// boundary is a single `recv` — no per-shard round-trips.
+struct QuantumLedger {
+    /// The batch's interrupt/copy overhead, computed as a pure function of
+    /// the batch by `Driver::ingest_deferred`.
+    charges: ChargeLedger,
+    /// Sampled records delivered to the detector shards (after any lossy
+    /// drops), priced on the machine at the inline per-record cost.
+    records: usize,
+    /// Cumulative `DriverStats::events_dropped` as of this batch, for the
+    /// observer's `RecordBatch` drop watermark.
+    events_dropped: u64,
+    /// The mirror detector's per-line aggregates after this batch, when the
+    /// mirror is live (observed or repair armed).
+    aggs: Option<Vec<LineAgg>>,
+    /// The final flush's records (the reply to [`DriverJob::Finish`] only).
+    flushed: Vec<HitmRecord>,
+}
+
+/// The driver stage: owns the [`Driver`] (PMU + imprecision + overhead
+/// accounting), the optional mirror [`Detector`], and the shard job senders.
+/// Runs on its own thread; for each batch it computes the charge ledger,
+/// sends it back to the machine first, then dispatches the routed sub-batches
+/// to the shards (so the machine is never blocked on shard backpressure).
+struct DriverStageWorker {
+    driver: Driver,
+    mirror: Option<Detector>,
+    shard_jobs: Vec<channel::Sender<DetectorJob>>,
     routing: ShardRouting,
-    /// The `RecordBatch` event of the batch in flight, deferred until every
-    /// shard's reply arrives (observed streaming mode only).
-    pending: Option<LaserEvent>,
-    /// The remote-HITM share as of the in-flight batch's charge point, for
-    /// its deferred `DetectionUpdate`.
-    pending_share: f64,
-    /// The dilated benchmark time at the in-flight batch's charge point: the
-    /// denominator its deferred `DetectionUpdate` rates must use.
-    pending_elapsed: f64,
-    /// Whether one reply per shard is owed for the batch in flight.
-    awaiting_reply: bool,
+    topology: Topology,
+    num_cores: usize,
     lossy: bool,
-    /// The merged aggregates as of the last collected batch. While repair is
-    /// armed, a quantum that delivers no records re-evaluates the trigger
-    /// against these — the shard detectors' state cannot have changed, so
-    /// this local evaluation is exactly what a worker round-trip would
-    /// return, without the round-trip.
+}
+
+impl DriverStageWorker {
+    /// Split a batch into one (possibly empty) sub-batch per shard under the
+    /// session's routing policy, preserving the driver's delivery order
+    /// within each shard. Line-hash routing keys on the cache line so a
+    /// line's whole record sequence stays in one shard; socket routing keys
+    /// on the originating core's socket. Both are pure functions of the
+    /// record (and the fixed topology), so routing is deterministic.
+    fn route(&self, records: Vec<HitmRecord>) -> Vec<Vec<HitmRecord>> {
+        let shards = self.shard_jobs.len();
+        if shards == 1 {
+            return vec![records];
+        }
+        let mut parts: Vec<Vec<HitmRecord>> = (0..shards).map(|_| Vec::new()).collect();
+        for r in records {
+            let shard = match self.routing {
+                // Fibonacci hashing over the line address: cheap, stable
+                // across platforms, and spreads consecutive lines across
+                // shards.
+                ShardRouting::LineHash => {
+                    (((r.data_addr >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize)
+                        % shards
+                }
+                ShardRouting::Socket => self.topology.socket_of(r.core.0, self.num_cores) % shards,
+            };
+            parts[shard].push(r);
+        }
+        parts
+    }
+
+    /// The stage's worker loop: consume jobs in FIFO order until the channel
+    /// closes, then hand the driver (and the stage's busy time) back.
+    fn run(
+        mut self,
+        jobs: channel::Receiver<DriverJob>,
+        ledgers: mpsc::Sender<QuantumLedger>,
+    ) -> (Driver, Duration) {
+        let mut busy = Duration::ZERO;
+        while let Some(job) = jobs.recv() {
+            let start = Instant::now(); // lint:allow(wall-clock) — occupancy accounting only; never feeds back into simulated state
+            match job {
+                DriverJob::Batch(events) => {
+                    let charges = self.driver.ingest_deferred(events, self.num_cores);
+                    let records = self.driver.read_records();
+                    if let Some(mirror) = self.mirror.as_mut() {
+                        // The mirror sees the full batch in driver order —
+                        // exactly what an inline detector would see — so its
+                        // aggregates are the inline aggregates.
+                        mirror.process(&records);
+                    }
+                    let aggs = self.mirror.as_ref().map(|m| m.line_aggregates());
+                    let parts = self.route(records);
+                    // Decide lossy drops before the ledger goes out, so the
+                    // kept count it reports (and the machine prices) is
+                    // final. Drops are only allowed while the mirror is
+                    // retired: the mirror must see every record the shards
+                    // see, or live rates and the final report would diverge.
+                    let mut kept_parts: Vec<Option<Vec<HitmRecord>>> =
+                        Vec::with_capacity(parts.len());
+                    let mut kept = 0usize;
+                    let mut dropped = 0u64;
+                    for (shard, part) in parts.into_iter().enumerate() {
+                        if part.is_empty() {
+                            kept_parts.push(None);
+                            continue;
+                        }
+                        if self.lossy && self.mirror.is_none() && self.shard_jobs[shard].is_full() {
+                            // The shard has lagged a full channel behind:
+                            // model a PEBS overflow. The detector never sees
+                            // the sub-batch, so its cost is not charged
+                            // either.
+                            dropped += part.len() as u64;
+                            kept_parts.push(None);
+                            continue;
+                        }
+                        kept += part.len();
+                        kept_parts.push(Some(part));
+                    }
+                    if dropped > 0 {
+                        self.driver.note_lagging_drops(dropped);
+                    }
+                    // Ledger first: the machine can settle the boundary while
+                    // this stage is still handing sub-batches to the shards.
+                    // A dead ledger channel just means the session was
+                    // dropped mid-run; keep draining so the jobs channel
+                    // closes cleanly.
+                    let _ = ledgers.send(QuantumLedger {
+                        charges,
+                        records: kept,
+                        events_dropped: self.driver.stats().events_dropped,
+                        aggs,
+                        flushed: Vec::new(),
+                    });
+                    for (shard, part) in kept_parts.into_iter().enumerate() {
+                        if let Some(records) = part {
+                            let outcome = self.shard_jobs[shard].send(DetectorJob { records });
+                            debug_assert_eq!(
+                                outcome,
+                                SendOutcome::Sent,
+                                "shard worker outlives the driver stage"
+                            );
+                        }
+                    }
+                }
+                DriverJob::RepairAttached => {
+                    self.mirror = None;
+                }
+                DriverJob::Finish => {
+                    self.driver.flush();
+                    let flushed = self.driver.read_records();
+                    let _ = ledgers.send(QuantumLedger {
+                        charges: ChargeLedger::default(),
+                        records: 0,
+                        events_dropped: self.driver.stats().events_dropped,
+                        aggs: None,
+                        flushed,
+                    });
+                    busy += start.elapsed();
+                    break;
+                }
+            }
+            busy += start.elapsed();
+        }
+        (self.driver, busy)
+    }
+}
+
+/// A settled ledger's observer payload, staged until the boundary's events
+/// are emitted (in quantum order, after `QuantumCompleted`).
+struct DueEmission {
+    records: usize,
+    dropped: u64,
+    aggs: Option<Vec<LineAgg>>,
+}
+
+/// The running half of a pipelined session: the stage threads' endpoints and
+/// the bounded-lag settlement bookkeeping.
+struct PipeStage {
+    jobs: channel::Sender<DriverJob>,
+    ledgers: mpsc::Receiver<QuantumLedger>,
+    driver_worker: JoinHandle<(Driver, Duration)>,
+    shard_workers: Vec<JoinHandle<(Detector, Duration)>>,
+    /// The configured `driver_lag_quanta`.
+    lag: u64,
+    /// The boundary index the next `advance` call will run.
+    next_quantum: u64,
+    /// Boundary indices of batches whose ledgers have not settled yet, in
+    /// send order. The front settles once `front + lag <= current boundary`.
+    outstanding: VecDeque<u64>,
+    /// The mirror aggregates as of the last settled ledger that carried
+    /// them: what the armed repair trigger evaluates between batches.
     last_aggs: Vec<LineAgg>,
 }
 
 impl PipeStage {
-    fn spawn(detectors: Vec<Detector>, config: PipelineConfig) -> Self {
-        let policy = if config.lossy {
-            OverflowPolicy::DropNewest
-        } else {
-            OverflowPolicy::Backpressure
-        };
-        let shards = detectors
-            .into_iter()
-            .enumerate()
-            .map(|(i, detector)| {
-                let (jobs, jobs_rx) = channel::bounded(config.capacity, policy);
-                let (replies_tx, replies) = mpsc::channel();
-                let worker = std::thread::Builder::new()
-                    .name(format!("laser-detector-{i}"))
-                    .spawn(move || detector_worker(detector, jobs_rx, replies_tx))
-                    .expect("spawn detector stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
-                ShardStage {
-                    jobs,
-                    replies,
-                    worker,
-                }
-            })
-            .collect();
-        PipeStage {
-            shards,
+    fn spawn(
+        driver: Driver,
+        mirror: Option<Detector>,
+        detectors: Vec<Detector>,
+        config: PipelineConfig,
+        topology: Topology,
+        num_cores: usize,
+    ) -> Self {
+        // Shard channels are always Backpressure: lossy drops are decided by
+        // the driver stage's `is_full` probe (it is the only producer, so
+        // the probe cannot race), which keeps delivery lossless whenever the
+        // mirror detector is live.
+        let mut shard_jobs = Vec::with_capacity(detectors.len());
+        let mut shard_workers = Vec::with_capacity(detectors.len());
+        for (i, detector) in detectors.into_iter().enumerate() {
+            let (jobs_tx, jobs_rx) =
+                channel::bounded(config.capacity, OverflowPolicy::Backpressure);
+            let worker = std::thread::Builder::new()
+                .name(format!("laser-detector-{i}"))
+                .spawn(move || detector_worker(detector, jobs_rx))
+                .expect("spawn detector stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
+            shard_jobs.push(jobs_tx);
+            shard_workers.push(worker);
+        }
+        // The batch channel must hold at least lag + 1 quanta so a full
+        // credit window never blocks the machine on its own backpressure.
+        let depth = config.capacity.max(config.driver_lag_quanta + 1);
+        let (jobs, jobs_rx) = channel::bounded(depth, OverflowPolicy::Backpressure);
+        let (ledgers_tx, ledgers) = mpsc::channel();
+        let stage = DriverStageWorker {
+            driver,
+            mirror,
+            shard_jobs,
             routing: config.routing,
-            pending: None,
-            pending_share: 0.0,
-            pending_elapsed: 0.0,
-            awaiting_reply: false,
+            topology,
+            num_cores,
             lossy: config.lossy,
+        };
+        let driver_worker = std::thread::Builder::new()
+            .name("laser-driver".into())
+            .spawn(move || stage.run(jobs_rx, ledgers_tx))
+            .expect("spawn driver stage worker"); // lint:allow(panic) — thread spawn fails only on resource exhaustion; there is no graceful fallback
+        PipeStage {
+            jobs,
+            ledgers,
+            driver_worker,
+            shard_workers,
+            lag: config.driver_lag_quanta as u64,
+            next_quantum: 0,
+            outstanding: VecDeque::new(),
             last_aggs: Vec::new(),
         }
     }
@@ -549,11 +788,13 @@ impl PipeStage {
 pub struct LaserSession {
     config: LaserConfig,
     machine: Machine,
-    driver: Driver,
+    /// The driver, when it runs inline. `None` while a pipelined session's
+    /// driver stage owns it; [`LaserSession::finish`] reclaims it.
+    driver: Option<Driver>,
     /// The detector, when it runs inline. `None` while a pipelined session's
     /// worker owns it; [`LaserSession::finish`] reclaims it.
     detector: Option<Detector>,
-    /// The worker-thread detector stage of a pipelined session.
+    /// The worker-thread driver/detector stages of a pipelined session.
     pipe: Option<PipeStage>,
     /// Whether an observer was attached at build time. Events are not even
     /// constructed when this is false, so unobserved runs (every legacy entry
@@ -567,6 +808,11 @@ pub struct LaserSession {
     /// PMU drop count already reported through `RecordBatch` events.
     reported_dropped: u64,
     repair: Option<RepairSummary>,
+    /// Wall time the machine thread spent inside `run_quantum` (pipelined
+    /// sessions only; inline runs skip the measurement entirely).
+    machine_busy: Duration,
+    /// Per-stage busy times, filled in when a pipelined session winds down.
+    occupancy: Option<StageOccupancy>,
 }
 
 impl fmt::Debug for LaserSession {
@@ -688,16 +934,25 @@ impl LaserSession {
     /// session is always in a consistent state (a later
     /// [`LaserSession::finish`] never undercounts).
     ///
-    /// In a pipelined session the detector consumes the batch on its worker
-    /// thread while the next quantum executes; the event order, payloads and
-    /// machine charging are identical to an inline run (see the
+    /// In a pipelined session the driver stage services the batch on its own
+    /// thread and the detector shards consume the routed records on theirs;
+    /// at `driver_lag_quanta` 0 the event order, payloads and machine
+    /// charging are identical to an inline run (see the
     /// [module docs](self)).
     ///
     /// # Errors
     /// Returns an error if the machine exhausts its step budget.
     pub fn advance(&mut self) -> Result<SessionStatus, LaserError> {
         let steps_before = self.machine.steps();
-        let quantum = self.machine.run_quantum(self.config.poll_interval_steps);
+        let piped = self.pipe.is_some();
+        let quantum = if piped {
+            let start = Instant::now(); // lint:allow(wall-clock) — occupancy accounting only; never feeds back into simulated state
+            let quantum = self.machine.run_quantum(self.config.poll_interval_steps);
+            self.machine_busy += start.elapsed();
+            quantum
+        } else {
+            self.machine.run_quantum(self.config.poll_interval_steps)
+        };
         let status = quantum.status;
         // Capture the quantum event *before* the driver charges interrupt and
         // copy overhead, matching the inline emission point.
@@ -705,24 +960,11 @@ impl LaserSession {
             steps: self.machine.steps() - steps_before,
             cycles: self.machine.cycles(),
         });
-        self.driver.ingest(quantum.events, &mut self.machine);
 
-        // Streaming pipeline: the previous quantum's deferred batch events
-        // come due before this quantum's are emitted.
-        if let ControlFlow::Break(reason) = self.settle_in_flight() {
-            return Ok(SessionStatus::Stopped(reason));
-        }
-        if let Some(event) = quantum_event {
-            if let ControlFlow::Break(reason) = self.emit(event) {
-                return Ok(SessionStatus::Stopped(reason));
-            }
-        }
-
-        let records = self.driver.read_records();
-        let flow = if self.pipe.is_some() {
-            self.dispatch_piped(records)
+        let flow = if piped {
+            self.advance_piped(quantum.events, quantum_event)
         } else {
-            self.dispatch_inline(records)
+            self.advance_inline(quantum.events, quantum_event)
         };
         if let ControlFlow::Break(reason) = flow {
             return Ok(SessionStatus::Stopped(reason));
@@ -737,6 +979,223 @@ impl LaserSession {
             RunStatus::Running => SessionStatus::Running,
             RunStatus::Done => SessionStatus::Done,
         })
+    }
+
+    /// The inline quantum boundary: service the PMU synchronously, then run
+    /// the detector stage on the calling thread.
+    fn advance_inline(
+        &mut self,
+        events: Vec<HitmEvent>,
+        quantum_event: Option<LaserEvent>,
+    ) -> ControlFlow<StopReason> {
+        let driver = self.driver.as_mut().expect("inline stage owns driver"); // lint:allow(panic) — stage mode is fixed at construction; inline mode always owns the driver
+        driver.ingest(events, &mut self.machine);
+        if let Some(event) = quantum_event {
+            self.emit(event)?;
+        }
+        let records = self
+            .driver
+            .as_mut()
+            .expect("inline stage owns driver") // lint:allow(panic) — stage mode is fixed at construction; inline mode always owns the driver
+            .read_records();
+        self.dispatch_inline(records)
+    }
+
+    /// The pipelined quantum boundary: enqueue the raw batch for the driver
+    /// stage, settle every charge ledger that has come due under the
+    /// bounded-lag credit scheme, emit the boundary's events in quantum
+    /// order, and run the pre-armed repair trigger off the latest mirror
+    /// aggregates.
+    fn advance_piped(
+        &mut self,
+        events: Vec<HitmEvent>,
+        quantum_event: Option<LaserEvent>,
+    ) -> ControlFlow<StopReason> {
+        let boundary = {
+            let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+            let boundary = pipe.next_quantum;
+            pipe.next_quantum += 1;
+            boundary
+        };
+        if !events.is_empty() {
+            let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+            let outcome = pipe.jobs.send(DriverJob::Batch(events));
+            debug_assert_eq!(
+                outcome,
+                SendOutcome::Sent,
+                "driver stage outlives the session"
+            );
+            pipe.outstanding.push_back(boundary);
+        }
+        let due = self.settle_due(boundary);
+
+        if let Some(event) = quantum_event {
+            self.emit(event)?;
+        }
+        for emission in due {
+            if emission.records > 0 && self.observed {
+                self.emit(LaserEvent::RecordBatch {
+                    n: emission.records,
+                    dropped: emission.dropped,
+                })?;
+                let lines = detect::line_rates_from(
+                    emission.aggs.as_deref().unwrap_or(&[]),
+                    self.machine.elapsed_benchmark_seconds(),
+                );
+                self.emit(LaserEvent::DetectionUpdate {
+                    lines,
+                    remote_hitm_share: self.machine.stats().remote_hitm_share(),
+                })?;
+            }
+        }
+
+        if self.config.enable_repair && self.repair.is_none() {
+            // Pre-armed trigger: evaluated every boundary against the last
+            // settled mirror aggregates (rates decay as elapsed time grows),
+            // exactly as the inline stage re-evaluates its detector. No
+            // round-trip to the workers is involved.
+            let elapsed = self.machine.elapsed_benchmark_seconds();
+            let threshold = self.effective_repair_threshold();
+            let pcs = {
+                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                detect::trigger_pcs_from(&pipe.last_aggs, elapsed, threshold)
+            };
+            if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
+                if self.observed {
+                    self.emit(attached)?;
+                } else {
+                    // Unobserved and attached: nothing needs the mirror's
+                    // aggregates any more; let the driver stage retire it.
+                    let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                    let outcome = pipe.jobs.send(DriverJob::RepairAttached);
+                    debug_assert_eq!(
+                        outcome,
+                        SendOutcome::Sent,
+                        "driver stage outlives the session"
+                    );
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Settle every outstanding ledger that has come due at `boundary`
+    /// (front quantum + lag ≤ boundary): apply its charges and detector
+    /// pricing to the machine, update the drop watermark and the mirror
+    /// aggregates, and stage its observer payload for emission.
+    fn settle_due(&mut self, boundary: u64) -> Vec<DueEmission> {
+        let mut due = Vec::new();
+        loop {
+            let ready = {
+                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                matches!(pipe.outstanding.front(), Some(&q) if q + pipe.lag <= boundary)
+            };
+            if !ready {
+                return due;
+            }
+            let ledger = self.recv_ledger();
+            self.pipe
+                .as_mut()
+                .expect("piped stage") // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                .outstanding
+                .pop_front();
+            due.push(self.settle_ledger(ledger));
+        }
+    }
+
+    /// Apply one settled ledger to the machine. The ledger's charges commute
+    /// (the scheduler's pick depends only on the final per-core clocks), so
+    /// applying them here in one shot lands the machine in exactly the state
+    /// synchronous per-quantum charging would have produced.
+    fn settle_ledger(&mut self, ledger: QuantumLedger) -> DueEmission {
+        ledger.charges.apply(&mut self.machine);
+        if ledger.records > 0 {
+            // The detector's per-record cost is configuration, not state, so
+            // the machine prices the batch at the inline charge point while
+            // the semantic processing overlaps on the workers. The formula
+            // is shared with `Detector::processing_cycles`; the two sites
+            // must agree exactly for lag=0 runs to stay byte-identical.
+            let cycles = detect::batch_processing_cycles(
+                self.config.detector_cycles_per_record,
+                ledger.records,
+            );
+            self.charge_detector_cycles(cycles);
+        }
+        let dropped = ledger.events_dropped - self.reported_dropped;
+        if ledger.records > 0 {
+            self.reported_dropped = ledger.events_dropped;
+        }
+        let emission_aggs = if self.observed {
+            ledger.aggs.clone()
+        } else {
+            None
+        };
+        if let Some(aggs) = ledger.aggs {
+            self.pipe.as_mut().expect("piped stage").last_aggs = aggs; // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+        }
+        DueEmission {
+            records: ledger.records,
+            dropped,
+            aggs: emission_aggs,
+        }
+    }
+
+    /// Block for the driver stage's next ledger. The stage holds its ledger
+    /// sender for as long as the session holds its job sender, so a
+    /// disconnect here means a stage worker died mid-run — in that case its
+    /// own panic is the real diagnostic, so shut the stages down, join them,
+    /// and re-raise the first panic payload rather than masking it with a
+    /// channel error (the campaign runner's per-cell `catch_unwind` then
+    /// records the true message).
+    fn recv_ledger(&mut self) -> QuantumLedger {
+        let received = {
+            let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                                                                 // Yield-spin before parking: at lag 0 the machine waits for the
+                                                                 // driver stage once per quantum, and a bounded yield loop is
+                                                                 // much cheaper than a futex park/unpark round-trip — on a
+                                                                 // single hardware thread each yield hands the timeslice
+                                                                 // straight to the driver stage, and on a multi-core host the
+                                                                 // ledger usually lands within a few yields.
+            let mut received = None;
+            for _ in 0..64 {
+                match pipe.ledgers.try_recv() {
+                    Ok(ledger) => {
+                        received = Some(Ok(ledger));
+                        break;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => std::thread::yield_now(),
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        received = Some(Err(()));
+                        break;
+                    }
+                }
+            }
+            match received {
+                Some(Ok(ledger)) => Ok(ledger),
+                Some(Err(())) => Err(()),
+                None => pipe.ledgers.recv().map_err(|_| ()),
+            }
+        };
+        match received {
+            Ok(ledger) => ledger,
+            Err(_) => {
+                let pipe = self.pipe.take().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                drop(pipe.jobs);
+                let mut first_panic = None;
+                if let Err(payload) = pipe.driver_worker.join() {
+                    first_panic.get_or_insert(payload);
+                }
+                for worker in pipe.shard_workers {
+                    if let Err(payload) = worker.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                match first_panic {
+                    Some(payload) => std::panic::resume_unwind(payload),
+                    None => panic!("pipeline stage worker exited before its channel closed"), // lint:allow(panic) — a worker exiting with its channel open is a protocol bug worth crashing the cell
+                }
+            }
+        }
     }
 
     /// The inline detector stage: process the batch, charge its cost, report
@@ -781,248 +1240,16 @@ impl LaserSession {
         ControlFlow::Continue(())
     }
 
-    /// Split a batch into one (possibly empty) sub-batch per shard, in the
-    /// session's routing policy, preserving the driver's delivery order
-    /// within each shard. Line-hash routing keys on the cache line so a
-    /// line's whole record sequence stays in one shard; socket routing keys
-    /// on the originating core's socket. Both are pure functions of the
-    /// record (and the fixed topology), so routing is deterministic.
-    fn route_records(&self, records: Vec<HitmRecord>) -> Vec<Vec<HitmRecord>> {
-        let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-        let shards = pipe.shards.len();
-        if shards == 1 {
-            return vec![records];
-        }
-        let mut parts: Vec<Vec<HitmRecord>> = (0..shards).map(|_| Vec::new()).collect();
-        for r in records {
-            let shard = match pipe.routing {
-                // Fibonacci hashing over the line address: cheap, stable
-                // across platforms, and spreads consecutive lines across
-                // shards.
-                ShardRouting::LineHash => {
-                    (((r.data_addr >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize)
-                        % shards
-                }
-                ShardRouting::Socket => {
-                    self.machine.topology().socket_of(r.core.0, self.num_cores) % shards
-                }
-            };
-            parts[shard].push(r);
-        }
-        parts
-    }
-
-    /// The pipelined detector stage: charge the batch's cost (a pure function
-    /// of its size) at the inline charge point, then route the records over
-    /// the shard workers. While repair is armed the attach decision gates the
-    /// next quantum, so those quanta round-trip in lock-step; otherwise the
-    /// batch streams and its events are deferred to
-    /// [`LaserSession::settle_in_flight`].
-    fn dispatch_piped(&mut self, records: Vec<HitmRecord>) -> ControlFlow<StopReason> {
-        let lockstep = self.config.enable_repair && self.repair.is_none();
-        // Whether this batch's aggregates are needed on the machine thread:
-        // for the observer's DetectionUpdate, for the armed repair trigger,
-        // or both.
-        let need_reply = self.observed || lockstep;
-        if !records.is_empty() && need_reply {
-            let n = records.len();
-            // The detector's per-record cost is configuration, not state, so
-            // the machine stage charges it at exactly the inline charge
-            // point — before the next quantum's scheduling decisions — while
-            // the semantic processing overlaps on the workers. The formula is
-            // shared with `Detector::processing_cycles`; the two sites must
-            // agree exactly for pipelined runs to stay byte-identical.
-            let cycles = detect::batch_processing_cycles(self.config.detector_cycles_per_record, n);
-            self.charge_detector_cycles(cycles);
-            let elapsed = self.machine.elapsed_benchmark_seconds();
-            // Captured at the inline charge point: a deferred DetectionUpdate
-            // must report the share as of *its* batch, not of the overlapped
-            // quantum that runs before the event is delivered.
-            let remote_share = self.machine.stats().remote_hitm_share();
-            let batch_event = self.observed.then(|| self.record_batch_event(n));
-            // Every shard gets a job — even an empty sub-batch — because the
-            // merge needs one reply per shard to see the full aggregate
-            // state. A reply is always collected before the next dispatch,
-            // so the channels never fill and nothing can drop here, lossy or
-            // not.
-            let parts = self.route_records(records);
-            {
-                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                for (shard, part) in pipe.shards.iter().zip(parts) {
-                    let outcome = shard.jobs.send(DetectorJob {
-                        records: part,
-                        want_aggs: true,
-                    });
-                    debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
-                }
-            }
-
-            if lockstep {
-                let merged = self.collect_merged_aggs();
-                if let Some(event) = batch_event {
-                    self.emit(event)?;
-                }
-                if self.observed {
-                    self.emit(LaserEvent::DetectionUpdate {
-                        lines: detect::line_rates_from(&merged, elapsed),
-                        remote_hitm_share: remote_share,
-                    })?;
-                }
-                let pcs =
-                    detect::trigger_pcs_from(&merged, elapsed, self.effective_repair_threshold());
-                self.pipe.as_mut().expect("piped stage").last_aggs = merged; // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
-                    if self.observed {
-                        self.emit(attached)?;
-                    }
-                }
-            } else {
-                let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                pipe.pending = batch_event;
-                pipe.pending_share = remote_share;
-                pipe.pending_elapsed = elapsed;
-                pipe.awaiting_reply = true;
-            }
-        } else if !records.is_empty() {
-            // Unobserved streaming: fire-and-forget, no reply owed. This is
-            // the only path where a shard's channel can fill, so it is the
-            // only place the lossy overflow check lives.
-            let parts = self.route_records(records);
-            let mut kept = 0usize;
-            let mut dropped = 0u64;
-            {
-                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                for (shard, part) in pipe.shards.iter().zip(parts) {
-                    if part.is_empty() {
-                        continue;
-                    }
-                    if pipe.lossy && shard.jobs.is_full() {
-                        // The shard has lagged a full channel behind: model a
-                        // PEBS overflow. The detector never sees the
-                        // sub-batch, so its cost is not charged either.
-                        dropped += part.len() as u64;
-                        continue;
-                    }
-                    kept += part.len();
-                    let outcome = shard.jobs.send(DetectorJob {
-                        records: part,
-                        want_aggs: false,
-                    });
-                    debug_assert_eq!(outcome, SendOutcome::Sent, "worker outlives the session");
-                }
-            }
-            if dropped > 0 {
-                self.driver.note_lagging_drops(dropped);
-            }
-            if kept > 0 {
-                let cycles =
-                    detect::batch_processing_cycles(self.config.detector_cycles_per_record, kept);
-                self.charge_detector_cycles(cycles);
-            }
-        } else if lockstep {
-            // No new records, but the armed trigger still re-evaluates every
-            // quantum (rates decay as elapsed time grows), exactly as the
-            // inline stage does. The shard detectors' state cannot have
-            // changed since the last collected batch, so evaluating against
-            // the cached merged aggregates is byte-identical to a worker
-            // round-trip — and at session start, before any batch, both are
-            // empty.
-            let elapsed = self.machine.elapsed_benchmark_seconds();
-            let threshold = self.effective_repair_threshold();
-            let pcs = {
-                let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                detect::trigger_pcs_from(&pipe.last_aggs, elapsed, threshold)
-            };
-            if let Some(attached) = self.attach_repair_from_pcs(&pcs) {
-                if self.observed {
-                    self.emit(attached)?;
-                }
-            }
-        }
-        ControlFlow::Continue(())
-    }
-
-    /// Block for `shard`'s next reply. A shard holds its reply sender for as
-    /// long as the session holds its job sender, so a disconnect here means
-    /// the worker died mid-run — in that case its own panic is the real
-    /// diagnostic, so shut every shard down, join them, and re-raise the
-    /// first panic payload rather than masking it with a channel error (the
-    /// campaign runner's per-cell `catch_unwind` then records the true
-    /// message).
-    fn recv_reply(&mut self, shard: usize) -> DetectorReply {
-        let received = {
-            let pipe = self.pipe.as_ref().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            pipe.shards[shard].replies.recv()
-        };
-        match received {
-            Ok(reply) => reply,
-            Err(_) => {
-                let pipe = self.pipe.take().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-                let mut workers = Vec::with_capacity(pipe.shards.len());
-                for stage in pipe.shards {
-                    drop(stage.jobs);
-                    workers.push(stage.worker);
-                }
-                let mut first_panic = None;
-                for worker in workers {
-                    if let Err(payload) = worker.join() {
-                        first_panic.get_or_insert(payload);
-                    }
-                }
-                match first_panic {
-                    Some(payload) => std::panic::resume_unwind(payload),
-                    None => panic!("detector stage worker exited before its channel closed"), // lint:allow(panic) — a worker exiting with its channel open is a protocol bug worth crashing the cell
-                }
-            }
-        }
-    }
-
-    /// Collect one reply per shard — in shard order, so the wait sequence is
-    /// deterministic — and reduce them with the sorted merge.
-    // lint:allow(shard-merge) — replies drain in fixed shard order and merge_line_aggregates supplies the BTreeMap-sorted merge
-    fn collect_merged_aggs(&mut self) -> Vec<LineAgg> {
-        let shards = self.pipe.as_ref().expect("piped stage").shards.len(); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-        let mut per_shard = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            per_shard.push(self.recv_reply(shard).aggs);
-        }
-        detect::merge_line_aggregates(per_shard)
-    }
-
-    /// If a streamed batch is in flight, wait for every shard to finish it
-    /// and emit its deferred `RecordBatch`/`DetectionUpdate` events from the
-    /// merged aggregates.
-    fn settle_in_flight(&mut self) -> ControlFlow<StopReason> {
-        let awaiting = self.pipe.as_ref().is_some_and(|p| p.awaiting_reply);
-        if !awaiting {
-            return ControlFlow::Continue(());
-        }
-        let merged = self.collect_merged_aggs();
-        let (pending, share, elapsed) = {
-            let pipe = self.pipe.as_mut().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-            pipe.awaiting_reply = false;
-            (
-                pipe.pending.take(),
-                pipe.pending_share,
-                pipe.pending_elapsed,
-            )
-        };
-        let lines = detect::line_rates_from(&merged, elapsed);
-        self.pipe.as_mut().expect("piped stage").last_aggs = merged; // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
-        if let Some(event) = pending {
-            self.emit(event)?;
-        }
-        self.emit(LaserEvent::DetectionUpdate {
-            lines,
-            remote_hitm_share: share,
-        })?;
-        ControlFlow::Continue(())
-    }
-
     /// Build the `RecordBatch` event for a batch of `n` records, advancing
-    /// the reported-drop watermark.
+    /// the reported-drop watermark. Inline-stage only (the pipelined stage's
+    /// drop counts ride in the ledgers).
     fn record_batch_event(&mut self, n: usize) -> LaserEvent {
-        let dropped_total = self.driver.stats().events_dropped;
+        let dropped_total = self
+            .driver
+            .as_ref()
+            .expect("inline stage owns driver") // lint:allow(panic) — only inline dispatch and post-reclaim finish build this event, and both own the driver
+            .stats()
+            .events_dropped;
         let event = LaserEvent::RecordBatch {
             n,
             dropped: dropped_total - self.reported_dropped,
@@ -1080,32 +1307,88 @@ impl LaserSession {
         }
     }
 
-    /// Wind down the pipelined detector stage: settle the batch in flight,
-    /// close every shard's channel so the workers drain their queues in FIFO
-    /// order and exit, then fold the shard detectors back into one
-    /// ([`Detector::absorb`], shard order) for the final inline flush. Under
-    /// line-hash routing the shards' state is disjoint, so the merged
-    /// detector is exactly the one an inline run would hold here.
-    fn reclaim_detector(&mut self) {
-        // The run is over; a Break during settlement has nothing to cancel.
-        let _ = self.settle_in_flight();
-        let Some(pipe) = self.pipe.take() else {
-            return;
-        };
-        // Drop every job sender first so all shards drain concurrently, then
-        // join them in shard order.
-        let mut workers = Vec::with_capacity(pipe.shards.len());
-        for stage in pipe.shards {
-            drop(stage.jobs);
-            workers.push(stage.worker);
+    /// Wind down the pipelined stages: settle every outstanding ledger
+    /// (emitting its deferred events), ask the driver stage to flush, close
+    /// the channels so every worker drains its queue in FIFO order and
+    /// exits, then reclaim the driver and fold the shard detectors back into
+    /// one ([`Detector::absorb`], shard order) for the final inline flush.
+    /// Under line-hash routing the shards' state is disjoint, so the merged
+    /// detector is exactly the one an inline run would hold here. Returns
+    /// the final flush's records, still unprocessed.
+    fn wind_down_pipeline(&mut self) -> Vec<HitmRecord> {
+        // Settle everything still outstanding, lag or no lag. The run is
+        // over; a Break during settlement has nothing to cancel.
+        let mut due = Vec::new();
+        while self
+            .pipe
+            .as_ref()
+            .expect("piped stage") // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+            .outstanding
+            .front()
+            .is_some()
+        {
+            let ledger = self.recv_ledger();
+            self.pipe
+                .as_mut()
+                .expect("piped stage") // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+                .outstanding
+                .pop_front();
+            due.push(self.settle_ledger(ledger));
         }
-        let mut detectors: Vec<Detector> = Vec::with_capacity(workers.len());
+        for emission in due {
+            if emission.records > 0 && self.observed {
+                let _ = self.emit(LaserEvent::RecordBatch {
+                    n: emission.records,
+                    dropped: emission.dropped,
+                });
+                let lines = detect::line_rates_from(
+                    emission.aggs.as_deref().unwrap_or(&[]),
+                    self.machine.elapsed_benchmark_seconds(),
+                );
+                let _ = self.emit(LaserEvent::DetectionUpdate {
+                    lines,
+                    remote_hitm_share: self.machine.stats().remote_hitm_share(),
+                });
+            }
+        }
+
+        // Ask the driver stage for its final flush, then close the channels.
+        let outcome = self
+            .pipe
+            .as_ref()
+            .expect("piped stage") // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+            .jobs
+            .send(DriverJob::Finish);
+        debug_assert_eq!(
+            outcome,
+            SendOutcome::Sent,
+            "driver stage outlives the session"
+        );
+        let flushed = self.recv_ledger().flushed;
+
+        let pipe = self.pipe.take().expect("piped stage"); // lint:allow(panic) — stage mode is fixed at construction; piped mode always has a pipe
+        drop(pipe.jobs);
         let mut first_panic = None;
-        for worker in workers {
+        let mut driver_busy = Duration::ZERO;
+        match pipe.driver_worker.join() {
+            Ok((driver, busy)) => {
+                self.driver = Some(driver);
+                driver_busy = busy;
+            }
+            // Re-raise the worker's own panic payload: it is the real
+            // diagnostic, and per-cell panic isolation depends on it.
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        let mut detectors: Vec<Detector> = Vec::with_capacity(pipe.shard_workers.len());
+        let mut detector_busy = Duration::ZERO;
+        for worker in pipe.shard_workers {
             match worker.join() {
-                Ok(detector) => detectors.push(detector),
-                // Re-raise the worker's own panic payload: it is the real
-                // diagnostic, and per-cell panic isolation depends on it.
+                Ok((detector, busy)) => {
+                    detectors.push(detector);
+                    detector_busy = detector_busy.max(busy);
+                }
                 Err(payload) => {
                     first_panic.get_or_insert(payload);
                 }
@@ -1119,6 +1402,12 @@ impl LaserSession {
             merged.absorb(shard);
         }
         self.detector = Some(merged);
+        self.occupancy = Some(StageOccupancy {
+            machine_busy: self.machine_busy,
+            driver_busy,
+            detector_busy,
+        });
+        flushed
     }
 
     /// Flush what is still buffered in the PEBS hardware, fold the repair
@@ -1128,14 +1417,20 @@ impl LaserSession {
     /// [`advance`](LaserSession::advance) batch — the detector is still
     /// sharing the chip while it drains the device — so the outcome's cycle
     /// count accounts for every record the detector processed. A pipelined
-    /// session reclaims its detector from the worker stage first, so the
-    /// final flush (and the report) sees every streamed batch.
+    /// session settles its outstanding ledgers and reclaims the driver and
+    /// detector from the worker stages first, so the final flush (and the
+    /// report) sees every streamed batch.
     pub fn finish(mut self) -> LaserOutcome {
-        self.reclaim_detector();
+        let mut records = if self.pipe.is_some() {
+            self.wind_down_pipeline()
+        } else {
+            Vec::new()
+        };
 
-        self.driver.poll(&mut self.machine);
-        self.driver.flush();
-        let records = self.driver.read_records();
+        let driver = self.driver.as_mut().expect("driver reclaimed"); // lint:allow(panic) — wind_down_pipeline() reclaims the driver before any caller can reach this point
+        driver.poll(&mut self.machine);
+        driver.flush();
+        records.extend(driver.read_records());
         if !records.is_empty() {
             let detector = self.detector.as_mut().expect("detector reclaimed"); // lint:allow(panic) — shutdown() reclaims the detector before any caller can reach this point
             detector.process(&records);
@@ -1183,10 +1478,12 @@ impl LaserSession {
         LaserOutcome {
             report,
             run: self.machine.result(),
-            driver_stats: self.driver.stats(),
+            // lint:allow(panic) — wind_down_pipeline() reclaims the driver before any caller can reach this point
+            driver_stats: self.driver.as_ref().expect("driver reclaimed").stats(),
             detector_cycles: self.detector_cycles,
             repair: self.repair,
             elapsed_benchmark_seconds: elapsed,
+            stage_occupancy: self.occupancy,
         }
     }
 }
@@ -1523,16 +1820,22 @@ mod tests {
         assert!(!config.lossy);
         assert_eq!(config.shards, 1, "single worker unless asked");
         assert_eq!(config.routing, ShardRouting::LineHash);
+        assert_eq!(
+            config.driver_lag_quanta, 0,
+            "lag defaults to 0 so pipelined runs stay byte-identical to inline"
+        );
         let on = PipelineConfig::pipelined()
             .with_capacity(0)
             .with_lossy(true)
             .with_shards(0)
-            .with_routing(ShardRouting::Socket);
+            .with_routing(ShardRouting::Socket)
+            .with_driver_lag(3);
         assert!(on.enabled);
         assert_eq!(on.capacity, 1, "capacity clamps to at least one batch");
         assert!(on.lossy);
         assert_eq!(on.shards, 1, "shard count clamps to at least one");
         assert_eq!(on.routing, ShardRouting::Socket);
+        assert_eq!(on.driver_lag_quanta, 3);
     }
 
     #[test]
@@ -1831,6 +2134,79 @@ mod tests {
         assert_eq!(a.report, b.report);
         assert_eq!(a.detector_cycles, b.detector_cycles);
         assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+    }
+
+    #[test]
+    fn lagged_charge_back_is_deterministic_across_identical_runs() {
+        // driver_lag_quanta ≥ 1 overlaps the machine with the driver stage:
+        // charges for quantum k land at boundary k + lag, which moves the
+        // cores' clocks relative to an inline run and perturbs the
+        // interleaving. Like socket routing, the contract is determinism —
+        // two identical deployments produce identical bytes — NOT
+        // inline-identity.
+        for lag in [1usize, 3] {
+            let image = contended_image("lagdet", 6000);
+            let run = |config: LaserConfig| {
+                let log = EventLog::new();
+                let outcome = Laser::builder()
+                    .config(config)
+                    .pipeline_config(
+                        PipelineConfig::pipelined()
+                            .with_shards(2)
+                            .with_driver_lag(lag),
+                    )
+                    .observer(log.clone())
+                    .build(&image)
+                    .run()
+                    .unwrap();
+                (outcome, log.events())
+            };
+            for config in [LaserConfig::detection_only(), LaserConfig::default()] {
+                let (a, a_events) = run(config.clone());
+                let (b, b_events) = run(config);
+                assert_eq!(a.cycles(), b.cycles(), "lag {lag}");
+                assert_eq!(a.report, b.report, "lag {lag}");
+                assert_eq!(a.detector_cycles, b.detector_cycles, "lag {lag}");
+                assert_eq!(a_events, b_events, "lag {lag}");
+                // Every deferred cycle still lands: the ledgers conserve the
+                // driver's overhead exactly, however late they settle.
+                assert_eq!(
+                    a.run.stats.injected_overhead_cycles,
+                    a.driver_stats.overhead_cycles + a.detector_cycles,
+                    "lag {lag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stage_occupancy_is_reported_for_pipelined_runs_only() {
+        let image = contended_image("occup", 6000);
+        let piped = Laser::builder()
+            .config(LaserConfig::detection_only())
+            .pipeline_config(PipelineConfig::pipelined())
+            .build(&image)
+            .run()
+            .unwrap();
+        let occupancy = piped
+            .stage_occupancy
+            .expect("pipelined runs report occupancy");
+        assert!(
+            occupancy.machine_busy > Duration::ZERO,
+            "the machine stage did real work"
+        );
+        let inline = Laser::builder()
+            .config(LaserConfig::detection_only())
+            .build(&image)
+            .run()
+            .unwrap();
+        assert!(
+            inline.stage_occupancy.is_none(),
+            "inline runs skip the measurement"
+        );
+        // Occupancy is bookkeeping about the run, never an input to it.
+        assert_eq!(piped.report, inline.report);
+        assert_eq!(piped.cycles(), inline.cycles());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::config::LaserConfig;
 use crate::observe::StopReason;
 use crate::repair::{RepairPlan, SsbStats};
 use crate::report::ContentionReport;
-use crate::session::{LaserSession, SessionBuilder};
+use crate::session::{LaserSession, SessionBuilder, StageOccupancy};
 
 /// What LASERREPAIR did during a run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +50,10 @@ pub struct LaserOutcome {
     pub repair: Option<RepairSummary>,
     /// Benchmark time in (dilated) seconds.
     pub elapsed_benchmark_seconds: f64,
+    /// Per-stage busy times of a pipelined run (`None` for inline runs).
+    /// Wall-clock bookkeeping only — it never feeds back into any simulated
+    /// or reported quantity, so outcomes stay byte-identical across hosts.
+    pub stage_occupancy: Option<StageOccupancy>,
 }
 
 impl LaserOutcome {

@@ -362,6 +362,25 @@ impl Machine {
         }
     }
 
+    /// Inject a whole vector of externally-caused per-core charges in one
+    /// pass — `charges[i]` cycles onto core `i`. This is the application side
+    /// of a deferred charge ledger (a pipelined driver stage accumulates its
+    /// overhead as a value and the machine applies it at a quantum boundary):
+    /// equivalent to one [`Machine::charge_cycles`] call per non-zero entry,
+    /// but with a single scheduler fix-up per charged core. Charges are
+    /// additive, so the machine state after this call is identical to the
+    /// state after the individual calls in any order.
+    pub fn charge_per_core(&mut self, charges: &[u64]) {
+        debug_assert!(charges.len() <= self.core_cycles.len());
+        for (core, &cycles) in charges.iter().enumerate() {
+            if cycles > 0 {
+                self.core_cycles[core] += cycles;
+                self.inner.stats.injected_overhead_cycles += cycles;
+                self.sched.reposition(&self.core_cycles, core);
+            }
+        }
+    }
+
     /// Read a 64-bit word from simulated memory (for tests and examples).
     pub fn read_u64(&self, addr: Addr) -> u64 {
         self.inner.mem.read(addr, 8)
